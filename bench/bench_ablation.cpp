@@ -1,0 +1,109 @@
+// Ablations of the design choices DESIGN.md calls out.
+//
+//   * A1 — partition method behind tree-EMD: the grid hierarchy is exactly
+//     the quadtree estimator (the Chen et al. [28] comparator the paper
+//     discusses); the hybrid hierarchy should match or beat its average
+//     ratio at equal settings, with ball (r = 1) best.
+//   * A2 — FJLT on/off for high-dimensional inputs: with the transform the
+//     distortion stays near the low-dimensional regime at a fraction of
+//     the per-level work; without it (hybrid directly on R^d) the bucket
+//     count must rise to keep ball coverage tractable, degrading
+//     distortion toward the grid baseline.
+//   * A3 — number of trees averaged: expected distortion is a property of
+//     the tree *distribution*; the max-pair ratio improves markedly from
+//     1 tree to a small ensemble (the standard embedding trick).
+#include "bench_common.hpp"
+
+#include "apps/emd.hpp"
+#include "geometry/quantize.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_AblationEmdMethod(benchmark::State& state,
+                          PartitionMethod method) {
+  const std::size_t half = 48;
+  const PointSet a = generate_uniform_cube(half, 4, 50.0, 3);
+  const PointSet b = generate_gaussian_clusters(half, 4, 3, 50.0, 2.0, 4);
+  PointSet all = a;
+  for (std::size_t i = 0; i < b.size(); ++i) all.push_back(b[i]);
+  const double exact = exact_emd(a, b);
+
+  double ratio_sum = 0.0;
+  const int trees = 8;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      EmbedOptions options;
+      options.method = method;
+      options.use_fjlt = false;
+      options.delta = 1 << 12;
+      options.seed = 700 + t;
+      auto embedding = embed(all, options);
+      if (!embedding.ok()) continue;
+      ratio_sum += tree_emd_split(embedding->tree, half) *
+                   embedding->scale_to_input / exact;
+    }
+  }
+  state.counters["emd_ratio_avg"] = ratio_sum / trees;
+}
+BENCHMARK_CAPTURE(BM_AblationEmdMethod, grid_quadtree,
+                  PartitionMethod::kGrid)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AblationEmdMethod, ball, PartitionMethod::kBall)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AblationEmdMethod, hybrid, PartitionMethod::kHybrid)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationFjlt(benchmark::State& state, bool use_fjlt) {
+  // 128-dimensional input: with the FJLT the hierarchy runs on
+  // O(log n) dims; without it r must grow to d-scale bucketing.
+  const std::size_t n = 256, d = 128;
+  const PointSet points = generate_subspace(n, d, 5, 60.0, 0.5, 11);
+
+  EmbedOptions base;
+  base.use_fjlt = use_fjlt;
+  base.fjlt_xi = 0.4;
+  base.delta = 1 << 12;
+  // Without FJLT, keep bucket_dim small enough to stay tractable.
+  if (!use_fjlt) base.num_buckets = d / 2;
+
+  std::vector<Hst> forest;
+  for (auto _ : state) {
+    forest = build_forest(points, base, 5, 900);
+  }
+  report_distortion(state, forest, points);
+  state.counters["use_fjlt"] = use_fjlt ? 1.0 : 0.0;
+}
+BENCHMARK_CAPTURE(BM_AblationFjlt, with_fjlt, true)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AblationFjlt, without_fjlt, false)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationEnsembleSize(benchmark::State& state) {
+  const auto trees = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(256, 4, 50.0, 13);
+  EmbedOptions base;
+  base.use_fjlt = false;
+  base.delta = 1 << 12;
+  std::vector<Hst> forest;
+  for (auto _ : state) {
+    forest = build_forest(points, base, trees, 1100);
+  }
+  report_distortion(state, forest, points);
+  state.counters["ensemble"] = static_cast<double>(trees);
+}
+BENCHMARK(BM_AblationEnsembleSize)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

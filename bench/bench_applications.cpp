@@ -1,0 +1,218 @@
+// E8–E10 (Corollary 1): application quality through the embedding.
+//
+//   * E8 MST: Euclidean cost of the tree-guided spanning tree over the
+//     exact Prim MST — bounded by the embedding distortion, typically a
+//     small constant on uniform/clustered data.
+//   * E9 EMD: tree-flow EMD over exact min-cost-flow EMD (>= 1 by
+//     domination, single-digit factors expected).
+//   * E10 densest ball: fraction of the exact densest ball's count the
+//     tree cluster captures at a distortion-stretched diameter.
+#include <benchmark/benchmark.h>
+
+#include "apps/densest_ball.hpp"
+#include "apps/emd.hpp"
+#include "apps/kcenter.hpp"
+#include "apps/kmedian.hpp"
+#include "apps/mst.hpp"
+#include "apps/nearest_neighbor.hpp"
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte::bench {
+namespace {
+
+Embedding make_embedding(const PointSet& points, std::uint64_t seed) {
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = seed;
+  auto result = embed(points, options);
+  if (!result.ok()) throw MpteError(result.status().to_string());
+  return std::move(result).value();
+}
+
+void BM_MstApproximation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, 4, 50.0, 3 + n);
+  const double exact = exact_mst(points).total_length;
+  double ratio_sum = 0.0;
+  const int trees = 5;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      const Embedding embedding = make_embedding(points, 100 + t);
+      ratio_sum += tree_mst(embedding.tree, points).total_length / exact;
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["mst_ratio_avg"] = ratio_sum / trees;
+}
+BENCHMARK(BM_MstApproximation)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MstOnClusteredData(benchmark::State& state) {
+  const std::size_t n = 512;
+  const PointSet points =
+      generate_gaussian_clusters(n, 4, 8, 500.0, 1.0, 7);
+  const double exact = exact_mst(points).total_length;
+  double ratio_sum = 0.0;
+  const int trees = 5;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      const Embedding embedding = make_embedding(points, 200 + t);
+      ratio_sum += tree_mst(embedding.tree, points).total_length / exact;
+    }
+  }
+  state.counters["mst_ratio_avg"] = ratio_sum / trees;
+}
+BENCHMARK(BM_MstOnClusteredData)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmdApproximation(benchmark::State& state) {
+  const auto half = static_cast<std::size_t>(state.range(0));
+  const PointSet a = generate_uniform_cube(half, 3, 50.0, 11);
+  const PointSet b = generate_uniform_cube(half, 3, 50.0, 12);
+  const double exact = exact_emd(a, b);
+  PointSet all = a;
+  for (std::size_t i = 0; i < b.size(); ++i) all.push_back(b[i]);
+
+  double ratio_sum = 0.0;
+  const int trees = 5;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      const Embedding embedding = make_embedding(all, 300 + t);
+      const double tree =
+          tree_emd_split(embedding.tree, half) * embedding.scale_to_input;
+      ratio_sum += tree / exact;
+    }
+  }
+  state.counters["n_per_side"] = static_cast<double>(half);
+  state.counters["emd_ratio_avg"] = ratio_sum / trees;
+}
+BENCHMARK(BM_EmdApproximation)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DensestBallQuality(benchmark::State& state) {
+  // Clustered data with a known dense blob; diameter target ~ blob size.
+  const std::size_t n = 600;
+  const PointSet points =
+      generate_gaussian_clusters(n, 3, 6, 800.0, 1.0, 13);
+  const double radius = 4.0;
+  const auto exact = densest_ball_exact(points, radius);
+
+  double capture_sum = 0.0, stretch_sum = 0.0;
+  const int trees = 5;
+  for (auto _ : state) {
+    capture_sum = stretch_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      const Embedding embedding = make_embedding(points, 400 + t);
+      // Allow the tree the distortion-stretched diameter (beta * D).
+      const double beta = 16.0;
+      const double target =
+          beta * 2.0 * radius / embedding.scale_to_input;
+      const auto tree = densest_ball_tree(embedding.tree, target);
+      capture_sum += static_cast<double>(tree.count) /
+                     static_cast<double>(exact.count);
+      stretch_sum +=
+          tree.diameter * embedding.scale_to_input / (2.0 * radius);
+    }
+  }
+  state.counters["exact_count"] = static_cast<double>(exact.count);
+  state.counters["capture_avg"] = capture_sum / trees;    // alpha
+  state.counters["diameter_stretch"] = stretch_sum / trees;  // beta realized
+}
+BENCHMARK(BM_DensestBallQuality)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMedianQuality(benchmark::State& state) {
+  // Extension app: tree k-median DP vs exhaustive optimum on a small
+  // clustered instance.
+  const std::size_t n = 16, k = 3;
+  const PointSet points = generate_gaussian_clusters(n, 2, 3, 100.0, 1.0, 17);
+  const double optimal = exact_kmedian_cost(points, k);
+  double ratio_sum = 0.0;
+  const int trees = 5;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      const Embedding embedding = make_embedding(points, 500 + t);
+      const auto dp = tree_kmedian_dp(embedding.tree, k);
+      ratio_sum += kmedian_cost(points, dp.medians) / optimal;
+    }
+  }
+  state.counters["kmedian_ratio_avg"] = ratio_sum / trees;
+}
+BENCHMARK(BM_KMedianQuality)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KCenterQuality(benchmark::State& state) {
+  // Tree k-center vs the Gonzalez 2-approx baseline on clustered data.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const PointSet points =
+      generate_gaussian_clusters(400, 3, k, 1500.0, 1.5, 27);
+  const auto baseline = gonzalez_kcenter(points, k);
+  double ratio_sum = 0.0;
+  const int trees = 5;
+  for (auto _ : state) {
+    ratio_sum = 0.0;
+    for (int t = 0; t < trees; ++t) {
+      const Embedding embedding = make_embedding(points, 700 + t);
+      ratio_sum += tree_kcenter(embedding.tree, points, k).radius /
+                   baseline.radius;
+    }
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["kcenter_ratio_avg"] = ratio_sum / trees;
+}
+BENCHMARK(BM_KCenterQuality)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NearestNeighborQuality(benchmark::State& state) {
+  // Approximate NN via the tree vs exact linear scan: recall@1 and the
+  // mean distance inflation at a fixed candidate budget.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t budget = 16;
+  const PointSet points = generate_uniform_cube(n, 4, 50.0, 23);
+  const Embedding embedding = make_embedding(points, 600);
+  double recall = 0.0, inflation = 0.0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    double ratio_sum = 0.0;
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto approx =
+          tree_nearest_neighbor(embedding.tree, points, q, budget);
+      const auto exact = exact_nearest_neighbor(points, q);
+      if (approx.distance <= exact.distance + 1e-12) ++hits;
+      ratio_sum += approx.distance / exact.distance;
+    }
+    recall = static_cast<double>(hits) / static_cast<double>(n);
+    inflation = ratio_sum / static_cast<double>(n);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["recall_at_1"] = recall;
+  state.counters["distance_inflation"] = inflation;
+}
+BENCHMARK(BM_NearestNeighborQuality)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

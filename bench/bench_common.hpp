@@ -1,0 +1,54 @@
+// Shared helpers for the experiment benches (see DESIGN.md §4).
+//
+// Conventions: every bench registers with ->Iterations(1) (we measure
+// algorithmic quantities — distortion, rounds, bytes — not wall-clock
+// noise) and reports its experiment metrics through benchmark counters so
+// the table each binary prints *is* the experiment's result table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+#include "tree/distortion.hpp"
+
+namespace mpte::bench {
+
+/// Builds an ensemble of `trees` embeddings of `points` with consecutive
+/// seeds, for expected-distortion measurement.
+inline std::vector<Hst> build_forest(const PointSet& points,
+                                     const EmbedOptions& base,
+                                     std::size_t trees,
+                                     std::uint64_t seed0 = 1000) {
+  std::vector<Hst> forest;
+  forest.reserve(trees);
+  for (std::size_t t = 0; t < trees; ++t) {
+    EmbedOptions options = base;
+    options.seed = seed0 + t;
+    auto result = embed(points, options);
+    if (!result.ok()) {
+      // Coverage failures at bench scale indicate misconfigured U; skip
+      // the tree rather than abort the whole table.
+      continue;
+    }
+    forest.push_back(std::move(result->tree));
+  }
+  return forest;
+}
+
+/// Reports ensemble distortion stats as counters on `state`.
+inline void report_distortion(benchmark::State& state,
+                              const std::vector<Hst>& forest,
+                              const PointSet& points,
+                              std::size_t max_pairs = 4000) {
+  const auto stats =
+      measure_expected_distortion(forest, points, max_pairs, 99);
+  state.counters["exp_distortion_max"] = stats.max_expected_ratio;
+  state.counters["exp_distortion_mean"] = stats.mean_expected_ratio;
+  state.counters["min_ratio"] = stats.min_single_ratio;  // >= 1: domination
+  state.counters["trees"] = static_cast<double>(stats.trees);
+}
+
+}  // namespace mpte::bench

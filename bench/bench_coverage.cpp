@@ -1,0 +1,97 @@
+// E7 (Lemmas 6–7 / Lemma 8): grid counts and coverage failure.
+//
+//   * Empirical coverage failure frequency at U grids tracks the union
+//     bound n * (1 - p_k)^U and drops below delta at the recommended U.
+//   * The explicit storage the paper's Lemma 8 budget charges for the
+//     grids (U * k * 8 bytes per level-bucket) versus the O(1)-byte
+//     counter-based representation this library actually ships.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "geometry/generators.hpp"
+#include "partition/ball_partition.hpp"
+#include "partition/coverage.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_CoverageFailureVsU(benchmark::State& state) {
+  // Fraction of runs (fresh seeds) in which at least one of n points is
+  // left uncovered by U grids, in k = 2 dimensions.
+  const auto u = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 2, n = 200;
+  const PointSet points = generate_uniform_cube(n, k, 50.0, 3);
+  double failure_freq = 0.0;
+  for (auto _ : state) {
+    std::size_t failures = 0;
+    const std::size_t runs = 400;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const BallGrids grids(k, 1.0, u, 1000 + run);
+      if (ball_partition(points, grids).uncovered > 0) ++failures;
+    }
+    failure_freq = static_cast<double>(failures) / static_cast<double>(runs);
+  }
+  state.counters["U"] = static_cast<double>(u);
+  state.counters["failure_freq"] = failure_freq;
+  state.counters["union_bound"] =
+      coverage_failure_probability(k, n, u);
+}
+BENCHMARK(BM_CoverageFailureVsU)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(60)
+    ->Arg(90)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RecommendedUSucceeds(benchmark::State& state) {
+  // At U = recommended(delta = 1e-3), failures over 200 runs should be ~0.
+  const std::size_t k = 3, n = 300;
+  const std::size_t u = recommended_num_grids(k, n, 1, 1, 1e-3);
+  const PointSet points = generate_uniform_cube(n, k, 50.0, 7);
+  std::size_t failures = 0;
+  const std::size_t runs = 200;
+  for (auto _ : state) {
+    failures = 0;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const BallGrids grids(k, 1.0, u, 5000 + run);
+      if (ball_partition(points, grids).uncovered > 0) ++failures;
+    }
+  }
+  state.counters["U"] = static_cast<double>(u);
+  state.counters["failures"] = static_cast<double>(failures);
+  state.counters["runs"] = static_cast<double>(runs);
+}
+BENCHMARK(BM_RecommendedUSucceeds)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridStorageLemma8(benchmark::State& state) {
+  // Space of the full grid family for an n-point hybrid run (all levels,
+  // all buckets) under the Lemma-8 accounting, swept over bucket_dim.
+  const auto bucket_dim = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 4096, r = 8, levels = 30;
+  std::size_t u = 0;
+  for (auto _ : state) {
+    u = recommended_num_grids(bucket_dim, n, r, levels, 1e-6);
+  }
+  const double explicit_bytes = static_cast<double>(u) *
+                                static_cast<double>(bucket_dim) * 8.0 *
+                                static_cast<double>(r * levels);
+  state.counters["bucket_dim"] = static_cast<double>(bucket_dim);
+  state.counters["U"] = static_cast<double>(u);
+  state.counters["explicit_grid_B"] = explicit_bytes;
+  // The n^eps local-memory budgets this must fit under (Lemma 8).
+  state.counters["n_pow_0.5"] = std::sqrt(static_cast<double>(n * 8));
+  state.counters["n_pow_0.8"] =
+      std::pow(static_cast<double>(n * 8), 0.8);
+}
+BENCHMARK(BM_GridStorageLemma8)
+    ->DenseRange(1, 6)
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mpte::bench

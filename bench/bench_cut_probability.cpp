@@ -1,0 +1,161 @@
+// E2 (Lemma 1): for a pair at distance D under a hybrid partitioning at
+// scale w,
+//   (a) Pr[separated] <= O(sqrt(d) * D / w), *independent of r*, and
+//   (b) same partition  =>  D <= 2 * sqrt(r) * w.
+// The bench sweeps D/w and r, reporting the empirical separation frequency
+// and its ratio to sqrt(d)*D/w (which should be a roughly constant factor
+// across the sweep), plus the realized diameter bound slack.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "geometry/generators.hpp"
+#include "partition/ball_partition.hpp"
+#include "partition/coverage.hpp"
+#include "partition/sphere_caps.hpp"
+
+namespace mpte::bench {
+namespace {
+
+/// Separation frequency of a fixed pair under one-level r-bucket hybrid
+/// partitioning with ball radius w, over `trials` independent seeds.
+double separation_frequency(std::size_t dim, std::uint32_t r, double w,
+                            double distance, std::size_t trials) {
+  const std::size_t bucket_dim = (dim + r - 1) / r;
+  const std::size_t grids =
+      recommended_num_grids(bucket_dim, 2, r, 1, 1e-9);
+  std::size_t cut = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const PointSet pair =
+        generate_pair_at_distance(dim, 64.0 * w, distance, 7000 + t);
+    bool separated = false;
+    for (std::uint32_t j = 0; j < r && !separated; ++j) {
+      const PointSet proj =
+          pair.pad_dims(bucket_dim * r)
+              .project(j * bucket_dim, (j + 1) * bucket_dim);
+      const BallGrids bg(bucket_dim, w, grids, 555 + t * 131 + j);
+      const std::uint64_t a = bg.assign(proj[0]);
+      const std::uint64_t b = bg.assign(proj[1]);
+      if (a != b || a == kUncovered) separated = true;
+    }
+    cut += separated;
+  }
+  return static_cast<double>(cut) / static_cast<double>(trials);
+}
+
+void BM_CutProbabilityVsDistance(benchmark::State& state) {
+  const std::size_t dim = 4;
+  const double w = 16.0;
+  // distance = w / 2^range: sweep D/w over {1/2, 1/4, ..., 1/32}.
+  const double distance = w / std::exp2(static_cast<double>(state.range(0)));
+  double freq = 0.0;
+  for (auto _ : state) {
+    freq = separation_frequency(dim, 2, w, distance, 2000);
+  }
+  const double lemma_bound = std::sqrt(static_cast<double>(dim)) *
+                             distance / w;
+  state.counters["D_over_w"] = distance / w;
+  state.counters["cut_freq"] = freq;
+  state.counters["freq_over_bound"] = freq / lemma_bound;  // ~constant
+}
+BENCHMARK(BM_CutProbabilityVsDistance)
+    ->DenseRange(1, 5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CutProbabilityVsR(benchmark::State& state) {
+  // Lemma 1's key surprise: the bound does not depend on r. Fix D/w and
+  // sweep r; cut_freq should stay near-flat.
+  const std::size_t dim = 8;
+  const double w = 16.0;
+  const double distance = w / 8.0;
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  double freq = 0.0;
+  for (auto _ : state) {
+    freq = separation_frequency(dim, r, w, distance, 2000);
+  }
+  state.counters["r"] = static_cast<double>(r);
+  state.counters["cut_freq"] = freq;
+}
+BENCHMARK(BM_CutProbabilityVsR)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DiameterBoundVsR(benchmark::State& state) {
+  // Lemma 1(b): points sharing a partition at scale w lie within
+  // 2*sqrt(r)*w. Measure the max realized within-partition distance over
+  // random data and report its fraction of the bound (must be <= 1), plus
+  // how many co-located pairs were observed. Data spread ~ the ball
+  // radius so co-location actually happens at every r.
+  const std::size_t dim = 4;
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const double w = 16.0;
+  const std::size_t bucket_dim = dim / r;
+  const std::size_t grids =
+      recommended_num_grids(bucket_dim, 400, r, 1, 1e-9);
+
+  double max_fraction = 0.0;
+  std::size_t colocated_pairs = 0;
+  for (auto _ : state) {
+    const PointSet points = generate_uniform_cube(400, dim, 2.0 * w, 31);
+    std::vector<std::uint64_t> ids(points.size(), 0);
+    for (std::uint32_t j = 0; j < r; ++j) {
+      const PointSet proj =
+          points.project(j * bucket_dim, (j + 1) * bucket_dim);
+      const BallGrids bg(bucket_dim, w, grids, 77 + j);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        ids[i] = hash_combine(ids[i], bg.assign(proj[i]));
+      }
+    }
+    const double bound = 2.0 * std::sqrt(static_cast<double>(r)) * w;
+    colocated_pairs = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::size_t k = i + 1; k < points.size(); ++k) {
+        if (ids[i] == ids[k]) {
+          ++colocated_pairs;
+          max_fraction =
+              std::max(max_fraction,
+                       l2_distance(points[i], points[k]) / bound);
+        }
+      }
+    }
+  }
+  state.counters["r"] = static_cast<double>(r);
+  state.counters["colocated_pairs"] = static_cast<double>(colocated_pairs);
+  state.counters["max_diameter_fraction"] = max_fraction;  // <= 1 always
+}
+BENCHMARK(BM_DiameterBoundVsR)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EquatorBandLemma4(benchmark::State& state) {
+  // The geometric root of Lemma 1: Pr[|u_1| <= t] vs sqrt(d)*t on the
+  // sphere and ball, swept over d at fixed t. prob_over_bound should stay
+  // a bounded constant as d grows.
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const double t = 0.02;
+  double sphere = 0.0, ball = 0.0;
+  for (auto _ : state) {
+    sphere = equator_band_probability(d, t, 40000, 77, true);
+    ball = equator_band_probability(d, t, 40000, 78, false);
+  }
+  state.counters["d"] = static_cast<double>(d);
+  state.counters["sphere_prob"] = sphere;
+  state.counters["ball_prob"] = ball;
+  state.counters["prob_over_bound"] = sphere / lemma4_bound(d, t);
+}
+BENCHMARK(BM_EquatorBandLemma4)
+    ->RangeMultiplier(4)
+    ->Range(2, 512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,54 @@
+// E1 (Theorem 1.2 / Theorem 2 vs Arora's baseline): expected distortion of
+// grid vs ball vs hybrid partitioning as n grows.
+//
+// Paper claim: hybrid achieves O(sqrt(log n) * log Delta * sqrt(log log n))
+// expected distortion, beating grid partitioning's O(log^2 n) — at matched
+// n and Delta the hybrid/ball rows should sit below the grid rows, with
+// the gap widening as n (and Delta = poly(n)) grows.
+#include "bench_common.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_DistortionVsN(benchmark::State& state, PartitionMethod method) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Delta = poly(n): tie the grid resolution to n as the theorems assume.
+  const std::uint64_t delta = static_cast<std::uint64_t>(n) * n;
+  // d = 4 keeps ball partitioning (r = 1, bucket dim 4) tractable — the
+  // very intractability of larger buckets is the paper's motivation for
+  // hybridizing (E3 sweeps r directly).
+  const PointSet points = generate_uniform_cube(n, 4, 100.0, 42 + n);
+
+  EmbedOptions base;
+  base.method = method;
+  base.use_fjlt = false;  // isolate the partitioning methods
+  base.delta = delta;
+  const std::size_t trees = 5;
+
+  std::vector<Hst> forest;
+  for (auto _ : state) {
+    forest = build_forest(points, base, trees);
+  }
+  report_distortion(state, forest, points);
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["delta"] = static_cast<double>(delta);
+}
+
+BENCHMARK_CAPTURE(BM_DistortionVsN, grid, PartitionMethod::kGrid)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DistortionVsN, ball, PartitionMethod::kBall)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DistortionVsN, hybrid, PartitionMethod::kHybrid)
+    ->RangeMultiplier(2)
+    ->Range(256, 2048)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,66 @@
+// E3 (Theorem 2 trade-off): sweeping the bucket count r trades distortion
+// for space. Expected distortion grows like sqrt(r) (the diameter bound is
+// 2*sqrt(r)*w while the cut probability is r-free), while the number of
+// grids U needed per bucket *falls* double-exponentially as buckets get
+// smaller (Lemma 7) — the reason hybrid partitioning exists.
+#include "bench_common.hpp"
+
+#include "partition/coverage.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_DistortionVsR(benchmark::State& state) {
+  const std::size_t n = 512;
+  const std::size_t dim = 8;
+  const auto r = static_cast<std::uint32_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, dim, 100.0, 7);
+
+  EmbedOptions base;
+  base.method = PartitionMethod::kHybrid;
+  base.num_buckets = r;
+  base.use_fjlt = false;
+  base.delta = 1 << 12;
+
+  std::vector<Hst> forest;
+  for (auto _ : state) {
+    forest = build_forest(points, base, 5);
+  }
+  report_distortion(state, forest, points);
+
+  const std::size_t bucket_dim = (dim + r - 1) / r;
+  state.counters["r"] = static_cast<double>(r);
+  state.counters["bucket_dim"] = static_cast<double>(bucket_dim);
+  // The space side of the trade-off: grids needed per (level, bucket).
+  state.counters["grids_U"] = static_cast<double>(
+      recommended_num_grids(bucket_dim, n, r, 30, 1e-6));
+}
+
+// r = 2 keeps bucket_dim = 4 (the largest tractable ball dimension here);
+// r = 8 is the grid-like extreme with 1-dim buckets.
+BENCHMARK(BM_DistortionVsR)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridCountVsBucketDim(benchmark::State& state) {
+  // Isolated view of Lemma 7: U explodes with the per-bucket dimension.
+  const auto bucket_dim = static_cast<std::size_t>(state.range(0));
+  std::size_t u = 0;
+  for (auto _ : state) {
+    u = recommended_num_grids(bucket_dim, 512, 1, 30, 1e-6);
+  }
+  state.counters["bucket_dim"] = static_cast<double>(bucket_dim);
+  state.counters["grids_U"] = static_cast<double>(u);
+  state.counters["lemma7_form"] =
+      lemma7_grid_bound(bucket_dim, 1, 30, 1e-6);
+}
+BENCHMARK(BM_GridCountVsBucketDim)
+    ->DenseRange(1, 10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mpte::bench

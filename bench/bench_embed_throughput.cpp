@@ -1,0 +1,109 @@
+// E12b: end-to-end embedding throughput and near-linear work scaling. The
+// per-point cost should stay roughly flat as n grows (levels depend on
+// Delta, not n; expected ball probes are O(1/p_k) per level).
+#include <benchmark/benchmark.h>
+
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+#include "tree/embedding_builder.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_EmbedHybrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, 6, 50.0, 3 + n);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.delta = 1 << 12;
+  options.seed = 5;
+  for (auto _ : state) {
+    auto result = embed(points, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmbedHybrid)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmbedGridBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, 6, 50.0, 3 + n);
+  EmbedOptions options;
+  options.method = PartitionMethod::kGrid;
+  options.use_fjlt = false;
+  options.delta = 1 << 12;
+  options.seed = 7;
+  for (auto _ : state) {
+    auto result = embed(points, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmbedGridBaseline)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmbedWithFjlt(benchmark::State& state) {
+  // High-dimensional input through the full pipeline.
+  const std::size_t n = 1024;
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, d, 50.0, 11);
+  EmbedOptions options;
+  options.use_fjlt = true;
+  options.fjlt_xi = 0.45;
+  options.delta = 1 << 12;
+  options.seed = 13;
+  for (auto _ : state) {
+    auto result = embed(points, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EmbedWithFjlt)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeDistanceQueries(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const PointSet points = generate_uniform_cube(n, 6, 50.0, 17);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.delta = 1 << 12;
+  auto result = embed(points, options);
+  if (!result.ok()) {
+    state.SkipWithError(result.status().to_string().c_str());
+    return;
+  }
+  const Hst& tree = result->tree;
+  std::size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.distance(i % n, (i * 7919) % n));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TreeDistanceQueries)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace mpte::bench

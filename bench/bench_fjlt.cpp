@@ -1,0 +1,144 @@
+// E4 + E5 (Theorem 3): FJLT quality and space.
+//
+//   * E4 — distance preservation: the fraction of pairwise distance ratios
+//     outside (1±xi) should be ~0 at k = Theta(xi^-2 log n), matching the
+//     dense JL baseline while doing far less work per point.
+//   * E5 — space: nnz(P) concentrates at q*k*d = O(xi^-2 log^3 n), the
+//     term behind Theorem 3's O(nd + xi^-2 n log^3 n) total space, a log n
+//     factor below the dense transform's O(nd log n).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "geometry/generators.hpp"
+#include "transform/dense_jl.hpp"
+#include "transform/fjlt.hpp"
+
+namespace mpte::bench {
+namespace {
+
+struct QualityStats {
+  double violation_fraction;
+  double max_abs_log_ratio;
+};
+
+QualityStats pairwise_quality(const PointSet& original,
+                              const PointSet& mapped, double xi) {
+  std::size_t violations = 0, pairs = 0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (std::size_t j = i + 1; j < original.size(); ++j) {
+      const double orig = l2_distance(original[i], original[j]);
+      if (orig == 0.0) continue;
+      const double now = l2_distance(mapped[i], mapped[j]);
+      ++pairs;
+      if (now < (1 - xi) * orig || now > (1 + xi) * orig) ++violations;
+      worst = std::max(worst, std::abs(std::log(now / orig)));
+    }
+  }
+  return {static_cast<double>(violations) / static_cast<double>(pairs),
+          worst};
+}
+
+void BM_FjltQualityVsXi(benchmark::State& state) {
+  const double xi = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t n = 256, d = 512;
+  const PointSet points = generate_gaussian_clusters(n, d, 5, 10.0, 1.0, 3);
+  const FjltConfig config = FjltConfig::make(n, d, xi, 17);
+  QualityStats quality{};
+  for (auto _ : state) {
+    const PointSet mapped = Fjlt(config).transform(points);
+    quality = pairwise_quality(points, mapped, xi);
+  }
+  state.counters["xi"] = xi;
+  state.counters["k"] = static_cast<double>(config.output_dim);
+  state.counters["violation_frac"] = quality.violation_fraction;
+  state.counters["max_abs_log_ratio"] = quality.max_abs_log_ratio;
+}
+BENCHMARK(BM_FjltQualityVsXi)
+    ->Arg(45)
+    ->Arg(30)
+    ->Arg(20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseJlQualityBaseline(benchmark::State& state) {
+  const double xi = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t n = 256, d = 512;
+  const PointSet points = generate_gaussian_clusters(n, d, 5, 10.0, 1.0, 3);
+  const std::size_t k = FjltConfig::make(n, d, xi, 17).output_dim;
+  QualityStats quality{};
+  for (auto _ : state) {
+    const PointSet mapped = DenseJl(d, k, 19).transform(points);
+    quality = pairwise_quality(points, mapped, xi);
+  }
+  state.counters["xi"] = xi;
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["violation_frac"] = quality.violation_fraction;
+}
+BENCHMARK(BM_DenseJlQualityBaseline)
+    ->Arg(45)
+    ->Arg(30)
+    ->Arg(20)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FjltSpaceVsN(benchmark::State& state) {
+  // nnz(P) against the Theorem 3 budget xi^-2 log^3 n, and the dense
+  // transform's k*d for contrast.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 4096;
+  const double xi = 0.3;
+  const FjltConfig config = FjltConfig::make(n, d, xi, 23);
+  std::size_t nnz = 0;
+  for (auto _ : state) {
+    nnz = Fjlt(config).p_nonzeros();
+  }
+  const double log_n = std::log(static_cast<double>(n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["nnz_P"] = static_cast<double>(nnz);
+  state.counters["budget_log3n_over_xi2"] = log_n * log_n * log_n / (xi * xi);
+  state.counters["dense_kd"] =
+      static_cast<double>(config.output_dim) * static_cast<double>(d);
+}
+BENCHMARK(BM_FjltSpaceVsN)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FjltApplyThroughput(benchmark::State& state) {
+  // Work per point: FJLT is O(d log d + nnz/k per row) vs dense's O(kd).
+  const std::size_t n = 64;
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, d, 1.0, 29);
+  const FjltConfig config = FjltConfig::make(1024, d, 0.3, 31);
+  const Fjlt fjlt(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fjlt.transform(points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FjltApplyThroughput)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseJlApplyThroughput(benchmark::State& state) {
+  const std::size_t n = 64;
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, d, 1.0, 29);
+  const std::size_t k = FjltConfig::make(1024, d, 0.3, 31).output_dim;
+  const DenseJl jl(d, k, 37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jl.transform(points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DenseJlApplyThroughput)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,49 @@
+// E12a: Fast Walsh–Hadamard throughput — the O(d log d) work bound that
+// makes the FJLT "fast". Reported as items (transformed vectors) per
+// second; the per-element time should grow only logarithmically with d.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "transform/walsh_hadamard.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_FwhtSingleVector(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> data(d);
+  for (double& x : data) x = rng.normal();
+  for (auto _ : state) {
+    fwht_normalized(data);
+    benchmark::DoNotOptimize(data.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * sizeof(double)));
+}
+BENCHMARK(BM_FwhtSingleVector)
+    ->RangeMultiplier(4)
+    ->Range(64, 1 << 18)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FwhtPointBatch(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 256;
+  Rng rng(2);
+  PointSet points(n, d);
+  for (double& x : points.raw()) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fwht_points(points));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FwhtPointBatch)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,62 @@
+// E11 (Definition 3 / Figure 1 sanity): hybrid partitioning interpolates
+// between its extremes.
+//
+//   * r = 1 *is* ball partitioning (asserted structurally in the tests;
+//     here we show the distortion rows coincide).
+//   * r = d behaves like grid partitioning: per-bucket 1-d ball intervals
+//     intersect into axis-aligned boxes, so its distortion tracks the
+//     grid baseline (up to the radius-vs-cell-width constant the paper
+//     notes: balls of radius w on cells 4w leave gaps, grid cells don't).
+#include "bench_common.hpp"
+
+namespace mpte::bench {
+namespace {
+
+constexpr std::size_t kN = 512;
+constexpr std::size_t kDim = 4;
+constexpr std::uint64_t kDelta = 1 << 12;
+
+PointSet bench_points() {
+  return generate_uniform_cube(kN, kDim, 100.0, 21);
+}
+
+void run_method(benchmark::State& state, PartitionMethod method,
+                std::uint32_t buckets) {
+  const PointSet points = bench_points();
+  EmbedOptions base;
+  base.method = method;
+  base.num_buckets = buckets;
+  base.use_fjlt = false;
+  base.delta = kDelta;
+  std::vector<Hst> forest;
+  for (auto _ : state) {
+    forest = build_forest(points, base, 6);
+  }
+  report_distortion(state, forest, points);
+}
+
+void BM_Extreme_BallR1(benchmark::State& state) {
+  run_method(state, PartitionMethod::kBall, 0);
+}
+void BM_Extreme_HybridR1(benchmark::State& state) {
+  run_method(state, PartitionMethod::kHybrid, 1);
+}
+void BM_Extreme_HybridR2(benchmark::State& state) {
+  run_method(state, PartitionMethod::kHybrid, 2);
+}
+void BM_Extreme_HybridRD(benchmark::State& state) {
+  run_method(state, PartitionMethod::kHybrid,
+             static_cast<std::uint32_t>(kDim));
+}
+void BM_Extreme_Grid(benchmark::State& state) {
+  run_method(state, PartitionMethod::kGrid, 0);
+}
+
+BENCHMARK(BM_Extreme_BallR1)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Extreme_HybridR1)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Extreme_HybridR2)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Extreme_HybridRD)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Extreme_Grid)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,112 @@
+// Corollary 1 measured *in the MPC model*: the distributed EMD, densest
+// ball, and MST run in a constant number of rounds (flat across n) and
+// deliver the same quality as their sequential tree counterparts (they
+// compute the identical hierarchy quantities — asserted in tests; here we
+// record rounds and quality against the exact baselines).
+#include <benchmark/benchmark.h>
+
+#include "apps/emd.hpp"
+#include "apps/mpc_apps.hpp"
+#include "apps/mst.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte::bench {
+namespace {
+
+MpcEmbedOptions app_options(std::uint64_t seed) {
+  MpcEmbedOptions options;
+  options.seed = seed;
+  options.use_fjlt = false;
+  options.delta = 1 << 12;
+  options.num_buckets = 2;
+  return options;
+}
+
+mpc::Cluster app_cluster() {
+  return mpc::Cluster(mpc::ClusterConfig{8, 1 << 23, true});
+}
+
+void BM_MpcEmdRoundsAndQuality(benchmark::State& state) {
+  const auto half = static_cast<std::size_t>(state.range(0));
+  const PointSet a = generate_uniform_cube(half, 3, 50.0, 3);
+  const PointSet b = generate_uniform_cube(half, 3, 50.0, 4);
+  const double exact = exact_emd(a, b);
+  std::size_t rounds = 0;
+  double ratio = 0.0;
+  for (auto _ : state) {
+    mpc::Cluster cluster = app_cluster();
+    const auto result = mpc_tree_emd(cluster, a, b, app_options(5));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    rounds = result->rounds_used;
+    ratio = result->emd / exact;
+  }
+  state.counters["n_per_side"] = static_cast<double>(half);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["emd_ratio"] = ratio;
+}
+BENCHMARK(BM_MpcEmdRoundsAndQuality)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpcMstRoundsAndQuality(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(n, 3, 50.0, 7);
+  const double exact = exact_mst(points).total_length;
+  std::size_t rounds = 0;
+  double ratio = 0.0;
+  for (auto _ : state) {
+    mpc::Cluster cluster = app_cluster();
+    const auto result = mpc_tree_mst(cluster, points, app_options(9));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    rounds = result->rounds_used;
+    ratio = result->total_length / exact;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["mst_ratio"] = ratio;
+}
+BENCHMARK(BM_MpcMstRoundsAndQuality)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpcDensestBallRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PointSet points =
+      generate_gaussian_clusters(n, 3, 5, 500.0, 1.0, 11);
+  std::size_t rounds = 0, count = 0;
+  for (auto _ : state) {
+    mpc::Cluster cluster = app_cluster();
+    const auto result =
+        mpc_densest_ball(cluster, points, 60.0, app_options(13));
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    rounds = result->rounds_used;
+    count = result->count;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["cluster_count"] = static_cast<double>(count);
+  state.counters["ideal_blob"] = static_cast<double>(n) / 5.0;
+}
+BENCHMARK(BM_MpcDensestBallRounds)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

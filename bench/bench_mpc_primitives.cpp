@@ -1,0 +1,131 @@
+// Cost profile of the MPC building blocks themselves: round counts
+// (constant by construction — the table proves it), communication volume,
+// and load balance for broadcast, shuffle, sample sort, and prefix sum.
+// These are the primitives every algorithm in the library composes, so
+// their costs bound everything else.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mpc/primitives.hpp"
+#include "mpc/sort.hpp"
+
+namespace mpte::bench {
+namespace {
+
+using mpc::Cluster;
+using mpc::ClusterConfig;
+using mpc::KV;
+
+std::vector<KV> random_records(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KV> records(n);
+  for (auto& kv : records) {
+    kv.key = rng();
+    kv.value = rng();
+  }
+  return records;
+}
+
+void BM_BroadcastCost(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const std::size_t blob_bytes = 4096;
+  std::size_t rounds = 0, volume = 0;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{machines, 1 << 20, true});
+    cluster.store(0).set_blob("b", std::vector<std::uint8_t>(blob_bytes));
+    broadcast_blob(cluster, 0, "b", 4);
+    rounds = cluster.stats().rounds();
+    volume = 0;
+    for (const auto& r : cluster.stats().records()) {
+      volume += r.total_message_bytes;
+    }
+  }
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["volume_B"] = static_cast<double>(volume);
+  state.counters["optimal_volume_B"] =
+      static_cast<double>((machines - 1) * blob_bytes);
+}
+BENCHMARK(BM_BroadcastCost)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShuffleCost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds = 0, volume = 0, max_load = 0;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{8, 1 << 22, true});
+    scatter_vector(cluster, "in", random_records(n, n));
+    shuffle_kv_by_key(cluster, "in", "out");
+    rounds = cluster.stats().rounds();
+    volume = 0;
+    for (const auto& r : cluster.stats().records()) {
+      volume += r.total_message_bytes;
+    }
+    max_load = 0;
+    for (std::uint32_t id = 0; id < 8; ++id) {
+      max_load = std::max(max_load,
+                          cluster.store(id).get_vector<KV>("out").size());
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["volume_B_per_record"] =
+      static_cast<double>(volume) / static_cast<double>(n);
+  state.counters["max_load_over_ideal"] =
+      static_cast<double>(max_load) / (static_cast<double>(n) / 8.0);
+}
+BENCHMARK(BM_ShuffleCost)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SampleSortCost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds = 0, max_load = 0;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{8, 1 << 22, true});
+    scatter_vector(cluster, "in", random_records(n, 3 * n));
+    sample_sort_kv(cluster, "in", "out");
+    rounds = cluster.stats().rounds();
+    max_load = 0;
+    for (std::uint32_t id = 0; id < 8; ++id) {
+      max_load = std::max(max_load,
+                          cluster.store(id).get_vector<KV>("out").size());
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["max_load_over_ideal"] =
+      static_cast<double>(max_load) / (static_cast<double>(n) / 8.0);
+}
+BENCHMARK(BM_SampleSortCost)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PrefixSumCost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{8, 1 << 22, true});
+    scatter_vector(cluster, "in", std::vector<std::uint64_t>(n, 3));
+    prefix_sum_u64(cluster, "in", "out");
+    rounds = cluster.stats().rounds();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_PrefixSumCost)
+    ->RangeMultiplier(8)
+    ->Range(1024, 65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,131 @@
+// E6 (Theorem 1 cost profile): the MPC pipeline's round count must be O(1)
+// — flat as n grows — while the measured peak local memory stays within
+// the configured O((nd)^eps) cap and total space stays near-linear in nd.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/mpc_embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte::bench {
+namespace {
+
+void BM_MpcRoundsVsN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 6;
+  const PointSet points = generate_uniform_cube(n, d, 50.0, 3 + n);
+
+  // Fully scalable setting: local memory is (input bytes)^eps and the
+  // machine count scales so each machine's share — points plus their
+  // logDelta-long paths, the n^eps/logDelta sizing of Algorithm 2 — fits.
+  const std::size_t input_bytes = n * d * sizeof(double);
+  const std::size_t local = mpc::local_memory_for_input(
+      input_bytes, 0.6, /*min_bytes=*/1 << 15);
+  const std::size_t levels_estimate = 28;  // ~ log2(delta * sqrt(d r)) + 1
+  const std::size_t bytes_per_point =
+      d * sizeof(double) + levels_estimate * 16 + 32;
+  const std::size_t machines =
+      std::max<std::size_t>(8, (3 * n * bytes_per_point) / local + 1);
+
+  std::size_t rounds = 0, peak_local = 0, peak_total = 0;
+  for (auto _ : state) {
+    mpc::Cluster cluster(mpc::ClusterConfig{machines, local, true});
+    MpcEmbedOptions options;
+    options.use_fjlt = false;
+    options.delta = 1 << 12;
+    options.seed = 11;
+    // Fully scalable broadcast: fan-out M^(1/2) keeps the tree depth (and
+    // so the total round count) constant as machines scale.
+    options.broadcast_fanout = std::max<std::size_t>(
+        4, static_cast<std::size_t>(
+               std::ceil(std::sqrt(static_cast<double>(machines)))));
+    const auto result = mpc_embed(cluster, points, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    rounds = result->rounds_used;
+    peak_local = cluster.stats().peak_local_bytes();
+    peak_total = cluster.stats().peak_total_bytes();
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["rounds"] = static_cast<double>(rounds);  // flat in n
+  state.counters["local_cap_B"] = static_cast<double>(local);
+  state.counters["peak_local_B"] = static_cast<double>(peak_local);
+  state.counters["peak_total_B"] = static_cast<double>(peak_total);
+  state.counters["input_B"] = static_cast<double>(input_bytes);
+  state.counters["total_over_input"] =
+      static_cast<double>(peak_total) / static_cast<double>(input_bytes);
+}
+BENCHMARK(BM_MpcRoundsVsN)
+    ->RangeMultiplier(2)
+    ->Range(256, 4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpcRoundsWithFjlt(benchmark::State& state) {
+  // Same flat-rounds claim with the FJLT stage included (high-d input).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 256;
+  const PointSet points = generate_uniform_cube(n, d, 50.0, 5 + n);
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    mpc::Cluster cluster(mpc::ClusterConfig{8, 1 << 24, true});
+    MpcEmbedOptions options;
+    options.use_fjlt = true;
+    options.fjlt_xi = 0.45;
+    options.delta = 1 << 12;
+    options.seed = 13;
+    const auto result = mpc_embed(cluster, points, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    rounds = result->rounds_used;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_MpcRoundsWithFjlt)
+    ->Arg(128)
+    ->Arg(512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpcCommunicationVolume(benchmark::State& state) {
+  // Total message bytes across the run — near-linear in the input.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 6;
+  const PointSet points = generate_uniform_cube(n, d, 50.0, 17 + n);
+  std::size_t volume = 0;
+  for (auto _ : state) {
+    mpc::Cluster cluster(mpc::ClusterConfig{8, 1 << 22, true});
+    MpcEmbedOptions options;
+    options.use_fjlt = false;
+    options.delta = 1 << 12;
+    options.seed = 19;
+    const auto result = mpc_embed(cluster, points, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    volume = 0;
+    for (const auto& record : cluster.stats().records()) {
+      volume += record.total_message_bytes;
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["message_B"] = static_cast<double>(volume);
+  state.counters["message_B_per_point"] =
+      static_cast<double>(volume) / static_cast<double>(n);
+}
+BENCHMARK(BM_MpcCommunicationVolume)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -1,0 +1,117 @@
+// Earth-Mover-distance retrieval over synthetic "images".
+//
+// A classic EMD application: each image is summarized as a set of feature
+// points (here: color-space samples drawn from a per-image palette), and
+// image similarity is the EMD between those sets. Exact EMD costs a
+// min-cost-flow solve per pair; the tree embedding answers all pairs from
+// ONE shared structure in O(n) per pair — the Corollary 1.3 trade.
+//
+//   $ ./emd_image_retrieval
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/emd.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/embedder.hpp"
+
+namespace {
+
+using namespace mpte;
+
+constexpr std::size_t kImages = 12;
+constexpr std::size_t kSamplesPerImage = 24;
+constexpr std::size_t kColorDim = 3;  // Lab-like color space
+
+/// An "image": feature samples around a small palette of dominant colors.
+PointSet synthesize_image(std::uint64_t seed, std::size_t palette_size) {
+  Rng rng(seed);
+  PointSet palette(palette_size, kColorDim);
+  for (std::size_t c = 0; c < palette_size; ++c) {
+    for (std::size_t j = 0; j < kColorDim; ++j) {
+      palette.coord(c, j) = rng.uniform(0.0, 255.0);
+    }
+  }
+  PointSet samples(kSamplesPerImage, kColorDim);
+  for (std::size_t i = 0; i < kSamplesPerImage; ++i) {
+    const auto c = rng.uniform_u64(palette_size);
+    for (std::size_t j = 0; j < kColorDim; ++j) {
+      samples.coord(i, j) = rng.normal(palette.coord(c, j), 8.0);
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpte;
+
+  // Image 0 and 1 share a seed family (similar palettes); others differ.
+  std::vector<PointSet> images;
+  images.push_back(synthesize_image(1000, 3));
+  images.push_back(synthesize_image(1000, 4));  // overlapping palette
+  for (std::size_t i = 2; i < kImages; ++i) {
+    images.push_back(synthesize_image(2000 + 37 * i, 3));
+  }
+
+  // One embedding over the union of all images' samples.
+  PointSet all;
+  for (const PointSet& img : images) {
+    for (std::size_t i = 0; i < img.size(); ++i) all.push_back(img[i]);
+  }
+  EmbedOptions options;
+  options.use_fjlt = false;  // 3-d color space
+  options.seed = 5;
+  const auto embedded = embed(all, options);
+  if (!embedded.ok()) {
+    std::printf("embed failed: %s\n", embedded.status().to_string().c_str());
+    return 1;
+  }
+
+  // Tree EMD between image a and b: +1 mass on a's samples, -1 on b's.
+  const auto tree_emd_pair = [&](std::size_t a, std::size_t b) {
+    std::vector<int> side(all.size(), 0);
+    for (std::size_t i = 0; i < kSamplesPerImage; ++i) {
+      side[a * kSamplesPerImage + i] = 1;
+      side[b * kSamplesPerImage + i] = -1;
+    }
+    return tree_emd(embedded->tree, side) * embedded->scale_to_input;
+  };
+
+  // Retrieval: rank all images against image 0, by tree EMD and by exact
+  // EMD, and compare rankings and timings.
+  Timer tree_timer;
+  std::vector<std::pair<double, std::size_t>> tree_rank;
+  for (std::size_t b = 1; b < kImages; ++b) {
+    tree_rank.emplace_back(tree_emd_pair(0, b), b);
+  }
+  const double tree_ms = tree_timer.milliseconds();
+
+  Timer exact_timer;
+  std::vector<std::pair<double, std::size_t>> exact_rank;
+  for (std::size_t b = 1; b < kImages; ++b) {
+    exact_rank.emplace_back(exact_emd(images[0], images[b]), b);
+  }
+  const double exact_ms = exact_timer.milliseconds();
+
+  std::sort(tree_rank.begin(), tree_rank.end());
+  std::sort(exact_rank.begin(), exact_rank.end());
+
+  std::printf("query: image 0;  %zu candidates\n", kImages - 1);
+  std::printf("%-28s %-28s\n", "tree-EMD ranking", "exact-EMD ranking");
+  for (std::size_t i = 0; i < tree_rank.size(); ++i) {
+    std::printf("  img %2zu  emd_T=%9.1f      img %2zu  emd=%9.1f\n",
+                tree_rank[i].second, tree_rank[i].first,
+                exact_rank[i].second, exact_rank[i].first);
+  }
+  std::printf("\ntop-1 match: tree says img %zu, exact says img %zu%s\n",
+              tree_rank[0].second, exact_rank[0].second,
+              tree_rank[0].second == exact_rank[0].second ? "  (agree)"
+                                                          : "");
+  std::printf("timing: tree %0.2f ms (one shared embedding), exact %0.2f ms "
+              "(one flow per pair)\n",
+              tree_ms, exact_ms);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: embed a small high-dimensional point set into a tree and
+// compare tree distances against true Euclidean distances.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: generate points, call
+// embed(), inspect the tree, and query distances.
+#include <cstdio>
+
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+#include "tree/distortion.hpp"
+#include "tree/embedding_builder.hpp"
+
+int main() {
+  using namespace mpte;
+
+  // 1. Some data: 200 points in R^64 — high-dimensional enough that the
+  //    FJLT preprocessing stage engages.
+  const PointSet points = generate_gaussian_clusters(
+      /*n=*/200, /*dim=*/64, /*clusters=*/4, /*side=*/100.0,
+      /*stddev=*/2.0, /*seed=*/7);
+  std::printf("input: %zu points in R^%zu\n", points.size(), points.dim());
+
+  // 2. Embed. Defaults follow the paper: FJLT to O(log n) dimensions,
+  //    hybrid partitioning with r = Theta(log log n) buckets.
+  EmbedOptions options;
+  options.seed = 42;
+  const auto result = embed(points, options);
+  if (!result.ok()) {
+    std::printf("embedding failed: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  const Embedding& embedding = *result;
+
+  std::printf("pipeline: fjlt=%s  dim %zu -> %zu  delta=%llu  r=%u  U=%zu\n",
+              embedding.fjlt_applied ? "yes" : "no", points.dim(),
+              embedding.dim_used,
+              static_cast<unsigned long long>(embedding.delta_used),
+              embedding.buckets_used, embedding.grids_used);
+
+  const HstShape shape = hst_shape(embedding.tree);
+  std::printf("tree: %zu nodes (%zu internal), depth %zu, max branching %zu\n",
+              shape.nodes, shape.internal_nodes, shape.depth,
+              shape.max_branching);
+
+  // 3. Distances: dist_T always dominates the true distance; on average it
+  //    overshoots by the (poly-logarithmic) distortion.
+  std::printf("\n   pair      euclidean      tree(dist_T)   ratio\n");
+  for (const auto [p, q] : {std::pair<std::size_t, std::size_t>{0, 1},
+                            {0, 50},
+                            {10, 150},
+                            {42, 43},
+                            {100, 199}}) {
+    const double true_dist = l2_distance(points[p], points[q]);
+    const double tree_dist = embedding.distance(p, q);
+    std::printf("  %3zu-%-3zu   %12.3f   %12.3f   %5.2f\n", p, q, true_dist,
+                tree_dist, tree_dist / true_dist);
+  }
+
+  // 4. Aggregate distortion over sampled pairs.
+  const DistortionStats stats =
+      measure_distortion(embedding.tree, embedding.embedded_points,
+                         /*max_pairs=*/5000, /*seed=*/1);
+  std::printf(
+      "\nover %zu pairs: min ratio %.3f (domination: >= 1), mean %.2f, "
+      "max %.2f\n",
+      stats.pairs, stats.min_ratio, stats.mean_ratio, stats.max_ratio);
+  return 0;
+}

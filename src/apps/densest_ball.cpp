@@ -1,0 +1,86 @@
+#include "apps/densest_ball.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+DensestBallResult densest_ball_exact(const PointSet& points, double radius) {
+  DensestBallResult best;
+  best.diameter = 2.0 * radius;
+  const double radius_sq = radius * radius;
+  for (std::size_t c = 0; c < points.size(); ++c) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (l2_distance_squared(points[c], points[i]) <= radius_sq) ++count;
+    }
+    if (count > best.count) {
+      best.count = count;
+      best.center = c;
+    }
+  }
+  return best;
+}
+
+DensestBallResult densest_ball_tree(const Hst& tree, double max_diameter) {
+  if (max_diameter < 0.0) {
+    throw MpteError("densest_ball_tree: negative diameter");
+  }
+  // Height in tree-metric weight below each node; children follow parents
+  // in index order, so a reverse sweep sees children first.
+  std::vector<double> down(tree.num_nodes(), 0.0);
+  for (std::size_t i = tree.num_nodes(); i-- > 1;) {
+    const HstNode& node = tree.node(i);
+    const auto parent = static_cast<std::size_t>(node.parent);
+    down[parent] = std::max(down[parent], down[i] + node.edge_weight);
+  }
+
+  DensestBallResult best;
+  best.count = 0;
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    // Any two leaves below i are within 2*down[i] in the tree metric, and
+    // by domination also in Euclidean distance.
+    const double bound = 2.0 * down[i];
+    if (bound > max_diameter) continue;
+    const std::size_t count = tree.node(i).subtree_size;
+    if (count > best.count) {
+      best.count = count;
+      best.center = i;
+      best.diameter = bound;
+    }
+  }
+  return best;
+}
+
+DensestBallResult hierarchy_densest_ball(const Hierarchy& hierarchy,
+                                         double max_diameter) {
+  if (max_diameter < 0.0) {
+    throw MpteError("hierarchy_densest_ball: negative diameter");
+  }
+  const double sqrt_r =
+      std::sqrt(static_cast<double>(hierarchy.num_buckets));
+  DensestBallResult best;
+  best.count = 1;  // a singleton always qualifies (diameter 0)
+  best.diameter = 0.0;
+  for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
+    const double bound = 2.0 * sqrt_r * hierarchy.scales[level];
+    if (bound > max_diameter) continue;
+    std::unordered_map<std::uint64_t, std::size_t> sizes;
+    for (const std::uint64_t id : hierarchy.cluster_of_point[level]) {
+      ++sizes[id];
+    }
+    for (const auto& [id, count] : sizes) {
+      if (count > best.count) {
+        best.count = count;
+        best.diameter = bound;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mpte

@@ -1,0 +1,134 @@
+#include "apps/kcenter.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+double covering_radius(const PointSet& points,
+                       const std::vector<std::size_t>& centers) {
+  if (centers.empty()) throw MpteError("covering_radius: no centers");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const std::size_t c : centers) {
+      best = std::min(best, l2_distance(points[i], points[c]));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+KCenterResult gonzalez_kcenter(const PointSet& points, std::size_t k) {
+  if (k == 0 || points.empty()) {
+    throw MpteError("gonzalez_kcenter: need k >= 1 and points");
+  }
+  k = std::min(k, points.size());
+  KCenterResult result;
+  result.centers.push_back(0);
+  std::vector<double> nearest(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (result.centers.size() < k) {
+    const std::size_t latest = result.centers.back();
+    std::size_t farthest = 0;
+    double farthest_dist = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      nearest[i] =
+          std::min(nearest[i], l2_distance(points[i], points[latest]));
+      if (nearest[i] > farthest_dist) {
+        farthest_dist = nearest[i];
+        farthest = i;
+      }
+    }
+    if (farthest_dist == 0.0) break;  // fewer than k distinct points
+    result.centers.push_back(farthest);
+  }
+  result.radius = covering_radius(points, result.centers);
+  return result;
+}
+
+KCenterResult tree_kcenter(const Hst& tree, const PointSet& points,
+                           std::size_t k) {
+  if (k == 0) throw MpteError("tree_kcenter: need k >= 1");
+  if (tree.num_points() != points.size()) {
+    throw MpteError("tree_kcenter: tree/point count mismatch");
+  }
+  // Weight-height below each node: the subtree's tree-metric radius bound.
+  std::vector<double> down(tree.num_nodes(), 0.0);
+  for (std::size_t i = tree.num_nodes(); i-- > 1;) {
+    const auto parent = static_cast<std::size_t>(tree.node(i).parent);
+    down[parent] =
+        std::max(down[parent], down[i] + tree.node(i).edge_weight);
+  }
+
+  // Phase 1 — level cut: the hierarchy's antichain at level L is the set
+  // of nodes with level <= L and every child past L (leaves included).
+  // Its size only grows with L (laminar refinement), so take the deepest
+  // level whose antichain still fits in k. This is robust to bursty
+  // branching: a node with many children just pins the cut one level up.
+  const std::size_t nodes = tree.num_nodes();
+  std::vector<std::uint32_t> child_min_level(
+      nodes, std::numeric_limits<std::uint32_t>::max());
+  std::uint32_t max_level = 0;
+  for (std::size_t i = 1; i < nodes; ++i) {
+    const auto parent = static_cast<std::size_t>(tree.node(i).parent);
+    child_min_level[parent] =
+        std::min(child_min_level[parent], tree.node(i).level);
+    max_level = std::max(max_level, tree.node(i).level);
+  }
+  const std::size_t slack_budget = std::min(points.size(), 8 * k);
+  const auto cut_nodes = [&](std::uint32_t level) {
+    std::vector<std::size_t> cut;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      if (tree.node(i).level <= level && child_min_level[i] > level) {
+        cut.push_back(i);
+        if (cut.size() > slack_budget) break;  // over budget; back off
+      }
+    }
+    return cut;
+  };
+  // Allow the cut some slack (up to 8k clusters): deeper cuts have far
+  // smaller cluster diameters, and phase 2 condenses the representatives
+  // back to k.
+  std::vector<std::size_t> frontier{tree.root()};
+  for (std::uint32_t level = 0; level <= max_level; ++level) {
+    auto cut = cut_nodes(level);
+    if (cut.size() > slack_budget) break;
+    frontier = std::move(cut);
+  }
+
+  // Phase 2 — condense: one representative per frontier cluster, then
+  // Gonzalez over the representatives picks the k centers. Each cluster
+  // is within its diameter bound of its representative, so the realized
+  // radius is (rep-set 2-approx radius) + O(cluster diameter) — the
+  // standard coreset composition.
+  const auto representative = [&](std::size_t node) {
+    while (tree.node(node).point < 0) {
+      node = tree.children(node).front();
+    }
+    return static_cast<std::size_t>(tree.node(node).point);
+  };
+  std::vector<std::size_t> reps;
+  reps.reserve(frontier.size());
+  for (const std::size_t node : frontier) {
+    reps.push_back(representative(node));
+  }
+
+  KCenterResult result;
+  if (reps.size() <= k) {
+    result.centers = std::move(reps);
+  } else {
+    const PointSet rep_points = points.select(reps);
+    const KCenterResult reduced = gonzalez_kcenter(rep_points, k);
+    result.centers.reserve(reduced.centers.size());
+    for (const std::size_t local : reduced.centers) {
+      result.centers.push_back(reps[local]);
+    }
+  }
+  result.radius = covering_radius(points, result.centers);
+  return result;
+}
+
+}  // namespace mpte

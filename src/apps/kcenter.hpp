@@ -1,0 +1,43 @@
+// k-center through the tree embedding, with the Gonzalez 2-approximation
+// as the exact-side baseline.
+//
+// k-center asks for k centers minimizing the maximum point-to-center
+// distance. On an HST the answer is structural: take the deepest level at
+// which the hierarchy has at most k clusters; one representative per
+// cluster covers every point within that level's subtree diameter bound.
+// Domination + expected distortion turn that bound into an
+// O(distortion)-approximation in the original metric. The classic
+// farthest-point traversal (Gonzalez) gives the 2-approx baseline the
+// bench compares against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point_set.hpp"
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// A k-center solution: chosen centers and the realized covering radius
+/// (max distance from any point to its nearest center, Euclidean).
+struct KCenterResult {
+  std::vector<std::size_t> centers;
+  double radius = 0.0;
+};
+
+/// Gonzalez' farthest-point 2-approximation, O(n k d). The baseline.
+KCenterResult gonzalez_kcenter(const PointSet& points, std::size_t k);
+
+/// Tree route: walk levels top-down to the deepest antichain of <= k
+/// subtrees (greedily expanding the widest node while the count stays
+/// <= k), take one representative per subtree. The realized radius is
+/// evaluated in the Euclidean metric of `points`.
+KCenterResult tree_kcenter(const Hst& tree, const PointSet& points,
+                           std::size_t k);
+
+/// Covering radius of an arbitrary center set (max-min distance).
+double covering_radius(const PointSet& points,
+                       const std::vector<std::size_t>& centers);
+
+}  // namespace mpte

@@ -1,0 +1,150 @@
+#include "apps/kmedian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.hpp"
+
+namespace mpte {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+KMedianResult tree_kmedian_dp(const Hst& tree, std::size_t k) {
+  if (k == 0) throw MpteError("tree_kmedian_dp: k must be >= 1");
+  const std::size_t nodes = tree.num_nodes();
+  const std::size_t n = tree.num_points();
+  k = std::min(k, n);
+
+  // down[v]: weight-height of v's subtree (children follow parents).
+  std::vector<double> down(nodes, 0.0);
+  for (std::size_t i = nodes; i-- > 1;) {
+    const auto parent = static_cast<std::size_t>(tree.node(i).parent);
+    down[parent] =
+        std::max(down[parent], down[i] + tree.node(i).edge_weight);
+  }
+
+  // dp[v] has k+1 entries; dp[v][0] is implicit (cost 0, all leaves
+  // pending) and dp[v][j>=1] is the exact cost with all of v's leaves
+  // served inside v. choice[v][j] records per-child allocations for
+  // extraction.
+  std::vector<std::vector<double>> dp(nodes,
+                                      std::vector<double>(k + 1, kInf));
+  std::vector<std::vector<std::vector<std::size_t>>> choice(nodes);
+
+  for (std::size_t v = nodes; v-- > 0;) {
+    choice[v].assign(k + 1, {});
+    const HstNode& node = tree.node(v);
+    if (node.point >= 0) {
+      dp[v][0] = 0.0;  // pending leaf
+      if (k >= 1) dp[v][1] = 0.0;
+      continue;
+    }
+    const auto& kids = tree.children(v);
+    const double serve_here = 2.0 * down[v];
+    // Knapsack over children: best[j] = min cost allocating j medians to
+    // the prefix of children, pending leaves of median-free children
+    // charged at this node.
+    std::vector<double> best(k + 1, kInf);
+    std::vector<std::vector<std::size_t>> alloc(k + 1);
+    best[0] = 0.0;
+    for (const std::uint32_t c : kids) {
+      std::vector<double> next(k + 1, kInf);
+      std::vector<std::vector<std::size_t>> next_alloc(k + 1);
+      const double skip_cost =
+          static_cast<double>(tree.node(c).subtree_size) * serve_here;
+      for (std::size_t have = 0; have <= k; ++have) {
+        if (best[have] == kInf) continue;
+        // Child gets 0 medians: its leaves pay serve_here each.
+        if (best[have] + skip_cost < next[have]) {
+          next[have] = best[have] + skip_cost;
+          next_alloc[have] = alloc[have];
+          next_alloc[have].push_back(0);
+        }
+        // Child gets jc >= 1 medians.
+        const std::size_t cap =
+            std::min<std::size_t>(k - have, tree.node(c).subtree_size);
+        for (std::size_t jc = 1; jc <= cap; ++jc) {
+          if (dp[c][jc] == kInf) continue;
+          const double cost = best[have] + dp[c][jc];
+          if (cost < next[have + jc]) {
+            next[have + jc] = cost;
+            next_alloc[have + jc] = alloc[have];
+            next_alloc[have + jc].push_back(jc);
+          }
+        }
+      }
+      best = std::move(next);
+      alloc = std::move(next_alloc);
+    }
+    dp[v][0] = 0.0;
+    for (std::size_t j = 1; j <= k; ++j) {
+      dp[v][j] = best[j];
+      choice[v][j] = std::move(alloc[j]);
+    }
+  }
+
+  // Extraction.
+  KMedianResult result;
+  result.tree_cost = dp[tree.root()][k];
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{tree.root(), k}};
+  while (!stack.empty()) {
+    const auto [v, j] = stack.back();
+    stack.pop_back();
+    if (j == 0) continue;
+    const HstNode& node = tree.node(v);
+    if (node.point >= 0) {
+      result.medians.push_back(static_cast<std::size_t>(node.point));
+      continue;
+    }
+    const auto& kids = tree.children(v);
+    const auto& allocation = choice[v][j];
+    for (std::size_t c = 0; c < kids.size(); ++c) {
+      if (allocation[c] > 0) stack.emplace_back(kids[c], allocation[c]);
+    }
+  }
+  std::sort(result.medians.begin(), result.medians.end());
+  return result;
+}
+
+double kmedian_cost(const PointSet& points,
+                    const std::vector<std::size_t>& medians) {
+  if (medians.empty()) throw MpteError("kmedian_cost: no medians");
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = kInf;
+    for (const std::size_t m : medians) {
+      best = std::min(best, l2_distance(points[i], points[m]));
+    }
+    total += best;
+  }
+  return total;
+}
+
+double exact_kmedian_cost(const PointSet& points, std::size_t k) {
+  const std::size_t n = points.size();
+  if (k == 0 || k > n) {
+    throw MpteError("exact_kmedian_cost: need 1 <= k <= n");
+  }
+  // Enumerate k-subsets via the standard lexicographic combination walk.
+  std::vector<std::size_t> combo(k);
+  for (std::size_t i = 0; i < k; ++i) combo[i] = i;
+  double best = kInf;
+  for (;;) {
+    best = std::min(best, kmedian_cost(points, combo));
+    // Advance.
+    std::size_t i = k;
+    while (i-- > 0) {
+      if (combo[i] != i + n - k) {
+        ++combo[i];
+        for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return best;
+    }
+  }
+}
+
+}  // namespace mpte

@@ -1,0 +1,45 @@
+// k-median over a tree embedding — the "dynamic programs on trees"
+// application family of Section 1.3.3.
+//
+// tree_kmedian_dp solves k-median *exactly under the HST's cluster metric*
+// d'(x, y) = 2 * down(lca(x, y)), where down(v) is the weight-height of
+// v's subtree. On our geometrically-decaying HSTs, d' is within a factor 2
+// of the true tree metric (dist_T <= d' <= 2 * dist_T), so combined with
+// the embedding's expected distortion the chosen medians are an
+// O(distortion)-approximate Euclidean k-median. Under d' a leaf left
+// unserved in a median-free subtree is always served at the *lowest*
+// ancestor that owns a median (serving higher only costs more), which
+// collapses the DP to a clean O(nodes * k^2) knapsack:
+//   dp[v][j] = min over child allocations summing to j (j >= 1) of
+//              sum_c (j_c >= 1 ? dp[c][j_c] : leaves(c) * 2 * down(v)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point_set.hpp"
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// Result of the tree k-median DP.
+struct KMedianResult {
+  /// Chosen median point indices, size min(k, num_points).
+  std::vector<std::size_t> medians;
+  /// Optimal connection cost under the cluster metric d'.
+  double tree_cost = 0.0;
+};
+
+/// Exact k-median in the HST cluster metric (medians are input points).
+/// O(nodes * k^2). Requires k >= 1 (k > n is clamped to n).
+KMedianResult tree_kmedian_dp(const Hst& tree, std::size_t k);
+
+/// Connection cost of `medians` under the Euclidean metric of `points`.
+double kmedian_cost(const PointSet& points,
+                    const std::vector<std::size_t>& medians);
+
+/// Exhaustive optimal Euclidean k-median (point medians) for tiny inputs —
+/// the test baseline. O(C(n,k) * n * k); requires n choose k to be small.
+double exact_kmedian_cost(const PointSet& points, std::size_t k);
+
+}  // namespace mpte

@@ -1,0 +1,442 @@
+#include "apps/mpc_apps.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/mpc_stages.hpp"
+#include "geometry/bounding_box.hpp"
+#include "geometry/quantize.hpp"
+#include "mpc/primitives.hpp"
+#include "partition/coverage.hpp"
+#include "transform/mpc_fjlt.hpp"
+
+namespace mpte {
+namespace {
+
+using mpc::Cluster;
+using mpc::KV;
+using mpc::MachineContext;
+using mpc::MachineId;
+
+/// Everything the shared pipeline prologue produces.
+struct Prep {
+  std::size_t dim = 0;
+  std::uint64_t delta = 0;
+  double scale_to_input = 1.0;
+  detail::PartitionParams params;
+  ScaleLadder ladder;
+  int retries = 0;
+  std::size_t rounds_before = 0;
+};
+
+/// Runs stages 1–4 (FJLT, quantize, grids, path records) with retries and
+/// leaves "emb/nodes" (+ optional "emb/links") distributed.
+Result<Prep> prepare_paths(Cluster& cluster, const PointSet& points,
+                           const MpcEmbedOptions& options, bool emit_links) {
+  if (points.size() < 2) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc apps: need at least two points");
+  }
+  Prep prep;
+  prep.rounds_before = cluster.stats().rounds();
+  const std::size_t n = points.size();
+
+  PointSet working = points;
+  if (options.use_fjlt) {
+    const FjltConfig config = FjltConfig::make(
+        n, points.dim(), options.fjlt_xi, mix64(options.seed));
+    if (config.output_dim < points.dim()) {
+      working = mpc_fjlt(cluster, points, config);
+    }
+  }
+  prep.dim = working.dim();
+
+  prep.delta =
+      options.delta > 0
+          ? options.delta
+          : recommended_delta(working, options.quantize_eps, 1ull << 20);
+  if (prep.delta < 2) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc apps: delta must be >= 2");
+  }
+
+  detail::scatter_points(cluster, working);
+  detail::mpc_quantize(cluster, prep.dim, prep.delta,
+                       options.broadcast_fanout);
+  const double width = BoundingBox::of(working).width();
+  prep.scale_to_input =
+      width > 0.0 ? width / static_cast<double>(prep.delta - 1) : 1.0;
+
+  prep.params.delta = prep.delta;
+  prep.params.num_buckets =
+      options.num_buckets > 0
+          ? std::min<std::uint32_t>(options.num_buckets,
+                                    static_cast<std::uint32_t>(prep.dim))
+          : auto_num_buckets(n, prep.dim, options.max_bucket_dim);
+  prep.params.bucket_dim = static_cast<std::uint32_t>(
+      ceil_div(prep.dim, prep.params.num_buckets));
+  prep.params.effective_dim =
+      prep.params.bucket_dim * prep.params.num_buckets;
+  prep.params.uncovered_singleton =
+      options.uncovered == UncoveredPolicy::kSingleton ? 1 : 0;
+  prep.ladder =
+      hybrid_scale_ladder(prep.dim, prep.params.num_buckets, prep.delta);
+  prep.params.num_grids =
+      options.num_grids > 0
+          ? options.num_grids
+          : recommended_num_grids(prep.params.bucket_dim, n,
+                                  prep.params.num_buckets,
+                                  prep.ladder.levels, options.fail_prob);
+
+  for (prep.retries = 0;; ++prep.retries) {
+    prep.params.seed = hash_combine(
+        mix64(options.seed), static_cast<std::uint64_t>(prep.retries));
+    const std::uint64_t failures = detail::run_path_records_attempt(
+        cluster, prep.dim, prep.params, options.broadcast_fanout,
+        emit_links);
+    if (failures == 0) break;
+    if (prep.retries >= options.max_retries) {
+      return Status(StatusCode::kCoverageFailure,
+                    "mpc apps: ball partitioning left " +
+                        std::to_string(failures) +
+                        " (point, level, bucket) events uncovered after " +
+                        std::to_string(prep.retries + 1) + " attempts");
+    }
+  }
+  return prep;
+}
+
+/// Clears all per-run keys from every machine.
+void cleanup(Cluster& cluster, std::initializer_list<const char*> keys) {
+  for (MachineId id = 0; id < cluster.num_machines(); ++id) {
+    for (const char* key : keys) cluster.store(id).erase(key);
+  }
+}
+
+/// Scatters a signed per-point value with the same block layout as
+/// detail::scatter_points, so each machine holds the values of exactly its
+/// own points (keyed by global index in "emb/idx").
+void scatter_point_values(Cluster& cluster, const std::string& key,
+                          const std::vector<std::int64_t>& values) {
+  const std::size_t m = cluster.num_machines();
+  const std::size_t block = ceil_div(values.size(), m);
+  for (MachineId id = 0; id < m; ++id) {
+    const std::size_t begin = std::min(values.size(), id * block);
+    const std::size_t end = std::min(values.size(), begin + block);
+    cluster.store(id).set_vector(
+        key, std::vector<std::int64_t>(values.begin() + begin,
+                                       values.begin() + end));
+  }
+}
+
+/// Shared tail of both EMD variants: reduce per-cluster imbalances, weight
+/// by level, converge-cast, read out, clean up. The caller must have left
+/// signed per-record values under "emd/in".
+MpcEmdResult finish_emd(Cluster& cluster, const Prep& prep) {
+  mpc::reduce_kv_sum(cluster, "emd/in", "emd/imbalance");
+
+  const ScaleLadder ladder = prep.ladder;
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        double partial = 0.0;
+        for (const KV& kv : ctx.store().get_vector<KV>("emd/imbalance")) {
+          const std::size_t level = detail::packed_level(kv.key);
+          const auto imbalance = static_cast<std::int64_t>(kv.value);
+          partial += ladder.edge_weight[level] *
+                     static_cast<double>(std::llabs(imbalance));
+        }
+        ctx.store().erase("emd/imbalance");
+        ctx.store().set_value("emd/partial", partial);
+      },
+      "emd/weight");
+
+  mpc::sum_double(cluster, "emd/partial", "emd/total", 0);
+
+  MpcEmdResult result;
+  result.emd =
+      cluster.store(0).get_value<double>("emd/total") * prep.scale_to_input;
+  result.retries_used = prep.retries;
+  result.rounds_used = cluster.stats().rounds() - prep.rounds_before;
+  cleanup(cluster, {"emb/idx", "emb/pts", "emb/fail", "emb/fail/total",
+                    "emb/mass", "emd/partial", "emd/total"});
+  return result;
+}
+
+}  // namespace
+
+Result<MpcEmdResult> mpc_tree_emd(Cluster& cluster, const PointSet& a,
+                                  const PointSet& b,
+                                  const MpcEmbedOptions& options) {
+  if (a.size() != b.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_tree_emd: sides must have equal size");
+  }
+  if (a.dim() != b.dim()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_tree_emd: dimension mismatch");
+  }
+  PointSet all = a;
+  for (std::size_t i = 0; i < b.size(); ++i) all.push_back(b[i]);
+
+  auto prep = prepare_paths(cluster, all, options, /*emit_links=*/false);
+  if (!prep.ok()) return prep.status();
+  const std::size_t a_count = a.size();
+
+  // Side-label the path records: +1 for points of a, -1 for points of b
+  // (two's-complement u64 so the KV sum reduction computes signed sums).
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        auto records = ctx.store().get_vector<KV>("emb/nodes");
+        ctx.store().erase("emb/nodes");
+        for (KV& kv : records) {
+          const std::int64_t side = kv.value < a_count ? 1 : -1;
+          kv.value = static_cast<std::uint64_t>(side);
+        }
+        ctx.store().set_vector("emd/in", records);
+      },
+      "emd/label");
+
+  return finish_emd(cluster, *prep);
+}
+
+Result<MpcEmdResult> mpc_tree_emd_weighted(
+    Cluster& cluster, const PointSet& a, const PointSet& b,
+    const std::vector<std::int64_t>& mass_a,
+    const std::vector<std::int64_t>& mass_b,
+    const MpcEmbedOptions& options) {
+  if (mass_a.size() != a.size() || mass_b.size() != b.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_tree_emd_weighted: mass vector size mismatch");
+  }
+  if (a.dim() != b.dim()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_tree_emd_weighted: dimension mismatch");
+  }
+  std::int64_t total = 0;
+  std::vector<std::int64_t> signed_mass;
+  signed_mass.reserve(mass_a.size() + mass_b.size());
+  for (const std::int64_t m : mass_a) {
+    if (m < 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "mpc_tree_emd_weighted: negative mass");
+    }
+    total += m;
+    signed_mass.push_back(m);
+  }
+  for (const std::int64_t m : mass_b) {
+    if (m < 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "mpc_tree_emd_weighted: negative mass");
+    }
+    total -= m;
+    signed_mass.push_back(-m);
+  }
+  if (total != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_tree_emd_weighted: total masses differ");
+  }
+
+  PointSet all = a;
+  for (std::size_t i = 0; i < b.size(); ++i) all.push_back(b[i]);
+
+  auto prep = prepare_paths(cluster, all, options, /*emit_links=*/false);
+  if (!prep.ok()) return prep.status();
+
+  // Distribute the masses with the points' block layout (they are part of
+  // the distributed input), then label each record with its point's mass.
+  scatter_point_values(cluster, "emb/mass", signed_mass);
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto idx = ctx.store().get_vector<std::uint64_t>("emb/idx");
+        const auto mass =
+            ctx.store().get_vector<std::int64_t>("emb/mass");
+        std::unordered_map<std::uint64_t, std::int64_t> mass_of;
+        mass_of.reserve(idx.size());
+        for (std::size_t local = 0; local < idx.size(); ++local) {
+          mass_of.emplace(idx[local], mass[local]);
+        }
+        auto records = ctx.store().get_vector<KV>("emb/nodes");
+        ctx.store().erase("emb/nodes");
+        for (KV& kv : records) {
+          kv.value = static_cast<std::uint64_t>(mass_of.at(kv.value));
+        }
+        ctx.store().set_vector("emd/in", records);
+      },
+      "emd/label-weighted");
+
+  return finish_emd(cluster, *prep);
+}
+
+Result<MpcDensestBallResult> mpc_densest_ball(
+    Cluster& cluster, const PointSet& points, double max_diameter,
+    const MpcEmbedOptions& options) {
+  if (max_diameter < 0.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_densest_ball: negative diameter");
+  }
+  auto prep = prepare_paths(cluster, points, options, /*emit_links=*/false);
+  if (!prep.ok()) return prep.status();
+  const double max_diameter_q = max_diameter / prep->scale_to_input;
+
+  // Per-cluster point counts.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        auto records = ctx.store().get_vector<KV>("emb/nodes");
+        ctx.store().erase("emb/nodes");
+        for (KV& kv : records) kv.value = 1;
+        ctx.store().set_vector("db/in", records);
+      },
+      "densest/count-prep");
+  mpc::reduce_kv_sum(cluster, "db/in", "db/counts");
+
+  // Local best among qualifying levels, converge-cast to rank 0.
+  const ScaleLadder ladder = prep->ladder;
+  const double sqrt_r =
+      std::sqrt(static_cast<double>(prep->params.num_buckets));
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::uint64_t best_count = 0;
+        double best_bound = 0.0;
+        for (const KV& kv : ctx.store().get_vector<KV>("db/counts")) {
+          const std::size_t level = detail::packed_level(kv.key);
+          const double bound = 2.0 * sqrt_r * ladder.scales[level];
+          if (bound > max_diameter_q) continue;
+          if (kv.value > best_count) {
+            best_count = kv.value;
+            best_bound = bound;
+          }
+        }
+        ctx.store().erase("db/counts");
+        Serializer s;
+        s.write(best_count);
+        s.write(best_bound);
+        ctx.send(0, std::move(s));
+      },
+      "densest/local-best");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != 0) return;
+        std::uint64_t best_count = 1;  // a singleton always qualifies
+        double best_bound = 0.0;
+        for (const auto& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          const auto count = d.read<std::uint64_t>();
+          const auto bound = d.read<double>();
+          if (count > best_count) {
+            best_count = count;
+            best_bound = bound;
+          }
+        }
+        Serializer s;
+        s.write(best_count);
+        s.write(best_bound);
+        ctx.store().set_blob("db/best", s.take());
+      },
+      "densest/global-best");
+
+  MpcDensestBallResult result;
+  {
+    Deserializer d(cluster.store(0).blob("db/best"));
+    result.count = d.read<std::uint64_t>();
+    result.diameter = d.read<double>() * prep->scale_to_input;
+  }
+  // The root cluster (level 0, all n points) is not in the path records;
+  // it qualifies whenever its diameter bound fits.
+  const double root_bound = 2.0 * sqrt_r * ladder.scales[0];
+  if (root_bound <= max_diameter_q && points.size() > result.count) {
+    result.count = points.size();
+    result.diameter = root_bound * prep->scale_to_input;
+  }
+  result.retries_used = prep->retries;
+  result.rounds_used = cluster.stats().rounds() - prep->rounds_before;
+  cleanup(cluster, {"emb/idx", "emb/pts", "emb/fail", "emb/fail/total",
+                    "db/best"});
+  return result;
+}
+
+Result<MpcMstResult> mpc_tree_mst(Cluster& cluster, const PointSet& points,
+                                  const MpcEmbedOptions& options) {
+  auto prep = prepare_paths(cluster, points, options, /*emit_links=*/true);
+  if (!prep.ok()) return prep.status();
+  const std::size_t m = cluster.num_machines();
+
+  // Representative (min point index) per cluster; child->parent links
+  // land on the same machines (same key hashing).
+  mpc::reduce_kv_min(cluster, "emb/nodes", "mst/rep");
+  mpc::dedup_kv(cluster, "emb/links", "mst/links");
+
+  // Route each link's child-representative to the parent's machine.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::unordered_map<std::uint64_t, std::uint64_t> rep;
+        for (const KV& kv : ctx.store().get_vector<KV>("mst/rep")) {
+          rep.emplace(kv.key, kv.value);
+        }
+        std::vector<Serializer> out(m);
+        for (const KV& link : ctx.store().get_vector<KV>("mst/links")) {
+          const std::uint64_t child_rep = rep.at(link.key);
+          out[mix64(link.value) % m].write(KV{link.value, child_rep});
+        }
+        ctx.store().erase("mst/links");
+        for (MachineId dst = 0; dst < m; ++dst) {
+          if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+        }
+      },
+      "mst/route-child-reps");
+
+  // Pair child reps with the parent's rep; emit connecting edges.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::unordered_map<std::uint64_t, std::uint64_t> rep;
+        for (const KV& kv : ctx.store().get_vector<KV>("mst/rep")) {
+          rep.emplace(kv.key, kv.value);
+        }
+        ctx.store().erase("mst/rep");
+        std::vector<KV> edges;
+        for (const auto& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          while (!d.exhausted()) {
+            const auto record = d.read<KV>();  // {parent node, child rep}
+            const auto it = rep.find(record.key);
+            // The root (level 0) never appears under "emb/nodes" — its
+            // representative is the global min index, 0.
+            const std::uint64_t parent_rep =
+                it != rep.end() ? it->second : 0;
+            if (parent_rep != record.value) {
+              edges.push_back(KV{std::min(parent_rep, record.value),
+                                 std::max(parent_rep, record.value)});
+            }
+          }
+        }
+        std::sort(edges.begin(), edges.end(), mpc::kv_less);
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+        ctx.store().set_vector("mst/edges", edges);
+      },
+      "mst/emit-edges");
+
+  mpc::dedup_kv(cluster, "mst/edges", "mst/edges/dedup");
+
+  // Output readout: the distributed edge list, lengths evaluated against
+  // the original points.
+  MpcMstResult result;
+  const auto edges = mpc::gather_vector<KV>(cluster, "mst/edges/dedup");
+  result.edges.reserve(edges.size());
+  for (const KV& edge : edges) {
+    const double length = l2_distance(points[edge.key], points[edge.value]);
+    result.edges.push_back(MstEdge{static_cast<std::size_t>(edge.key),
+                                   static_cast<std::size_t>(edge.value),
+                                   length});
+    result.total_length += length;
+  }
+  result.retries_used = prep->retries;
+  result.rounds_used = cluster.stats().rounds() - prep->rounds_before;
+  cleanup(cluster, {"emb/idx", "emb/pts", "emb/fail", "emb/fail/total",
+                    "mst/edges/dedup"});
+  return result;
+}
+
+}  // namespace mpte

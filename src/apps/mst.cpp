@@ -1,0 +1,76 @@
+#include "apps/mst.hpp"
+
+#include <limits>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+MstResult exact_mst(const PointSet& points) {
+  const std::size_t n = points.size();
+  MstResult result;
+  if (n < 2) return result;
+
+  // Prim with O(n^2) distance maintenance.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> best_from(n, 0);
+  std::vector<bool> in_tree(n, false);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < n; ++j) {
+    best[j] = l2_distance(points[0], points[j]);
+  }
+  result.edges.reserve(n - 1);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t next = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && (next == n || best[j] < best[next])) next = j;
+    }
+    in_tree[next] = true;
+    result.edges.push_back(MstEdge{best_from[next], next, best[next]});
+    result.total_length += best[next];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      const double d = l2_distance(points[next], points[j]);
+      if (d < best[j]) {
+        best[j] = d;
+        best_from[j] = next;
+      }
+    }
+  }
+  return result;
+}
+
+MstResult tree_mst(const Hst& tree, const PointSet& points) {
+  if (tree.num_points() != points.size()) {
+    throw MpteError("tree_mst: tree/point count mismatch");
+  }
+  const std::size_t nodes = tree.num_nodes();
+  MstResult result;
+  if (points.size() < 2) return result;
+
+  // Representative point of each node's subtree. Children have larger
+  // indices than parents, so a reverse sweep fills leaves before internal
+  // nodes; each internal node connects all later children's representatives
+  // to its first child's.
+  std::vector<std::int64_t> representative(nodes, -1);
+  for (std::size_t i = nodes; i-- > 0;) {
+    const HstNode& node = tree.node(i);
+    if (node.point >= 0) {
+      representative[i] = node.point;
+      continue;
+    }
+    const auto& kids = tree.children(i);
+    representative[i] = representative[kids.front()];
+    for (std::size_t c = 1; c < kids.size(); ++c) {
+      const auto u = static_cast<std::size_t>(representative[kids[0]]);
+      const auto v = static_cast<std::size_t>(representative[kids[c]]);
+      const double length = l2_distance(points[u], points[v]);
+      result.edges.push_back(MstEdge{u, v, length});
+      result.total_length += length;
+    }
+  }
+  return result;
+}
+
+}  // namespace mpte

@@ -1,0 +1,42 @@
+// Minimum spanning tree: exact Euclidean baseline and the tree-embedding
+// approximation (Corollary 1.2).
+//
+// The embedding route: process HST internal nodes bottom-up; at each node,
+// connect its children's components through representative points. The
+// resulting edge set spans the data, and because any two points' Euclidean
+// distance is at most their tree distance (domination), its Euclidean cost
+// is at most the HST-metric MST cost — which exceeds the true MST by at
+// most the distortion. The bench measures the realized ratio.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point_set.hpp"
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// A spanning-tree edge between two point indices.
+struct MstEdge {
+  std::size_t u;
+  std::size_t v;
+  double length;
+};
+
+/// A spanning tree with its total Euclidean length.
+struct MstResult {
+  std::vector<MstEdge> edges;
+  double total_length = 0.0;
+};
+
+/// Exact Euclidean MST by Prim's algorithm, O(n^2 d). The baseline.
+MstResult exact_mst(const PointSet& points);
+
+/// Approximate Euclidean MST from a tree embedding of the same points:
+/// bottom-up merging through cluster representatives; edge lengths are
+/// true Euclidean distances (so the result is a real spanning tree of the
+/// input, only its *choice* of edges is guided by the HST).
+MstResult tree_mst(const Hst& tree, const PointSet& points);
+
+}  // namespace mpte

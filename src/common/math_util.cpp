@@ -1,0 +1,77 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace mpte {
+
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint64_t next_power_of_two(std::uint64_t x) {
+  if (x <= 1) return 1;
+  return std::bit_ceil(x);
+}
+
+unsigned floor_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+unsigned ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  const unsigned f = floor_log2(x);
+  return is_power_of_two(x) ? f : f + 1;
+}
+
+std::uint64_t ceil_div(std::uint64_t numerator, std::uint64_t divisor) {
+  assert(divisor > 0);
+  return (numerator + divisor - 1) / divisor;
+}
+
+double unit_ball_volume(unsigned k) {
+  // V_k = pi^{k/2} / Gamma(k/2 + 1); std::lgamma keeps it stable for large k.
+  const double half_k = 0.5 * static_cast<double>(k);
+  return std::exp(half_k * std::log(std::numbers::pi) -
+                  std::lgamma(half_k + 1.0));
+}
+
+double ball_grid_cover_probability(unsigned k) {
+  // Ball volume V_k(w) = V_k(1) w^k over cell volume (4w)^k.
+  return unit_ball_volume(k) / std::pow(4.0, static_cast<double>(k));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double sample_stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double max_value(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace mpte

@@ -1,0 +1,108 @@
+// Byte-level serialization for MPC messages.
+//
+// The MPC model prices communication in machine words/bytes: a machine may
+// send and receive at most its local memory per round. To make that
+// accounting honest, every message crossing machines is serialized into a
+// flat byte buffer and its exact size is charged against the sender's and
+// receiver's quotas. The encoding is a simple little-endian, length-prefixed
+// format — deterministic and portable across the trivially copyable types
+// the library exchanges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+/// Append-only encoder producing the wire bytes of a message.
+class Serializer {
+ public:
+  /// Writes a trivially copyable scalar verbatim (little-endian host order;
+  /// the simulator never crosses endianness domains).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  /// Writes a length-prefixed vector of trivially copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& values) {
+    write(static_cast<std::uint64_t>(values.size()));
+    if (!values.empty()) {
+      const auto* bytes =
+          reinterpret_cast<const std::uint8_t*>(values.data());
+      buffer_.insert(buffer_.end(), bytes, bytes + values.size() * sizeof(T));
+    }
+  }
+
+  /// Writes a length-prefixed string.
+  void write_string(const std::string& s);
+
+  std::size_t size() const { return buffer_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Cursor-based decoder over a received byte buffer. Out-of-bounds reads
+/// throw MpteError (a malformed message is a programming error in the
+/// simulator, not a runtime condition).
+class Deserializer {
+ public:
+  explicit Deserializer(const std::vector<std::uint8_t>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+  Deserializer(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto count = read<std::uint64_t>();
+    require(count * sizeof(T));
+    std::vector<T> values(count);
+    if (count > 0) {
+      std::memcpy(values.data(), data_ + cursor_, count * sizeof(T));
+      cursor_ += count * sizeof(T);
+    }
+    return values;
+  }
+
+  std::string read_string();
+
+  bool exhausted() const { return cursor_ == size_; }
+  std::size_t remaining() const { return size_ - cursor_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (cursor_ + n > size_) {
+      throw MpteError("Deserializer: read past end of message");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace mpte

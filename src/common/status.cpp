@@ -1,0 +1,30 @@
+#include "common/status.hpp"
+
+namespace mpte {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCoverageFailure:
+      return "coverage-failure";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = mpte::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mpte

@@ -1,0 +1,110 @@
+// Lightweight status/error propagation.
+//
+// The paper's MPC algorithm is Monte Carlo: with probability 1/poly(n) a
+// ball-partitioning level fails to cover every point, and Theorem 1 requires
+// the algorithm to *report* failure rather than silently degrade. `Status`
+// and `Result<T>` carry that outcome through the pipeline without
+// exceptions-as-control-flow; genuinely impossible states (model violations,
+// precondition breaches) still throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mpte {
+
+enum class StatusCode {
+  kOk,
+  /// A randomized stage failed its success event (e.g. a ball-partitioning
+  /// level left points uncovered after U grid attempts). Retrying with a
+  /// fresh seed is sound.
+  kCoverageFailure,
+  /// Caller-supplied arguments are outside the algorithm's domain.
+  kInvalidArgument,
+  /// A resource bound (local memory / total space) would be exceeded.
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("ok", "coverage-failure", ...).
+const char* to_string(StatusCode code);
+
+/// Outcome of an operation: a code plus a diagnostic message on error.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats "code: message" for logs and test diagnostics.
+  std::string to_string() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Thrown when a Result is unwrapped in error state or an MPC model
+/// invariant is violated — programmer errors, not Monte Carlo failures.
+class MpteError : public std::runtime_error {
+ public:
+  explicit MpteError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A value or a Status; the minimal expected<T, Status>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : storage_(std::move(status)) {    // NOLINT(implicit)
+    if (std::get<Status>(storage_).ok()) {
+      throw MpteError("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  /// Returns the value; throws MpteError if this holds an error.
+  T& value() & {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(storage_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw MpteError("Result accessed in error state: " +
+                      std::get<Status>(storage_).to_string());
+    }
+  }
+
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace mpte

@@ -1,0 +1,106 @@
+#include "core/embedding_io.hpp"
+
+#include <fstream>
+
+#include "tree/hst_io.hpp"
+
+namespace mpte {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d504542;  // "MPEB"
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void serialize_embedding(const Embedding& embedding, bool include_points,
+                         Serializer& out) {
+  out.write(kMagic);
+  out.write(kVersion);
+  out.write(embedding.scale_to_input);
+  out.write(embedding.delta_used);
+  out.write(embedding.buckets_used);
+  out.write(static_cast<std::uint64_t>(embedding.grids_used));
+  out.write(static_cast<std::uint64_t>(embedding.dim_used));
+  out.write(static_cast<std::uint8_t>(embedding.fjlt_applied ? 1 : 0));
+  out.write(static_cast<std::int32_t>(embedding.retries_used));
+  out.write(static_cast<std::uint8_t>(include_points ? 1 : 0));
+  if (include_points) {
+    out.write(static_cast<std::uint64_t>(embedding.embedded_points.size()));
+    out.write(static_cast<std::uint64_t>(embedding.embedded_points.dim()));
+    out.write_vector(embedding.embedded_points.raw());
+  }
+  serialize_hst(embedding.tree, out);
+}
+
+std::vector<std::uint8_t> embedding_to_bytes(const Embedding& embedding,
+                                             bool include_points) {
+  Serializer s;
+  serialize_embedding(embedding, include_points, s);
+  return s.take();
+}
+
+Embedding deserialize_embedding(Deserializer& in) {
+  if (in.read<std::uint32_t>() != kMagic) {
+    throw MpteError("deserialize_embedding: bad magic");
+  }
+  if (in.read<std::uint32_t>() != kVersion) {
+    throw MpteError("deserialize_embedding: unsupported version");
+  }
+  const auto scale = in.read<double>();
+  const auto delta = in.read<std::uint64_t>();
+  const auto buckets = in.read<std::uint32_t>();
+  const auto grids = in.read<std::uint64_t>();
+  const auto dim_used = in.read<std::uint64_t>();
+  const auto fjlt = in.read<std::uint8_t>();
+  const auto retries = in.read<std::int32_t>();
+  const auto has_points = in.read<std::uint8_t>();
+  PointSet points;
+  if (has_points != 0) {
+    const auto n = in.read<std::uint64_t>();
+    const auto dim = in.read<std::uint64_t>();
+    auto raw = in.read_vector<double>();
+    points = PointSet(n, dim, std::move(raw));
+  }
+  Hst tree = deserialize_hst(in);
+  if (has_points != 0 && points.size() != tree.num_points()) {
+    throw MpteError("deserialize_embedding: point/tree size mismatch");
+  }
+  return Embedding{std::move(tree),
+                   std::move(points),
+                   scale,
+                   delta,
+                   buckets,
+                   static_cast<std::size_t>(grids),
+                   static_cast<std::size_t>(dim_used),
+                   fjlt != 0,
+                   retries};
+}
+
+Embedding embedding_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  Deserializer d(bytes);
+  return deserialize_embedding(d);
+}
+
+void save_embedding(const Embedding& embedding, const std::string& path,
+                    bool include_points) {
+  const auto bytes = embedding_to_bytes(embedding, include_points);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw MpteError("save_embedding: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw MpteError("save_embedding: write failed for " + path);
+}
+
+Embedding load_embedding(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw MpteError("load_embedding: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw MpteError("load_embedding: read failed for " + path);
+  return embedding_from_bytes(bytes);
+}
+
+}  // namespace mpte

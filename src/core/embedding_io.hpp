@@ -1,0 +1,39 @@
+// Embedding persistence.
+//
+// The point of a tree embedding as a data structure is that it is a
+// compact, storable sketch: embed once (possibly on a cluster), persist,
+// answer distance/cluster queries later without the original O(nd) data.
+// This serializes a full Embedding — tree, input-unit scale, pipeline
+// metadata, and (optionally) the embedded coordinates — with the same
+// versioned wire format family as tree/hst_io.
+#pragma once
+
+#include <string>
+
+#include "common/serialize.hpp"
+#include "core/embedder.hpp"
+
+namespace mpte {
+
+/// Serializes the embedding. `include_points` controls whether the
+/// embedded (quantized) coordinates travel along — they are only needed
+/// for coordinate-based post-processing (e.g. tree_mst edge lengths), not
+/// for tree-metric queries.
+void serialize_embedding(const Embedding& embedding, bool include_points,
+                         Serializer& out);
+
+std::vector<std::uint8_t> embedding_to_bytes(const Embedding& embedding,
+                                             bool include_points = true);
+
+/// Reconstructs an embedding; throws MpteError on malformed input. If the
+/// file was written without points, `embedded_points` is empty.
+Embedding deserialize_embedding(Deserializer& in);
+
+Embedding embedding_from_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers.
+void save_embedding(const Embedding& embedding, const std::string& path,
+                    bool include_points = true);
+Embedding load_embedding(const std::string& path);
+
+}  // namespace mpte

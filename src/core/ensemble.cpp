@@ -1,0 +1,45 @@
+#include "core/ensemble.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace mpte {
+
+Result<EmbeddingEnsemble> EmbeddingEnsemble::build(
+    const PointSet& points, const EmbedOptions& options, std::size_t trees) {
+  if (trees == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "EmbeddingEnsemble: need at least one tree");
+  }
+  std::vector<Embedding> members;
+  members.reserve(trees);
+  for (std::size_t t = 0; t < trees; ++t) {
+    EmbedOptions member_options = options;
+    member_options.seed = hash_combine(mix64(options.seed ^ 0xe45eull), t);
+    auto result = embed(points, member_options);
+    if (!result.ok()) return result.status();
+    members.push_back(std::move(result).value());
+  }
+  return EmbeddingEnsemble(std::move(members));
+}
+
+double EmbeddingEnsemble::expected_distance(std::size_t p,
+                                            std::size_t q) const {
+  double sum = 0.0;
+  for (const Embedding& member : members_) {
+    sum += member.distance(p, q);
+  }
+  return sum / static_cast<double>(members_.size());
+}
+
+double EmbeddingEnsemble::min_distance(std::size_t p, std::size_t q) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Embedding& member : members_) {
+    best = std::min(best, member.distance(p, q));
+  }
+  return best;
+}
+
+}  // namespace mpte

@@ -1,0 +1,49 @@
+// Embedding ensembles.
+//
+// Theorems 1–2 bound E_T[dist_T(p,q)] — the guarantee is about the random
+// tree's expectation, not any single draw. The practical consequence: an
+// application wanting reliable estimates should hold several independent
+// trees and combine queries. The ensemble exposes the two standard
+// combiners:
+//   * expected_distance — the empirical mean, the estimator the theorems
+//     speak about (concentrates on E_T[dist_T]);
+//   * min_distance — the lower envelope; since every tree dominates the
+//     true metric (min over dominating estimates still dominates), it is
+//     a strictly better point estimate and the one used in practice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embedder.hpp"
+
+namespace mpte {
+
+/// A set of independently seeded embeddings of the same points.
+class EmbeddingEnsemble {
+ public:
+  /// Builds `trees` embeddings with seeds derived from options.seed.
+  /// Fails if any member fails (after its own retries).
+  static Result<EmbeddingEnsemble> build(const PointSet& points,
+                                         const EmbedOptions& options,
+                                         std::size_t trees);
+
+  std::size_t size() const { return members_.size(); }
+  const Embedding& member(std::size_t i) const { return members_[i]; }
+
+  /// Mean tree distance over the ensemble, in input units.
+  double expected_distance(std::size_t p, std::size_t q) const;
+
+  /// Minimum tree distance over the ensemble, in input units. Dominates
+  /// the true distance (every member does) and is the tightest of the
+  /// members' estimates.
+  double min_distance(std::size_t p, std::size_t q) const;
+
+ private:
+  explicit EmbeddingEnsemble(std::vector<Embedding> members)
+      : members_(std::move(members)) {}
+
+  std::vector<Embedding> members_;
+};
+
+}  // namespace mpte

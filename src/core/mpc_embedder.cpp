@@ -1,0 +1,174 @@
+#include "core/mpc_embedder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/mpc_stages.hpp"
+#include "geometry/bounding_box.hpp"
+#include "geometry/quantize.hpp"
+#include "mpc/primitives.hpp"
+#include "partition/coverage.hpp"
+#include "transform/mpc_fjlt.hpp"
+#include "tree/embedding_builder.hpp"
+
+namespace mpte {
+
+using mpc::Cluster;
+using mpc::KV;
+using mpc::MachineId;
+
+Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
+                               const MpcEmbedOptions& options) {
+  if (points.size() < 2) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_embed: need at least two points");
+  }
+  const std::size_t rounds_before = cluster.stats().rounds();
+  const std::size_t n = points.size();
+
+  // Stage 1: MPC FJLT.
+  PointSet working = points;
+  bool fjlt_applied = false;
+  if (options.use_fjlt) {
+    const FjltConfig config = FjltConfig::make(
+        n, points.dim(), options.fjlt_xi, mix64(options.seed));
+    if (config.output_dim < points.dim()) {
+      working = mpc_fjlt(cluster, points, config);
+      fjlt_applied = true;
+    }
+  }
+  const std::size_t dim = working.dim();
+
+  // Delta is the paper's input promise; derive it host-side if absent.
+  const std::uint64_t delta =
+      options.delta > 0
+          ? options.delta
+          : recommended_delta(working, options.quantize_eps, 1ull << 20);
+  if (delta < 2) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mpc_embed: delta must be >= 2");
+  }
+
+  // Stage 2: distributed quantization.
+  detail::scatter_points(cluster, working);
+  detail::mpc_quantize(cluster, dim, delta, options.broadcast_fanout);
+  // scale_to_input mirrors the snap cell (same arithmetic, host-side).
+  const double width = BoundingBox::of(working).width();
+  const double scale_to_input =
+      width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
+
+  // Partition parameters.
+  detail::PartitionParams params;
+  params.delta = delta;
+  params.num_buckets =
+      options.num_buckets > 0
+          ? std::min<std::uint32_t>(options.num_buckets,
+                                    static_cast<std::uint32_t>(dim))
+          : auto_num_buckets(n, dim, options.max_bucket_dim);
+  params.bucket_dim =
+      static_cast<std::uint32_t>(ceil_div(dim, params.num_buckets));
+  params.effective_dim = params.bucket_dim * params.num_buckets;
+  params.uncovered_singleton =
+      options.uncovered == UncoveredPolicy::kSingleton ? 1 : 0;
+  const ScaleLadder ladder =
+      hybrid_scale_ladder(dim, params.num_buckets, delta);
+  params.num_grids =
+      options.num_grids > 0
+          ? options.num_grids
+          : recommended_num_grids(params.bucket_dim, n, params.num_buckets,
+                                  ladder.levels, options.fail_prob);
+
+  // Stages 3–4 with Monte Carlo retries.
+  int attempt = 0;
+  for (;; ++attempt) {
+    params.seed = hash_combine(mix64(options.seed),
+                               static_cast<std::uint64_t>(attempt));
+    const std::uint64_t failures = detail::run_partition_attempt(
+        cluster, dim, params, options.broadcast_fanout);
+    if (failures == 0) break;
+    if (attempt >= options.max_retries) {
+      return Status(StatusCode::kCoverageFailure,
+                    "mpc_embed: ball partitioning left " +
+                        std::to_string(failures) +
+                        " (point, level, bucket) events uncovered after " +
+                        std::to_string(attempt + 1) + " attempts");
+    }
+  }
+
+  // Stage 5: the tree is the deduplicated union of paths.
+  mpc::dedup_kv(cluster, "emb/edges", "emb/edges/dedup");
+
+  // Host-side assembly (output readout): BFS from the root id over the
+  // gathered edge set, then the shared pruning pass.
+  const auto edges = mpc::gather_vector<KV>(cluster, "emb/edges/dedup");
+  const auto leaves = mpc::gather_vector<KV>(cluster, "emb/leaf");
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> children;
+  children.reserve(edges.size());
+  for (const KV& edge : edges) {
+    children[edge.value].push_back(edge.key);
+  }
+
+  RawTree raw;
+  raw.edge_weight = ladder.edge_weight;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  const std::uint64_t root_id = hybrid_root_id(params.seed);
+  raw.nodes.push_back(RawTree::RawNode{root_id, -1, 0});
+  index_of.emplace(root_id, 0);
+  // The frontier expands level by level; node order stays topological.
+  for (std::size_t head = 0; head < raw.nodes.size(); ++head) {
+    const auto it = children.find(raw.nodes[head].key);
+    if (it == children.end()) continue;
+    // Deterministic child order (dedup_kv sorts per machine, but the
+    // gather concatenates machines).
+    std::vector<std::uint64_t> kids = it->second;
+    std::sort(kids.begin(), kids.end());
+    for (const std::uint64_t kid : kids) {
+      const auto index = static_cast<std::uint32_t>(raw.nodes.size());
+      raw.nodes.push_back(RawTree::RawNode{
+          kid, static_cast<std::int32_t>(head), raw.nodes[head].level + 1});
+      index_of.emplace(kid, index);
+    }
+  }
+
+  raw.bottom_of_point.assign(n, 0);
+  for (const KV& leaf : leaves) {
+    raw.bottom_of_point[leaf.key] = index_of.at(leaf.value);
+  }
+
+  // Gather the quantized points for inspection/distortion measurement.
+  PointSet embedded(n, dim);
+  for (MachineId id = 0; id < cluster.num_machines(); ++id) {
+    const auto idx = cluster.store(id).get_vector<std::uint64_t>("emb/idx");
+    const auto data = cluster.store(id).get_vector<double>("emb/pts");
+    for (std::size_t local = 0; local < idx.size(); ++local) {
+      auto dst = embedded[idx[local]];
+      for (std::size_t j = 0; j < dim; ++j) dst[j] = data[local * dim + j];
+    }
+    cluster.store(id).erase("emb/idx");
+    cluster.store(id).erase("emb/pts");
+    cluster.store(id).erase("emb/edges/dedup");
+    cluster.store(id).erase("emb/leaf");
+    cluster.store(id).erase("emb/fail");
+  }
+  cluster.store(0).erase("emb/fail/total");
+
+  MpcEmbedding embedding{
+      assemble_pruned(raw),
+      std::move(embedded),
+      scale_to_input,
+      delta,
+      params.num_buckets,
+      params.num_grids,
+      dim,
+      fjlt_applied,
+      attempt,
+      cluster.stats().rounds() - rounds_before,
+  };
+  return embedding;
+}
+
+}  // namespace mpte

@@ -1,0 +1,251 @@
+#include "core/mpc_stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "mpc/primitives.hpp"
+#include "partition/ball_partition.hpp"
+
+namespace mpte::detail {
+
+using mpc::Cluster;
+using mpc::KV;
+using mpc::MachineContext;
+using mpc::MachineId;
+
+void scatter_points(Cluster& cluster, const PointSet& points) {
+  const std::size_t m = cluster.num_machines();
+  const std::size_t n = points.size();
+  const std::size_t block = ceil_div(n, m);
+  for (MachineId id = 0; id < m; ++id) {
+    const std::size_t begin = std::min(n, id * block);
+    const std::size_t end = std::min(n, begin + block);
+    std::vector<std::uint64_t> idx;
+    std::vector<double> data;
+    idx.reserve(end - begin);
+    data.reserve((end - begin) * points.dim());
+    for (std::size_t i = begin; i < end; ++i) {
+      idx.push_back(i);
+      const auto p = points[i];
+      data.insert(data.end(), p.begin(), p.end());
+    }
+    cluster.store(id).set_vector("emb/idx", idx);
+    cluster.store(id).set_vector("emb/pts", data);
+  }
+}
+
+void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
+                  std::size_t fanout) {
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto data = ctx.store().get_vector<double>("emb/pts");
+        std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+        std::vector<double> hi(dim,
+                               -std::numeric_limits<double>::infinity());
+        for (std::size_t i = 0; i * dim < data.size(); ++i) {
+          for (std::size_t j = 0; j < dim; ++j) {
+            lo[j] = std::min(lo[j], data[i * dim + j]);
+            hi[j] = std::max(hi[j], data[i * dim + j]);
+          }
+        }
+        Serializer s;
+        s.write_vector(lo);
+        s.write_vector(hi);
+        ctx.send(0, std::move(s));
+      },
+      "quantize/extremes");
+
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != 0) return;
+        std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+        std::vector<double> hi(dim,
+                               -std::numeric_limits<double>::infinity());
+        for (const auto& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          const auto part_lo = d.read_vector<double>();
+          const auto part_hi = d.read_vector<double>();
+          for (std::size_t j = 0; j < dim; ++j) {
+            lo[j] = std::min(lo[j], part_lo[j]);
+            hi[j] = std::max(hi[j], part_hi[j]);
+          }
+        }
+        double width = 0.0;
+        for (std::size_t j = 0; j < dim; ++j) {
+          width = std::max(width, hi[j] - lo[j]);
+        }
+        const double cell =
+            width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
+        Serializer s;
+        s.write(cell);
+        s.write_vector(lo);
+        ctx.store().set_blob("emb/box", s.take());
+      },
+      "quantize/combine");
+
+  mpc::broadcast_blob(cluster, 0, "emb/box", fanout);
+
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        Deserializer d(ctx.store().blob("emb/box"));
+        const auto cell = d.read<double>();
+        const auto lo = d.read_vector<double>();
+        ctx.store().erase("emb/box");
+        auto data = ctx.store().get_vector<double>("emb/pts");
+        for (std::size_t e = 0; e < data.size(); ++e) {
+          const std::size_t j = e % dim;
+          const double offset = (data[e] - lo[j]) / cell;
+          const double snapped = std::clamp(
+              std::round(offset), 0.0, static_cast<double>(delta - 1));
+          data[e] = snapped + 1.0;
+        }
+        ctx.store().set_vector("emb/pts", data);
+      },
+      "quantize/snap");
+}
+
+std::uint64_t pack_level_node(std::size_t level, std::uint64_t cluster_id) {
+  return (static_cast<std::uint64_t>(level) << 56) | (cluster_id >> 8);
+}
+
+std::size_t packed_level(std::uint64_t key) {
+  return static_cast<std::size_t>(key >> 56);
+}
+
+namespace {
+
+/// Common body of the two stage-4 variants: computes each local point's
+/// id chain and calls `emit(point, level, parent_id, child_id)` per level.
+/// Returns the number of uncovered events under the kFail policy.
+template <typename Emit>
+std::uint64_t compute_paths(MachineContext& ctx, std::size_t dim,
+                            const PartitionParams& p, Emit&& emit) {
+  const ScaleLadder ladder =
+      hybrid_scale_ladder(dim, p.num_buckets, p.delta);
+  const auto idx = ctx.store().get_vector<std::uint64_t>("emb/idx");
+  const auto data = ctx.store().get_vector<double>("emb/pts");
+
+  std::uint64_t failures = 0;
+  std::vector<double> bucket_coords(p.bucket_dim);
+  for (std::size_t local = 0; local < idx.size(); ++local) {
+    const std::uint64_t point = idx[local];
+    std::uint64_t id = hybrid_root_id(p.seed);
+    for (std::size_t level = 1; level <= ladder.levels; ++level) {
+      const std::uint64_t parent = id;
+      for (std::uint32_t j = 0; j < p.num_buckets; ++j) {
+        const BallGrids grids(p.bucket_dim, ladder.scales[level],
+                              p.num_grids,
+                              hybrid_grid_seed(p.seed, level, j));
+        // Projection with zero padding past the true dimension
+        // (footnote 3), matching PointSet::pad_dims + project.
+        for (std::uint32_t t = 0; t < p.bucket_dim; ++t) {
+          const std::size_t coord = j * p.bucket_dim + t;
+          bucket_coords[t] = coord < dim ? data[local * dim + coord] : 0.0;
+        }
+        std::uint64_t ball = grids.assign(bucket_coords);
+        if (ball == kUncovered) {
+          if (p.uncovered_singleton == 0) {
+            ++failures;
+            ball = 0;  // placeholder; the attempt will be retried
+          } else {
+            ball = hash_combine(hash_combine(mix64(0xdeadull), point),
+                                hash_combine(level, j));
+          }
+        }
+        id = hash_combine(id, ball);
+      }
+      emit(point, level, parent, id);
+    }
+  }
+  return failures;
+}
+
+/// Broadcast of the partition parameters (stage 3).
+void broadcast_params(Cluster& cluster, const PartitionParams& params,
+                      std::size_t fanout) {
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != 0) return;
+        ctx.store().set_value("emb/grids", params);
+      },
+      "grids/build");
+  mpc::broadcast_blob(cluster, 0, "emb/grids", fanout);
+}
+
+}  // namespace
+
+std::uint64_t run_partition_attempt(Cluster& cluster, std::size_t dim,
+                                    const PartitionParams& params,
+                                    std::size_t fanout) {
+  broadcast_params(cluster, params, fanout);
+
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto p = ctx.store().get_value<PartitionParams>("emb/grids");
+        ctx.store().erase("emb/grids");
+        std::vector<KV> edges;
+        std::vector<KV> leaves;
+        std::uint64_t last_point = ~0ull;
+        const std::uint64_t failures = compute_paths(
+            ctx, dim, p,
+            [&](std::uint64_t point, std::size_t level,
+                std::uint64_t parent, std::uint64_t child) {
+              edges.push_back(KV{child, parent});
+              if (point != last_point) {
+                leaves.push_back(KV{point, child});
+                last_point = point;
+              } else {
+                leaves.back().value = child;
+              }
+              (void)level;
+            });
+        ctx.store().set_vector("emb/edges", edges);
+        ctx.store().set_vector("emb/leaf", leaves);
+        ctx.store().set_value<std::uint64_t>("emb/fail", failures);
+      },
+      "paths/compute");
+
+  mpc::sum_u64(cluster, "emb/fail", "emb/fail/total", 0);
+  return cluster.store(0).contains("emb/fail/total")
+             ? cluster.store(0).get_value<std::uint64_t>("emb/fail/total")
+             : 0;
+}
+
+std::uint64_t run_path_records_attempt(Cluster& cluster, std::size_t dim,
+                                       const PartitionParams& params,
+                                       std::size_t fanout,
+                                       bool emit_links) {
+  broadcast_params(cluster, params, fanout);
+
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto p = ctx.store().get_value<PartitionParams>("emb/grids");
+        ctx.store().erase("emb/grids");
+        std::vector<KV> records;
+        std::vector<KV> links;
+        const std::uint64_t failures = compute_paths(
+            ctx, dim, p,
+            [&](std::uint64_t point, std::size_t level,
+                std::uint64_t parent, std::uint64_t child) {
+              records.push_back(KV{pack_level_node(level, child), point});
+              if (emit_links) {
+                links.push_back(KV{pack_level_node(level, child),
+                                   pack_level_node(level - 1, parent)});
+              }
+            });
+        ctx.store().set_vector("emb/nodes", records);
+        if (emit_links) ctx.store().set_vector("emb/links", links);
+        ctx.store().set_value<std::uint64_t>("emb/fail", failures);
+      },
+      "paths/records");
+
+  mpc::sum_u64(cluster, "emb/fail", "emb/fail/total", 0);
+  return cluster.store(0).contains("emb/fail/total")
+             ? cluster.store(0).get_value<std::uint64_t>("emb/fail/total")
+             : 0;
+}
+
+}  // namespace mpte::detail

@@ -1,0 +1,78 @@
+// Reusable stages of the MPC embedding pipeline (Algorithm 2).
+//
+// mpc_embed() composes these; the Corollary 1 applications
+// (apps/mpc_apps.*) reuse the same stages and then consume the
+// *distributed* root-to-leaf paths directly — one extra shuffle instead of
+// assembling the tree centrally. Keeping the stages in one place
+// guarantees every consumer computes the identical hierarchy for a given
+// seed.
+//
+// Data layout contract on the cluster after the stages below:
+//   "emb/idx"  per machine: vector<u64> of global point indices
+//   "emb/pts"  per machine: row-major doubles, quantized after stage 2
+//   "emb/edges", "emb/leaf": per-point path records after stage 4
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/point_set.hpp"
+#include "mpc/cluster.hpp"
+#include "partition/hybrid_partition.hpp"
+
+namespace mpte::detail {
+
+/// The "grids" rank 0 builds and broadcasts (stage 3): the counter-based
+/// description of every grid of every level and bucket — seed, scale
+/// ladder parameters, and grid count.
+struct PartitionParams {
+  std::uint64_t seed = 0;
+  std::uint64_t delta = 0;
+  std::uint64_t num_grids = 0;
+  std::uint32_t num_buckets = 0;
+  std::uint32_t bucket_dim = 0;
+  std::uint32_t effective_dim = 0;  // bucket_dim * num_buckets
+  std::uint32_t uncovered_singleton = 0;
+};
+
+/// Host-side input loading: scatters (index, coordinates) blocks of
+/// `points` across machines under "emb/idx"/"emb/pts".
+void scatter_points(mpc::Cluster& cluster, const PointSet& points);
+
+/// Stage 2: distributed quantization to [1, delta]^dim — bounding box by
+/// converge-cast, broadcast, local snap. Rewrites "emb/pts" in place with
+/// integer coordinates (identical arithmetic to quantize_to_grid).
+void mpc_quantize(mpc::Cluster& cluster, std::size_t dim,
+                  std::uint64_t delta, std::size_t fanout);
+
+/// Stages 3+4 for one seed attempt: broadcast the grid description, then
+/// every machine computes its points' root-to-leaf paths locally, leaving
+/// "emb/edges" (KV child-id -> parent-id, per level) and "emb/leaf"
+/// (KV point-index -> bottom cluster id). Returns the number of uncovered
+/// (point, level, bucket) events under the kFail policy (0 = success);
+/// under the singleton policy always returns 0.
+std::uint64_t run_partition_attempt(mpc::Cluster& cluster, std::size_t dim,
+                                    const PartitionParams& params,
+                                    std::size_t fanout);
+
+/// Node id of the hierarchy cluster a point occupies at `level`, packed
+/// with the level in the top byte — the key format the distributed
+/// applications reduce on. Levels are < 2^8 (<= ~70 for any representable
+/// delta), ids keep 56 mixed bits.
+std::uint64_t pack_level_node(std::size_t level, std::uint64_t cluster_id);
+
+/// Inverse of pack_level_node's level field.
+std::size_t packed_level(std::uint64_t key);
+
+/// Like run_partition_attempt, but emits per-(point, level) records
+/// "emb/nodes": KV{pack_level_node(level, id), point-index}, the input to
+/// path-based reductions (EMD imbalance, subtree counts, representatives).
+/// With emit_links it additionally stores "emb/links":
+/// KV{packed child, packed parent} (needed by the distributed MST).
+/// Also leaves "emb/fail" like run_partition_attempt; same return.
+std::uint64_t run_path_records_attempt(mpc::Cluster& cluster,
+                                       std::size_t dim,
+                                       const PartitionParams& params,
+                                       std::size_t fanout,
+                                       bool emit_links = false);
+
+}  // namespace mpte::detail

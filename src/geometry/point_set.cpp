@@ -1,0 +1,109 @@
+#include "geometry/point_set.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+PointSet::PointSet(std::size_t n, std::size_t dim)
+    : n_(n), dim_(dim), data_(n * dim, 0.0) {}
+
+PointSet::PointSet(std::size_t n, std::size_t dim, std::vector<double> data)
+    : n_(n), dim_(dim), data_(std::move(data)) {
+  if (data_.size() != n_ * dim_) {
+    throw MpteError("PointSet: buffer size does not match n * dim");
+  }
+}
+
+void PointSet::push_back(std::span<const double> p) {
+  if (n_ == 0 && dim_ == 0) {
+    dim_ = p.size();
+  }
+  if (p.size() != dim_) {
+    throw MpteError("PointSet::push_back: dimension mismatch");
+  }
+  data_.insert(data_.end(), p.begin(), p.end());
+  ++n_;
+}
+
+PointSet PointSet::select(std::span<const std::size_t> indices) const {
+  PointSet out(indices.size(), dim_);
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    assert(indices[row] < n_);
+    const auto src = (*this)[indices[row]];
+    auto dst = out[row];
+    for (std::size_t j = 0; j < dim_; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+PointSet PointSet::project(std::size_t begin, std::size_t end) const {
+  assert(begin <= end && end <= dim_);
+  PointSet out(n_, end - begin);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto src = (*this)[i];
+    auto dst = out[i];
+    for (std::size_t j = begin; j < end; ++j) dst[j - begin] = src[j];
+  }
+  return out;
+}
+
+PointSet PointSet::pad_dims(std::size_t new_dim) const {
+  assert(new_dim >= dim_);
+  PointSet out(n_, new_dim);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto src = (*this)[i];
+    auto dst = out[i];
+    for (std::size_t j = 0; j < dim_; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+double l2_distance_squared(std::span<const double> a,
+                           std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double l2_distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(l2_distance_squared(a, b));
+}
+
+double l2_norm(std::span<const double> a) {
+  double sum = 0.0;
+  for (const double x : a) sum += x * x;
+  return std::sqrt(sum);
+}
+
+DistanceExtremes pairwise_distance_extremes(const PointSet& points) {
+  DistanceExtremes out{0.0, 0.0};
+  if (points.size() < 2) return out;
+  out.min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d = l2_distance(points[i], points[j]);
+      out.min = std::min(out.min, d);
+      out.max = std::max(out.max, d);
+    }
+  }
+  return out;
+}
+
+double aspect_ratio(const PointSet& points) {
+  const auto ext = pairwise_distance_extremes(points);
+  if (ext.max == 0.0) return 1.0;
+  if (ext.min == 0.0) {
+    throw MpteError("aspect_ratio: duplicate points (min distance 0)");
+  }
+  return ext.max / ext.min;
+}
+
+}  // namespace mpte

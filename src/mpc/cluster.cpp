@@ -1,0 +1,106 @@
+#include "mpc/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpte::mpc {
+
+std::size_t local_memory_for_input(std::size_t input_bytes, double eps,
+                                   std::size_t min_bytes) {
+  const double s =
+      std::pow(std::max<double>(1.0, static_cast<double>(input_bytes)), eps);
+  return std::max(min_bytes, static_cast<std::size_t>(std::ceil(s)));
+}
+
+void MachineContext::send(MachineId to, std::vector<std::uint8_t> payload) {
+  if (to >= num_machines_) {
+    throw MpcViolation("send: destination rank out of range");
+  }
+  auto& buf = outbox_[to];
+  // Multiple sends to the same destination within a round are concatenated;
+  // receivers see one message per (sender, round). Senders that need
+  // framing write their own length prefixes (Serializer does).
+  buf.insert(buf.end(), payload.begin(), payload.end());
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  if (config_.num_machines == 0) {
+    throw MpteError("Cluster: need at least one machine");
+  }
+  machines_.resize(config_.num_machines);
+}
+
+void Cluster::run_round(const Step& step, std::string label) {
+  const std::size_t m = machines_.size();
+  // outboxes[src][dst] = bytes queued from src to dst this round.
+  std::vector<std::vector<std::vector<std::uint8_t>>> outboxes(m);
+
+  for (MachineId id = 0; id < m; ++id) {
+    outboxes[id].assign(m, {});
+    MachineContext ctx(id, m, machines_[id], outboxes[id]);
+    step(ctx);
+  }
+
+  RoundRecord record;
+  record.label = std::move(label);
+
+  // Audit send quotas and compute per-receiver volumes.
+  std::vector<std::size_t> recv_bytes(m, 0);
+  for (MachineId src = 0; src < m; ++src) {
+    std::size_t sent = 0;
+    for (MachineId dst = 0; dst < m; ++dst) {
+      const std::size_t bytes = outboxes[src][dst].size();
+      sent += bytes;
+      recv_bytes[dst] += bytes;
+    }
+    record.max_sent_bytes = std::max(record.max_sent_bytes, sent);
+    record.total_message_bytes += sent;
+    if (config_.enforce_limits && sent > config_.local_memory_bytes) {
+      throw MpcViolation("round '" + record.label + "': machine " +
+                         std::to_string(src) + " sent " +
+                         std::to_string(sent) + "B > local memory " +
+                         std::to_string(config_.local_memory_bytes) + "B");
+    }
+  }
+  for (MachineId dst = 0; dst < m; ++dst) {
+    record.max_recv_bytes = std::max(record.max_recv_bytes, recv_bytes[dst]);
+    if (config_.enforce_limits &&
+        recv_bytes[dst] > config_.local_memory_bytes) {
+      throw MpcViolation("round '" + record.label + "': machine " +
+                         std::to_string(dst) + " received " +
+                         std::to_string(recv_bytes[dst]) +
+                         "B > local memory " +
+                         std::to_string(config_.local_memory_bytes) + "B");
+    }
+  }
+
+  // Deliver: replace inboxes with this round's messages (previous inboxes
+  // are consumed — machines that need old messages must store them).
+  for (MachineId dst = 0; dst < m; ++dst) {
+    auto& inbox = machines_[dst].inbox;
+    inbox.clear();
+    for (MachineId src = 0; src < m; ++src) {
+      if (!outboxes[src][dst].empty()) {
+        inbox.push_back(Message{src, std::move(outboxes[src][dst])});
+      }
+    }
+  }
+
+  // Audit residency (store + inbox) at the round boundary.
+  for (MachineId id = 0; id < m; ++id) {
+    const std::size_t resident =
+        machines_[id].store.resident_bytes() + machines_[id].inbox_bytes();
+    record.max_resident_bytes = std::max(record.max_resident_bytes, resident);
+    record.total_resident_bytes += resident;
+    if (config_.enforce_limits && resident > config_.local_memory_bytes) {
+      throw MpcViolation("round '" + record.label + "': machine " +
+                         std::to_string(id) + " resident " +
+                         std::to_string(resident) + "B > local memory " +
+                         std::to_string(config_.local_memory_bytes) + "B");
+    }
+  }
+
+  stats_.record(std::move(record));
+}
+
+}  // namespace mpte::mpc

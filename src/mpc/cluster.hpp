@@ -1,0 +1,122 @@
+// The MPC cluster simulator.
+//
+// A Cluster owns M machines and executes *rounds*: every machine runs the
+// same step function (SPMD, as in MapReduce/MPI) against its own state,
+// queueing messages; at the round boundary the runtime audits the model's
+// constraints — per-machine bytes sent <= local memory, bytes received <=
+// local memory, residency <= local memory — then delivers all messages.
+// Violations throw MpcViolation when enforcement is on, so an algorithm
+// that exceeds the fully-scalable regime fails loudly in tests rather than
+// silently consuming unrealistic resources.
+//
+// The simulation is sequential (machine order is deterministic), which is
+// sound: MPC prices communication, not intra-round wall-clock, and a fixed
+// execution order makes runs bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpc/machine.hpp"
+#include "mpc/round_stats.hpp"
+
+namespace mpte::mpc {
+
+/// Thrown when an execution breaks an MPC model constraint.
+class MpcViolation : public MpteError {
+ public:
+  explicit MpcViolation(const std::string& what) : MpteError(what) {}
+};
+
+/// Static description of the simulated cluster.
+struct ClusterConfig {
+  /// Number of machines M.
+  std::size_t num_machines = 4;
+  /// Local memory per machine s, in bytes. In the fully scalable regime
+  /// s = O((nd)^eps); see local_memory_for_input() below.
+  std::size_t local_memory_bytes = 1 << 20;
+  /// If true (default), constraint violations throw MpcViolation. Turning
+  /// this off still records stats — useful for measuring how much an
+  /// algorithm *would* need.
+  bool enforce_limits = true;
+};
+
+/// Suggested local memory (bytes) for an input of `input_bytes` at exponent
+/// eps: ceil(input_bytes^eps) * word, floored at `min_bytes` so that tiny
+/// test inputs still admit nontrivial machines.
+std::size_t local_memory_for_input(std::size_t input_bytes, double eps,
+                                   std::size_t min_bytes = 4096);
+
+/// Per-machine handle passed to step functions: local state access plus
+/// message sending. Only valid during the round that supplied it.
+class MachineContext {
+ public:
+  MachineContext(MachineId id, std::size_t num_machines, Machine& machine,
+                 std::vector<std::vector<std::uint8_t>>& outbox)
+      : id_(id),
+        num_machines_(num_machines),
+        machine_(machine),
+        outbox_(outbox) {}
+
+  MachineId id() const { return id_; }
+  std::size_t num_machines() const { return num_machines_; }
+
+  LocalStore& store() { return machine_.store; }
+  const LocalStore& store() const { return machine_.store; }
+
+  /// Messages delivered at the previous round boundary, ordered by source
+  /// rank (deterministic).
+  const std::vector<Message>& inbox() const { return machine_.inbox; }
+
+  /// Queues `payload` for delivery to machine `to` at the round boundary.
+  void send(MachineId to, std::vector<std::uint8_t> payload);
+
+  /// Convenience: queue the contents of a Serializer.
+  void send(MachineId to, Serializer serializer) {
+    send(to, serializer.take());
+  }
+
+ private:
+  MachineId id_;
+  std::size_t num_machines_;
+  Machine& machine_;
+  std::vector<std::vector<std::uint8_t>>& outbox_;  // indexed by dest rank
+};
+
+/// Step function executed by every machine in a round.
+using Step = std::function<void(MachineContext&)>;
+
+/// The simulated cluster.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  std::size_t num_machines() const { return machines_.size(); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Executes one MPC round: run `step` on every machine, audit the model
+  /// constraints, deliver messages. `label` tags the round in the stats.
+  void run_round(const Step& step, std::string label = "");
+
+  /// Host-side access to a machine's store. Loading the initial input and
+  /// reading the final output happen through this (the model assumes input
+  /// arrives distributed and output remains distributed; neither transfer
+  /// counts as a round).
+  LocalStore& store(MachineId id) { return machines_.at(id).store; }
+  const LocalStore& store(MachineId id) const {
+    return machines_.at(id).store;
+  }
+
+  const RoundStats& stats() const { return stats_; }
+  RoundStats& stats() { return stats_; }
+
+ private:
+  ClusterConfig config_;
+  std::vector<Machine> machines_;
+  RoundStats stats_;
+};
+
+}  // namespace mpte::mpc

@@ -1,0 +1,50 @@
+#include "mpc/machine.hpp"
+
+namespace mpte::mpc {
+
+void LocalStore::set_blob(const std::string& key,
+                          std::vector<std::uint8_t> blob) {
+  auto it = blobs_.find(key);
+  if (it != blobs_.end()) {
+    resident_bytes_ -= it->second.size();
+    it->second = std::move(blob);
+    resident_bytes_ += it->second.size();
+  } else {
+    resident_bytes_ += blob.size();
+    blobs_.emplace(key, std::move(blob));
+  }
+}
+
+const std::vector<std::uint8_t>& LocalStore::blob(
+    const std::string& key) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    throw MpteError("LocalStore: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool LocalStore::contains(const std::string& key) const {
+  return blobs_.contains(key);
+}
+
+void LocalStore::erase(const std::string& key) {
+  auto it = blobs_.find(key);
+  if (it != blobs_.end()) {
+    resident_bytes_ -= it->second.size();
+    blobs_.erase(it);
+  }
+}
+
+void LocalStore::clear() {
+  blobs_.clear();
+  resident_bytes_ = 0;
+}
+
+std::size_t Machine::inbox_bytes() const {
+  std::size_t total = 0;
+  for (const auto& msg : inbox) total += msg.payload.size();
+  return total;
+}
+
+}  // namespace mpte::mpc

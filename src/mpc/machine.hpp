@@ -1,0 +1,103 @@
+// A simulated MPC machine: its local store and message buffers.
+//
+// In the MPC model (Karloff–Suri–Vassilvitskii; Beame–Koutris–Suciu) each
+// machine holds O((nd)^eps) local memory, computes locally within a round,
+// and exchanges messages whose per-machine total is bounded by that same
+// local memory. `Machine` models exactly the state side of this: a byte-
+// accounted key/value store (the machine's RAM between rounds) and an inbox
+// of messages delivered at the last round boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/status.hpp"
+
+namespace mpte::mpc {
+
+/// Rank of a machine within a cluster.
+using MachineId = std::uint32_t;
+
+/// A routed message: payload bytes plus source rank (dest is implicit in
+/// which inbox it sits in).
+struct Message {
+  MachineId from;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Byte-accounted key/value RAM of one machine. Keys are names chosen by
+/// the algorithm ("points", "grids", ...); values are serialized blobs.
+/// Every byte stored counts against the machine's local-memory budget.
+class LocalStore {
+ public:
+  /// Replaces the blob under `key`.
+  void set_blob(const std::string& key, std::vector<std::uint8_t> blob);
+
+  /// Read access; throws MpteError if absent.
+  const std::vector<std::uint8_t>& blob(const std::string& key) const;
+
+  bool contains(const std::string& key) const;
+
+  /// Removes a blob (no-op if absent), freeing its bytes.
+  void erase(const std::string& key);
+
+  /// Removes everything.
+  void clear();
+
+  /// Serializes a trivially copyable vector under `key`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void set_vector(const std::string& key, const std::vector<T>& values) {
+    Serializer s;
+    s.write_vector(values);
+    set_blob(key, s.take());
+  }
+
+  /// Reads back a vector stored by set_vector.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector(const std::string& key) const {
+    Deserializer d(blob(key));
+    return d.read_vector<T>();
+  }
+
+  /// Stores a single trivially copyable value under `key`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void set_value(const std::string& key, const T& value) {
+    Serializer s;
+    s.write(value);
+    set_blob(key, s.take());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get_value(const std::string& key) const {
+    Deserializer d(blob(key));
+    return d.read<T>();
+  }
+
+  /// Total bytes currently resident (payloads only; key names and map
+  /// overhead are bookkeeping the model does not price).
+  std::size_t resident_bytes() const { return resident_bytes_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::uint8_t>> blobs_;
+  std::size_t resident_bytes_ = 0;
+};
+
+/// Full per-machine state: RAM plus the inbox delivered at the last round
+/// boundary.
+struct Machine {
+  LocalStore store;
+  std::vector<Message> inbox;
+
+  /// Bytes held in the inbox (counted as resident until consumed).
+  std::size_t inbox_bytes() const;
+};
+
+}  // namespace mpte::mpc

@@ -1,0 +1,273 @@
+#include "mpc/primitives.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mpte::mpc {
+
+bool kv_less(const KV& a, const KV& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.value < b.value;
+}
+
+void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
+                    std::size_t fanout) {
+  if (fanout == 0) throw MpteError("broadcast_blob: fanout must be >= 1");
+  const std::size_t m = cluster.num_machines();
+  // Virtual ranks place the root at 0; holders are virtual ranks < holders.
+  const auto to_virtual = [&](MachineId real) {
+    return (real + m - root) % m;
+  };
+  const auto to_real = [&](std::size_t virt) {
+    return static_cast<MachineId>((virt + root) % m);
+  };
+
+  std::size_t holders = 1;
+  while (holders < m) {
+    const std::size_t holders_before = holders;
+    cluster.run_round(
+        [&](MachineContext& ctx) {
+          // A machine that received the blob last round persists it first —
+          // it may already be a sender this round.
+          if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
+            ctx.store().set_blob(key, ctx.inbox().front().payload);
+          }
+          const std::size_t virt = to_virtual(ctx.id());
+          if (virt < holders_before) {
+            // Holder #virt feeds virtual ranks holders_before + virt*fanout
+            // + j for j < fanout.
+            for (std::size_t j = 0; j < fanout; ++j) {
+              const std::size_t dest_virt =
+                  holders_before + virt * fanout + j;
+              if (dest_virt >= m) break;
+              ctx.send(to_real(dest_virt), ctx.store().blob(key));
+            }
+          }
+        },
+        "broadcast/" + key);
+    holders = std::min(m, holders_before * (fanout + 1));
+  }
+  // Final delivery round: ranks that received in the last exchange still
+  // hold the blob only in their inbox; persist it.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
+          ctx.store().set_blob(key, ctx.inbox().front().payload);
+        }
+      },
+      "broadcast/" + key + "/persist");
+}
+
+namespace {
+
+/// Routes each machine's `in_key` records to hash(key) % M, storing sorted
+/// arrivals under `out_key`.
+void shuffle_round(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key, const std::string& label) {
+  const std::size_t m = cluster.num_machines();
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::vector<std::vector<KV>> buckets(m);
+        if (ctx.store().contains(in_key)) {
+          for (const KV& kv : ctx.store().get_vector<KV>(in_key)) {
+            buckets[mix64(kv.key) % m].push_back(kv);
+          }
+          ctx.store().erase(in_key);
+        }
+        for (MachineId dst = 0; dst < m; ++dst) {
+          if (buckets[dst].empty()) continue;
+          Serializer s;
+          s.write_vector(buckets[dst]);
+          ctx.send(dst, std::move(s));
+        }
+      },
+      label + "/route");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::vector<KV> arrived;
+        for (const Message& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          while (!d.exhausted()) {
+            auto part = d.read_vector<KV>();
+            arrived.insert(arrived.end(), part.begin(), part.end());
+          }
+        }
+        std::sort(arrived.begin(), arrived.end(), kv_less);
+        ctx.store().set_vector(out_key, arrived);
+      },
+      label + "/collect");
+}
+
+}  // namespace
+
+void shuffle_kv_by_key(Cluster& cluster, const std::string& in_key,
+                       const std::string& out_key) {
+  shuffle_round(cluster, in_key, out_key, "shuffle");
+}
+
+void dedup_kv(Cluster& cluster, const std::string& in_key,
+              const std::string& out_key) {
+  shuffle_round(cluster, in_key, out_key, "dedup");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        auto records = ctx.store().get_vector<KV>(out_key);
+        records.erase(std::unique(records.begin(), records.end()),
+                      records.end());
+        ctx.store().set_vector(out_key, records);
+      },
+      "dedup/unique");
+}
+
+void reduce_kv_sum(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key) {
+  shuffle_round(cluster, in_key, out_key, "reduce");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto records = ctx.store().get_vector<KV>(out_key);
+        std::vector<KV> reduced;
+        for (const KV& kv : records) {
+          if (!reduced.empty() && reduced.back().key == kv.key) {
+            reduced.back().value += kv.value;
+          } else {
+            reduced.push_back(kv);
+          }
+        }
+        ctx.store().set_vector(out_key, reduced);
+      },
+      "reduce/combine");
+}
+
+void reduce_kv_min(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key) {
+  shuffle_round(cluster, in_key, out_key, "reduce-min");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto records = ctx.store().get_vector<KV>(out_key);
+        std::vector<KV> reduced;
+        for (const KV& kv : records) {
+          if (!reduced.empty() && reduced.back().key == kv.key) {
+            reduced.back().value = std::min(reduced.back().value, kv.value);
+          } else {
+            reduced.push_back(kv);
+          }
+        }
+        ctx.store().set_vector(out_key, reduced);
+      },
+      "reduce-min/combine");
+}
+
+void sum_u64(Cluster& cluster, const std::string& in_key,
+             const std::string& out_key, MachineId root) {
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::uint64_t value = 0;
+        if (ctx.store().contains(in_key)) {
+          value = ctx.store().get_value<std::uint64_t>(in_key);
+        }
+        Serializer s;
+        s.write(value);
+        ctx.send(root, std::move(s));
+      },
+      "sum_u64/send");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != root) return;
+        std::uint64_t total = 0;
+        for (const Message& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          total += d.read<std::uint64_t>();
+        }
+        ctx.store().set_value(out_key, total);
+      },
+      "sum_u64/combine");
+}
+
+void sum_double(Cluster& cluster, const std::string& in_key,
+                const std::string& out_key, MachineId root) {
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        double value = 0.0;
+        if (ctx.store().contains(in_key)) {
+          value = ctx.store().get_value<double>(in_key);
+        }
+        Serializer s;
+        s.write(value);
+        ctx.send(root, std::move(s));
+      },
+      "sum_double/send");
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != root) return;
+        double total = 0.0;
+        for (const Message& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          total += d.read<double>();
+        }
+        ctx.store().set_value(out_key, total);
+      },
+      "sum_double/combine");
+}
+
+void prefix_sum_u64(Cluster& cluster, const std::string& in_key,
+                    const std::string& out_key, std::size_t fanout) {
+  const std::string offsets_key = out_key + "/__offsets";
+
+  // Local sums to rank 0.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::uint64_t local = 0;
+        if (ctx.store().contains(in_key)) {
+          for (const std::uint64_t v :
+               ctx.store().get_vector<std::uint64_t>(in_key)) {
+            local += v;
+          }
+        }
+        Serializer s;
+        s.write(ctx.id());
+        s.write(local);
+        ctx.send(0, std::move(s));
+      },
+      "prefix/local-sums");
+
+  // Rank 0 computes per-machine exclusive offsets.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != 0) return;
+        std::vector<std::uint64_t> sums(ctx.num_machines(), 0);
+        for (const Message& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          const auto rank = d.read<MachineId>();
+          sums[rank] = d.read<std::uint64_t>();
+        }
+        std::vector<std::uint64_t> offsets(ctx.num_machines(), 0);
+        for (std::size_t r = 1; r < offsets.size(); ++r) {
+          offsets[r] = offsets[r - 1] + sums[r - 1];
+        }
+        ctx.store().set_vector(offsets_key, offsets);
+      },
+      "prefix/offsets");
+
+  mpc::broadcast_blob(cluster, 0, offsets_key, fanout);
+
+  // Local exclusive scan shifted by the machine's offset.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto offsets =
+            ctx.store().get_vector<std::uint64_t>(offsets_key);
+        ctx.store().erase(offsets_key);
+        std::vector<std::uint64_t> out;
+        if (ctx.store().contains(in_key)) {
+          std::uint64_t running = offsets[ctx.id()];
+          for (const std::uint64_t v :
+               ctx.store().get_vector<std::uint64_t>(in_key)) {
+            out.push_back(running);
+            running += v;
+          }
+        }
+        ctx.store().set_vector(out_key, out);
+      },
+      "prefix/scan");
+}
+
+}  // namespace mpte::mpc

@@ -1,0 +1,124 @@
+// Classic MPC building blocks over the Cluster runtime.
+//
+// These are the standard constant-round primitives MPC algorithms are
+// composed from (Goodrich–Sitchinava–Zhang): scatter/gather of the
+// distributed input/output (host-side, not rounds — the model assumes the
+// input starts distributed), fan-out-tree broadcast (O(log_f M) rounds,
+// constant once f = M^Theta(eps)), hash shuffles, and key-wise reductions.
+// Sample sort lives in mpc/sort.hpp.
+//
+// Record type: most of the library's communication is (key, value) pairs of
+// 64-bit words — tree-node ids, counts, bucket indices — so the primitives
+// are concrete over KV rather than templated, keeping the wire format and
+// the byte accounting transparent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpc/cluster.hpp"
+
+namespace mpte::mpc {
+
+/// The primitive record: a 64-bit key with a 64-bit value.
+struct KV {
+  std::uint64_t key;
+  std::uint64_t value;
+
+  friend bool operator==(const KV&, const KV&) = default;
+};
+
+/// Orders by key, then value (a total order so sorts are deterministic).
+bool kv_less(const KV& a, const KV& b);
+
+// ---------------------------------------------------------------------------
+// Host-side input/output (not rounds).
+
+/// Splits `items` into contiguous blocks of ceil(n/M) and stores block i
+/// under `key` on machine i (trailing machines may receive empty blocks).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void scatter_vector(Cluster& cluster, const std::string& key,
+                    const std::vector<T>& items) {
+  const std::size_t m = cluster.num_machines();
+  const std::size_t block = (items.size() + m - 1) / std::max<std::size_t>(m, 1);
+  for (MachineId id = 0; id < m; ++id) {
+    const std::size_t begin = std::min(items.size(), id * block);
+    const std::size_t end = std::min(items.size(), begin + block);
+    cluster.store(id).set_vector<T>(
+        key, std::vector<T>(items.begin() + begin, items.begin() + end));
+  }
+}
+
+/// Concatenates the vectors stored under `key` across machines, in rank
+/// order. Machines without the key contribute nothing.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<T> gather_vector(const Cluster& cluster, const std::string& key) {
+  std::vector<T> out;
+  for (MachineId id = 0; id < cluster.num_machines(); ++id) {
+    if (!cluster.store(id).contains(key)) continue;
+    auto part = cluster.store(id).get_vector<T>(key);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Communication rounds.
+
+/// Replicates the blob stored under `key` on `root` to every machine, via a
+/// fan-out tree of degree `fanout`: each round every holder forwards to
+/// `fanout` new machines, so ceil(log_{fanout+1} M) rounds. With
+/// fanout = Theta(M^eps) this is the textbook O(1/eps)-round broadcast.
+/// Requires blob size * fanout <= local memory.
+void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
+                    std::size_t fanout);
+
+/// One-round hash shuffle: routes every KV stored under `in_key` to machine
+/// hash(key) % M and stores the arrivals (sorted by kv_less, for
+/// determinism) under `out_key`. All records with equal keys land on one
+/// machine.
+void shuffle_kv_by_key(Cluster& cluster, const std::string& in_key,
+                       const std::string& out_key);
+
+/// shuffle_kv_by_key followed by local deduplication (exact duplicates
+/// collapse to one). Used to take the union of root-to-leaf paths in
+/// Algorithm 2.
+void dedup_kv(Cluster& cluster, const std::string& in_key,
+              const std::string& out_key);
+
+/// shuffle_kv_by_key followed by local per-key summation of values; the
+/// result under `out_key` holds one KV per distinct key.
+void reduce_kv_sum(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key);
+
+/// shuffle_kv_by_key followed by local per-key minimum of values; the
+/// result under `out_key` holds one KV per distinct key. Used to elect
+/// per-cluster representatives (min point index) in the MPC MST.
+void reduce_kv_min(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key);
+
+/// Two-round global sum of the std::uint64_t stored under `in_key` on every
+/// machine: converge-cast to `root`, which stores the total under
+/// `out_key`, then a broadcast is the caller's choice. Requires
+/// M * sizeof(u64) <= local memory (true for all fully scalable settings).
+void sum_u64(Cluster& cluster, const std::string& in_key,
+             const std::string& out_key, MachineId root = 0);
+
+/// Like sum_u64 for doubles (used to converge-cast per-machine partial
+/// EMD/cost sums).
+void sum_double(Cluster& cluster, const std::string& in_key,
+                const std::string& out_key, MachineId root = 0);
+
+/// Global exclusive prefix sum over the u64 vectors stored under `in_key`
+/// (elements ordered by machine rank, then position): the classic O(1)-
+/// round scan — local sums converge-cast to rank 0, per-machine offsets
+/// broadcast back via the fan-out tree, local scan. The result vector
+/// (same shape as the input) is stored under `out_key`; element e receives
+/// the sum of all elements strictly before it.
+void prefix_sum_u64(Cluster& cluster, const std::string& in_key,
+                    const std::string& out_key, std::size_t fanout = 4);
+
+}  // namespace mpte::mpc

@@ -1,0 +1,38 @@
+#include "mpc/round_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpte::mpc {
+
+void RoundStats::record(RoundRecord record) {
+  peak_local_bytes_ = std::max(peak_local_bytes_, record.max_resident_bytes);
+  peak_total_bytes_ = std::max(peak_total_bytes_, record.total_resident_bytes);
+  peak_round_io_bytes_ = std::max(
+      {peak_round_io_bytes_, record.max_sent_bytes, record.max_recv_bytes});
+  records_.push_back(std::move(record));
+}
+
+std::string RoundStats::summary() const {
+  std::ostringstream out;
+  out << "rounds=" << rounds() << " peak_local=" << peak_local_bytes()
+      << "B peak_total=" << peak_total_bytes()
+      << "B peak_round_io=" << peak_round_io_bytes() << "B\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[i];
+    out << "  round " << i << (r.label.empty() ? "" : " [" + r.label + "]")
+        << ": sent<=" << r.max_sent_bytes << "B recv<=" << r.max_recv_bytes
+        << "B volume=" << r.total_message_bytes
+        << "B local<=" << r.max_resident_bytes << "B\n";
+  }
+  return out.str();
+}
+
+void RoundStats::reset() {
+  records_.clear();
+  peak_local_bytes_ = 0;
+  peak_total_bytes_ = 0;
+  peak_round_io_bytes_ = 0;
+}
+
+}  // namespace mpte::mpc

@@ -1,0 +1,64 @@
+// Cost accounting for simulated MPC executions.
+//
+// MPC algorithm efficiency is measured by three quantities (Section 1.1 of
+// the paper): the number of rounds, the local memory per machine, and the
+// total space. RoundStats records all three per round and in aggregate so
+// that benches can report them and tests can assert the paper's bounds
+// (O(1) rounds, O((nd)^eps) local, near-linear total).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpte::mpc {
+
+/// Costs of a single round.
+struct RoundRecord {
+  /// Optional algorithm-supplied label ("fjlt/apply-D", "sort/route", ...).
+  std::string label;
+  /// Largest number of bytes any single machine sent this round.
+  std::size_t max_sent_bytes = 0;
+  /// Largest number of bytes any single machine received this round.
+  std::size_t max_recv_bytes = 0;
+  /// Sum of all message bytes exchanged this round (communication volume).
+  std::size_t total_message_bytes = 0;
+  /// Largest per-machine residency (store + inbox) at the end of the round.
+  std::size_t max_resident_bytes = 0;
+  /// Sum of residencies over machines at the end of the round (total space).
+  std::size_t total_resident_bytes = 0;
+};
+
+/// Aggregate statistics over an execution.
+class RoundStats {
+ public:
+  void record(RoundRecord record);
+
+  /// Number of rounds executed so far.
+  std::size_t rounds() const { return records_.size(); }
+
+  const std::vector<RoundRecord>& records() const { return records_; }
+
+  /// Peak per-machine residency over all rounds — the empirical "local
+  /// memory" of the run.
+  std::size_t peak_local_bytes() const { return peak_local_bytes_; }
+
+  /// Peak sum of residencies — the empirical "total space" of the run.
+  std::size_t peak_total_bytes() const { return peak_total_bytes_; }
+
+  /// Peak per-machine bytes sent or received in one round.
+  std::size_t peak_round_io_bytes() const { return peak_round_io_bytes_; }
+
+  /// Human-readable multi-line summary for examples and benches.
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  std::vector<RoundRecord> records_;
+  std::size_t peak_local_bytes_ = 0;
+  std::size_t peak_total_bytes_ = 0;
+  std::size_t peak_round_io_bytes_ = 0;
+};
+
+}  // namespace mpte::mpc

@@ -1,0 +1,102 @@
+#include "mpc/sort.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mpte::mpc {
+
+void sample_sort_kv(Cluster& cluster, const std::string& in_key,
+                    const std::string& out_key, const SortOptions& options) {
+  const std::size_t m = cluster.num_machines();
+  const std::string splitters_key = out_key + "/__splitters";
+
+  // Round 1: every machine sends a random sample of its records to rank 0.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::vector<KV> sample;
+        if (ctx.store().contains(in_key)) {
+          const auto records = ctx.store().get_vector<KV>(in_key);
+          Rng rng = Rng(options.seed).split(ctx.id());
+          if (records.size() <= options.samples_per_machine) {
+            sample = records;
+          } else {
+            sample.reserve(options.samples_per_machine);
+            for (std::size_t i = 0; i < options.samples_per_machine; ++i) {
+              sample.push_back(records[rng.uniform_u64(records.size())]);
+            }
+          }
+        }
+        Serializer s;
+        s.write_vector(sample);
+        ctx.send(0, std::move(s));
+      },
+      "sort/sample");
+
+  // Round 2: rank 0 selects M-1 splitters at even quantiles.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        if (ctx.id() != 0) return;
+        std::vector<KV> samples;
+        for (const Message& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          auto part = d.read_vector<KV>();
+          samples.insert(samples.end(), part.begin(), part.end());
+        }
+        std::sort(samples.begin(), samples.end(), kv_less);
+        std::vector<KV> splitters;
+        if (!samples.empty()) {
+          for (std::size_t i = 1; i < m; ++i) {
+            splitters.push_back(samples[i * samples.size() / m]);
+          }
+        }
+        ctx.store().set_vector(splitters_key, splitters);
+      },
+      "sort/select-splitters");
+
+  broadcast_blob(cluster, 0, splitters_key, options.broadcast_fanout);
+
+  // Route every record to its splitter bucket.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto splitters = ctx.store().get_vector<KV>(splitters_key);
+        ctx.store().erase(splitters_key);
+        std::vector<std::vector<KV>> buckets(m);
+        if (ctx.store().contains(in_key)) {
+          for (const KV& kv : ctx.store().get_vector<KV>(in_key)) {
+            // Bucket = number of splitters strictly less than kv.
+            const auto it = std::upper_bound(splitters.begin(),
+                                             splitters.end(), kv, kv_less);
+            const auto bucket =
+                static_cast<std::size_t>(it - splitters.begin());
+            buckets[bucket].push_back(kv);
+          }
+          ctx.store().erase(in_key);
+        }
+        for (MachineId dst = 0; dst < m; ++dst) {
+          if (buckets[dst].empty()) continue;
+          Serializer s;
+          s.write_vector(buckets[dst]);
+          ctx.send(dst, std::move(s));
+        }
+      },
+      "sort/route");
+
+  // Collect and sort locally: blocks are now ordered across ranks.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::vector<KV> arrived;
+        for (const Message& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          while (!d.exhausted()) {
+            auto part = d.read_vector<KV>();
+            arrived.insert(arrived.end(), part.begin(), part.end());
+          }
+        }
+        std::sort(arrived.begin(), arrived.end(), kv_less);
+        ctx.store().set_vector(out_key, arrived);
+      },
+      "sort/local-sort");
+}
+
+}  // namespace mpte::mpc

@@ -1,0 +1,36 @@
+// Constant-round distributed sample sort.
+//
+// Sorting is *the* workhorse primitive of MPC (Goodrich et al. showed most
+// MapReduce algorithms reduce to it). This is the classic O(1)-round sample
+// sort: every machine contributes a random sample, one machine selects M-1
+// splitter keys at even quantiles, splitters are broadcast via the fan-out
+// tree, records are routed to their splitter bucket, and each machine sorts
+// locally. Afterwards the records under `out_key` are globally sorted by
+// kv_less across machine ranks.
+#pragma once
+
+#include <string>
+
+#include "mpc/primitives.hpp"
+
+namespace mpte::mpc {
+
+/// Tuning knobs for sample sort.
+struct SortOptions {
+  /// Random samples each machine contributes (more samples → better load
+  /// balance; the classic analysis wants Theta(log M) per splitter).
+  std::size_t samples_per_machine = 64;
+  /// Fan-out of the splitter broadcast tree.
+  std::size_t broadcast_fanout = 4;
+  /// Seed for sampling.
+  std::uint64_t seed = 0x5a17b0a7u;
+};
+
+/// Sorts the KV records distributed under `in_key` (consumed) and leaves
+/// them globally sorted under `out_key`: machine i's block precedes machine
+/// i+1's, and each block is locally sorted.
+void sample_sort_kv(Cluster& cluster, const std::string& in_key,
+                    const std::string& out_key,
+                    const SortOptions& options = {});
+
+}  // namespace mpte::mpc

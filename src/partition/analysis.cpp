@@ -1,0 +1,51 @@
+#include "partition/analysis.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace mpte {
+
+std::vector<LevelStats> analyze_hierarchy(const Hierarchy& hierarchy) {
+  std::vector<LevelStats> stats;
+  stats.reserve(hierarchy.levels());
+  const double n = static_cast<double>(hierarchy.num_points());
+  for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
+    std::unordered_map<std::uint64_t, std::size_t> sizes;
+    for (const std::uint64_t id : hierarchy.cluster_of_point[level]) {
+      ++sizes[id];
+    }
+    LevelStats s;
+    s.level = level;
+    s.scale = hierarchy.scales[level];
+    s.clusters = sizes.size();
+    for (const auto& [id, count] : sizes) {
+      s.largest = std::max(s.largest, count);
+      if (count == 1) ++s.singletons;
+      const double p = static_cast<double>(count) / n;
+      s.entropy -= p * std::log(p);
+    }
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+std::size_t full_shatter_level(const Hierarchy& hierarchy) {
+  const auto stats = analyze_hierarchy(hierarchy);
+  for (const LevelStats& s : stats) {
+    if (s.largest <= 1) return s.level;
+  }
+  return hierarchy.levels();
+}
+
+std::string hierarchy_report(const Hierarchy& hierarchy) {
+  std::ostringstream out;
+  out << "level    scale      clusters  largest  singletons  entropy\n";
+  for (const LevelStats& s : analyze_hierarchy(hierarchy)) {
+    out << ' ' << s.level << '\t' << s.scale << '\t' << s.clusters << '\t'
+        << s.largest << '\t' << s.singletons << '\t' << s.entropy << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mpte

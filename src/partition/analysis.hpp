@@ -1,0 +1,41 @@
+// Diagnostics over hierarchical partitionings.
+//
+// Per-level statistics — cluster counts, size distribution, singleton
+// fraction — are how one *sees* a hierarchy: where mass separates, how
+// balanced the refinement is, how quickly the recursion bottoms out.
+// Used by tests (structure sanity), benches (reporting), and the CLI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/hybrid_partition.hpp"
+
+namespace mpte {
+
+/// Statistics of one hierarchy level.
+struct LevelStats {
+  std::size_t level = 0;
+  double scale = 0.0;
+  /// Number of distinct clusters.
+  std::size_t clusters = 0;
+  /// Largest cluster size.
+  std::size_t largest = 0;
+  /// Clusters of size 1.
+  std::size_t singletons = 0;
+  /// Shannon entropy (nats) of the cluster-size distribution — 0 when one
+  /// cluster holds everything, log(n) at full shatter.
+  double entropy = 0.0;
+};
+
+/// Per-level statistics, index 0 = root level.
+std::vector<LevelStats> analyze_hierarchy(const Hierarchy& hierarchy);
+
+/// The first level at which every cluster is a singleton (== levels() if
+/// duplicates never separate).
+std::size_t full_shatter_level(const Hierarchy& hierarchy);
+
+/// Multi-line human-readable table of analyze_hierarchy.
+std::string hierarchy_report(const Hierarchy& hierarchy);
+
+}  // namespace mpte

@@ -1,0 +1,79 @@
+#include "partition/ball_partition.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace mpte {
+
+BallGrids::BallGrids(std::size_t dim, double radius, std::size_t num_grids,
+                     std::uint64_t seed)
+    : dim_(dim), radius_(radius), num_grids_(num_grids), seed_(seed) {
+  if (dim == 0) throw MpteError("BallGrids: dim must be >= 1");
+  if (radius <= 0.0) throw MpteError("BallGrids: radius must be positive");
+  if (num_grids == 0) throw MpteError("BallGrids: need at least one grid");
+}
+
+double BallGrids::shift(std::size_t grid, std::size_t t) const {
+  // 53 mixed bits of hash(seed, grid, t) scaled into [0, cell_width).
+  const std::uint64_t h =
+      hash_combine(hash_combine(mix64(seed_ ^ 0x5ba1ull), grid), t);
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit * cell_width();
+}
+
+std::uint64_t BallGrids::assign_counted(std::span<const double> p,
+                                        std::size_t* grids_scanned) const {
+  if (p.size() != dim_) {
+    throw MpteError("BallGrids::assign: dimension mismatch");
+  }
+  const double cell = cell_width();
+  const double radius_sq = radius_ * radius_;
+  for (std::size_t u = 0; u < num_grids_; ++u) {
+    // Nearest lattice ball center of grid u: per dimension, the closest
+    // point of cell * Z + shift.
+    double dist_sq = 0.0;
+    std::uint64_t id = mix64(seed_ ^ (0xba11ull + u));
+    bool inside = true;
+    for (std::size_t t = 0; t < dim_; ++t) {
+      const double s = shift(u, t);
+      const double z = std::round((p[t] - s) / cell);
+      const double center = z * cell + s;
+      const double diff = p[t] - center;
+      dist_sq += diff * diff;
+      if (dist_sq > radius_sq) {
+        inside = false;
+        break;
+      }
+      id = hash_combine(
+          id, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(z)));
+    }
+    if (inside) {
+      if (grids_scanned != nullptr) *grids_scanned += u + 1;
+      return id == kUncovered ? mix64(id) : id;
+    }
+  }
+  if (grids_scanned != nullptr) *grids_scanned += num_grids_;
+  return kUncovered;
+}
+
+std::uint64_t BallGrids::assign(std::span<const double> p) const {
+  return assign_counted(p, nullptr);
+}
+
+BallPartitionResult ball_partition(const PointSet& points,
+                                   const BallGrids& grids) {
+  BallPartitionResult result;
+  result.ball_of_point.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t id =
+        grids.assign_counted(points[i], &result.total_grids_scanned);
+    if (id == kUncovered) ++result.uncovered;
+    result.ball_of_point.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace mpte

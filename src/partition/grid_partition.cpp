@@ -1,0 +1,48 @@
+#include "partition/grid_partition.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace mpte {
+
+ShiftedGrid::ShiftedGrid(std::size_t dim, double cell_width,
+                         std::uint64_t seed)
+    : dim_(dim), cell_width_(cell_width), seed_(seed) {
+  if (dim == 0) throw MpteError("ShiftedGrid: dim must be >= 1");
+  if (cell_width <= 0.0) {
+    throw MpteError("ShiftedGrid: cell width must be positive");
+  }
+}
+
+double ShiftedGrid::shift(std::size_t t) const {
+  const std::uint64_t h = hash_combine(mix64(seed_ ^ 0x961dull), t);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * cell_width_;
+}
+
+std::uint64_t ShiftedGrid::cell_id(std::span<const double> p) const {
+  if (p.size() != dim_) {
+    throw MpteError("ShiftedGrid::cell_id: dimension mismatch");
+  }
+  std::uint64_t id = mix64(seed_ ^ 0xce11ull);
+  for (std::size_t t = 0; t < dim_; ++t) {
+    const double z = std::floor((p[t] - shift(t)) / cell_width_);
+    id = hash_combine(
+        id, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(z)));
+  }
+  return id;
+}
+
+std::vector<std::uint64_t> grid_partition(const PointSet& points,
+                                          const ShiftedGrid& grid) {
+  std::vector<std::uint64_t> cells;
+  cells.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    cells.push_back(grid.cell_id(points[i]));
+  }
+  return cells;
+}
+
+}  // namespace mpte

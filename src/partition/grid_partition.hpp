@@ -1,0 +1,42 @@
+// Random shifted grid partitioning (Arora [9]; Definition 1 of the paper).
+//
+// One level partitions space into axis-aligned cells of width w, the whole
+// grid translated by a uniform shift in [0,w)^d. It is the r = d extreme of
+// hybrid partitioning (with touching balls) and the O(log^2 n)-distortion
+// baseline hybrid partitioning beats.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point_set.hpp"
+
+namespace mpte {
+
+/// One randomly shifted grid at a fixed scale; shifts are counter-based
+/// functions of the seed, exactly like BallGrids.
+class ShiftedGrid {
+ public:
+  ShiftedGrid(std::size_t dim, double cell_width, std::uint64_t seed);
+
+  std::size_t dim() const { return dim_; }
+  double cell_width() const { return cell_width_; }
+
+  /// Shift component t, uniform in [0, cell_width).
+  double shift(std::size_t t) const;
+
+  /// Hash id of the cell containing p.
+  std::uint64_t cell_id(std::span<const double> p) const;
+
+ private:
+  std::size_t dim_;
+  double cell_width_;
+  std::uint64_t seed_;
+};
+
+/// Assigns every point its cell id under one shifted grid.
+std::vector<std::uint64_t> grid_partition(const PointSet& points,
+                                          const ShiftedGrid& grid);
+
+}  // namespace mpte

@@ -1,0 +1,187 @@
+#include "partition/hybrid_partition.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "partition/ball_partition.hpp"
+#include "partition/coverage.hpp"
+#include "partition/grid_partition.hpp"
+
+namespace mpte {
+namespace {
+
+/// Number of levels so the diameter bound `diameter_factor * w` drops
+/// below 1 (the minimum distance of integer inputs): smallest L with
+/// diameter_factor * w_max / 2^L < 1.
+std::size_t ladder_levels(double w_max, double diameter_factor) {
+  const double target = diameter_factor * w_max;
+  if (target < 1.0) return 1;
+  return static_cast<std::size_t>(std::floor(std::log2(target))) + 1;
+}
+
+}  // namespace
+
+ScaleLadder hybrid_scale_ladder(std::size_t dim, std::uint32_t num_buckets,
+                                std::uint64_t delta) {
+  ScaleLadder ladder;
+  const double sqrt_r = std::sqrt(static_cast<double>(num_buckets));
+  ladder.w_max =
+      static_cast<double>(delta) * std::sqrt(static_cast<double>(dim));
+  ladder.levels = ladder_levels(ladder.w_max, 2.0 * sqrt_r);
+  ladder.scales.push_back(ladder.w_max);
+  ladder.edge_weight.push_back(0.0);
+  for (std::size_t level = 1; level <= ladder.levels; ++level) {
+    const double w = ladder.w_max / std::exp2(static_cast<double>(level));
+    ladder.scales.push_back(w);
+    ladder.edge_weight.push_back(2.0 * sqrt_r * w);
+  }
+  return ladder;
+}
+
+std::uint64_t hybrid_grid_seed(std::uint64_t seed, std::size_t level,
+                               std::uint32_t bucket) {
+  return hash_combine(hash_combine(mix64(seed ^ 0x9b1d5ull), level), bucket);
+}
+
+std::uint64_t hybrid_root_id(std::uint64_t seed) {
+  return mix64(seed ^ 0x700a0ull);
+}
+
+Result<Hierarchy> build_hybrid_hierarchy(const PointSet& points,
+                                         const HybridOptions& options) {
+  if (points.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "build_hybrid_hierarchy: empty point set");
+  }
+  if (options.delta < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "build_hybrid_hierarchy: delta must be >= 1");
+  }
+  const std::size_t d = points.dim();
+  const std::uint32_t r = options.num_buckets;
+  if (r < 1 || r > d) {
+    return Status(StatusCode::kInvalidArgument,
+                  "build_hybrid_hierarchy: need 1 <= num_buckets <= dim");
+  }
+
+  // Zero-pad so r divides the dimension (footnote 3).
+  const std::size_t bucket_dim = ceil_div(d, r);
+  const std::size_t d_eff = bucket_dim * r;
+  const PointSet padded = d_eff == d ? points : points.pad_dims(d_eff);
+
+  // Scale ladder: w_1 = w_max / 2 with w_max = delta * sqrt(d) (an upper
+  // bound on the data diameter, so the root's diameter bound covers it).
+  const ScaleLadder ladder = hybrid_scale_ladder(d, r, options.delta);
+  const std::size_t levels = ladder.levels;
+
+  const std::size_t n = points.size();
+  const std::size_t num_grids =
+      options.num_grids > 0
+          ? options.num_grids
+          : recommended_num_grids(bucket_dim, n, r, levels,
+                                  options.fail_prob);
+
+  // Project each bucket once.
+  std::vector<PointSet> buckets;
+  buckets.reserve(r);
+  for (std::uint32_t j = 0; j < r; ++j) {
+    buckets.push_back(
+        padded.project(j * bucket_dim, (j + 1) * bucket_dim));
+  }
+
+  Hierarchy h;
+  h.num_buckets = r;
+  h.num_grids = num_grids;
+  h.scales = ladder.scales;
+  h.edge_weight = ladder.edge_weight;
+  h.cluster_of_point.emplace_back(n, hybrid_root_id(options.seed));
+
+  // Chains continue below singleton clusters; the tree builder prunes them
+  // (so the MPC path, where no machine knows global cluster sizes, computes
+  // the identical structure).
+  std::vector<std::uint64_t> bucket_ids(n);
+  for (std::size_t level = 1; level <= levels; ++level) {
+    const double w = ladder.scales[level];
+    std::vector<std::uint64_t> next = h.cluster_of_point.back();
+
+    for (std::uint32_t j = 0; j < r; ++j) {
+      const BallGrids grids(bucket_dim, w, num_grids,
+                            hybrid_grid_seed(options.seed, level, j));
+      h.explicit_grid_bytes += grids.explicit_storage_bytes();
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t ball = grids.assign(buckets[j][i]);
+        if (ball == kUncovered) {
+          if (options.uncovered == UncoveredPolicy::kFail) {
+            return Status(
+                StatusCode::kCoverageFailure,
+                "ball partitioning left point " + std::to_string(i) +
+                    " uncovered at level " + std::to_string(level) +
+                    " bucket " + std::to_string(j) + " (U=" +
+                    std::to_string(num_grids) + ")");
+          }
+          ++h.uncovered_events;
+          ball = hash_combine(hash_combine(mix64(0xdeadull), i),
+                              hash_combine(level, j));
+        }
+        bucket_ids[i] = ball;
+      }
+      // Fold this bucket's ball ids into the cluster chain.
+      for (std::size_t i = 0; i < n; ++i) {
+        next[i] = hash_combine(next[i], bucket_ids[i]);
+      }
+    }
+
+    h.cluster_of_point.push_back(std::move(next));
+  }
+
+  return h;
+}
+
+Result<Hierarchy> build_grid_hierarchy(const PointSet& points,
+                                       std::uint64_t delta,
+                                       std::uint64_t seed) {
+  if (points.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "build_grid_hierarchy: empty point set");
+  }
+  if (delta < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "build_grid_hierarchy: delta must be >= 1");
+  }
+  const std::size_t d = points.dim();
+  const std::size_t n = points.size();
+  const double sqrt_d = std::sqrt(static_cast<double>(d));
+  // w_1 = delta: one level-1 cell can contain the whole box.
+  const double w_max = 2.0 * static_cast<double>(delta);
+  const std::size_t levels = ladder_levels(w_max, sqrt_d);
+
+  Hierarchy h;
+  h.num_buckets = static_cast<std::uint32_t>(d);
+  h.scales.push_back(w_max);
+  h.edge_weight.push_back(0.0);
+  h.cluster_of_point.emplace_back(n, mix64(seed ^ 0x700a0ull));
+
+  for (std::size_t level = 1; level <= levels; ++level) {
+    const double w = w_max / std::exp2(static_cast<double>(level));
+    std::vector<std::uint64_t> next = h.cluster_of_point.back();
+    const ShiftedGrid grid(d, w,
+                           hash_combine(mix64(seed ^ 0x96d1ull), level));
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = hash_combine(next[i], grid.cell_id(points[i]));
+    }
+    h.scales.push_back(w);
+    h.edge_weight.push_back(sqrt_d * w);
+    h.cluster_of_point.push_back(std::move(next));
+  }
+
+  return h;
+}
+
+Result<Hierarchy> build_ball_hierarchy(const PointSet& points,
+                                       HybridOptions options) {
+  options.num_buckets = 1;
+  return build_hybrid_hierarchy(points, options);
+}
+
+}  // namespace mpte

@@ -1,0 +1,54 @@
+#include "partition/sphere_caps.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+std::vector<double> sample_unit_sphere(Rng& rng, std::size_t dim) {
+  if (dim == 0) throw MpteError("sample_unit_sphere: dim must be >= 1");
+  std::vector<double> v(dim);
+  double norm_sq = 0.0;
+  do {
+    norm_sq = 0.0;
+    for (double& x : v) {
+      x = rng.normal();
+      norm_sq += x * x;
+    }
+  } while (norm_sq == 0.0);
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+std::vector<double> sample_unit_ball(Rng& rng, std::size_t dim) {
+  std::vector<double> v = sample_unit_sphere(rng, dim);
+  // Radius ~ U^{1/d} makes the volume element uniform.
+  const double radius =
+      std::pow(rng.uniform(), 1.0 / static_cast<double>(dim));
+  for (double& x : v) x *= radius;
+  return v;
+}
+
+double equator_band_probability(std::size_t dim, double band,
+                                std::size_t samples, std::uint64_t seed,
+                                bool on_sphere) {
+  if (samples == 0) {
+    throw MpteError("equator_band_probability: need samples > 0");
+  }
+  Rng rng(seed);
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::vector<double> x =
+        on_sphere ? sample_unit_sphere(rng, dim) : sample_unit_ball(rng, dim);
+    if (std::abs(x[0]) <= band) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double lemma4_bound(std::size_t dim, double band) {
+  return std::sqrt(static_cast<double>(dim)) * band;
+}
+
+}  // namespace mpte

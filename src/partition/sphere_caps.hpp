@@ -1,0 +1,37 @@
+// Sphere/ball sampling and the equator-band probabilities of Lemmas 4–5.
+//
+// The separation-probability analysis (Lemma 3 → Lemma 1) reduces to: for
+// a uniformly random direction u in R^d, Pr[|u_1| <= t] = O(sqrt(d) * t).
+// Lemma 4 states it for the unit sphere, Lemma 5 for the unit ball. These
+// helpers sample both distributions exactly (Gaussian normalization /
+// radius reweighting) and estimate the band probability empirically, so
+// tests and the E2 bench can check the paper's O(sqrt(d) * D / w) shape at
+// its geometric root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mpte {
+
+/// Uniform random point on the unit sphere S^{d-1} (normalized Gaussian).
+std::vector<double> sample_unit_sphere(Rng& rng, std::size_t dim);
+
+/// Uniform random point in the closed unit ball B^d (sphere direction
+/// scaled by U^{1/d}).
+std::vector<double> sample_unit_ball(Rng& rng, std::size_t dim);
+
+/// Monte Carlo estimate of Pr[|x_1| <= band] for x uniform on the sphere
+/// (on_sphere = true) or in the ball (false).
+double equator_band_probability(std::size_t dim, double band,
+                                std::size_t samples, std::uint64_t seed,
+                                bool on_sphere);
+
+/// The Lemma 4/5 upper-bound expression sqrt(d) * band (implied constant
+/// 1; the empirical probability divided by this should be bounded by a
+/// small constant uniformly over d and band).
+double lemma4_bound(std::size_t dim, double band);
+
+}  // namespace mpte

@@ -1,0 +1,53 @@
+#include "transform/dense_jl.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace mpte {
+
+DenseJl::DenseJl(std::size_t input_dim, std::size_t output_dim,
+                 std::uint64_t seed)
+    : input_dim_(input_dim),
+      output_dim_(output_dim),
+      matrix_(input_dim * output_dim) {
+  if (input_dim == 0 || output_dim == 0) {
+    throw MpteError("DenseJl: dimensions must be positive");
+  }
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(output_dim));
+  for (double& entry : matrix_) entry = rng.normal() * scale;
+}
+
+std::vector<double> DenseJl::apply(std::span<const double> p) const {
+  assert(p.size() == input_dim_);
+  std::vector<double> out(output_dim_, 0.0);
+  for (std::size_t row = 0; row < output_dim_; ++row) {
+    const double* m = matrix_.data() + row * input_dim_;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < input_dim_; ++j) sum += m[j] * p[j];
+    out[row] = sum;
+  }
+  return out;
+}
+
+PointSet DenseJl::transform(const PointSet& points) const {
+  PointSet out(points.size(), output_dim_);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto mapped = apply(points[i]);
+    auto dst = out[i];
+    for (std::size_t j = 0; j < output_dim_; ++j) dst[j] = mapped[j];
+  }
+  return out;
+}
+
+std::size_t DenseJl::recommended_dim(std::size_t n, double xi) {
+  assert(xi > 0.0);
+  const double k = 8.0 * std::log(std::max<double>(2.0, static_cast<double>(n))) /
+                   (xi * xi);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+}  // namespace mpte

@@ -1,0 +1,101 @@
+#include "transform/fjlt.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "transform/walsh_hadamard.hpp"
+
+namespace mpte {
+
+FjltConfig FjltConfig::make(std::size_t n, std::size_t input_dim, double xi,
+                            std::uint64_t seed) {
+  if (n < 2) throw MpteError("FjltConfig: need n >= 2");
+  if (xi <= 0.0 || xi >= 0.5) {
+    throw MpteError("FjltConfig: xi must be in (0, 0.5)");
+  }
+  if (input_dim == 0) throw MpteError("FjltConfig: input_dim must be > 0");
+
+  FjltConfig config;
+  config.input_dim = input_dim;
+  config.padded_dim = next_power_of_two(input_dim);
+  const double log_n = std::log(static_cast<double>(n));
+  config.output_dim = static_cast<std::size_t>(
+      std::ceil(2.0 * log_n / (xi * xi)));
+  config.q = std::min(
+      1.0, 2.0 * log_n * log_n / static_cast<double>(config.padded_dim));
+  config.seed = seed;
+  return config;
+}
+
+double fjlt_d_sign(std::uint64_t seed, std::size_t j) {
+  // One mixed bit of a per-(seed, j) hash decides the sign.
+  const std::uint64_t h = hash_combine(mix64(seed ^ 0xd1a60ull), j);
+  return (h & 1) ? 1.0 : -1.0;
+}
+
+double fjlt_p_entry(std::uint64_t seed, double q, std::size_t row,
+                    std::size_t col) {
+  // Derive a dedicated stream for the entry; the first draw decides
+  // presence, the next pair feeds Box–Muller.
+  Rng rng(hash_combine(hash_combine(mix64(seed ^ 0x9eefull), row), col));
+  if (!rng.bernoulli(q)) return 0.0;
+  return rng.normal() / std::sqrt(q);
+}
+
+Fjlt::Fjlt(FjltConfig config) : config_(config) {
+  if (config_.padded_dim < config_.input_dim ||
+      !is_power_of_two(config_.padded_dim)) {
+    throw MpteError("Fjlt: padded_dim must be a power of two >= input_dim");
+  }
+  row_begin_.reserve(config_.output_dim + 1);
+  row_begin_.push_back(0);
+  for (std::size_t row = 0; row < config_.output_dim; ++row) {
+    for (std::size_t col = 0; col < config_.padded_dim; ++col) {
+      const double v = fjlt_p_entry(config_.seed, config_.q, row, col);
+      if (v != 0.0) {
+        cols_.push_back(static_cast<std::uint32_t>(col));
+        values_.push_back(v);
+      }
+    }
+    row_begin_.push_back(cols_.size());
+  }
+}
+
+std::vector<double> Fjlt::apply(std::span<const double> p) const {
+  assert(p.size() == config_.input_dim);
+  // D then H on the zero-padded copy.
+  std::vector<double> work(config_.padded_dim, 0.0);
+  for (std::size_t j = 0; j < config_.input_dim; ++j) {
+    work[j] = fjlt_d_sign(config_.seed, j) * p[j];
+  }
+  fwht_normalized(work);
+
+  // Sparse P, then the k^{-1/2} output scaling.
+  const double scale =
+      1.0 / std::sqrt(static_cast<double>(config_.output_dim));
+  std::vector<double> out(config_.output_dim, 0.0);
+  for (std::size_t row = 0; row < config_.output_dim; ++row) {
+    double sum = 0.0;
+    for (std::size_t idx = row_begin_[row]; idx < row_begin_[row + 1];
+         ++idx) {
+      sum += values_[idx] * work[cols_[idx]];
+    }
+    out[row] = sum * scale;
+  }
+  return out;
+}
+
+PointSet Fjlt::transform(const PointSet& points) const {
+  PointSet out(points.size(), config_.output_dim);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto mapped = apply(points[i]);
+    auto dst = out[i];
+    for (std::size_t j = 0; j < config_.output_dim; ++j) dst[j] = mapped[j];
+  }
+  return out;
+}
+
+}  // namespace mpte

@@ -1,0 +1,81 @@
+// The Fast Johnson–Lindenstrauss Transform of Ailon–Chazelle (Section 5).
+//
+// phi(x) = k^{-1/2} · P · H · D · x, where
+//   * D is a random ±1 diagonal (d×d),
+//   * H is the orthonormal Walsh–Hadamard matrix (d padded to a power of 2),
+//   * P is a sparse k×d matrix: each entry is 0 with probability 1-q and
+//     N(0, q^{-1}) otherwise, with q = min(Theta(log^2 n / d), 1).
+//
+// Note the paper's Section 5 writes phi = k^{-1} PHD; the k^{-1/2} scaling
+// is the one that makes E||phi(x)||^2 = ||x||^2 (P's rows have expected
+// squared norm ||x||^2 each), and our tests verify that normalization.
+//
+// All randomness is *counter-based*: entry (i, j) of P and entry j of D are
+// pure functions of (seed, i, j). That is what lets the MPC implementation
+// (transform/mpc_fjlt.*) materialize exactly the slice of P a machine
+// needs, with no communication, while remaining bit-identical to the
+// sequential transform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point_set.hpp"
+
+namespace mpte {
+
+/// Shape and randomness of one sampled FJLT.
+struct FjltConfig {
+  /// Original input dimension d.
+  std::size_t input_dim = 0;
+  /// d rounded up to a power of two (H's size); inputs are zero-padded.
+  std::size_t padded_dim = 0;
+  /// Target dimension k.
+  std::size_t output_dim = 0;
+  /// Sparsity of P: per-entry keep probability.
+  double q = 1.0;
+  /// Root seed for D and P.
+  std::uint64_t seed = 0;
+
+  /// The paper's parameterization: k = ceil(c_k·xi^-2·log n) with c_k = 2,
+  /// q = min(c_q·log^2(n)/d_padded, 1) with c_q = 2. Requires n >= 2,
+  /// xi in (0, 0.5).
+  static FjltConfig make(std::size_t n, std::size_t input_dim, double xi,
+                         std::uint64_t seed);
+};
+
+/// D_jj in {-1, +1} as a pure function of (seed, j).
+double fjlt_d_sign(std::uint64_t seed, std::size_t j);
+
+/// P_ij as a pure function of (seed, i, j): 0 with prob 1-q, else
+/// N(0, q^{-1}). Deterministic given its arguments.
+double fjlt_p_entry(std::uint64_t seed, double q, std::size_t row,
+                    std::size_t col);
+
+/// A sampled FJLT with the sparse P materialized in CSR for fast repeated
+/// application.
+class Fjlt {
+ public:
+  explicit Fjlt(FjltConfig config);
+
+  const FjltConfig& config() const { return config_; }
+
+  /// Number of nonzeros in P — the Theorem 3 space term
+  /// O(xi^-2 log^3 n) the E5 bench checks.
+  std::size_t p_nonzeros() const { return values_.size(); }
+
+  /// phi(x) for one point; p.size() must equal input_dim.
+  std::vector<double> apply(std::span<const double> p) const;
+
+  /// phi applied to every point.
+  PointSet transform(const PointSet& points) const;
+
+ private:
+  FjltConfig config_;
+  // CSR over rows of P (only nonzeros).
+  std::vector<std::size_t> row_begin_;  // size k+1
+  std::vector<std::uint32_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace mpte

@@ -1,0 +1,576 @@
+#include "transform/mpc_fjlt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "mpc/primitives.hpp"
+#include "transform/walsh_hadamard.hpp"
+
+namespace mpte {
+namespace {
+
+using mpc::Cluster;
+using mpc::KV;
+using mpc::MachineContext;
+using mpc::MachineId;
+
+/// Header preceding a transposed chunk on the wire.
+struct ChunkHeader {
+  std::uint64_t point;
+  std::uint32_t row_block;     // j: which row-block the chunk came from
+  std::uint32_t column_block;  // c: which column-block it belongs to
+};
+
+/// Header preceding a per-point partial output vector on the wire.
+struct PartialHeader {
+  std::uint64_t point;
+};
+
+/// One tensor element on the wire (general multi-stage path).
+struct ElemRecord {
+  std::uint64_t point;
+  std::uint32_t index;  // global coordinate index in [0, d_padded)
+  std::uint32_t pad = 0;
+  double value;
+};
+
+/// Local mode: every machine holds whole points and applies the sequential
+/// transform — zero communication, one (empty-message) round.
+PointSet run_local_mode(Cluster& cluster, const PointSet& points,
+                        const FjltConfig& config) {
+  const std::size_t m = cluster.num_machines();
+  const std::size_t n = points.size();
+  const std::size_t chunk = ceil_div(n, m);
+
+  for (MachineId id = 0; id < m; ++id) {
+    const std::size_t begin = std::min(n, id * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    std::vector<double> data;
+    data.reserve((end - begin) * points.dim());
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto p = points[i];
+      data.insert(data.end(), p.begin(), p.end());
+    }
+    cluster.store(id).set_vector("fjlt/in", data);
+    cluster.store(id).set_value<std::uint64_t>("fjlt/in/first", begin);
+    cluster.store(id).set_value<std::uint64_t>("fjlt/in/count", end - begin);
+  }
+
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto count =
+            ctx.store().get_value<std::uint64_t>("fjlt/in/count");
+        const auto data = ctx.store().get_vector<double>("fjlt/in");
+        ctx.store().erase("fjlt/in");
+        const Fjlt fjlt(config);
+        std::vector<double> out;
+        out.reserve(count * config.output_dim);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::span<const double> p(data.data() + i * points.dim(),
+                                          points.dim());
+          const auto mapped = fjlt.apply(p);
+          out.insert(out.end(), mapped.begin(), mapped.end());
+        }
+        ctx.store().set_vector("fjlt/out", out);
+      },
+      "fjlt/local-transform");
+
+  PointSet out(n, config.output_dim);
+  for (MachineId id = 0; id < m; ++id) {
+    const auto first = cluster.store(id).get_value<std::uint64_t>("fjlt/in/first");
+    const auto count = cluster.store(id).get_value<std::uint64_t>("fjlt/in/count");
+    const auto data = cluster.store(id).get_vector<double>("fjlt/out");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      auto dst = out[first + i];
+      for (std::size_t j = 0; j < config.output_dim; ++j) {
+        dst[j] = data[i * config.output_dim + j];
+      }
+    }
+    cluster.store(id).erase("fjlt/out");
+    cluster.store(id).erase("fjlt/in/first");
+    cluster.store(id).erase("fjlt/in/count");
+  }
+  return out;
+}
+
+/// Sharded mode: each point's padded coordinates are split into g row
+/// blocks of size b (g <= b), spread round-robin over machines.
+PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
+                          const FjltConfig& config, std::size_t block) {
+  const std::size_t m = cluster.num_machines();
+  const std::size_t n = points.size();
+  const std::size_t d_pad = config.padded_dim;
+  const std::size_t g = d_pad / block;       // row blocks per point
+  const std::size_t chunk_len = block / g;   // offsets per column block (cb)
+  const std::size_t k = config.output_dim;
+
+  const auto row_machine = [&](std::size_t point, std::size_t j) {
+    return static_cast<MachineId>((point * g + j) % m);
+  };
+  const auto col_machine = [&](std::size_t point, std::size_t c) {
+    return static_cast<MachineId>((point * g + c) % m);
+  };
+  const auto owner = [&](std::size_t point) {
+    return static_cast<MachineId>(point % m);
+  };
+
+  // Host-side scatter of padded row blocks.
+  {
+    std::vector<std::vector<KV>> idx(m);
+    std::vector<std::vector<double>> data(m);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = points[i];
+      for (std::size_t j = 0; j < g; ++j) {
+        const MachineId dst = row_machine(i, j);
+        idx[dst].push_back(KV{i, j});
+        for (std::size_t o = 0; o < block; ++o) {
+          const std::size_t coord = j * block + o;
+          data[dst].push_back(coord < points.dim() ? p[coord] : 0.0);
+        }
+      }
+    }
+    for (MachineId id = 0; id < m; ++id) {
+      cluster.store(id).set_vector("fjlt/rows/idx", idx[id]);
+      cluster.store(id).set_vector("fjlt/rows/data", data[id]);
+    }
+  }
+
+  // Round 1: apply D, local FWHT_b (unnormalized; one global scale is
+  // applied after the cross-block stage so the arithmetic matches the
+  // sequential transform), then transpose-route chunks to column blocks.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto idx = ctx.store().get_vector<KV>("fjlt/rows/idx");
+        auto data = ctx.store().get_vector<double>("fjlt/rows/data");
+        ctx.store().erase("fjlt/rows/idx");
+        ctx.store().erase("fjlt/rows/data");
+        std::vector<Serializer> out(m);
+        for (std::size_t rec = 0; rec < idx.size(); ++rec) {
+          const std::size_t point = idx[rec].key;
+          const std::size_t j = idx[rec].value;
+          const std::span<double> row(data.data() + rec * block, block);
+          for (std::size_t o = 0; o < block; ++o) {
+            row[o] *= fjlt_d_sign(config.seed, j * block + o);
+          }
+          fwht(row);
+          for (std::size_t c = 0; c < g; ++c) {
+            Serializer& s = out[col_machine(point, c)];
+            s.write(ChunkHeader{point, static_cast<std::uint32_t>(j),
+                                static_cast<std::uint32_t>(c)});
+            s.write_vector(std::vector<double>(
+                row.begin() + c * chunk_len,
+                row.begin() + (c + 1) * chunk_len));
+          }
+        }
+        for (MachineId dst = 0; dst < m; ++dst) {
+          if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+        }
+      },
+      "fjlt/D+fwht_b+transpose");
+
+  // Round 2: assemble column blocks (point, c) holding a g x chunk_len
+  // matrix in row-block-major order.
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::map<std::pair<std::uint64_t, std::uint32_t>,
+                 std::vector<double>>
+            blocks;
+        for (const auto& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          while (!d.exhausted()) {
+            const auto header = d.read<ChunkHeader>();
+            const auto chunk = d.read_vector<double>();
+            auto& blk = blocks[{header.point, header.column_block}];
+            if (blk.empty()) blk.assign(g * chunk_len, 0.0);
+            std::copy(chunk.begin(), chunk.end(),
+                      blk.begin() + header.row_block * chunk_len);
+          }
+        }
+        std::vector<KV> idx;
+        std::vector<double> data;
+        for (auto& [key, blk] : blocks) {
+          idx.push_back(KV{key.first, key.second});
+          data.insert(data.end(), blk.begin(), blk.end());
+        }
+        ctx.store().set_vector("fjlt/cols/idx", idx);
+        ctx.store().set_vector("fjlt/cols/data", data);
+      },
+      "fjlt/collect-columns");
+
+  // Round 3: cross-block FWHT_g per offset, global 1/sqrt(d) scale, then
+  // local P partial sums routed to each point's owner.
+  const double h_scale = 1.0 / std::sqrt(static_cast<double>(d_pad));
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto idx = ctx.store().get_vector<KV>("fjlt/cols/idx");
+        auto data = ctx.store().get_vector<double>("fjlt/cols/data");
+        ctx.store().erase("fjlt/cols/idx");
+        ctx.store().erase("fjlt/cols/data");
+
+        // Pre-aggregate partials per point across this machine's blocks.
+        std::map<std::uint64_t, std::vector<double>> partials;
+        std::vector<double> column(g);
+        for (std::size_t rec = 0; rec < idx.size(); ++rec) {
+          const std::uint64_t point = idx[rec].key;
+          const std::size_t c = idx[rec].value;
+          const std::span<double> blk(data.data() + rec * g * chunk_len,
+                                      g * chunk_len);
+          for (std::size_t o = 0; o < chunk_len; ++o) {
+            for (std::size_t j = 0; j < g; ++j) {
+              column[j] = blk[j * chunk_len + o];
+            }
+            fwht(column);
+            for (std::size_t j = 0; j < g; ++j) {
+              blk[j * chunk_len + o] = column[j] * h_scale;
+            }
+          }
+          auto& acc = partials[point];
+          if (acc.empty()) acc.assign(k, 0.0);
+          for (std::size_t j = 0; j < g; ++j) {
+            for (std::size_t o = 0; o < chunk_len; ++o) {
+              const std::size_t coord = j * block + c * chunk_len + o;
+              const double value = blk[j * chunk_len + o];
+              if (value == 0.0) continue;
+              for (std::size_t row = 0; row < k; ++row) {
+                const double p_entry =
+                    fjlt_p_entry(config.seed, config.q, row, coord);
+                if (p_entry != 0.0) acc[row] += p_entry * value;
+              }
+            }
+          }
+        }
+        std::vector<Serializer> out(m);
+        for (const auto& [point, acc] : partials) {
+          Serializer& s = out[owner(point)];
+          s.write(PartialHeader{point});
+          s.write_vector(acc);
+        }
+        for (MachineId dst = 0; dst < m; ++dst) {
+          if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+        }
+      },
+      "fjlt/fwht_g+P-partials");
+
+  // Round 4: owners accumulate partials and apply the k^{-1/2} scale.
+  const double out_scale = 1.0 / std::sqrt(static_cast<double>(k));
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::map<std::uint64_t, std::vector<double>> totals;
+        for (const auto& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          while (!d.exhausted()) {
+            const auto header = d.read<PartialHeader>();
+            const auto part = d.read_vector<double>();
+            auto& acc = totals[header.point];
+            if (acc.empty()) acc.assign(k, 0.0);
+            for (std::size_t row = 0; row < k; ++row) acc[row] += part[row];
+          }
+        }
+        std::vector<KV> idx;
+        std::vector<double> data;
+        for (auto& [point, acc] : totals) {
+          idx.push_back(KV{point, 0});
+          for (std::size_t row = 0; row < k; ++row) {
+            data.push_back(acc[row] * out_scale);
+          }
+        }
+        ctx.store().set_vector("fjlt/out/idx", idx);
+        ctx.store().set_vector("fjlt/out/data", data);
+      },
+      "fjlt/assemble");
+
+  // Host-side gather.
+  PointSet out(n, k);
+  for (MachineId id = 0; id < m; ++id) {
+    const auto idx = cluster.store(id).get_vector<KV>("fjlt/out/idx");
+    const auto data = cluster.store(id).get_vector<double>("fjlt/out/data");
+    for (std::size_t rec = 0; rec < idx.size(); ++rec) {
+      auto dst = out[idx[rec].key];
+      for (std::size_t row = 0; row < k; ++row) {
+        dst[row] = data[rec * k + row];
+      }
+    }
+    cluster.store(id).erase("fjlt/out/idx");
+    cluster.store(id).erase("fjlt/out/data");
+  }
+  return out;
+}
+
+/// Owner-side accumulation of P partials into the final k-dim outputs
+/// (shared by the sharded paths' last round).
+void assemble_outputs_round(Cluster& cluster, std::size_t k) {
+  const double out_scale = 1.0 / std::sqrt(static_cast<double>(k));
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        std::map<std::uint64_t, std::vector<double>> totals;
+        for (const auto& msg : ctx.inbox()) {
+          Deserializer d(msg.payload);
+          while (!d.exhausted()) {
+            const auto header = d.read<PartialHeader>();
+            const auto part = d.read_vector<double>();
+            auto& acc = totals[header.point];
+            if (acc.empty()) acc.assign(k, 0.0);
+            for (std::size_t row = 0; row < k; ++row) acc[row] += part[row];
+          }
+        }
+        std::vector<KV> idx;
+        std::vector<double> data;
+        for (auto& [point, acc] : totals) {
+          idx.push_back(KV{point, 0});
+          for (std::size_t row = 0; row < k; ++row) {
+            data.push_back(acc[row] * out_scale);
+          }
+        }
+        ctx.store().set_vector("fjlt/out/idx", idx);
+        ctx.store().set_vector("fjlt/out/data", data);
+      },
+      "fjlt/assemble");
+}
+
+/// Host-side gather of the assembled outputs.
+PointSet gather_outputs(Cluster& cluster, std::size_t n, std::size_t k) {
+  PointSet out(n, k);
+  for (MachineId id = 0; id < cluster.num_machines(); ++id) {
+    if (!cluster.store(id).contains("fjlt/out/idx")) continue;
+    const auto idx = cluster.store(id).get_vector<KV>("fjlt/out/idx");
+    const auto data = cluster.store(id).get_vector<double>("fjlt/out/data");
+    for (std::size_t rec = 0; rec < idx.size(); ++rec) {
+      auto dst = out[idx[rec].key];
+      for (std::size_t row = 0; row < k; ++row) {
+        dst[row] = data[rec * k + row];
+      }
+    }
+    cluster.store(id).erase("fjlt/out/idx");
+    cluster.store(id).erase("fjlt/out/data");
+  }
+  return out;
+}
+
+/// General multi-stage mode: H_d = ⊗_t H_{f_t} over bit-chunks of width
+/// <= log2(block). Stage t co-locates, per point, the f_t elements of
+/// every axis-t fiber (group = index with the chunk's bits removed),
+/// applies the chunk's butterflies locally, and re-routes for stage t+1.
+/// Works for any d_padded <= block^m — the eps < 1/2 regime.
+PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
+                             const FjltConfig& config, std::size_t block,
+                             std::size_t* levels_out) {
+  const std::size_t m_machines = cluster.num_machines();
+  const std::size_t n = points.size();
+  const std::size_t d_pad = config.padded_dim;
+  const std::size_t k = config.output_dim;
+  const auto total_bits = static_cast<std::size_t>(floor_log2(d_pad));
+  const auto chunk_bits = static_cast<std::size_t>(floor_log2(block));
+  const std::size_t stages = std::max<std::size_t>(
+      1, ceil_div(total_bits, chunk_bits));
+  if (levels_out != nullptr) *levels_out = stages;
+
+  // Bit ranges per stage.
+  const auto stage_offset = [&](std::size_t t) { return t * chunk_bits; };
+  const auto stage_bits = [&](std::size_t t) {
+    return std::min(chunk_bits, total_bits - stage_offset(t));
+  };
+  // Group id: the index with stage t's bits removed, plus the point.
+  const auto group_of = [&](std::size_t t, std::uint64_t point,
+                            std::uint32_t e) {
+    const std::size_t offset = stage_offset(t);
+    const std::uint32_t low = e & ((1u << offset) - 1u);
+    const std::uint32_t high =
+        static_cast<std::uint32_t>(e >> (offset + stage_bits(t)));
+    const std::uint32_t group =
+        (high << offset) | low;
+    return hash_combine(mix64(point ^ 0x9e0417ull), group);
+  };
+  const auto machine_of = [&](std::size_t t, std::uint64_t point,
+                              std::uint32_t e) {
+    return static_cast<MachineId>(group_of(t, point, e) % m_machines);
+  };
+  const auto owner = [&](std::uint64_t point) {
+    return static_cast<MachineId>(point % m_machines);
+  };
+
+  // Host scatter: every padded element routed to its stage-0 machine.
+  {
+    std::vector<std::vector<ElemRecord>> init(m_machines);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = points[i];
+      for (std::uint32_t e = 0; e < d_pad; ++e) {
+        const double value = e < points.dim() ? p[e] : 0.0;
+        init[machine_of(0, i, e)].push_back(ElemRecord{i, e, 0, value});
+      }
+    }
+    for (MachineId id = 0; id < m_machines; ++id) {
+      cluster.store(id).set_vector("fjlt/elems", init[id]);
+    }
+  }
+
+  const double h_scale = 1.0 / std::sqrt(static_cast<double>(d_pad));
+  for (std::size_t t = 0; t < stages; ++t) {
+    cluster.run_round(
+        [&, t](MachineContext& ctx) {
+          // Collect this stage's records (store for stage 0, inbox after).
+          std::vector<ElemRecord> records;
+          if (t == 0) {
+            records = ctx.store().get_vector<ElemRecord>("fjlt/elems");
+            ctx.store().erase("fjlt/elems");
+            for (ElemRecord& rec : records) {
+              rec.value *= fjlt_d_sign(config.seed, rec.index);
+            }
+          } else {
+            for (const auto& msg : ctx.inbox()) {
+              Deserializer d(msg.payload);
+              while (!d.exhausted()) {
+                auto part = d.read_vector<ElemRecord>();
+                records.insert(records.end(), part.begin(), part.end());
+              }
+            }
+          }
+
+          // Group into axis-t fibers and butterfly each.
+          const std::size_t offset = stage_offset(t);
+          const std::size_t bits = stage_bits(t);
+          const std::size_t fiber = 1u << bits;
+          std::map<std::pair<std::uint64_t, std::uint64_t>,
+                   std::vector<ElemRecord>>
+              fibers;
+          for (const ElemRecord& rec : records) {
+            fibers[std::make_pair(rec.point,
+                                  group_of(t, rec.point, rec.index))]
+                .push_back(rec);
+          }
+          std::vector<double> buffer(fiber);
+          const bool last = t + 1 == stages;
+          std::vector<Serializer> out(m_machines);
+          std::map<std::uint64_t, std::vector<double>> partials;
+          for (auto& [key, recs] : fibers) {
+            buffer.assign(fiber, 0.0);
+            for (const ElemRecord& rec : recs) {
+              buffer[(rec.index >> offset) & (fiber - 1)] = rec.value;
+            }
+            fwht(buffer);
+            // Reconstruct indices: all fiber digits exist even if the
+            // arriving records were sparse (they never are — every digit
+            // was scattered — but zero padding keeps this exact anyway).
+            const std::uint32_t base_index =
+                recs.front().index & ~static_cast<std::uint32_t>(
+                                         (fiber - 1) << offset);
+            for (std::size_t digit = 0; digit < fiber; ++digit) {
+              const std::uint32_t e = base_index | static_cast<std::uint32_t>(
+                                                       digit << offset);
+              const double value = buffer[digit];
+              if (last) {
+                if (value == 0.0) continue;
+                auto& acc = partials[key.first];
+                if (acc.empty()) acc.assign(k, 0.0);
+                const double scaled = value * h_scale;
+                for (std::size_t row = 0; row < k; ++row) {
+                  const double p_entry =
+                      fjlt_p_entry(config.seed, config.q, row, e);
+                  if (p_entry != 0.0) acc[row] += p_entry * scaled;
+                }
+              } else {
+                // Route for the next stage. Batched per destination below.
+                out[machine_of(t + 1, key.first, e)].write(
+                    ElemRecord{key.first, e, 0, value});
+              }
+            }
+          }
+          if (last) {
+            for (const auto& [point, acc] : partials) {
+              Serializer& s = out[owner(point)];
+              s.write(PartialHeader{point});
+              s.write_vector(acc);
+            }
+            for (MachineId dst = 0; dst < m_machines; ++dst) {
+              if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+            }
+          } else {
+            // Length-prefix framing: rewrap each destination's raw records
+            // as one vector so receivers can read_vector them.
+            for (MachineId dst = 0; dst < m_machines; ++dst) {
+              if (out[dst].size() == 0) continue;
+              const auto& raw = out[dst].bytes();
+              std::vector<ElemRecord> batch(raw.size() /
+                                            sizeof(ElemRecord));
+              std::memcpy(batch.data(), raw.data(), raw.size());
+              Serializer framed;
+              framed.write_vector(batch);
+              ctx.send(dst, std::move(framed));
+            }
+          }
+        },
+        "fjlt/kron-stage-" + std::to_string(t));
+  }
+
+  assemble_outputs_round(cluster, k);
+  return gather_outputs(cluster, n, k);
+}
+
+}  // namespace
+
+PointSet mpc_fjlt(mpc::Cluster& cluster, const PointSet& points,
+                  const FjltConfig& config, MpcFjltReport* report) {
+  if (points.dim() != config.input_dim) {
+    throw MpteError("mpc_fjlt: point dimension does not match config");
+  }
+  const std::size_t rounds_before = cluster.stats().rounds();
+  const std::size_t budget = cluster.config().local_memory_bytes;
+  const std::size_t m = cluster.num_machines();
+  const std::size_t d_pad = config.padded_dim;
+
+  // Whole-point mode if a machine's chunk of padded points, outputs, and an
+  // estimated CSR of P all fit comfortably in half the budget.
+  const std::size_t chunk_points = ceil_div(points.size(), m);
+  const double nnz_estimate =
+      2.0 * config.q * static_cast<double>(config.output_dim) *
+          static_cast<double>(d_pad) +
+      64.0;
+  const std::size_t local_mode_bytes =
+      chunk_points * 8 * (d_pad + config.output_dim) +
+      static_cast<std::size_t>(16.0 * nnz_estimate);
+
+  PointSet out;
+  bool sharded = false;
+  std::size_t block = 0;
+  std::size_t levels = 0;
+  if (local_mode_bytes * 2 <= budget || d_pad < 4) {
+    out = run_local_mode(cluster, points, config);
+  } else {
+    // Largest power-of-two fiber a machine can hold with headroom.
+    std::size_t block_cap = 1;
+    while (8 * (block_cap * 2) * 4 <= budget) block_cap *= 2;
+    if (block_cap < 2) {
+      throw mpc::MpcViolation(
+          "mpc_fjlt: local memory cannot hold even a 2-element fiber; "
+          "increase local memory");
+    }
+    sharded = true;
+    if (block_cap * block_cap >= d_pad) {
+      // One transpose suffices: pick the balanced block ~ sqrt(d_pad).
+      block = std::min(d_pad,
+                       next_power_of_two(static_cast<std::size_t>(std::ceil(
+                           std::sqrt(static_cast<double>(d_pad))))));
+      levels = 2;
+      out = run_sharded_mode(cluster, points, config, block);
+    } else {
+      // General m-stage pipeline for the eps < 1/2 regime.
+      block = block_cap;
+      out = run_multilevel_mode(cluster, points, config, block, &levels);
+    }
+  }
+
+  if (report != nullptr) {
+    report->rounds = cluster.stats().rounds() - rounds_before;
+    report->sharded = sharded;
+    report->block_size = block;
+    report->kronecker_levels = levels;
+  }
+  return out;
+}
+
+}  // namespace mpte

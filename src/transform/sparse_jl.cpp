@@ -1,0 +1,67 @@
+#include "transform/sparse_jl.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace mpte {
+
+int sparse_jl_sign(std::uint64_t seed, std::size_t row, std::size_t col) {
+  const std::uint64_t h =
+      hash_combine(hash_combine(mix64(seed ^ 0xac1170ull), row), col);
+  // Six equal slices of the hash range: one gives +1, one gives -1.
+  const std::uint64_t slice = h % 6;
+  if (slice == 0) return 1;
+  if (slice == 1) return -1;
+  return 0;
+}
+
+SparseJl::SparseJl(std::size_t input_dim, std::size_t output_dim,
+                   std::uint64_t seed)
+    : input_dim_(input_dim), output_dim_(output_dim), seed_(seed) {
+  if (input_dim == 0 || output_dim == 0) {
+    throw MpteError("SparseJl: dimensions must be positive");
+  }
+  row_begin_.reserve(output_dim + 1);
+  row_begin_.push_back(0);
+  for (std::size_t row = 0; row < output_dim; ++row) {
+    for (std::size_t col = 0; col < input_dim; ++col) {
+      const int sign = sparse_jl_sign(seed, row, col);
+      if (sign != 0) {
+        cols_.push_back(static_cast<std::uint32_t>(col));
+        signs_.push_back(static_cast<std::int8_t>(sign));
+      }
+    }
+    row_begin_.push_back(cols_.size());
+  }
+}
+
+std::vector<double> SparseJl::apply(std::span<const double> p) const {
+  assert(p.size() == input_dim_);
+  const double scale =
+      std::sqrt(3.0 / static_cast<double>(output_dim_));
+  std::vector<double> out(output_dim_, 0.0);
+  for (std::size_t row = 0; row < output_dim_; ++row) {
+    double sum = 0.0;
+    for (std::size_t idx = row_begin_[row]; idx < row_begin_[row + 1];
+         ++idx) {
+      sum += static_cast<double>(signs_[idx]) * p[cols_[idx]];
+    }
+    out[row] = sum * scale;
+  }
+  return out;
+}
+
+PointSet SparseJl::transform(const PointSet& points) const {
+  PointSet out(points.size(), output_dim_);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto mapped = apply(points[i]);
+    auto dst = out[i];
+    for (std::size_t j = 0; j < output_dim_; ++j) dst[j] = mapped[j];
+  }
+  return out;
+}
+
+}  // namespace mpte

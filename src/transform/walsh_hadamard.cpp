@@ -1,0 +1,49 @@
+#include "transform/walsh_hadamard.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/status.hpp"
+
+namespace mpte {
+
+void fwht(std::span<double> data) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw MpteError("fwht: length must be a power of two");
+  }
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    for (std::size_t base = 0; base < n; base += half << 1) {
+      for (std::size_t i = base; i < base + half; ++i) {
+        const double a = data[i];
+        const double b = data[i + half];
+        data[i] = a + b;
+        data[i + half] = a - b;
+      }
+    }
+  }
+}
+
+void fwht_normalized(std::span<double> data) {
+  fwht(data);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(data.size()));
+  for (double& x : data) x *= scale;
+}
+
+double hadamard_entry(std::size_t dim, std::size_t i, std::size_t j) {
+  if (!is_power_of_two(dim)) {
+    throw MpteError("hadamard_entry: dim must be a power of two");
+  }
+  const int parity = std::popcount(i & j) & 1;
+  const double sign = parity ? -1.0 : 1.0;
+  return sign / std::sqrt(static_cast<double>(dim));
+}
+
+PointSet fwht_points(const PointSet& points) {
+  PointSet out = points;
+  for (std::size_t i = 0; i < out.size(); ++i) fwht_normalized(out[i]);
+  return out;
+}
+
+}  // namespace mpte

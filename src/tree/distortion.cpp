@@ -1,0 +1,98 @@
+#include "tree/distortion.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace mpte {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> sample_pairs(
+    std::size_t n, std::size_t max_pairs, std::uint64_t seed) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  if (n < 2) return pairs;
+  const std::size_t all = n * (n - 1) / 2;
+  if (all <= max_pairs) {
+    pairs.reserve(all);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+    }
+    return pairs;
+  }
+  Rng rng(seed);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  while (seen.size() < max_pairs) {
+    auto i = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    auto j = static_cast<std::uint32_t>(rng.uniform_u64(n));
+    if (i == j) continue;
+    if (i > j) std::swap(i, j);
+    seen.emplace(i, j);
+  }
+  pairs.assign(seen.begin(), seen.end());
+  return pairs;
+}
+
+DistortionStats measure_distortion(const Hst& tree, const PointSet& points,
+                                   std::size_t max_pairs,
+                                   std::uint64_t seed) {
+  if (tree.num_points() != points.size()) {
+    throw MpteError("measure_distortion: tree/point count mismatch");
+  }
+  const auto pairs = sample_pairs(points.size(), max_pairs, seed);
+  DistortionStats stats;
+  stats.min_ratio = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const auto& [i, j] : pairs) {
+    const double true_dist = l2_distance(points[i], points[j]);
+    if (true_dist == 0.0) continue;
+    const double ratio = tree.distance(i, j) / true_dist;
+    stats.min_ratio = std::min(stats.min_ratio, ratio);
+    stats.max_ratio = std::max(stats.max_ratio, ratio);
+    sum += ratio;
+    ++stats.pairs;
+  }
+  if (stats.pairs == 0) {
+    stats.min_ratio = 0.0;
+  } else {
+    stats.mean_ratio = sum / static_cast<double>(stats.pairs);
+  }
+  return stats;
+}
+
+ExpectedDistortionStats measure_expected_distortion(
+    std::span<const Hst> trees, const PointSet& points,
+    std::size_t max_pairs, std::uint64_t seed) {
+  if (trees.empty()) {
+    throw MpteError("measure_expected_distortion: no trees");
+  }
+  const auto pairs = sample_pairs(points.size(), max_pairs, seed);
+  ExpectedDistortionStats stats;
+  stats.trees = trees.size();
+  stats.min_single_ratio = std::numeric_limits<double>::infinity();
+  double sum_expected = 0.0;
+  for (const auto& [i, j] : pairs) {
+    const double true_dist = l2_distance(points[i], points[j]);
+    if (true_dist == 0.0) continue;
+    double sum_tree = 0.0;
+    for (const Hst& tree : trees) {
+      const double ratio = tree.distance(i, j) / true_dist;
+      stats.min_single_ratio = std::min(stats.min_single_ratio, ratio);
+      sum_tree += ratio;
+    }
+    const double expected = sum_tree / static_cast<double>(trees.size());
+    stats.max_expected_ratio = std::max(stats.max_expected_ratio, expected);
+    sum_expected += expected;
+    ++stats.pairs;
+  }
+  if (stats.pairs == 0) {
+    stats.min_single_ratio = 0.0;
+  } else {
+    stats.mean_expected_ratio =
+        sum_expected / static_cast<double>(stats.pairs);
+  }
+  return stats;
+}
+
+}  // namespace mpte

@@ -1,0 +1,58 @@
+// Distortion measurement — the quantity Theorems 1 and 2 bound.
+//
+// For a single tree T, the per-pair ratio dist_T(p,q)/||p-q||_2 must be
+// >= 1 (domination, Lemma 2) and its maximum is the realized distortion of
+// T. The theorems bound the *expected* distortion: max over pairs of
+// E_T[dist_T(p,q)]/||p-q||_2 with the expectation over the random tree, so
+// the expected-distortion helper averages tree distances over an ensemble
+// of independently built trees before taking the per-pair ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/point_set.hpp"
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// Pair sample shared by the measurement helpers: all pairs if
+/// n(n-1)/2 <= max_pairs, otherwise max_pairs distinct random pairs.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> sample_pairs(
+    std::size_t n, std::size_t max_pairs, std::uint64_t seed);
+
+/// Per-tree distortion statistics over a pair sample.
+struct DistortionStats {
+  /// min over pairs of dist_T/dist_2 — domination holds iff >= 1.
+  double min_ratio = 0.0;
+  double mean_ratio = 0.0;
+  /// max over pairs of dist_T/dist_2 — the realized distortion.
+  double max_ratio = 0.0;
+  std::size_t pairs = 0;
+};
+
+/// Measures one tree against the points it embeds (same coordinate space
+/// the tree was built on). Pairs at Euclidean distance 0 are skipped.
+DistortionStats measure_distortion(const Hst& tree, const PointSet& points,
+                                   std::size_t max_pairs,
+                                   std::uint64_t seed);
+
+/// Ensemble (expected-distortion) statistics.
+struct ExpectedDistortionStats {
+  /// max over pairs of avg_T dist_T/dist_2 — the empirical Theorem-2 bound.
+  double max_expected_ratio = 0.0;
+  /// mean over pairs of the same quantity.
+  double mean_expected_ratio = 0.0;
+  /// min single-tree ratio observed anywhere (domination check).
+  double min_single_ratio = 0.0;
+  std::size_t pairs = 0;
+  std::size_t trees = 0;
+};
+
+/// Measures an ensemble of trees (independent seeds, same points).
+ExpectedDistortionStats measure_expected_distortion(
+    std::span<const Hst> trees, const PointSet& points,
+    std::size_t max_pairs, std::uint64_t seed);
+
+}  // namespace mpte

@@ -1,0 +1,141 @@
+#include "tree/embedding_builder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mpte {
+
+Hst assemble_pruned(const RawTree& raw) {
+  const std::size_t raw_count = raw.nodes.size();
+  const std::size_t n = raw.bottom_of_point.size();
+  if (raw_count == 0 || n == 0) {
+    throw MpteError("assemble_pruned: empty raw tree");
+  }
+
+  // Point counts per raw node, bottom-up (children have larger indices).
+  std::vector<std::uint32_t> count(raw_count, 0);
+  for (const std::uint32_t bottom : raw.bottom_of_point) ++count[bottom];
+  for (std::size_t i = raw_count; i-- > 1;) {
+    count[static_cast<std::size_t>(raw.nodes[i].parent)] += count[i];
+  }
+
+  // Freeze node per point: topmost ancestor that contains only this point
+  // (or the bottom node itself when duplicates never separate).
+  std::vector<std::uint32_t> freeze(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    std::size_t cur = raw.bottom_of_point[p];
+    while (raw.nodes[cur].parent >= 0 &&
+           count[static_cast<std::size_t>(raw.nodes[cur].parent)] == 1) {
+      cur = static_cast<std::size_t>(raw.nodes[cur].parent);
+    }
+    freeze[p] = static_cast<std::uint32_t>(cur);
+  }
+
+  // Keep freeze nodes and all their ancestors.
+  std::vector<bool> keep(raw_count, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    std::size_t cur = freeze[p];
+    while (!keep[cur]) {
+      keep[cur] = true;
+      if (raw.nodes[cur].parent < 0) break;
+      cur = static_cast<std::size_t>(raw.nodes[cur].parent);
+    }
+  }
+
+  // Reindex kept nodes (original order is already topological).
+  std::vector<std::uint32_t> new_index(raw_count, 0);
+  std::vector<HstNode> nodes;
+  for (std::size_t i = 0; i < raw_count; ++i) {
+    if (!keep[i]) continue;
+    HstNode node;
+    node.cluster_id = raw.nodes[i].key;
+    node.level = raw.nodes[i].level;
+    if (raw.nodes[i].parent >= 0) {
+      node.parent = static_cast<std::int32_t>(
+          new_index[static_cast<std::size_t>(raw.nodes[i].parent)]);
+      node.edge_weight = raw.edge_weight[node.level];
+    }
+    new_index[i] = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back(node);
+  }
+
+  // Leaves, one per point, weight 0, under the pruned freeze node.
+  std::vector<std::uint32_t> leaf_of_point(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint32_t parent = new_index[freeze[p]];
+    HstNode leaf;
+    leaf.cluster_id = nodes[parent].cluster_id;
+    leaf.parent = static_cast<std::int32_t>(parent);
+    leaf.level = nodes[parent].level + 1;
+    leaf.edge_weight = 0.0;
+    leaf.point = static_cast<std::int64_t>(p);
+    leaf_of_point[p] = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back(leaf);
+  }
+
+  // Subtree sizes bottom-up.
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    if (nodes[i].point >= 0) nodes[i].subtree_size += 1;
+    if (nodes[i].parent >= 0) {
+      nodes[static_cast<std::size_t>(nodes[i].parent)].subtree_size +=
+          nodes[i].subtree_size;
+    }
+  }
+
+  return Hst(std::move(nodes), std::move(leaf_of_point));
+}
+
+Hst build_hst(const Hierarchy& hierarchy) {
+  if (hierarchy.cluster_of_point.empty() || hierarchy.num_points() == 0) {
+    throw MpteError("build_hst: empty hierarchy");
+  }
+  const std::size_t n = hierarchy.num_points();
+  const std::size_t levels = hierarchy.levels();
+
+  RawTree raw;
+  raw.edge_weight = hierarchy.edge_weight;
+  std::unordered_map<std::uint64_t, std::uint32_t> node_of_cluster;
+
+  raw.nodes.push_back(
+      RawTree::RawNode{hierarchy.cluster_of_point[0][0], -1, 0});
+  node_of_cluster.emplace(hierarchy.cluster_of_point[0][0], 0);
+
+  for (std::size_t level = 1; level < levels; ++level) {
+    const auto& prev = hierarchy.cluster_of_point[level - 1];
+    const auto& curr = hierarchy.cluster_of_point[level];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (node_of_cluster.contains(curr[i])) continue;
+      const auto index = static_cast<std::uint32_t>(raw.nodes.size());
+      raw.nodes.push_back(RawTree::RawNode{
+          curr[i], static_cast<std::int32_t>(node_of_cluster.at(prev[i])),
+          static_cast<std::uint32_t>(level)});
+      node_of_cluster.emplace(curr[i], index);
+    }
+  }
+
+  raw.bottom_of_point.resize(n);
+  const auto& final_ids = hierarchy.cluster_of_point[levels - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    raw.bottom_of_point[i] = node_of_cluster.at(final_ids[i]);
+  }
+
+  return assemble_pruned(raw);
+}
+
+HstShape hst_shape(const Hst& tree) {
+  HstShape shape;
+  shape.nodes = tree.num_nodes();
+  shape.depth = tree.depth();
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    if (tree.node(i).point >= 0) {
+      ++shape.leaves;
+    } else {
+      ++shape.internal_nodes;
+    }
+    shape.max_branching =
+        std::max(shape.max_branching, tree.children(i).size());
+  }
+  return shape;
+}
+
+}  // namespace mpte

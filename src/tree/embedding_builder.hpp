@@ -1,0 +1,56 @@
+// Builds the HST from a hierarchical partitioning (the tree-construction
+// half of Algorithms 1 and 2).
+//
+// Both the sequential and the MPC paths first produce the *full* cluster
+// tree — one node per (level, cluster id), chains continuing below
+// singleton clusters — and then run the same pruning pass: each point's
+// leaf attaches at its topmost singleton ancestor and the chain below is
+// dropped (Algorithm 1's "stop once |C(v)| <= 1"). Sharing the assembly
+// guarantees the two paths produce identical trees for the same seed,
+// which the integration tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/hybrid_partition.hpp"
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// The unpruned cluster tree, in topological (level-major) node order.
+struct RawTree {
+  struct RawNode {
+    /// Cluster id (diagnostic; carried into HstNode::cluster_id).
+    std::uint64_t key = 0;
+    /// Parent index, -1 for the root.
+    std::int32_t parent = -1;
+    std::uint32_t level = 0;
+  };
+  std::vector<RawNode> nodes;
+  /// Per point: index of its deepest-level cluster node.
+  std::vector<std::uint32_t> bottom_of_point;
+  /// Weight of an edge entering a node on each level (index 0 unused).
+  std::vector<double> edge_weight;
+};
+
+/// Prunes singleton chains and produces the final HST: every point's leaf
+/// hangs (weight 0) under its topmost ancestor containing only that point;
+/// nodes below are dropped.
+Hst assemble_pruned(const RawTree& raw);
+
+/// Constructs the HST for a Hierarchy (sequential path).
+Hst build_hst(const Hierarchy& hierarchy);
+
+/// Summary shape statistics for reporting.
+struct HstShape {
+  std::size_t nodes = 0;
+  std::size_t internal_nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t depth = 0;
+  std::size_t max_branching = 0;
+};
+
+HstShape hst_shape(const Hst& tree);
+
+}  // namespace mpte

@@ -1,0 +1,37 @@
+// HST (de)serialization.
+//
+// One of the motivations the paper gives for tree embeddings is that the
+// O(n)-size tree is a *compact, storable* sketch of the metric: embed
+// once, persist, answer distance/cluster queries later without the
+// original O(nd) data. These helpers give the byte format (versioned,
+// length-prefixed, using the common Serializer wire encoding) and
+// file-level convenience wrappers.
+#pragma once
+
+#include <string>
+
+#include "common/serialize.hpp"
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// Serializes the full tree (nodes + leaf index) into `out`.
+void serialize_hst(const Hst& tree, Serializer& out);
+
+/// Convenience: serialized bytes of the tree.
+std::vector<std::uint8_t> hst_to_bytes(const Hst& tree);
+
+/// Reconstructs a tree; throws MpteError on malformed or
+/// version-incompatible input.
+Hst deserialize_hst(Deserializer& in);
+
+/// Convenience over a byte buffer.
+Hst hst_from_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// Writes the tree to a file; throws MpteError on I/O failure.
+void save_hst(const Hst& tree, const std::string& path);
+
+/// Reads a tree written by save_hst.
+Hst load_hst(const std::string& path);
+
+}  // namespace mpte

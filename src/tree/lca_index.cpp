@@ -1,0 +1,60 @@
+#include "tree/lca_index.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace mpte {
+
+LcaIndex::LcaIndex(const Hst& tree) : tree_(tree) {
+  const std::size_t n = tree.num_nodes();
+  depth_.assign(n, 0);
+  weight_depth_.assign(n, 0.0);
+  std::uint32_t max_depth = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<std::size_t>(tree.node(i).parent);
+    depth_[i] = depth_[parent] + 1;
+    weight_depth_[i] = weight_depth_[parent] + tree.node(i).edge_weight;
+    max_depth = std::max(max_depth, depth_[i]);
+  }
+  levels_ = std::max<std::size_t>(1, ceil_log2(max_depth + 1) + 1);
+
+  up_.assign(levels_, std::vector<std::uint32_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    up_[0][i] = tree.node(i).parent >= 0
+                    ? static_cast<std::uint32_t>(tree.node(i).parent)
+                    : 0;
+  }
+  for (std::size_t k = 1; k < levels_; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      up_[k][i] = up_[k - 1][up_[k - 1][i]];
+    }
+  }
+}
+
+std::size_t LcaIndex::lca(std::size_t p, std::size_t q) const {
+  std::size_t a = tree_.leaf(p);
+  std::size_t b = tree_.leaf(q);
+  if (depth_[a] < depth_[b]) std::swap(a, b);
+  // Lift a to b's depth.
+  std::uint32_t delta = depth_[a] - depth_[b];
+  for (std::size_t k = 0; delta != 0; ++k, delta >>= 1) {
+    if (delta & 1) a = up_[k][a];
+  }
+  if (a == b) return a;
+  for (std::size_t k = levels_; k-- > 0;) {
+    if (up_[k][a] != up_[k][b]) {
+      a = up_[k][a];
+      b = up_[k][b];
+    }
+  }
+  return up_[0][a];
+}
+
+double LcaIndex::distance(std::size_t p, std::size_t q) const {
+  const std::size_t ancestor = lca(p, q);
+  return weight_depth_[tree_.leaf(p)] + weight_depth_[tree_.leaf(q)] -
+         2.0 * weight_depth_[ancestor];
+}
+
+}  // namespace mpte

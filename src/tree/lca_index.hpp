@@ -1,0 +1,50 @@
+// Precomputed LCA / distance index over an HST.
+//
+// Hst::distance walks parent pointers — O(depth) per query, fine for
+// one-shot use. Applications issuing many queries (nearest-neighbor
+// batches, distance matrices, clustering loops) want the classic binary-
+// lifting index: O(nodes·log depth) preprocessing, then O(log depth) LCA
+// and O(1)-after-LCA distances via prefix weight-depths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/hst.hpp"
+
+namespace mpte {
+
+/// Binary-lifting ancestor table + weight depths for one (immutable) HST.
+/// The index borrows the tree: it must outlive the index.
+class LcaIndex {
+ public:
+  explicit LcaIndex(const Hst& tree);
+
+  /// Deepest common ancestor node of two leaves' points. O(log depth).
+  std::size_t lca(std::size_t p, std::size_t q) const;
+
+  /// Tree-metric distance between two points. O(log depth).
+  double distance(std::size_t p, std::size_t q) const;
+
+  /// Sum of edge weights from the root down to node i (cached).
+  double weight_depth(std::size_t node) const {
+    return weight_depth_[node];
+  }
+
+  /// Edge-count depth of node i.
+  std::uint32_t depth(std::size_t node) const { return depth_[node]; }
+
+ private:
+  /// 2^k-th ancestor of node i, or root for overshoots.
+  std::size_t ancestor(std::size_t node, std::size_t k) const {
+    return up_[k][node];
+  }
+
+  const Hst& tree_;
+  std::size_t levels_;  // ceil(log2(max depth + 1)), >= 1
+  std::vector<std::vector<std::uint32_t>> up_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<double> weight_depth_;
+};
+
+}  // namespace mpte

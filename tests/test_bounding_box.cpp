@@ -1,0 +1,67 @@
+#include "geometry/bounding_box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(BoundingBox, OfComputesTightBounds) {
+  PointSet points(3, 2, {0, 5, 2, -1, 1, 3});
+  const BoundingBox box = BoundingBox::of(points);
+  EXPECT_EQ(box.lo(), (std::vector<double>{0, -1}));
+  EXPECT_EQ(box.hi(), (std::vector<double>{2, 5}));
+  EXPECT_EQ(box.width(), 6.0);
+  EXPECT_NEAR(box.diagonal(), std::sqrt(4.0 + 36.0), 1e-12);
+}
+
+TEST(BoundingBox, EmptySetThrows) {
+  EXPECT_THROW(BoundingBox::of(PointSet{}), MpteError);
+}
+
+TEST(BoundingBox, MismatchedLoHiThrows) {
+  EXPECT_THROW(BoundingBox({0.0}, {1.0, 2.0}), MpteError);
+  EXPECT_THROW(BoundingBox({2.0}, {1.0}), MpteError);
+}
+
+TEST(BoundingBox, ContainsIsInclusive) {
+  const BoundingBox box({0.0, 0.0}, {1.0, 1.0});
+  const double inside[] = {0.5, 0.5};
+  const double corner[] = {1.0, 0.0};
+  const double outside[] = {1.0, 1.5};
+  EXPECT_TRUE(box.contains(inside));
+  EXPECT_TRUE(box.contains(corner));
+  EXPECT_FALSE(box.contains(outside));
+}
+
+TEST(BoundingBox, ExpandedGrowsBothSides) {
+  const BoundingBox box({0.0}, {1.0});
+  const BoundingBox bigger = box.expanded(0.5);
+  EXPECT_EQ(bigger.lo()[0], -0.5);
+  EXPECT_EQ(bigger.hi()[0], 1.5);
+  EXPECT_EQ(bigger.width(), 2.0);
+}
+
+TEST(BoundingBox, ContainsAllGeneratedPoints) {
+  const PointSet points = generate_uniform_cube(200, 5, 10.0, 42);
+  const BoundingBox box = BoundingBox::of(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(box.contains(points[i]));
+  }
+  EXPECT_LE(box.width(), 10.0);
+}
+
+TEST(BoundingBox, DegeneratePointBox) {
+  PointSet points(1, 3, {1.0, 2.0, 3.0});
+  const BoundingBox box = BoundingBox::of(points);
+  EXPECT_EQ(box.width(), 0.0);
+  EXPECT_EQ(box.diagonal(), 0.0);
+  EXPECT_TRUE(box.contains(points[0]));
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,94 @@
+#include "transform/dense_jl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(DenseJl, ShapeAndDeterminism) {
+  const DenseJl jl(100, 20, 7);
+  EXPECT_EQ(jl.input_dim(), 100u);
+  EXPECT_EQ(jl.output_dim(), 20u);
+  const PointSet points = generate_uniform_cube(5, 100, 1.0, 1);
+  const PointSet a = jl.transform(points);
+  const PointSet b = DenseJl(100, 20, 7).transform(points);
+  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_EQ(a.dim(), 20u);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(DenseJl, ZeroDimensionsThrow) {
+  EXPECT_THROW(DenseJl(0, 5, 1), MpteError);
+  EXPECT_THROW(DenseJl(5, 0, 1), MpteError);
+}
+
+TEST(DenseJl, NormPreservedInExpectation) {
+  // Average ||phi(x)||^2 / ||x||^2 over many seeds concentrates at 1.
+  const PointSet points = generate_uniform_cube(1, 64, 1.0, 3);
+  const double norm_sq = l2_distance_squared(
+      points[0], std::vector<double>(64, 0.0));
+  double sum_ratio = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const DenseJl jl(64, 16, 1000 + t);
+    const auto mapped = jl.apply(points[0]);
+    double mapped_sq = 0.0;
+    for (const double x : mapped) mapped_sq += x * x;
+    sum_ratio += mapped_sq / norm_sq;
+  }
+  EXPECT_NEAR(sum_ratio / trials, 1.0, 0.06);
+}
+
+TEST(DenseJl, PairwiseDistancesWithinXi) {
+  const std::size_t n = 30;
+  const double xi = 0.5;  // generous; k = recommended for this xi
+  const PointSet points = generate_gaussian_clusters(n, 80, 3, 10.0, 1.0, 5);
+  const std::size_t k = DenseJl::recommended_dim(n, xi);
+  const DenseJl jl(80, k, 11);
+  const PointSet mapped = jl.transform(points);
+  std::size_t violations = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double orig = l2_distance(points[i], points[j]);
+      const double now = l2_distance(mapped[i], mapped[j]);
+      ++pairs;
+      if (now < (1 - xi) * orig || now > (1 + xi) * orig) ++violations;
+    }
+  }
+  // The JL guarantee is w.h.p. for all pairs; allow a tiny slack.
+  EXPECT_LE(violations, pairs / 50);
+}
+
+TEST(DenseJl, RecommendedDimGrowsLogarithmically) {
+  const std::size_t k1 = DenseJl::recommended_dim(1000, 0.25);
+  const std::size_t k2 = DenseJl::recommended_dim(1000000, 0.25);
+  EXPECT_GT(k2, k1);
+  EXPECT_LT(k2, 3 * k1);  // log growth, not polynomial
+  EXPECT_GT(DenseJl::recommended_dim(1000, 0.1),
+            DenseJl::recommended_dim(1000, 0.5));
+}
+
+TEST(DenseJl, LinearMap) {
+  const DenseJl jl(10, 4, 13);
+  std::vector<double> x(10, 0.0), y(10, 0.0);
+  x[3] = 2.0;
+  y[7] = -1.0;
+  std::vector<double> sum(10, 0.0);
+  sum[3] = 2.0;
+  sum[7] = -1.0;
+  const auto fx = jl.apply(x);
+  const auto fy = jl.apply(y);
+  const auto fsum = jl.apply(sum);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fsum[i], fx[i] + fy[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,118 @@
+#include "apps/densest_ball.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(DensestBallExact, FindsDenseCluster) {
+  // 40 points in a tight blob at origin, 10 scattered far away.
+  PointSet points = generate_gaussian_clusters(40, 3, 1, 0.0, 0.5, 1);
+  const PointSet noise = generate_uniform_cube(10, 3, 500.0, 2);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    auto p = noise[i];
+    std::vector<double> shifted(p.begin(), p.end());
+    for (double& c : shifted) c += 100.0;  // keep clear of the blob
+    points.push_back(shifted);
+  }
+  const auto result = densest_ball_exact(points, 5.0);
+  EXPECT_GE(result.count, 40u);
+  EXPECT_LT(result.center, 40u);  // a blob point
+}
+
+TEST(DensestBallExact, RadiusZeroCountsDuplicates) {
+  PointSet points(4, 2, {1, 1, 1, 1, 5, 5, 9, 9});
+  const auto result = densest_ball_exact(points, 0.0);
+  EXPECT_EQ(result.count, 2u);  // the duplicate pair
+}
+
+TEST(DensestBallExact, WholeSetWhenRadiusHuge) {
+  const PointSet points = generate_uniform_cube(30, 2, 10.0, 3);
+  const auto result = densest_ball_exact(points, 1e6);
+  EXPECT_EQ(result.count, 30u);
+}
+
+TEST(DensestBallTree, ValidatesDiameter) {
+  const PointSet points = generate_uniform_cube(20, 3, 10.0, 5);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_THROW((void)densest_ball_tree(embedding->tree, -1.0), MpteError);
+}
+
+TEST(DensestBallTree, DiameterBoundIsHonest) {
+  // Every point pair inside the chosen cluster is within the reported
+  // diameter in Euclidean distance (domination makes the tree bound real).
+  const PointSet points = generate_gaussian_clusters(100, 3, 5, 100.0, 1.0, 7);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 9;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+  const double target = 20.0 / embedding->scale_to_input;  // quantized units
+  const auto result = densest_ball_tree(embedding->tree, target);
+  ASSERT_GT(result.count, 0u);
+  EXPECT_LE(result.diameter, target);
+
+  // Collect the leaves below the chosen node.
+  std::vector<std::size_t> members;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::size_t cur = embedding->tree.leaf(p);
+    bool below = false;
+    while (true) {
+      if (cur == result.center) {
+        below = true;
+        break;
+      }
+      const auto parent = embedding->tree.node(cur).parent;
+      if (parent < 0) break;
+      cur = static_cast<std::size_t>(parent);
+    }
+    if (below) members.push_back(p);
+  }
+  EXPECT_EQ(members.size(), result.count);
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      EXPECT_LE(l2_distance(embedding->embedded_points[members[a]],
+                            embedding->embedded_points[members[b]]),
+                result.diameter + 1e-9);
+    }
+  }
+}
+
+TEST(DensestBallTree, BicriteriaQualityOnBlobs) {
+  // Two dense blobs of 50; with target diameter a few blob widths the tree
+  // answer must capture a large fraction of a blob (Corollary 1.1's
+  // (1 - o(1), O(log^1.5 n)) regime, measured loosely).
+  const PointSet points = generate_two_blobs(100, 3, 500.0, 1.0, 11);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 13;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+
+  const auto exact = densest_ball_exact(points, 5.0);  // radius 5
+  // Allow the tree the distortion-expanded diameter.
+  const double expanded = 10.0 * 16.0 / embedding->scale_to_input;
+  const auto tree = densest_ball_tree(embedding->tree, expanded);
+  EXPECT_GE(tree.count + 10, exact.count / 2);
+}
+
+TEST(DensestBallTree, SingletonWhenDiameterTiny) {
+  const PointSet points = generate_uniform_cube(30, 3, 10.0, 15);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+  const auto result = densest_ball_tree(embedding->tree, 0.0);
+  EXPECT_EQ(result.count, 1u);  // leaves have zero diameter
+  EXPECT_EQ(result.diameter, 0.0);
+}
+
+}  // namespace
+}  // namespace mpte

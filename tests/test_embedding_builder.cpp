@@ -1,0 +1,126 @@
+#include "tree/embedding_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/generators.hpp"
+#include "geometry/quantize.hpp"
+
+namespace mpte {
+namespace {
+
+Hierarchy tiny_hierarchy() {
+  // 4 points; level 1 splits {0,1} | {2,3}; level 2 splits {0}|{1} and
+  // keeps {2,3} together; level 3 chains below singletons and splits
+  // {2}|{3}.
+  Hierarchy h;
+  h.cluster_of_point = {
+      {1, 1, 1, 1},          // root
+      {10, 10, 20, 20},      // level 1
+      {11, 12, 21, 21},      // level 2
+      {13, 14, 22, 23},      // level 3 (chains 11->13, 12->14)
+  };
+  h.scales = {8, 4, 2, 1};
+  h.edge_weight = {0, 8, 4, 2};
+  h.num_buckets = 1;
+  return h;
+}
+
+TEST(BuildHst, PrunesSingletonChains) {
+  const Hst tree = build_hst(tiny_hierarchy());
+  EXPECT_TRUE(tree.validate().ok());
+  EXPECT_EQ(tree.num_points(), 4u);
+  // Nodes: root, 10, 20, 11, 12, 21(stays: size 2), 22, 23 + 4 leaves.
+  // Chains 11->13 and 12->14 are pruned (13, 14 dropped).
+  EXPECT_EQ(tree.num_nodes(), 8u + 4u);
+  // Point 0's leaf hangs under node 11 at level 2 (weight 0 edge).
+  const auto leaf0 = tree.leaf(0);
+  EXPECT_EQ(tree.node(leaf0).edge_weight, 0.0);
+  EXPECT_EQ(tree.node(tree.node(leaf0).parent).level, 2u);
+}
+
+TEST(BuildHst, DistancesFollowSeparationLevel) {
+  const Hst tree = build_hst(tiny_hierarchy());
+  // 0 and 1 separate at level 2: each pays w[2]=4 up to their level-1
+  // cluster. Distance = 4 + 4.
+  EXPECT_EQ(tree.distance(0, 1), 8.0);
+  // 2 and 3 separate at level 3: 2 + 2.
+  EXPECT_EQ(tree.distance(2, 3), 4.0);
+  // 0 and 2 separate at level 1: 0's side 4+8, 2's side 2+4+8.
+  EXPECT_EQ(tree.distance(0, 2), (4.0 + 8.0) + (2.0 + 4.0 + 8.0));
+}
+
+TEST(BuildHst, DuplicatePointsShareBottomCluster) {
+  Hierarchy h;
+  h.cluster_of_point = {
+      {1, 1, 1},
+      {10, 20, 20},
+      {11, 21, 21},  // points 1,2 identical: never separate
+  };
+  h.scales = {4, 2, 1};
+  h.edge_weight = {0, 4, 2};
+  const Hst tree = build_hst(h);
+  EXPECT_TRUE(tree.validate().ok());
+  EXPECT_EQ(tree.distance(1, 2), 0.0);  // both weight-0 leaves, same parent
+  EXPECT_GT(tree.distance(0, 1), 0.0);
+}
+
+TEST(BuildHst, EmptyHierarchyThrows) {
+  EXPECT_THROW(build_hst(Hierarchy{}), MpteError);
+}
+
+TEST(BuildHst, RootOnlyHierarchy) {
+  Hierarchy h;
+  h.cluster_of_point = {{1, 1}};
+  h.scales = {2};
+  h.edge_weight = {0};
+  const Hst tree = build_hst(h);
+  EXPECT_TRUE(tree.validate().ok());
+  EXPECT_EQ(tree.distance(0, 1), 0.0);
+}
+
+TEST(AssemblePruned, LeafAttachesAtTopmostSingletonAncestor) {
+  // Chain: root -> a -> b -> c where a already isolates point 1.
+  RawTree raw;
+  raw.edge_weight = {0, 8, 4, 2};
+  raw.nodes.push_back({1, -1, 0});   // root: points 0,1
+  raw.nodes.push_back({10, 0, 1});   // a: point 0
+  raw.nodes.push_back({20, 0, 1});   // a': point 1
+  raw.nodes.push_back({11, 1, 2});   // chain below a
+  raw.nodes.push_back({21, 2, 2});   // chain below a'
+  raw.bottom_of_point = {3, 4};
+  const Hst tree = assemble_pruned(raw);
+  EXPECT_TRUE(tree.validate().ok());
+  // Chains pruned: root + 2 singleton nodes + 2 leaves.
+  EXPECT_EQ(tree.num_nodes(), 5u);
+  EXPECT_EQ(tree.distance(0, 1), 8.0 + 8.0);
+}
+
+TEST(HstShape, CountsMatch) {
+  const Hst tree = build_hst(tiny_hierarchy());
+  const HstShape shape = hst_shape(tree);
+  EXPECT_EQ(shape.nodes, tree.num_nodes());
+  EXPECT_EQ(shape.leaves, 4u);
+  EXPECT_EQ(shape.internal_nodes, shape.nodes - 4u);
+  EXPECT_GE(shape.max_branching, 2u);
+  EXPECT_EQ(shape.depth, tree.depth());
+}
+
+TEST(BuildHst, LargeRandomHierarchyValidates) {
+  const PointSet raw = generate_uniform_cube(200, 4, 50.0, 7);
+  const Quantized q = quantize_to_grid(raw, 256);
+  HybridOptions options;
+  options.delta = 256;
+  options.num_buckets = 2;
+  options.seed = 11;
+  const auto hierarchy = build_hybrid_hierarchy(q.points, options);
+  ASSERT_TRUE(hierarchy.ok());
+  const Hst tree = build_hst(*hierarchy);
+  EXPECT_TRUE(tree.validate().ok());
+  EXPECT_EQ(tree.num_points(), 200u);
+  EXPECT_EQ(tree.node(tree.root()).subtree_size, 200u);
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,76 @@
+#include "core/embedding_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+Embedding sample_embedding(std::uint64_t seed = 3) {
+  const PointSet points = generate_uniform_cube(50, 4, 30.0, seed);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = seed;
+  auto result = embed(points, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(EmbeddingIo, RoundTripWithPoints) {
+  const Embedding original = sample_embedding();
+  const Embedding restored =
+      embedding_from_bytes(embedding_to_bytes(original, true));
+  EXPECT_EQ(restored.scale_to_input, original.scale_to_input);
+  EXPECT_EQ(restored.delta_used, original.delta_used);
+  EXPECT_EQ(restored.buckets_used, original.buckets_used);
+  EXPECT_EQ(restored.grids_used, original.grids_used);
+  EXPECT_EQ(restored.dim_used, original.dim_used);
+  EXPECT_EQ(restored.fjlt_applied, original.fjlt_applied);
+  EXPECT_EQ(restored.retries_used, original.retries_used);
+  EXPECT_EQ(restored.embedded_points.raw(),
+            original.embedded_points.raw());
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = i + 1; j < 50; ++j) {
+      EXPECT_EQ(restored.distance(i, j), original.distance(i, j));
+    }
+  }
+}
+
+TEST(EmbeddingIo, RoundTripWithoutPointsIsSmaller) {
+  const Embedding original = sample_embedding(5);
+  const auto with_points = embedding_to_bytes(original, true);
+  const auto without = embedding_to_bytes(original, false);
+  EXPECT_LT(without.size(), with_points.size());
+  const Embedding restored = embedding_from_bytes(without);
+  EXPECT_TRUE(restored.embedded_points.empty());
+  // Tree-metric queries still work.
+  EXPECT_EQ(restored.distance(0, 1), original.distance(0, 1));
+}
+
+TEST(EmbeddingIo, RejectsCorruptHeader) {
+  auto bytes = embedding_to_bytes(sample_embedding(7));
+  bytes[0] ^= 0x01;
+  EXPECT_THROW((void)embedding_from_bytes(bytes), MpteError);
+}
+
+TEST(EmbeddingIo, RejectsTruncation) {
+  auto bytes = embedding_to_bytes(sample_embedding(9));
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW((void)embedding_from_bytes(bytes), MpteError);
+}
+
+TEST(EmbeddingIo, FileRoundTrip) {
+  const Embedding original = sample_embedding(11);
+  const std::string path = "/tmp/mpte_embedding_io_test.bin";
+  save_embedding(original, path);
+  const Embedding restored = load_embedding(path);
+  EXPECT_EQ(restored.distance(3, 17), original.distance(3, 17));
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_embedding(path), MpteError);
+}
+
+}  // namespace
+}  // namespace mpte

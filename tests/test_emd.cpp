@@ -1,0 +1,202 @@
+#include "apps/emd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+/// Builds one embedding over the concatenation of a and b.
+Embedding embed_union(const PointSet& a, const PointSet& b,
+                      std::uint64_t seed) {
+  PointSet all = a;
+  for (std::size_t i = 0; i < b.size(); ++i) all.push_back(b[i]);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = seed;
+  auto result = embed(all, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(ExactEmd, ValidatesInputs) {
+  const PointSet a = generate_uniform_cube(3, 2, 1.0, 1);
+  const PointSet b = generate_uniform_cube(4, 2, 1.0, 2);
+  EXPECT_THROW((void)exact_emd(a, b), MpteError);
+  const PointSet c = generate_uniform_cube(3, 3, 1.0, 3);
+  EXPECT_THROW((void)exact_emd(a, c), MpteError);
+  EXPECT_EQ(exact_emd(PointSet(0, 2), PointSet(0, 2)), 0.0);
+}
+
+TEST(ExactEmd, IdenticalSetsCostZero) {
+  const PointSet a = generate_uniform_cube(10, 3, 5.0, 5);
+  EXPECT_NEAR(exact_emd(a, a), 0.0, 1e-9);
+}
+
+TEST(ExactEmd, SinglePairIsDistance) {
+  PointSet a(1, 2, {0, 0});
+  PointSet b(1, 2, {3, 4});
+  EXPECT_NEAR(exact_emd(a, b), 5.0, 1e-12);
+}
+
+TEST(ExactEmd, PicksOptimalMatching) {
+  // a = {0, 10}, b = {1, 11} on a line: identity matching costs 2, the
+  // crossed matching costs 20.
+  PointSet a(2, 1, {0, 10});
+  PointSet b(2, 1, {1, 11});
+  EXPECT_NEAR(exact_emd(a, b), 2.0, 1e-12);
+}
+
+TEST(ExactEmd, TranslationCost) {
+  // Translating a set by v costs exactly n * ||v|| when disjoint supports
+  // line up.
+  const PointSet a = generate_uniform_cube(8, 2, 1.0, 7);
+  PointSet b = a;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i][0] += 100.0;
+  EXPECT_NEAR(exact_emd(a, b), 8 * 100.0, 8 * 2.0);
+}
+
+TEST(TreeEmd, BalancedSidesRequired) {
+  const PointSet a = generate_uniform_cube(4, 2, 10.0, 9);
+  const PointSet b = generate_uniform_cube(4, 2, 10.0, 10);
+  const Embedding embedding = embed_union(a, b, 11);
+  std::vector<int> bad_side(8, 1);  // sums to 8, not 0
+  EXPECT_THROW((void)tree_emd(embedding.tree, bad_side), MpteError);
+  std::vector<int> short_side(3, 0);
+  EXPECT_THROW((void)tree_emd(embedding.tree, short_side), MpteError);
+}
+
+TEST(TreeEmd, DominatesExactEmd) {
+  // Tree distances dominate Euclidean, so the tree flow (an upper bound on
+  // the optimal tree matching too) dominates true EMD. Units: the tree is
+  // built on quantized coordinates, so compare in input units.
+  const PointSet a = generate_uniform_cube(12, 3, 20.0, 13);
+  const PointSet b = generate_uniform_cube(12, 3, 20.0, 14);
+  const Embedding embedding = embed_union(a, b, 15);
+  const double tree =
+      tree_emd_split(embedding.tree, a.size()) * embedding.scale_to_input;
+  const double exact = exact_emd(a, b);
+  EXPECT_GE(tree, exact * (1.0 - 0.06));
+}
+
+TEST(TreeEmd, ApproximationReasonableOnAverage) {
+  // Average the tree EMD over independent trees; the ratio to exact EMD
+  // should be modest (the Corollary 1.3 regime).
+  const PointSet a = generate_uniform_cube(15, 3, 20.0, 17);
+  const PointSet b = generate_uniform_cube(15, 3, 20.0, 18);
+  const double exact = exact_emd(a, b);
+  double sum_tree = 0.0;
+  const int trees = 8;
+  for (int t = 0; t < trees; ++t) {
+    const Embedding embedding = embed_union(a, b, 100 + t);
+    sum_tree +=
+        tree_emd_split(embedding.tree, a.size()) * embedding.scale_to_input;
+  }
+  const double avg_ratio = sum_tree / trees / exact;
+  EXPECT_GE(avg_ratio, 0.9);
+  EXPECT_LT(avg_ratio, 60.0);
+}
+
+TEST(TreeEmd, ZeroWhenSidesCoincide) {
+  // Identical multisets on both sides: every subtree balances.
+  const PointSet a = generate_uniform_cube(10, 2, 10.0, 19);
+  const Embedding embedding = embed_union(a, a, 21);
+  // Points i and i + n are identical, so side +1/-1 cancels within each
+  // leaf cluster.
+  EXPECT_NEAR(tree_emd_split(embedding.tree, a.size()), 0.0, 1e-9);
+}
+
+TEST(ExactEmdWeighted, ReducesToUnweightedForUnitMasses) {
+  const PointSet a = generate_uniform_cube(8, 2, 20.0, 31);
+  const PointSet b = generate_uniform_cube(8, 2, 20.0, 32);
+  const std::vector<std::int64_t> unit(8, 1);
+  EXPECT_NEAR(exact_emd_weighted(a, b, unit, unit), exact_emd(a, b), 1e-9);
+}
+
+TEST(ExactEmdWeighted, KnownTransportPlan) {
+  // 3 units at x=0 must split to 2 units at x=1 and 1 unit at x=5.
+  PointSet a(1, 1, {0.0});
+  PointSet b(2, 1, {1.0, 5.0});
+  EXPECT_NEAR(exact_emd_weighted(a, b, {3}, {2, 1}), 2.0 * 1.0 + 1.0 * 5.0,
+              1e-12);
+}
+
+TEST(ExactEmdWeighted, Validation) {
+  PointSet a(1, 1, {0.0});
+  PointSet b(1, 1, {1.0});
+  EXPECT_THROW((void)exact_emd_weighted(a, b, {1}, {2}), MpteError);
+  EXPECT_THROW((void)exact_emd_weighted(a, b, {-1}, {-1}), MpteError);
+  EXPECT_THROW((void)exact_emd_weighted(a, b, {1, 2}, {3}), MpteError);
+  EXPECT_EQ(exact_emd_weighted(a, b, {0}, {0}), 0.0);
+}
+
+TEST(TreeEmdWeighted, MatchesUnweightedForUnitSides) {
+  const PointSet a = generate_uniform_cube(10, 2, 20.0, 33);
+  const PointSet b = generate_uniform_cube(10, 2, 20.0, 34);
+  const Embedding embedding = embed_union(a, b, 35);
+  std::vector<std::int64_t> mass(20);
+  for (std::size_t i = 0; i < 20; ++i) mass[i] = i < 10 ? 1 : -1;
+  EXPECT_EQ(tree_emd_weighted(embedding.tree, mass),
+            tree_emd_split(embedding.tree, 10));
+}
+
+TEST(TreeEmdWeighted, ScalesLinearlyInMass) {
+  const PointSet a = generate_uniform_cube(6, 2, 20.0, 36);
+  const PointSet b = generate_uniform_cube(6, 2, 20.0, 37);
+  const Embedding embedding = embed_union(a, b, 38);
+  std::vector<std::int64_t> mass(12), triple(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    mass[i] = i < 6 ? 1 : -1;
+    triple[i] = 3 * mass[i];
+  }
+  EXPECT_NEAR(tree_emd_weighted(embedding.tree, triple),
+              3.0 * tree_emd_weighted(embedding.tree, mass), 1e-9);
+}
+
+TEST(TreeEmdWeighted, DominatesExactWeighted) {
+  const PointSet a = generate_uniform_cube(6, 2, 20.0, 39);
+  const PointSet b = generate_uniform_cube(4, 2, 20.0, 40);
+  const std::vector<std::int64_t> mass_a{2, 1, 1, 3, 1, 2};
+  const std::vector<std::int64_t> mass_b{4, 2, 3, 1};
+  const double exact = exact_emd_weighted(a, b, mass_a, mass_b);
+
+  PointSet all = a;
+  for (std::size_t i = 0; i < b.size(); ++i) all.push_back(b[i]);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 41;
+  const auto embedding = embed(all, options);
+  ASSERT_TRUE(embedding.ok());
+  std::vector<std::int64_t> mass(10);
+  for (std::size_t i = 0; i < 6; ++i) mass[i] = mass_a[i];
+  for (std::size_t j = 0; j < 4; ++j) mass[6 + j] = -mass_b[j];
+  const double tree = tree_emd_weighted(embedding->tree, mass) *
+                      embedding->scale_to_input;
+  EXPECT_GE(tree, exact * 0.9);
+}
+
+TEST(TreeEmdWeighted, UnbalancedMassThrows) {
+  const PointSet a = generate_uniform_cube(4, 2, 20.0, 42);
+  const Embedding embedding = embed_union(a, a, 43);
+  EXPECT_THROW(
+      (void)tree_emd_weighted(embedding.tree,
+                              std::vector<std::int64_t>(8, 1)),
+      MpteError);
+}
+
+TEST(TreeEmd, CustomSidesMatchSplitHelper) {
+  const PointSet a = generate_uniform_cube(6, 2, 10.0, 23);
+  const PointSet b = generate_uniform_cube(6, 2, 10.0, 24);
+  const Embedding embedding = embed_union(a, b, 25);
+  std::vector<int> side(12);
+  for (std::size_t i = 0; i < 12; ++i) side[i] = i < 6 ? 1 : -1;
+  EXPECT_EQ(tree_emd(embedding.tree, side),
+            tree_emd_split(embedding.tree, 6));
+}
+
+}  // namespace
+}  // namespace mpte

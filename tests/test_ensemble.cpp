@@ -1,0 +1,90 @@
+#include "core/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+EmbedOptions base_options() {
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 5;
+  return options;
+}
+
+TEST(Ensemble, BuildValidations) {
+  const PointSet points = generate_uniform_cube(30, 3, 20.0, 1);
+  EXPECT_FALSE(EmbeddingEnsemble::build(points, base_options(), 0).ok());
+  EXPECT_FALSE(
+      EmbeddingEnsemble::build(PointSet(1, 3), base_options(), 2).ok());
+}
+
+TEST(Ensemble, MembersAreIndependentTrees) {
+  const PointSet points = generate_uniform_cube(40, 3, 20.0, 3);
+  const auto ensemble = EmbeddingEnsemble::build(points, base_options(), 4);
+  ASSERT_TRUE(ensemble.ok());
+  EXPECT_EQ(ensemble->size(), 4u);
+  // At least one pair of members disagrees somewhere (independent seeds).
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 40 && !any_difference; ++i) {
+    for (std::size_t j = i + 1; j < 40 && !any_difference; ++j) {
+      if (ensemble->member(0).distance(i, j) !=
+          ensemble->member(1).distance(i, j)) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Ensemble, MinDominatesAndBeatsMean) {
+  const PointSet points = generate_uniform_cube(50, 4, 30.0, 7);
+  const auto ensemble = EmbeddingEnsemble::build(points, base_options(), 6);
+  ASSERT_TRUE(ensemble.ok());
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      const double true_dist = l2_distance(points[i], points[j]);
+      const double min_est = ensemble->min_distance(i, j);
+      const double mean_est = ensemble->expected_distance(i, j);
+      EXPECT_LE(min_est, mean_est + 1e-12);
+      // Domination up to the quantization budget.
+      EXPECT_GE(min_est, (1.0 - 0.06) * true_dist);
+    }
+  }
+}
+
+TEST(Ensemble, MinEstimateTightensWithMoreTrees) {
+  const PointSet points = generate_uniform_cube(60, 4, 30.0, 9);
+  const auto small = EmbeddingEnsemble::build(points, base_options(), 2);
+  const auto large = EmbeddingEnsemble::build(points, base_options(), 10);
+  ASSERT_TRUE(small.ok() && large.ok());
+  // Aggregate over pairs: the 10-tree lower envelope is no worse, and on
+  // average strictly better, than the 2-tree one (members 0-1 coincide).
+  double sum_small = 0.0, sum_large = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = i + 1; j < 30; ++j) {
+      sum_small += small->min_distance(i, j);
+      sum_large += large->min_distance(i, j);
+    }
+  }
+  EXPECT_LE(sum_large, sum_small + 1e-9);
+  EXPECT_LT(sum_large, sum_small * 0.999);
+}
+
+TEST(Ensemble, DeterministicGivenSeed) {
+  const PointSet points = generate_uniform_cube(25, 3, 20.0, 11);
+  const auto a = EmbeddingEnsemble::build(points, base_options(), 3);
+  const auto b = EmbeddingEnsemble::build(points, base_options(), 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < 25; ++i) {
+    for (std::size_t j = i + 1; j < 25; ++j) {
+      EXPECT_EQ(a->min_distance(i, j), b->min_distance(i, j));
+      EXPECT_EQ(a->expected_distance(i, j), b->expected_distance(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpte

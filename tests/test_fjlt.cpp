@@ -1,0 +1,154 @@
+#include "transform/fjlt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/status.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(FjltConfig, MakeValidatesInputs) {
+  EXPECT_THROW(FjltConfig::make(1, 10, 0.25, 1), MpteError);
+  EXPECT_THROW(FjltConfig::make(100, 10, 0.0, 1), MpteError);
+  EXPECT_THROW(FjltConfig::make(100, 10, 0.5, 1), MpteError);
+  EXPECT_THROW(FjltConfig::make(100, 0, 0.25, 1), MpteError);
+}
+
+TEST(FjltConfig, PadsToPowerOfTwo) {
+  const FjltConfig c = FjltConfig::make(1000, 100, 0.25, 1);
+  EXPECT_EQ(c.padded_dim, 128u);
+  EXPECT_TRUE(is_power_of_two(c.padded_dim));
+  EXPECT_GE(c.padded_dim, c.input_dim);
+}
+
+TEST(FjltConfig, SparsityFormula) {
+  // q = min(1, 2 log^2 n / d_padded).
+  const FjltConfig dense = FjltConfig::make(1000, 8, 0.25, 1);
+  EXPECT_EQ(dense.q, 1.0);
+  const FjltConfig sparse = FjltConfig::make(1000, 100000, 0.25, 1);
+  EXPECT_LT(sparse.q, 0.01);
+  EXPECT_GT(sparse.q, 0.0);
+}
+
+TEST(FjltConfig, OutputDimMatchesTheorem) {
+  // k = ceil(2 log n / xi^2) grows as 1/xi^2 and log n.
+  const auto k1 = FjltConfig::make(1000, 100, 0.4, 1).output_dim;
+  const auto k2 = FjltConfig::make(1000, 100, 0.2, 1).output_dim;
+  EXPECT_NEAR(static_cast<double>(k2) / static_cast<double>(k1), 4.0, 0.2);
+}
+
+TEST(FjltEntries, CounterBasedDeterminism) {
+  EXPECT_EQ(fjlt_d_sign(5, 17), fjlt_d_sign(5, 17));
+  EXPECT_EQ(fjlt_p_entry(5, 0.5, 3, 9), fjlt_p_entry(5, 0.5, 3, 9));
+  // Signs are ±1.
+  for (std::size_t j = 0; j < 100; ++j) {
+    const double s = fjlt_d_sign(1, j);
+    EXPECT_TRUE(s == 1.0 || s == -1.0);
+  }
+}
+
+TEST(FjltEntries, DSignsBalanced) {
+  int plus = 0;
+  for (std::size_t j = 0; j < 10000; ++j) {
+    plus += fjlt_d_sign(123, j) > 0;
+  }
+  EXPECT_NEAR(plus / 10000.0, 0.5, 0.03);
+}
+
+TEST(FjltEntries, PSparsityMatchesQ) {
+  const double q = 0.125;
+  std::size_t nonzero = 0;
+  const std::size_t trials = 20000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (fjlt_p_entry(7, q, i / 200, i % 200) != 0.0) ++nonzero;
+  }
+  EXPECT_NEAR(static_cast<double>(nonzero) / trials, q, 0.01);
+}
+
+TEST(Fjlt, NonzeroCountNearExpectation) {
+  const FjltConfig c = FjltConfig::make(512, 2000, 0.25, 3);
+  const Fjlt fjlt(c);
+  const double expected =
+      c.q * static_cast<double>(c.output_dim * c.padded_dim);
+  EXPECT_NEAR(static_cast<double>(fjlt.p_nonzeros()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(Fjlt, DeterministicTransform) {
+  const FjltConfig c = FjltConfig::make(100, 60, 0.3, 5);
+  const PointSet points = generate_uniform_cube(10, 60, 1.0, 2);
+  const PointSet a = Fjlt(c).transform(points);
+  const PointSet b = Fjlt(c).transform(points);
+  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_EQ(a.dim(), c.output_dim);
+}
+
+TEST(Fjlt, NormPreservedInExpectation) {
+  // E||phi(x)||^2 = ||x||^2 under the k^{-1/2} normalization (the paper's
+  // Section 5 k^{-1} would fail this test by a factor k).
+  const PointSet point = generate_uniform_cube(1, 48, 1.0, 9);
+  std::vector<double> zero(48, 0.0);
+  const double norm_sq = l2_distance_squared(point[0], zero);
+  double sum_ratio = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    FjltConfig c = FjltConfig::make(4096, 48, 0.3, 100 + t);
+    const auto mapped = Fjlt(c).apply(point[0]);
+    double mapped_sq = 0.0;
+    for (const double v : mapped) mapped_sq += v * v;
+    sum_ratio += mapped_sq / norm_sq;
+  }
+  EXPECT_NEAR(sum_ratio / trials, 1.0, 0.08);
+}
+
+TEST(Fjlt, PairwiseDistancesWithinXi) {
+  const std::size_t n = 40;
+  const double xi = 0.45;
+  const PointSet points =
+      generate_gaussian_clusters(n, 120, 4, 10.0, 1.0, 21);
+  const FjltConfig c = FjltConfig::make(n, 120, xi, 31);
+  const PointSet mapped = Fjlt(c).transform(points);
+  std::size_t violations = 0, pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double orig = l2_distance(points[i], points[j]);
+      const double now = l2_distance(mapped[i], mapped[j]);
+      ++pairs;
+      if (now < (1 - xi) * orig || now > (1 + xi) * orig) ++violations;
+    }
+  }
+  EXPECT_LE(violations, pairs / 50);
+}
+
+TEST(Fjlt, LinearMap) {
+  const FjltConfig c = FjltConfig::make(64, 20, 0.3, 7);
+  const Fjlt fjlt(c);
+  std::vector<double> x(20, 0.0), y(20, 0.0), sum(20, 0.0);
+  x[4] = 1.5;
+  y[11] = -2.0;
+  sum[4] = 1.5;
+  sum[11] = -2.0;
+  const auto fx = fjlt.apply(x);
+  const auto fy = fjlt.apply(y);
+  const auto fsum = fjlt.apply(sum);
+  for (std::size_t i = 0; i < fsum.size(); ++i) {
+    EXPECT_NEAR(fsum[i], fx[i] + fy[i], 1e-10);
+  }
+}
+
+TEST(Fjlt, HandlesNonPowerOfTwoInput) {
+  const FjltConfig c = FjltConfig::make(128, 100, 0.3, 13);
+  EXPECT_EQ(c.padded_dim, 128u);
+  const PointSet points = generate_uniform_cube(4, 100, 1.0, 17);
+  const PointSet mapped = Fjlt(c).transform(points);
+  EXPECT_EQ(mapped.dim(), c.output_dim);
+  // Finite values.
+  for (const double v : mapped.raw()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,93 @@
+#include "partition/grid_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(ShiftedGrid, ValidatesArguments) {
+  EXPECT_THROW(ShiftedGrid(0, 1.0, 1), MpteError);
+  EXPECT_THROW(ShiftedGrid(2, 0.0, 1), MpteError);
+}
+
+TEST(ShiftedGrid, ShiftInRangeAndDeterministic) {
+  const ShiftedGrid grid(4, 3.0, 9);
+  for (std::size_t t = 0; t < 4; ++t) {
+    const double s = grid.shift(t);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 3.0);
+    EXPECT_EQ(s, grid.shift(t));
+  }
+}
+
+TEST(ShiftedGrid, DimensionMismatchThrows) {
+  const ShiftedGrid grid(3, 1.0, 1);
+  const std::vector<double> p{1.0};
+  EXPECT_THROW((void)grid.cell_id(p), MpteError);
+}
+
+TEST(ShiftedGrid, SameCellIffSameFlooredCoordinates) {
+  const ShiftedGrid grid(2, 5.0, 11);
+  const PointSet points = generate_uniform_cube(300, 2, 40.0, 13);
+  const auto cells = grid_partition(points, grid);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      bool same_cell = true;
+      for (std::size_t t = 0; t < 2; ++t) {
+        const double zi = std::floor((points[i][t] - grid.shift(t)) / 5.0);
+        const double zj = std::floor((points[j][t] - grid.shift(t)) / 5.0);
+        if (zi != zj) same_cell = false;
+      }
+      EXPECT_EQ(cells[i] == cells[j], same_cell)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(ShiftedGrid, SameCellImpliesWithinCellDiagonal) {
+  const double w = 2.0;
+  const ShiftedGrid grid(3, w, 17);
+  const PointSet points = generate_uniform_cube(400, 3, 30.0, 19);
+  const auto cells = grid_partition(points, grid);
+  const double diagonal = w * std::sqrt(3.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (cells[i] == cells[j]) {
+        EXPECT_LE(l2_distance(points[i], points[j]), diagonal + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ShiftedGrid, SeparationProbabilityScalesWithDistanceOverWidth) {
+  // For a random shift, a pair at distance D along one axis is cut with
+  // probability min(1, D/w) per axis. Check the 1-d case empirically.
+  const double w = 10.0;
+  const double d = 2.0;
+  int cut = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const ShiftedGrid grid(1, w, 1000 + t);
+    PointSet points(2, 1, {50.0, 50.0 + d});
+    const auto cells = grid_partition(points, grid);
+    cut += (cells[0] != cells[1]);
+  }
+  EXPECT_NEAR(static_cast<double>(cut) / trials, d / w, 0.02);
+}
+
+TEST(ShiftedGrid, EveryPointGetsACell) {
+  // Grids always cover: no uncovered sentinel concept here; ids exist and
+  // identical points share cells.
+  const ShiftedGrid grid(5, 1.0, 23);
+  PointSet points(2, 5, {1, 2, 3, 4, 5, 1, 2, 3, 4, 5});
+  const auto cells = grid_partition(points, grid);
+  EXPECT_EQ(cells[0], cells[1]);
+}
+
+}  // namespace
+}  // namespace mpte

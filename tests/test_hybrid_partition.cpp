@@ -1,0 +1,226 @@
+#include "partition/hybrid_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geometry/generators.hpp"
+#include "geometry/quantize.hpp"
+
+namespace mpte {
+namespace {
+
+PointSet quantized_cube(std::size_t n, std::size_t dim, std::uint64_t delta,
+                        std::uint64_t seed) {
+  const PointSet raw = generate_uniform_cube(n, dim, 100.0, seed);
+  return quantize_to_grid(raw, delta).points;
+}
+
+TEST(ScaleLadder, HalvesAndTerminates) {
+  const ScaleLadder ladder = hybrid_scale_ladder(8, 4, 256);
+  EXPECT_NEAR(ladder.w_max, 256.0 * std::sqrt(8.0), 1e-9);
+  ASSERT_EQ(ladder.scales.size(), ladder.levels + 1);
+  ASSERT_EQ(ladder.edge_weight.size(), ladder.levels + 1);
+  for (std::size_t i = 1; i <= ladder.levels; ++i) {
+    EXPECT_NEAR(ladder.scales[i], ladder.scales[i - 1] / 2.0, 1e-9);
+    EXPECT_NEAR(ladder.edge_weight[i], 2.0 * std::sqrt(4.0) * ladder.scales[i],
+                1e-9);
+  }
+  // Terminal diameter bound below the minimum integer distance.
+  EXPECT_LT(2.0 * std::sqrt(4.0) * ladder.scales[ladder.levels], 1.0);
+  // And one level less would not have been enough.
+  EXPECT_GE(2.0 * std::sqrt(4.0) * ladder.scales[ladder.levels - 1], 1.0);
+}
+
+TEST(ScaleLadder, LevelCountLogarithmicInDelta) {
+  const std::size_t l1 = hybrid_scale_ladder(8, 2, 1 << 8).levels;
+  const std::size_t l2 = hybrid_scale_ladder(8, 2, 1 << 16).levels;
+  EXPECT_EQ(l2 - l1, 8u);
+}
+
+TEST(HybridHierarchy, ValidatesArguments) {
+  const PointSet points = quantized_cube(10, 4, 64, 1);
+  HybridOptions options;
+  options.delta = 0;
+  options.num_buckets = 1;
+  EXPECT_FALSE(build_hybrid_hierarchy(points, options).ok());
+  options.delta = 64;
+  options.num_buckets = 5;  // > dim
+  EXPECT_FALSE(build_hybrid_hierarchy(points, options).ok());
+  options.num_buckets = 1;
+  EXPECT_FALSE(build_hybrid_hierarchy(PointSet{}, options).ok());
+}
+
+TEST(HybridHierarchy, StructureInvariants) {
+  const PointSet points = quantized_cube(60, 4, 128, 2);
+  HybridOptions options;
+  options.delta = 128;
+  options.num_buckets = 2;
+  options.seed = 3;
+  const auto h = build_hybrid_hierarchy(points, options);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_points(), 60u);
+  EXPECT_EQ(h->num_buckets, 2u);
+  EXPECT_GT(h->num_grids, 0u);
+  ASSERT_EQ(h->cluster_of_point.size(), h->scales.size());
+  ASSERT_EQ(h->edge_weight.size(), h->scales.size());
+
+  // Level 0: everyone in the root cluster.
+  const auto root = h->cluster_of_point[0][0];
+  for (const auto id : h->cluster_of_point[0]) EXPECT_EQ(id, root);
+
+  // Laminarity: same cluster at level i implies same at level i-1.
+  for (std::size_t level = 1; level < h->levels(); ++level) {
+    std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+    for (std::size_t i = 0; i < 60; ++i) {
+      const auto child = h->cluster_of_point[level][i];
+      const auto parent = h->cluster_of_point[level - 1][i];
+      const auto [it, inserted] = parent_of.emplace(child, parent);
+      EXPECT_EQ(it->second, parent) << "level " << level;
+      (void)inserted;
+    }
+  }
+}
+
+TEST(HybridHierarchy, DiameterBoundHolds) {
+  // Lemma 1 second half: same partition at scale w => distance <= 2 sqrt(r) w.
+  const PointSet points = quantized_cube(80, 4, 128, 5);
+  for (const std::uint32_t r : {1u, 2u, 4u}) {
+    HybridOptions options;
+    options.delta = 128;
+    options.num_buckets = r;
+    options.seed = 7 + r;
+    const auto h = build_hybrid_hierarchy(points, options);
+    ASSERT_TRUE(h.ok()) << "r=" << r;
+    const double bound_factor = 2.0 * std::sqrt(static_cast<double>(r));
+    for (std::size_t level = 1; level < h->levels(); ++level) {
+      const double bound = bound_factor * h->scales[level] + 1e-9;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t j = i + 1; j < points.size(); ++j) {
+          if (h->cluster_of_point[level][i] ==
+              h->cluster_of_point[level][j]) {
+            EXPECT_LE(l2_distance(points[i], points[j]), bound)
+                << "r=" << r << " level=" << level;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HybridHierarchy, EndsInSingletonsForDistinctPoints) {
+  const PointSet points = quantized_cube(50, 3, 64, 11);
+  HybridOptions options;
+  options.delta = 64;
+  options.num_buckets = 3;
+  options.seed = 13;
+  const auto h = build_hybrid_hierarchy(points, options);
+  ASSERT_TRUE(h.ok());
+  // Points with distinct coordinates end in distinct clusters at the last
+  // level (diameter bound < 1 <= min distance).
+  const auto& last = h->cluster_of_point.back();
+  std::unordered_map<std::uint64_t, std::size_t> count;
+  for (const auto id : last) ++count[id];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (l2_distance(points[i], points[j]) > 0.0) {
+        EXPECT_NE(last[i], last[j]);
+      } else {
+        EXPECT_EQ(last[i], last[j]);
+      }
+    }
+  }
+}
+
+TEST(HybridHierarchy, CoverageFailureReported) {
+  const PointSet points = quantized_cube(200, 4, 128, 17);
+  HybridOptions options;
+  options.delta = 128;
+  options.num_buckets = 1;  // 4-dim buckets, tiny cover probability
+  options.num_grids = 1;    // force failure
+  options.uncovered = UncoveredPolicy::kFail;
+  const auto h = build_hybrid_hierarchy(points, options);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kCoverageFailure);
+}
+
+TEST(HybridHierarchy, SingletonPolicyKeepsGoing) {
+  const PointSet points = quantized_cube(100, 4, 128, 19);
+  HybridOptions options;
+  options.delta = 128;
+  options.num_buckets = 1;
+  options.num_grids = 2;  // will miss many points
+  options.uncovered = UncoveredPolicy::kSingleton;
+  const auto h = build_hybrid_hierarchy(points, options);
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(h->uncovered_events, 0u);
+}
+
+TEST(HybridHierarchy, DeterministicBySeed) {
+  const PointSet points = quantized_cube(40, 4, 64, 23);
+  HybridOptions options;
+  options.delta = 64;
+  options.num_buckets = 2;
+  options.seed = 99;
+  const auto a = build_hybrid_hierarchy(points, options);
+  const auto b = build_hybrid_hierarchy(points, options);
+  options.seed = 100;
+  const auto c = build_hybrid_hierarchy(points, options);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->cluster_of_point, b->cluster_of_point);
+  EXPECT_NE(a->cluster_of_point, c->cluster_of_point);
+}
+
+TEST(HybridHierarchy, PadsNonDivisibleDimensions) {
+  // dim 5 with r = 2: bucket_dim 3, padded to 6; must still work.
+  const PointSet points = quantized_cube(30, 5, 64, 29);
+  HybridOptions options;
+  options.delta = 64;
+  options.num_buckets = 2;
+  const auto h = build_hybrid_hierarchy(points, options);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_points(), 30u);
+}
+
+TEST(GridHierarchy, StructureAndSingletons) {
+  const PointSet points = quantized_cube(60, 3, 128, 31);
+  const auto h = build_grid_hierarchy(points, 128, 37);
+  ASSERT_TRUE(h.ok());
+  // Laminar and ends in singletons.
+  const auto& last = h->cluster_of_point.back();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (l2_distance(points[i], points[j]) > 0.0) EXPECT_NE(last[i], last[j]);
+    }
+  }
+  // Cell diameter bound per level.
+  const double sqrt_d = std::sqrt(3.0);
+  for (std::size_t level = 1; level < h->levels(); ++level) {
+    const double bound = sqrt_d * h->scales[level] + 1e-9;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::size_t j = i + 1; j < points.size(); ++j) {
+        if (h->cluster_of_point[level][i] == h->cluster_of_point[level][j]) {
+          EXPECT_LE(l2_distance(points[i], points[j]), bound);
+        }
+      }
+    }
+  }
+}
+
+TEST(BallHierarchy, IsHybridWithOneBucket) {
+  const PointSet points = quantized_cube(30, 3, 64, 41);
+  HybridOptions options;
+  options.delta = 64;
+  options.num_buckets = 7;  // overridden by build_ball_hierarchy
+  options.seed = 43;
+  const auto ball = build_ball_hierarchy(points, options);
+  options.num_buckets = 1;
+  const auto hybrid = build_hybrid_hierarchy(points, options);
+  ASSERT_TRUE(ball.ok() && hybrid.ok());
+  EXPECT_EQ(ball->cluster_of_point, hybrid->cluster_of_point);
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,115 @@
+#include "apps/kcenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+Embedding make_embedding(const PointSet& points, std::uint64_t seed) {
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = seed;
+  auto result = embed(points, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(CoveringRadius, KnownValues) {
+  PointSet points(3, 1, {0.0, 4.0, 10.0});
+  EXPECT_EQ(covering_radius(points, {0}), 10.0);
+  EXPECT_EQ(covering_radius(points, {1}), 6.0);
+  EXPECT_EQ(covering_radius(points, {0, 2}), 4.0);
+  EXPECT_THROW((void)covering_radius(points, {}), MpteError);
+}
+
+TEST(Gonzalez, ValidatesAndCoversTrivially) {
+  const PointSet points = generate_uniform_cube(20, 2, 10.0, 1);
+  EXPECT_THROW((void)gonzalez_kcenter(points, 0), MpteError);
+  const auto all = gonzalez_kcenter(points, 20);
+  EXPECT_NEAR(all.radius, 0.0, 1e-12);
+}
+
+TEST(Gonzalez, IsTwoApproxOnLine) {
+  // Optimal 2-center radius for {0, 1, 10, 11} is 0.5; Gonzalez <= 1.
+  PointSet points(4, 1, {0.0, 1.0, 10.0, 11.0});
+  const auto result = gonzalez_kcenter(points, 2);
+  EXPECT_LE(result.radius, 1.0 + 1e-12);
+}
+
+TEST(Gonzalez, RadiusDecreasesInK) {
+  const PointSet points = generate_uniform_cube(100, 3, 20.0, 3);
+  double prev = 1e300;
+  for (std::size_t k = 1; k <= 10; ++k) {
+    const auto result = gonzalez_kcenter(points, k);
+    EXPECT_LE(result.radius, prev + 1e-12);
+    prev = result.radius;
+  }
+}
+
+TEST(Gonzalez, DuplicateHeavyInputStops) {
+  PointSet points(5, 1, {2.0, 2.0, 2.0, 7.0, 7.0});
+  const auto result = gonzalez_kcenter(points, 4);
+  EXPECT_LE(result.centers.size(), 4u);
+  EXPECT_NEAR(result.radius, 0.0, 1e-12);
+}
+
+TEST(TreeKCenter, ValidatesInputs) {
+  const PointSet points = generate_uniform_cube(20, 3, 10.0, 5);
+  const Embedding embedding = make_embedding(points, 7);
+  EXPECT_THROW((void)tree_kcenter(embedding.tree, points, 0), MpteError);
+  const PointSet fewer = generate_uniform_cube(5, 3, 10.0, 9);
+  EXPECT_THROW((void)tree_kcenter(embedding.tree, fewer, 2), MpteError);
+}
+
+TEST(TreeKCenter, RespectsKAndReturnsDistinctCenters) {
+  const PointSet points = generate_uniform_cube(80, 3, 20.0, 11);
+  const Embedding embedding = make_embedding(points, 13);
+  for (const std::size_t k : {1u, 2u, 5u, 16u}) {
+    const auto result = tree_kcenter(embedding.tree, points, k);
+    EXPECT_GE(result.centers.size(), 1u);
+    EXPECT_LE(result.centers.size(), k);
+    std::set<std::size_t> unique(result.centers.begin(),
+                                 result.centers.end());
+    EXPECT_EQ(unique.size(), result.centers.size());
+  }
+}
+
+TEST(TreeKCenter, RadiusShrinksWithK) {
+  const PointSet points = generate_uniform_cube(120, 3, 20.0, 15);
+  const Embedding embedding = make_embedding(points, 17);
+  const double r1 = tree_kcenter(embedding.tree, points, 1).radius;
+  const double r8 = tree_kcenter(embedding.tree, points, 8).radius;
+  const double r32 = tree_kcenter(embedding.tree, points, 32).radius;
+  EXPECT_LE(r8, r1 + 1e-12);
+  EXPECT_LE(r32, r8 + 1e-12);
+}
+
+TEST(TreeKCenter, FindsPlantedClusters) {
+  // k well-separated blobs: with k centers the radius must be on the blob
+  // scale, far below the separation scale.
+  const std::size_t k = 4;
+  const PointSet points =
+      generate_gaussian_clusters(120, 3, k, 2000.0, 1.0, 19);
+  const Embedding embedding = make_embedding(points, 21);
+  const auto tree_result = tree_kcenter(embedding.tree, points, k);
+  const auto baseline = gonzalez_kcenter(points, k);
+  EXPECT_LT(tree_result.radius, 100.0);
+  // Within a distortion-sized factor of the 2-approx baseline.
+  EXPECT_LT(tree_result.radius, 3.0 * baseline.radius + 1e-9);
+}
+
+TEST(TreeKCenter, WithinModerateFactorOfGonzalezOnUniform) {
+  const PointSet points = generate_uniform_cube(150, 3, 30.0, 23);
+  const Embedding embedding = make_embedding(points, 25);
+  const auto tree_result = tree_kcenter(embedding.tree, points, 6);
+  const auto baseline = gonzalez_kcenter(points, 6);
+  EXPECT_LT(tree_result.radius, 3.0 * baseline.radius);
+}
+
+}  // namespace
+}  // namespace mpte

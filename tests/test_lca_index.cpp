@@ -1,0 +1,81 @@
+#include "tree/lca_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+Hst sample_tree(std::size_t n, std::uint64_t seed) {
+  const PointSet points = generate_uniform_cube(n, 4, 30.0, seed);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = seed;
+  auto result = embed(points, options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result->tree);
+}
+
+TEST(LcaIndex, MatchesWalkingLcaEverywhere) {
+  const Hst tree = sample_tree(80, 3);
+  const LcaIndex index(tree);
+  for (std::size_t p = 0; p < tree.num_points(); ++p) {
+    for (std::size_t q = 0; q < tree.num_points(); ++q) {
+      EXPECT_EQ(index.lca(p, q), tree.lca(p, q))
+          << "pair " << p << "," << q;
+    }
+  }
+}
+
+TEST(LcaIndex, MatchesWalkingDistanceEverywhere) {
+  const Hst tree = sample_tree(60, 5);
+  const LcaIndex index(tree);
+  for (std::size_t p = 0; p < tree.num_points(); ++p) {
+    for (std::size_t q = p; q < tree.num_points(); ++q) {
+      EXPECT_NEAR(index.distance(p, q), tree.distance(p, q),
+                  1e-9 * (1.0 + tree.distance(p, q)));
+    }
+  }
+}
+
+TEST(LcaIndex, SelfQueries) {
+  const Hst tree = sample_tree(20, 7);
+  const LcaIndex index(tree);
+  for (std::size_t p = 0; p < tree.num_points(); ++p) {
+    EXPECT_EQ(index.lca(p, p), tree.leaf(p));
+    EXPECT_EQ(index.distance(p, p), 0.0);
+  }
+}
+
+TEST(LcaIndex, WeightDepthConsistent) {
+  const Hst tree = sample_tree(40, 9);
+  const LcaIndex index(tree);
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    EXPECT_NEAR(index.weight_depth(i), tree.depth_weight(i), 1e-12);
+  }
+  EXPECT_EQ(index.depth(tree.root()), 0u);
+}
+
+TEST(LcaIndex, RandomLargeTreeSpotChecks) {
+  const Hst tree = sample_tree(500, 11);
+  const LcaIndex index(tree);
+  Rng rng(13);
+  for (int t = 0; t < 2000; ++t) {
+    const std::size_t p = rng.uniform_u64(500);
+    const std::size_t q = rng.uniform_u64(500);
+    EXPECT_EQ(index.lca(p, q), tree.lca(p, q));
+  }
+}
+
+TEST(LcaIndex, TinyTree) {
+  // Two points: root + two leaves.
+  const Hst tree = sample_tree(2, 15);
+  const LcaIndex index(tree);
+  EXPECT_EQ(index.distance(0, 1), tree.distance(0, 1));
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,216 @@
+#include "mpc/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace mpte::mpc {
+namespace {
+
+Cluster make_cluster(std::size_t machines = 5, std::size_t memory = 1 << 16) {
+  return Cluster(ClusterConfig{machines, memory, true});
+}
+
+TEST(ScatterGather, RoundTripsInOrder) {
+  Cluster cluster = make_cluster(4);
+  std::vector<std::uint64_t> input(37);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = i * i;
+  scatter_vector(cluster, "data", input);
+  EXPECT_EQ(gather_vector<std::uint64_t>(cluster, "data"), input);
+}
+
+TEST(ScatterGather, BlocksAreBalanced) {
+  Cluster cluster = make_cluster(4);
+  scatter_vector(cluster, "data", std::vector<std::uint64_t>(10, 1));
+  // ceil(10/4) = 3: blocks 3,3,3,1.
+  EXPECT_EQ(cluster.store(0).get_vector<std::uint64_t>("data").size(), 3u);
+  EXPECT_EQ(cluster.store(3).get_vector<std::uint64_t>("data").size(), 1u);
+}
+
+TEST(ScatterGather, EmptyInput) {
+  Cluster cluster = make_cluster(3);
+  scatter_vector(cluster, "data", std::vector<double>{});
+  EXPECT_TRUE(gather_vector<double>(cluster, "data").empty());
+}
+
+class BroadcastTest : public ::testing::TestWithParam<
+                          std::tuple<std::size_t, std::size_t, MachineId>> {};
+
+TEST_P(BroadcastTest, EveryMachineReceivesBlob) {
+  const auto [machines, fanout, root] = GetParam();
+  Cluster cluster = make_cluster(machines);
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  cluster.store(root).set_blob("b", blob);
+  broadcast_blob(cluster, root, "b", fanout);
+  for (MachineId id = 0; id < machines; ++id) {
+    EXPECT_EQ(cluster.store(id).blob("b"), blob) << "machine " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastTest,
+    ::testing::Values(std::make_tuple(1, 2, 0), std::make_tuple(2, 1, 0),
+                      std::make_tuple(5, 1, 2), std::make_tuple(8, 2, 7),
+                      std::make_tuple(16, 4, 3), std::make_tuple(9, 3, 0)));
+
+TEST(Broadcast, RoundCountIsLogarithmic) {
+  Cluster cluster = make_cluster(16);
+  cluster.store(0).set_blob("b", std::vector<std::uint8_t>(8));
+  broadcast_blob(cluster, 0, "b", 3);
+  // holders: 1 -> 4 -> 16: 2 exchange rounds + 1 persist round.
+  EXPECT_EQ(cluster.stats().rounds(), 3u);
+}
+
+TEST(Broadcast, ZeroFanoutThrows) {
+  Cluster cluster = make_cluster(2);
+  cluster.store(0).set_blob("b", std::vector<std::uint8_t>(1));
+  EXPECT_THROW(broadcast_blob(cluster, 0, "b", 0), MpteError);
+}
+
+TEST(ShuffleByKey, GroupsEqualKeysOnOneMachine) {
+  Cluster cluster = make_cluster(4);
+  std::vector<KV> records;
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    records.push_back(KV{rng.uniform_u64(17), i});
+  }
+  scatter_vector(cluster, "in", records);
+  shuffle_kv_by_key(cluster, "in", "out");
+
+  std::map<std::uint64_t, std::size_t> machine_of_key;
+  std::size_t total = 0;
+  for (MachineId id = 0; id < cluster.num_machines(); ++id) {
+    const auto part = cluster.store(id).get_vector<KV>("out");
+    total += part.size();
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end(), kv_less));
+    for (const KV& kv : part) {
+      const auto [it, inserted] = machine_of_key.emplace(kv.key, id);
+      EXPECT_EQ(it->second, id) << "key " << kv.key << " split";
+      (void)inserted;
+    }
+  }
+  EXPECT_EQ(total, records.size());
+}
+
+TEST(ShuffleByKey, ConsumesInput) {
+  Cluster cluster = make_cluster(3);
+  scatter_vector(cluster, "in", std::vector<KV>{{1, 2}, {3, 4}});
+  shuffle_kv_by_key(cluster, "in", "out");
+  for (MachineId id = 0; id < 3; ++id) {
+    EXPECT_FALSE(cluster.store(id).contains("in"));
+  }
+}
+
+TEST(DedupKv, RemovesExactDuplicates) {
+  Cluster cluster = make_cluster(4);
+  std::vector<KV> records;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint64_t k = 0; k < 30; ++k) records.push_back(KV{k, k * 7});
+  }
+  scatter_vector(cluster, "in", records);
+  dedup_kv(cluster, "in", "out");
+  auto all = gather_vector<KV>(cluster, "out");
+  std::sort(all.begin(), all.end(), kv_less);
+  ASSERT_EQ(all.size(), 30u);
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    EXPECT_EQ(all[k].key, k);
+    EXPECT_EQ(all[k].value, k * 7);
+  }
+}
+
+TEST(DedupKv, KeepsDistinctValuesOfSameKey) {
+  Cluster cluster = make_cluster(2);
+  scatter_vector(cluster, "in",
+                 std::vector<KV>{{1, 10}, {1, 20}, {1, 10}});
+  dedup_kv(cluster, "in", "out");
+  EXPECT_EQ(gather_vector<KV>(cluster, "out").size(), 2u);
+}
+
+TEST(ReduceKvSum, SumsPerKey) {
+  Cluster cluster = make_cluster(4);
+  std::vector<KV> records;
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    for (std::uint64_t v = 1; v <= k + 1; ++v) records.push_back(KV{k, v});
+  }
+  scatter_vector(cluster, "in", records);
+  reduce_kv_sum(cluster, "in", "out");
+  auto all = gather_vector<KV>(cluster, "out");
+  std::sort(all.begin(), all.end(), kv_less);
+  ASSERT_EQ(all.size(), 10u);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(all[k].key, k);
+    EXPECT_EQ(all[k].value, (k + 1) * (k + 2) / 2);
+  }
+}
+
+TEST(SumU64, TotalsAcrossMachines) {
+  Cluster cluster = make_cluster(6);
+  for (MachineId id = 0; id < 6; ++id) {
+    cluster.store(id).set_value<std::uint64_t>("x", id * 10);
+  }
+  sum_u64(cluster, "x", "total", 2);
+  EXPECT_EQ(cluster.store(2).get_value<std::uint64_t>("total"), 150u);
+}
+
+TEST(SumU64, MissingKeysCountAsZero) {
+  Cluster cluster = make_cluster(4);
+  cluster.store(1).set_value<std::uint64_t>("x", 7);
+  sum_u64(cluster, "x", "total", 0);
+  EXPECT_EQ(cluster.store(0).get_value<std::uint64_t>("total"), 7u);
+}
+
+TEST(PrefixSum, MatchesSequentialScan) {
+  Cluster cluster = make_cluster(4);
+  std::vector<std::uint64_t> values(100);
+  Rng rng(7);
+  for (auto& v : values) v = rng.uniform_u64(1000);
+  scatter_vector(cluster, "in", values);
+  prefix_sum_u64(cluster, "in", "out");
+
+  const auto result = gather_vector<std::uint64_t>(cluster, "out");
+  ASSERT_EQ(result.size(), values.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(result[i], running) << "position " << i;
+    running += values[i];
+  }
+}
+
+TEST(PrefixSum, EmptyAndSingleMachine) {
+  Cluster cluster = make_cluster(1);
+  scatter_vector(cluster, "in", std::vector<std::uint64_t>{5, 7, 9});
+  prefix_sum_u64(cluster, "in", "out");
+  EXPECT_EQ(gather_vector<std::uint64_t>(cluster, "out"),
+            (std::vector<std::uint64_t>{0, 5, 12}));
+}
+
+TEST(PrefixSum, UnevenBlocks) {
+  Cluster cluster = make_cluster(8);
+  std::vector<std::uint64_t> values(11, 1);  // blocks of 2, last machines 0
+  scatter_vector(cluster, "in", values);
+  prefix_sum_u64(cluster, "in", "out");
+  const auto result = gather_vector<std::uint64_t>(cluster, "out");
+  ASSERT_EQ(result.size(), 11u);
+  for (std::size_t i = 0; i < 11; ++i) EXPECT_EQ(result[i], i);
+}
+
+TEST(PrefixSum, ConstantRounds) {
+  for (const std::size_t n : {16u, 4096u}) {
+    Cluster cluster = make_cluster(4);
+    scatter_vector(cluster, "in", std::vector<std::uint64_t>(n, 2));
+    prefix_sum_u64(cluster, "in", "out");
+    EXPECT_EQ(cluster.stats().rounds(), 5u) << "n=" << n;
+  }
+}
+
+TEST(KvLess, TotalOrder) {
+  EXPECT_TRUE(kv_less(KV{1, 5}, KV{2, 0}));
+  EXPECT_TRUE(kv_less(KV{1, 0}, KV{1, 1}));
+  EXPECT_FALSE(kv_less(KV{1, 1}, KV{1, 1}));
+}
+
+}  // namespace
+}  // namespace mpte::mpc

@@ -1,0 +1,114 @@
+#include "mpc/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mpte::mpc {
+namespace {
+
+std::vector<KV> random_records(std::size_t n, std::uint64_t seed,
+                               std::uint64_t key_range = ~0ull) {
+  Rng rng(seed);
+  std::vector<KV> records(n);
+  for (auto& kv : records) {
+    kv.key = key_range == ~0ull ? rng() : rng.uniform_u64(key_range);
+    kv.value = rng();
+  }
+  return records;
+}
+
+/// Gathers the sorted output and checks global order + multiset equality.
+void expect_sorted_permutation(Cluster& cluster, std::vector<KV> input) {
+  std::vector<KV> output;
+  for (MachineId id = 0; id < cluster.num_machines(); ++id) {
+    const auto part = cluster.store(id).get_vector<KV>("out");
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end(), kv_less));
+    if (!output.empty() && !part.empty()) {
+      EXPECT_FALSE(kv_less(part.front(), output.back()))
+          << "blocks out of order at machine " << id;
+    }
+    output.insert(output.end(), part.begin(), part.end());
+  }
+  std::sort(input.begin(), input.end(), kv_less);
+  EXPECT_EQ(output, input);
+}
+
+class SampleSortTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SampleSortTest, SortsRandomRecords) {
+  const auto [machines, n] = GetParam();
+  Cluster cluster(ClusterConfig{machines, 1 << 18, true});
+  const auto input = random_records(n, 1234 + n);
+  scatter_vector(cluster, "in", input);
+  sample_sort_kv(cluster, "in", "out");
+  expect_sorted_permutation(cluster, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SampleSortTest,
+    ::testing::Values(std::make_tuple(1, 100), std::make_tuple(2, 0),
+                      std::make_tuple(3, 1), std::make_tuple(4, 1000),
+                      std::make_tuple(8, 2048), std::make_tuple(5, 77)));
+
+TEST(SampleSort, HeavyDuplicateKeys) {
+  Cluster cluster(ClusterConfig{4, 1 << 18, true});
+  const auto input = random_records(500, 99, /*key_range=*/3);
+  scatter_vector(cluster, "in", input);
+  sample_sort_kv(cluster, "in", "out");
+  expect_sorted_permutation(cluster, input);
+}
+
+TEST(SampleSort, AlreadySortedInput) {
+  Cluster cluster(ClusterConfig{4, 1 << 18, true});
+  std::vector<KV> input(300);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = KV{i, i};
+  }
+  scatter_vector(cluster, "in", input);
+  sample_sort_kv(cluster, "in", "out");
+  expect_sorted_permutation(cluster, input);
+}
+
+TEST(SampleSort, ConstantRoundCount) {
+  // Round count must not grow with n: sample + select + broadcast(fanout 4
+  // over 4 machines: 1 exchange + 1 persist) + route + local = 6.
+  for (const std::size_t n : {64u, 512u, 4096u}) {
+    Cluster cluster(ClusterConfig{4, 1 << 20, true});
+    scatter_vector(cluster, "in", random_records(n, n));
+    sample_sort_kv(cluster, "in", "out");
+    EXPECT_EQ(cluster.stats().rounds(), 6u) << "n=" << n;
+  }
+}
+
+TEST(SampleSort, DeterministicAcrossRuns) {
+  std::vector<std::vector<KV>> runs;
+  for (int run = 0; run < 2; ++run) {
+    Cluster cluster(ClusterConfig{4, 1 << 18, true});
+    scatter_vector(cluster, "in", random_records(200, 5));
+    sample_sort_kv(cluster, "in", "out");
+    runs.push_back(gather_vector<KV>(cluster, "out"));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(SampleSort, LoadIsRoughlyBalanced) {
+  Cluster cluster(ClusterConfig{8, 1 << 18, true});
+  const std::size_t n = 4096;
+  scatter_vector(cluster, "in", random_records(n, 7));
+  sample_sort_kv(cluster, "in", "out");
+  std::size_t largest = 0;
+  for (MachineId id = 0; id < 8; ++id) {
+    largest = std::max(largest,
+                       cluster.store(id).get_vector<KV>("out").size());
+  }
+  // Perfect balance would be 512; random splitters typically stay under 3x.
+  EXPECT_LT(largest, 3 * n / 8);
+}
+
+}  // namespace
+}  // namespace mpte::mpc

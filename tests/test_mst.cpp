@@ -1,0 +1,125 @@
+#include "apps/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/union_find.hpp"
+#include "core/embedder.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+/// A spanning tree has n-1 edges and connects everything.
+void expect_spanning(const MstResult& mst, std::size_t n) {
+  ASSERT_EQ(mst.edges.size(), n - 1);
+  UnionFind uf(n);
+  for (const MstEdge& e : mst.edges) {
+    EXPECT_TRUE(uf.unite(e.u, e.v)) << "cycle edge " << e.u << "-" << e.v;
+  }
+  EXPECT_EQ(uf.num_sets(), 1u);
+}
+
+TEST(ExactMst, TrivialCases) {
+  EXPECT_TRUE(exact_mst(PointSet(1, 2)).edges.empty());
+  EXPECT_TRUE(exact_mst(PointSet{}).edges.empty());
+}
+
+TEST(ExactMst, KnownSquare) {
+  // Unit square: MST cost 3.
+  PointSet points(4, 2, {0, 0, 1, 0, 0, 1, 1, 1});
+  const MstResult mst = exact_mst(points);
+  expect_spanning(mst, 4);
+  EXPECT_NEAR(mst.total_length, 3.0, 1e-12);
+}
+
+TEST(ExactMst, CollinearPoints) {
+  PointSet points(4, 1, {0, 10, 3, 7});
+  const MstResult mst = exact_mst(points);
+  expect_spanning(mst, 4);
+  EXPECT_NEAR(mst.total_length, 10.0, 1e-12);
+}
+
+TEST(ExactMst, MatchesKruskalOnRandomInput) {
+  const PointSet points = generate_uniform_cube(40, 3, 10.0, 3);
+  const MstResult prim = exact_mst(points);
+  // Kruskal reference.
+  struct E {
+    double w;
+    std::size_t u, v;
+  };
+  std::vector<E> edges;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      edges.push_back({l2_distance(points[i], points[j]), i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const E& a, const E& b) { return a.w < b.w; });
+  UnionFind uf(points.size());
+  double kruskal = 0.0;
+  for (const E& e : edges) {
+    if (uf.unite(e.u, e.v)) kruskal += e.w;
+  }
+  EXPECT_NEAR(prim.total_length, kruskal, 1e-9);
+}
+
+TEST(TreeMst, SpansAndDominatesExact) {
+  const PointSet points = generate_uniform_cube(120, 4, 20.0, 5);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 7;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+
+  const MstResult approx = tree_mst(embedding->tree, points);
+  const MstResult exact = exact_mst(points);
+  expect_spanning(approx, points.size());
+  // Any spanning tree costs at least the MST.
+  EXPECT_GE(approx.total_length, exact.total_length - 1e-9);
+}
+
+TEST(TreeMst, ApproximationIsReasonable) {
+  // The O(log^1.5 n) guarantee is about the tree metric; in practice the
+  // representative construction lands within a small factor on uniform
+  // data. We assert a loose ceiling to catch regressions.
+  const PointSet points = generate_uniform_cube(150, 3, 20.0, 11);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 13;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+  const double approx = tree_mst(embedding->tree, points).total_length;
+  const double exact = exact_mst(points).total_length;
+  EXPECT_LT(approx / exact, 10.0);
+}
+
+TEST(TreeMst, MismatchedInputsThrow) {
+  const PointSet points = generate_uniform_cube(20, 3, 10.0, 17);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+  const PointSet fewer = generate_uniform_cube(10, 3, 10.0, 19);
+  EXPECT_THROW((void)tree_mst(embedding->tree, fewer), MpteError);
+}
+
+TEST(TreeMst, ClusteredDataStaysTight) {
+  // On two far blobs the tree MST must use exactly one long edge.
+  const PointSet points = generate_two_blobs(60, 3, 1000.0, 1.0, 23);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = 29;
+  const auto embedding = embed(points, options);
+  ASSERT_TRUE(embedding.ok());
+  const MstResult approx = tree_mst(embedding->tree, points);
+  std::size_t long_edges = 0;
+  for (const MstEdge& e : approx.edges) {
+    if (e.length > 500.0) ++long_edges;
+  }
+  EXPECT_EQ(long_edges, 1u);
+}
+
+}  // namespace
+}  // namespace mpte

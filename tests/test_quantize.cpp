@@ -1,0 +1,105 @@
+#include "geometry/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.hpp"
+#include "geometry/generators.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(Quantize, CoordinatesLandOnIntegerGrid) {
+  const PointSet points = generate_uniform_cube(100, 3, 50.0, 7);
+  const Quantized q = quantize_to_grid(points, 1024);
+  EXPECT_EQ(q.delta, 1024u);
+  for (std::size_t i = 0; i < q.points.size(); ++i) {
+    for (std::size_t j = 0; j < q.points.dim(); ++j) {
+      const double c = q.points.coord(i, j);
+      EXPECT_NEAR(c, std::round(c), 0.0);
+      EXPECT_GE(c, 1.0);
+      EXPECT_LE(c, 1024.0);
+    }
+  }
+}
+
+TEST(Quantize, ScaleBackReconstructsWidths) {
+  PointSet points(2, 1, {0.0, 100.0});
+  const Quantized q = quantize_to_grid(points, 101);
+  // Cell = 100/100 = 1; the two points land on 1 and 101.
+  EXPECT_EQ(q.points.coord(0, 0), 1.0);
+  EXPECT_EQ(q.points.coord(1, 0), 101.0);
+  EXPECT_NEAR(q.scale_back, 1.0, 1e-12);
+  EXPECT_NEAR(l2_distance(q.points[0], q.points[1]) * q.scale_back, 100.0,
+              1e-9);
+}
+
+TEST(Quantize, RoundingErrorWithinHalfCell) {
+  const PointSet points = generate_uniform_cube(200, 4, 9.0, 11);
+  const Quantized q = quantize_to_grid(points, 256);
+  EXPECT_LE(q.max_rounding_error, q.scale_back / 2.0 + 1e-12);
+}
+
+TEST(Quantize, DistancePerturbationBounded) {
+  const PointSet points = generate_uniform_cube(64, 3, 100.0, 13);
+  const Quantized q = quantize_to_grid(points, 1 << 14);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const double orig = l2_distance(points[i], points[j]);
+      const double snapped =
+          l2_distance(q.points[i], q.points[j]) * q.scale_back;
+      const double slack =
+          std::sqrt(3.0) * q.scale_back;  // sqrt(d) * cell bound
+      EXPECT_NEAR(snapped, orig, slack + 1e-9);
+    }
+  }
+}
+
+TEST(Quantize, DegenerateIdenticalPoints) {
+  PointSet points(3, 2, {5, 5, 5, 5, 5, 5});
+  const Quantized q = quantize_to_grid(points, 16);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.points.coord(i, 0), 1.0);
+    EXPECT_EQ(q.points.coord(i, 1), 1.0);
+  }
+}
+
+TEST(Quantize, InvalidArgumentsThrow) {
+  PointSet points(2, 1, {0.0, 1.0});
+  EXPECT_THROW(quantize_to_grid(points, 1), MpteError);
+  EXPECT_THROW(quantize_to_grid(PointSet{}, 16), MpteError);
+}
+
+TEST(RecommendedDelta, ScalesWithPrecision) {
+  const PointSet points = generate_uniform_cube(50, 2, 10.0, 17);
+  const std::uint64_t coarse = recommended_delta(points, 0.5, 1 << 30);
+  const std::uint64_t fine = recommended_delta(points, 0.01, 1 << 30);
+  EXPECT_GT(fine, coarse);
+  // Halving eps roughly doubles delta.
+  EXPECT_GT(fine, 10 * coarse);
+}
+
+TEST(RecommendedDelta, ClampsToMax) {
+  const PointSet points = generate_uniform_cube(50, 2, 10.0, 19);
+  EXPECT_LE(recommended_delta(points, 1e-9, 4096), 4096u);
+}
+
+TEST(RecommendedDelta, PreservesPairwiseDistancesWithinEps) {
+  const PointSet points = generate_uniform_cube(32, 3, 10.0, 23);
+  const double eps = 0.05;
+  const std::uint64_t delta = recommended_delta(points, eps, 1 << 22);
+  const Quantized q = quantize_to_grid(points, delta);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double orig = l2_distance(points[i], points[j]);
+      const double snapped =
+          l2_distance(q.points[i], q.points[j]) * q.scale_back;
+      EXPECT_LE(std::abs(snapped - orig), eps * orig + 1e-9)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpte

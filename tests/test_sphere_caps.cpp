@@ -1,0 +1,103 @@
+#include "partition/sphere_caps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(SphereSampling, PointsLieOnSphere) {
+  Rng rng(1);
+  for (const std::size_t d : {1u, 2u, 3u, 16u, 100u}) {
+    const auto v = sample_unit_sphere(rng, d);
+    ASSERT_EQ(v.size(), d);
+    double norm_sq = 0.0;
+    for (const double x : v) norm_sq += x * x;
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12) << "d=" << d;
+  }
+  EXPECT_THROW((void)sample_unit_sphere(rng, 0), MpteError);
+}
+
+TEST(SphereSampling, CoordinateIsUnbiased) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += sample_unit_sphere(rng, 5)[0];
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(BallSampling, PointsLieInBall) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = sample_unit_ball(rng, 4);
+    double norm_sq = 0.0;
+    for (const double x : v) norm_sq += x * x;
+    EXPECT_LE(norm_sq, 1.0 + 1e-12);
+  }
+}
+
+TEST(BallSampling, RadiusDistributionIsVolumetric) {
+  // Pr[|x| <= r] = r^d: the median radius in d dims is 2^{-1/d}.
+  Rng rng(4);
+  const std::size_t d = 6;
+  std::vector<double> radii;
+  for (int i = 0; i < 8000; ++i) {
+    const auto v = sample_unit_ball(rng, d);
+    double norm_sq = 0.0;
+    for (const double x : v) norm_sq += x * x;
+    radii.push_back(std::sqrt(norm_sq));
+  }
+  std::nth_element(radii.begin(), radii.begin() + radii.size() / 2,
+                   radii.end());
+  EXPECT_NEAR(radii[radii.size() / 2],
+              std::pow(0.5, 1.0 / static_cast<double>(d)), 0.01);
+}
+
+TEST(EquatorBand, TwoDimensionalClosedForm) {
+  // On the circle, Pr[|x_1| <= t] = 2*asin(t)/pi.
+  const double t = 0.3;
+  const double estimate = equator_band_probability(2, t, 40000, 5, true);
+  EXPECT_NEAR(estimate, 2.0 * std::asin(t) / std::numbers::pi, 0.01);
+}
+
+TEST(EquatorBand, Lemma4BoundHoldsAcrossDimensions) {
+  // Pr[|u_1| <= t] <= C * sqrt(d) * t with a modest universal C.
+  for (const std::size_t d : {2u, 4u, 8u, 32u, 128u}) {
+    for (const double t : {0.02, 0.05, 0.1}) {
+      const double p = equator_band_probability(d, t, 20000, 7 + d, true);
+      EXPECT_LE(p, 1.2 * lemma4_bound(d, t) + 0.02)
+          << "d=" << d << " t=" << t;
+    }
+  }
+}
+
+TEST(EquatorBand, Lemma5BallVersionHolds) {
+  for (const std::size_t d : {2u, 8u, 64u}) {
+    const double t = 0.05;
+    const double p = equator_band_probability(d, t, 20000, 11 + d, false);
+    EXPECT_LE(p, 1.2 * lemma4_bound(d, t) + 0.02) << "d=" << d;
+  }
+}
+
+TEST(EquatorBand, ScalesLinearlyInBand) {
+  // Doubling the band roughly doubles the probability (small-band regime).
+  const std::size_t d = 16;
+  const double p1 = equator_band_probability(d, 0.02, 60000, 13, true);
+  const double p2 = equator_band_probability(d, 0.04, 60000, 13, true);
+  EXPECT_NEAR(p2 / p1, 2.0, 0.35);
+}
+
+TEST(EquatorBand, SqrtDScaling) {
+  // At fixed band, probability grows like sqrt(d): quadrupling d should
+  // roughly double it (while both stay small).
+  const double t = 0.02;
+  const double p4 = equator_band_probability(4, t, 60000, 17, true);
+  const double p64 = equator_band_probability(64, t, 60000, 17, true);
+  EXPECT_NEAR(p64 / p4, 4.0, 1.5);  // sqrt(64/4) = 4
+}
+
+}  // namespace
+}  // namespace mpte

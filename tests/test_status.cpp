@@ -1,0 +1,66 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpte {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kCoverageFailure, "level 3 bucket 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCoverageFailure);
+  EXPECT_EQ(s.message(), "level 3 bucket 1");
+  EXPECT_EQ(s.to_string(), "coverage-failure: level 3 bucket 1");
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kCoverageFailure), "coverage-failure");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(to_string(StatusCode::kResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(StatusCode::kInvalidArgument, "bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, UnwrappingErrorThrows) {
+  Result<int> r(Status(StatusCode::kInternal, "boom"));
+  EXPECT_THROW((void)r.value(), MpteError);
+}
+
+TEST(Result, ConstructingFromOkStatusThrows) {
+  EXPECT_THROW(Result<int>{Status::Ok()}, MpteError);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,103 @@
+// Whole-stack system test, driven the way a downstream user would drive
+// the library: generate data, write/read CSV, embed, persist, reload, and
+// run every application off the reloaded embedding — nothing may depend on
+// in-process state that persistence would lose.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mpte.hpp"
+
+namespace mpte {
+namespace {
+
+TEST(SystemEndToEnd, CsvEmbedPersistQueryApps) {
+  const std::string csv_path = "/tmp/mpte_system_test.csv";
+  const std::string emb_path = "/tmp/mpte_system_test.emb";
+
+  // 1. Data to disk and back.
+  const PointSet original =
+      generate_gaussian_clusters(120, 6, 4, 300.0, 2.0, 71);
+  write_csv_points_file(original, csv_path);
+  const PointSet points = read_csv_points_file(csv_path);
+  ASSERT_EQ(points.raw(), original.raw());
+
+  // 2. Embed and persist.
+  EmbedOptions options;
+  options.seed = 73;
+  const auto built = embed(points, options);
+  ASSERT_TRUE(built.ok()) << built.status().to_string();
+  save_embedding(*built, emb_path);
+
+  // 3. Reload; the tree metric must survive byte-exactly.
+  const Embedding embedding = load_embedding(emb_path);
+  EXPECT_TRUE(embedding.tree.validate().ok());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(embedding.distance(i, i + 50), built->distance(i, i + 50));
+  }
+
+  // 4. Fast distance index agrees with the tree walk.
+  const LcaIndex index(embedding.tree);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(index.distance(i, 119 - i),
+                embedding.tree.distance(i, 119 - i), 1e-9);
+  }
+
+  // 5. Applications off the reloaded embedding.
+  const MstResult mst = tree_mst(embedding.tree, points);
+  EXPECT_EQ(mst.edges.size(), points.size() - 1);
+
+  const auto kcenters = tree_kcenter(embedding.tree, points, 4);
+  EXPECT_LE(kcenters.centers.size(), 4u);
+  EXPECT_LT(kcenters.radius, 400.0);
+
+  const auto kmed = tree_kmedian_dp(embedding.tree, 4);
+  EXPECT_EQ(kmed.medians.size(), 4u);
+
+  const auto ball = densest_ball_tree(
+      embedding.tree, 50.0 / embedding.scale_to_input);
+  EXPECT_GE(ball.count, 1u);
+
+  const auto nn = tree_nearest_neighbor(embedding.tree, points, 0, 12);
+  EXPECT_NE(nn.neighbor, 0u);
+
+  const double emd = tree_emd_split(embedding.tree, 60);
+  EXPECT_GT(emd, 0.0);
+
+  std::remove(csv_path.c_str());
+  std::remove(emb_path.c_str());
+}
+
+TEST(SystemEndToEnd, MpcPipelineFeedsSameApplications) {
+  // The MPC-built tree is a drop-in replacement for the sequential one.
+  const PointSet points = generate_uniform_cube(90, 5, 40.0, 77);
+  mpc::Cluster cluster(mpc::ClusterConfig{6, 1 << 22, true});
+  MpcEmbedOptions options;
+  options.seed = 79;
+  options.use_fjlt = false;
+  const auto result = mpc_embed(cluster, points, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+
+  const MstResult mst = tree_mst(result->tree, points);
+  EXPECT_EQ(mst.edges.size(), points.size() - 1);
+  EXPECT_GE(mst.total_length, exact_mst(points).total_length - 1e-9);
+
+  const auto nn = tree_nearest_neighbor(result->tree, points, 5, 8);
+  EXPECT_NE(nn.neighbor, 5u);
+
+  const LcaIndex index(result->tree);
+  EXPECT_NEAR(index.distance(1, 2), result->tree.distance(1, 2), 1e-9);
+}
+
+TEST(SystemEndToEnd, UmbrellaHeaderExposesEverything) {
+  // Compile-time surface check: the umbrella header must make every
+  // public entry point reachable (this test existing proves it compiles).
+  const PointSet points = generate_two_blobs(16, 3, 100.0, 1.0, 81);
+  const auto ensemble = EmbeddingEnsemble::build(points, EmbedOptions{}, 2);
+  ASSERT_TRUE(ensemble.ok());
+  EXPECT_LE(ensemble->min_distance(0, 8),
+            ensemble->expected_distance(0, 8) + 1e-12);
+}
+
+}  // namespace
+}  // namespace mpte

@@ -1,0 +1,190 @@
+// mpte_cli — command-line front end to the library.
+//
+//   mpte_cli generate <n> <dim> <kind> <out.csv> [seed]
+//       kind: uniform | clusters | blobs | subspace
+//   mpte_cli embed <in.csv> <out.tree> [method] [seed]
+//       method: hybrid (default) | grid | ball
+//       Writes the tree plus its input-unit scale; prints pipeline stats.
+//   mpte_cli stats <tree>
+//   mpte_cli query <tree> <i> <j>
+//   mpte_cli distortion <tree> <in.csv>
+//
+// Exit codes: 0 success, 1 usage, 2 runtime failure (including the
+// Theorem-1 coverage-failure report).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/embedder.hpp"
+#include "core/embedding_io.hpp"
+#include "geometry/csv_io.hpp"
+#include "geometry/generators.hpp"
+#include "tree/distortion.hpp"
+#include "tree/embedding_builder.hpp"
+#include "tree/hst_io.hpp"
+
+namespace {
+
+using namespace mpte;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mpte_cli generate <n> <dim> "
+               "<uniform|clusters|blobs|subspace> <out.csv> [seed]\n"
+               "  mpte_cli embed <in.csv> <out.tree> [hybrid|grid|ball] "
+               "[seed]\n"
+               "  mpte_cli stats <tree>\n"
+               "  mpte_cli query <tree> <i> <j>\n"
+               "  mpte_cli distortion <tree> <in.csv>\n");
+  return 1;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const auto n = static_cast<std::size_t>(std::atoll(argv[2]));
+  const auto dim = static_cast<std::size_t>(std::atoll(argv[3]));
+  const std::string kind = argv[4];
+  const std::string path = argv[5];
+  const std::uint64_t seed =
+      argc > 6 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : 1;
+
+  PointSet points;
+  if (kind == "uniform") {
+    points = generate_uniform_cube(n, dim, 100.0, seed);
+  } else if (kind == "clusters") {
+    points = generate_gaussian_clusters(n, dim, 8, 100.0, 1.0, seed);
+  } else if (kind == "blobs") {
+    points = generate_two_blobs(n, dim, 100.0, 1.0, seed);
+  } else if (kind == "subspace") {
+    points = generate_subspace(n, dim, std::max<std::size_t>(2, dim / 8),
+                               100.0, 0.1, seed);
+  } else {
+    return usage();
+  }
+  write_csv_points_file(points, path);
+  std::printf("wrote %zu x %zu points to %s\n", points.size(), points.dim(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_embed(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const PointSet points = read_csv_points_file(argv[2]);
+  EmbedOptions options;
+  if (argc > 4) {
+    const std::string method = argv[4];
+    if (method == "grid") {
+      options.method = PartitionMethod::kGrid;
+    } else if (method == "ball") {
+      options.method = PartitionMethod::kBall;
+    } else if (method == "hybrid") {
+      options.method = PartitionMethod::kHybrid;
+    } else {
+      return usage();
+    }
+  }
+  if (argc > 5) options.seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+
+  const auto result = embed(points, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "embed failed: %s\n",
+                 result.status().to_string().c_str());
+    return 2;
+  }
+  save_embedding(*result, argv[3], /*include_points=*/false);
+  const HstShape shape = hst_shape(result->tree);
+  std::printf("embedded %zu points (R^%zu -> dim %zu, fjlt=%s, delta=%llu, "
+              "r=%u, U=%zu)\n",
+              points.size(), points.dim(), result->dim_used,
+              result->fjlt_applied ? "yes" : "no",
+              static_cast<unsigned long long>(result->delta_used),
+              result->buckets_used, result->grids_used);
+  std::printf("tree: %zu nodes, depth %zu -> %s\n", shape.nodes, shape.depth,
+              argv[3]);
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Embedding embedding = load_embedding(argv[2]);
+  const Hst& tree = embedding.tree;
+  const double scale = embedding.scale_to_input;
+  const HstShape shape = hst_shape(tree);
+  std::printf("points:        %zu\n", tree.num_points());
+  std::printf("nodes:         %zu (%zu internal, %zu leaves)\n", shape.nodes,
+              shape.internal_nodes, shape.leaves);
+  std::printf("depth:         %zu\n", shape.depth);
+  std::printf("max branching: %zu\n", shape.max_branching);
+  std::printf("unit scale:    %.17g\n", scale);
+  const Status valid = tree.validate();
+  std::printf("validate:      %s\n", valid.ok() ? "ok" : valid.to_string().c_str());
+  return valid.ok() ? 0 : 2;
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const Embedding embedding = load_embedding(argv[2]);
+  const Hst& tree = embedding.tree;
+  const double scale = embedding.scale_to_input;
+  const auto i = static_cast<std::size_t>(std::atoll(argv[3]));
+  const auto j = static_cast<std::size_t>(std::atoll(argv[4]));
+  if (i >= tree.num_points() || j >= tree.num_points()) {
+    std::fprintf(stderr, "point index out of range (n=%zu)\n",
+                 tree.num_points());
+    return 2;
+  }
+  std::printf("dist_T(%zu, %zu) = %.17g\n", i, j,
+              tree.distance(i, j) * scale);
+  return 0;
+}
+
+int cmd_distortion(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const Embedding embedding = load_embedding(argv[2]);
+  const Hst& tree = embedding.tree;
+  const double scale = embedding.scale_to_input;
+  const PointSet points = read_csv_points_file(argv[3]);
+  if (points.size() != tree.num_points()) {
+    std::fprintf(stderr, "csv has %zu points but tree embeds %zu\n",
+                 points.size(), tree.num_points());
+    return 2;
+  }
+  // Ratios against the original input distances, in input units.
+  const auto pairs = sample_pairs(points.size(), 20000, 1);
+  double min_ratio = 1e300, max_ratio = 0.0, sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& [i, j] : pairs) {
+    const double true_dist = l2_distance(points[i], points[j]);
+    if (true_dist == 0.0) continue;
+    const double ratio = tree.distance(i, j) * scale / true_dist;
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+    sum += ratio;
+    ++counted;
+  }
+  std::printf("pairs: %zu\nmin ratio:  %.4f\nmean ratio: %.4f\n"
+              "max ratio:  %.4f\n",
+              counted, min_ratio, sum / static_cast<double>(counted),
+              max_ratio);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string command = argv[1];
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "embed") return cmd_embed(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "query") return cmd_query(argc, argv);
+    if (command == "distortion") return cmd_distortion(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
