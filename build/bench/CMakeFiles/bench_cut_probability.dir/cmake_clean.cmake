@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cut_probability.dir/bench_cut_probability.cpp.o"
+  "CMakeFiles/bench_cut_probability.dir/bench_cut_probability.cpp.o.d"
+  "bench_cut_probability"
+  "bench_cut_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cut_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distortion_vs_r.dir/bench_distortion_vs_r.cpp.o"
+  "CMakeFiles/bench_distortion_vs_r.dir/bench_distortion_vs_r.cpp.o.d"
+  "bench_distortion_vs_r"
+  "bench_distortion_vs_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distortion_vs_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embed_throughput.dir/bench_embed_throughput.cpp.o"
+  "CMakeFiles/bench_embed_throughput.dir/bench_embed_throughput.cpp.o.d"
+  "bench_embed_throughput"
+  "bench_embed_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embed_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fjlt.dir/bench_fjlt.cpp.o"
+  "CMakeFiles/bench_fjlt.dir/bench_fjlt.cpp.o.d"
+  "bench_fjlt"
+  "bench_fjlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fjlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

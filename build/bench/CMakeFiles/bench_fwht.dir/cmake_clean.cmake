@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fwht.dir/bench_fwht.cpp.o"
+  "CMakeFiles/bench_fwht.dir/bench_fwht.cpp.o.d"
+  "bench_fwht"
+  "bench_fwht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fwht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_extremes.dir/bench_hybrid_extremes.cpp.o"
+  "CMakeFiles/bench_hybrid_extremes.dir/bench_hybrid_extremes.cpp.o.d"
+  "bench_hybrid_extremes"
+  "bench_hybrid_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpc_apps.dir/bench_mpc_apps.cpp.o"
+  "CMakeFiles/bench_mpc_apps.dir/bench_mpc_apps.cpp.o.d"
+  "bench_mpc_apps"
+  "bench_mpc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpc_primitives.dir/bench_mpc_primitives.cpp.o"
+  "CMakeFiles/bench_mpc_primitives.dir/bench_mpc_primitives.cpp.o.d"
+  "bench_mpc_primitives"
+  "bench_mpc_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpc_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

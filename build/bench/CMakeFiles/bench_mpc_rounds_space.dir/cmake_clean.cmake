@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpc_rounds_space.dir/bench_mpc_rounds_space.cpp.o"
+  "CMakeFiles/bench_mpc_rounds_space.dir/bench_mpc_rounds_space.cpp.o.d"
+  "bench_mpc_rounds_space"
+  "bench_mpc_rounds_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpc_rounds_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/densest_ball_anomaly.dir/densest_ball_anomaly.cpp.o"
+  "CMakeFiles/densest_ball_anomaly.dir/densest_ball_anomaly.cpp.o.d"
+  "densest_ball_anomaly"
+  "densest_ball_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/densest_ball_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for densest_ball_anomaly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emd_image_retrieval.dir/emd_image_retrieval.cpp.o"
+  "CMakeFiles/emd_image_retrieval.dir/emd_image_retrieval.cpp.o.d"
+  "emd_image_retrieval"
+  "emd_image_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emd_image_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_applications_demo.dir/mpc_applications_demo.cpp.o"
+  "CMakeFiles/mpc_applications_demo.dir/mpc_applications_demo.cpp.o.d"
+  "mpc_applications_demo"
+  "mpc_applications_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_applications_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_pipeline_demo.dir/mpc_pipeline_demo.cpp.o"
+  "CMakeFiles/mpc_pipeline_demo.dir/mpc_pipeline_demo.cpp.o.d"
+  "mpc_pipeline_demo"
+  "mpc_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_clustering.dir/mst_clustering.cpp.o"
+  "CMakeFiles/mst_clustering.dir/mst_clustering.cpp.o.d"
+  "mst_clustering"
+  "mst_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/densest_ball.cpp" "src/CMakeFiles/mpte_apps.dir/apps/densest_ball.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/densest_ball.cpp.o.d"
+  "/root/repo/src/apps/emd.cpp" "src/CMakeFiles/mpte_apps.dir/apps/emd.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/emd.cpp.o.d"
+  "/root/repo/src/apps/kcenter.cpp" "src/CMakeFiles/mpte_apps.dir/apps/kcenter.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/kcenter.cpp.o.d"
+  "/root/repo/src/apps/kmedian.cpp" "src/CMakeFiles/mpte_apps.dir/apps/kmedian.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/kmedian.cpp.o.d"
+  "/root/repo/src/apps/min_cost_flow.cpp" "src/CMakeFiles/mpte_apps.dir/apps/min_cost_flow.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/min_cost_flow.cpp.o.d"
+  "/root/repo/src/apps/mpc_apps.cpp" "src/CMakeFiles/mpte_apps.dir/apps/mpc_apps.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/mpc_apps.cpp.o.d"
+  "/root/repo/src/apps/mst.cpp" "src/CMakeFiles/mpte_apps.dir/apps/mst.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/mst.cpp.o.d"
+  "/root/repo/src/apps/nearest_neighbor.cpp" "src/CMakeFiles/mpte_apps.dir/apps/nearest_neighbor.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/nearest_neighbor.cpp.o.d"
+  "/root/repo/src/apps/union_find.cpp" "src/CMakeFiles/mpte_apps.dir/apps/union_find.cpp.o" "gcc" "src/CMakeFiles/mpte_apps.dir/apps/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_apps.dir/apps/densest_ball.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/densest_ball.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/emd.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/emd.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/kcenter.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/kcenter.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/kmedian.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/kmedian.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/min_cost_flow.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/min_cost_flow.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/mpc_apps.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/mpc_apps.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/mst.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/mst.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/nearest_neighbor.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/nearest_neighbor.cpp.o.d"
+  "CMakeFiles/mpte_apps.dir/apps/union_find.cpp.o"
+  "CMakeFiles/mpte_apps.dir/apps/union_find.cpp.o.d"
+  "libmpte_apps.a"
+  "libmpte_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/math_util.cpp" "src/CMakeFiles/mpte_common.dir/common/math_util.cpp.o" "gcc" "src/CMakeFiles/mpte_common.dir/common/math_util.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/mpte_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/mpte_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "src/CMakeFiles/mpte_common.dir/common/serialize.cpp.o" "gcc" "src/CMakeFiles/mpte_common.dir/common/serialize.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/mpte_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/mpte_common.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/mpte_common.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/mpte_common.dir/common/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

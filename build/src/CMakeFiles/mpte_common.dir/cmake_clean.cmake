@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_common.dir/common/math_util.cpp.o"
+  "CMakeFiles/mpte_common.dir/common/math_util.cpp.o.d"
+  "CMakeFiles/mpte_common.dir/common/rng.cpp.o"
+  "CMakeFiles/mpte_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/mpte_common.dir/common/serialize.cpp.o"
+  "CMakeFiles/mpte_common.dir/common/serialize.cpp.o.d"
+  "CMakeFiles/mpte_common.dir/common/status.cpp.o"
+  "CMakeFiles/mpte_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/mpte_common.dir/common/timer.cpp.o"
+  "CMakeFiles/mpte_common.dir/common/timer.cpp.o.d"
+  "libmpte_common.a"
+  "libmpte_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpte_common.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedder.cpp" "src/CMakeFiles/mpte_core.dir/core/embedder.cpp.o" "gcc" "src/CMakeFiles/mpte_core.dir/core/embedder.cpp.o.d"
+  "/root/repo/src/core/embedding_io.cpp" "src/CMakeFiles/mpte_core.dir/core/embedding_io.cpp.o" "gcc" "src/CMakeFiles/mpte_core.dir/core/embedding_io.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/CMakeFiles/mpte_core.dir/core/ensemble.cpp.o" "gcc" "src/CMakeFiles/mpte_core.dir/core/ensemble.cpp.o.d"
+  "/root/repo/src/core/mpc_embedder.cpp" "src/CMakeFiles/mpte_core.dir/core/mpc_embedder.cpp.o" "gcc" "src/CMakeFiles/mpte_core.dir/core/mpc_embedder.cpp.o.d"
+  "/root/repo/src/core/mpc_stages.cpp" "src/CMakeFiles/mpte_core.dir/core/mpc_stages.cpp.o" "gcc" "src/CMakeFiles/mpte_core.dir/core/mpc_stages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_core.dir/core/embedder.cpp.o"
+  "CMakeFiles/mpte_core.dir/core/embedder.cpp.o.d"
+  "CMakeFiles/mpte_core.dir/core/embedding_io.cpp.o"
+  "CMakeFiles/mpte_core.dir/core/embedding_io.cpp.o.d"
+  "CMakeFiles/mpte_core.dir/core/ensemble.cpp.o"
+  "CMakeFiles/mpte_core.dir/core/ensemble.cpp.o.d"
+  "CMakeFiles/mpte_core.dir/core/mpc_embedder.cpp.o"
+  "CMakeFiles/mpte_core.dir/core/mpc_embedder.cpp.o.d"
+  "CMakeFiles/mpte_core.dir/core/mpc_stages.cpp.o"
+  "CMakeFiles/mpte_core.dir/core/mpc_stages.cpp.o.d"
+  "libmpte_core.a"
+  "libmpte_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

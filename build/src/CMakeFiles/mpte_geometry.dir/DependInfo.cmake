@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/bounding_box.cpp" "src/CMakeFiles/mpte_geometry.dir/geometry/bounding_box.cpp.o" "gcc" "src/CMakeFiles/mpte_geometry.dir/geometry/bounding_box.cpp.o.d"
+  "/root/repo/src/geometry/csv_io.cpp" "src/CMakeFiles/mpte_geometry.dir/geometry/csv_io.cpp.o" "gcc" "src/CMakeFiles/mpte_geometry.dir/geometry/csv_io.cpp.o.d"
+  "/root/repo/src/geometry/generators.cpp" "src/CMakeFiles/mpte_geometry.dir/geometry/generators.cpp.o" "gcc" "src/CMakeFiles/mpte_geometry.dir/geometry/generators.cpp.o.d"
+  "/root/repo/src/geometry/point_set.cpp" "src/CMakeFiles/mpte_geometry.dir/geometry/point_set.cpp.o" "gcc" "src/CMakeFiles/mpte_geometry.dir/geometry/point_set.cpp.o.d"
+  "/root/repo/src/geometry/quantize.cpp" "src/CMakeFiles/mpte_geometry.dir/geometry/quantize.cpp.o" "gcc" "src/CMakeFiles/mpte_geometry.dir/geometry/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

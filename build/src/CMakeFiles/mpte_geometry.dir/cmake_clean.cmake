@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_geometry.dir/geometry/bounding_box.cpp.o"
+  "CMakeFiles/mpte_geometry.dir/geometry/bounding_box.cpp.o.d"
+  "CMakeFiles/mpte_geometry.dir/geometry/csv_io.cpp.o"
+  "CMakeFiles/mpte_geometry.dir/geometry/csv_io.cpp.o.d"
+  "CMakeFiles/mpte_geometry.dir/geometry/generators.cpp.o"
+  "CMakeFiles/mpte_geometry.dir/geometry/generators.cpp.o.d"
+  "CMakeFiles/mpte_geometry.dir/geometry/point_set.cpp.o"
+  "CMakeFiles/mpte_geometry.dir/geometry/point_set.cpp.o.d"
+  "CMakeFiles/mpte_geometry.dir/geometry/quantize.cpp.o"
+  "CMakeFiles/mpte_geometry.dir/geometry/quantize.cpp.o.d"
+  "libmpte_geometry.a"
+  "libmpte_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

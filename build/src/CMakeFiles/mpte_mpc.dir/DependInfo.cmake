@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/cluster.cpp" "src/CMakeFiles/mpte_mpc.dir/mpc/cluster.cpp.o" "gcc" "src/CMakeFiles/mpte_mpc.dir/mpc/cluster.cpp.o.d"
+  "/root/repo/src/mpc/machine.cpp" "src/CMakeFiles/mpte_mpc.dir/mpc/machine.cpp.o" "gcc" "src/CMakeFiles/mpte_mpc.dir/mpc/machine.cpp.o.d"
+  "/root/repo/src/mpc/primitives.cpp" "src/CMakeFiles/mpte_mpc.dir/mpc/primitives.cpp.o" "gcc" "src/CMakeFiles/mpte_mpc.dir/mpc/primitives.cpp.o.d"
+  "/root/repo/src/mpc/round_stats.cpp" "src/CMakeFiles/mpte_mpc.dir/mpc/round_stats.cpp.o" "gcc" "src/CMakeFiles/mpte_mpc.dir/mpc/round_stats.cpp.o.d"
+  "/root/repo/src/mpc/sort.cpp" "src/CMakeFiles/mpte_mpc.dir/mpc/sort.cpp.o" "gcc" "src/CMakeFiles/mpte_mpc.dir/mpc/sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

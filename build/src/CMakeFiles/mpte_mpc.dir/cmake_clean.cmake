@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_mpc.dir/mpc/cluster.cpp.o"
+  "CMakeFiles/mpte_mpc.dir/mpc/cluster.cpp.o.d"
+  "CMakeFiles/mpte_mpc.dir/mpc/machine.cpp.o"
+  "CMakeFiles/mpte_mpc.dir/mpc/machine.cpp.o.d"
+  "CMakeFiles/mpte_mpc.dir/mpc/primitives.cpp.o"
+  "CMakeFiles/mpte_mpc.dir/mpc/primitives.cpp.o.d"
+  "CMakeFiles/mpte_mpc.dir/mpc/round_stats.cpp.o"
+  "CMakeFiles/mpte_mpc.dir/mpc/round_stats.cpp.o.d"
+  "CMakeFiles/mpte_mpc.dir/mpc/sort.cpp.o"
+  "CMakeFiles/mpte_mpc.dir/mpc/sort.cpp.o.d"
+  "libmpte_mpc.a"
+  "libmpte_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

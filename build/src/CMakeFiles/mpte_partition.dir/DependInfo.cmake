@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/analysis.cpp" "src/CMakeFiles/mpte_partition.dir/partition/analysis.cpp.o" "gcc" "src/CMakeFiles/mpte_partition.dir/partition/analysis.cpp.o.d"
+  "/root/repo/src/partition/ball_partition.cpp" "src/CMakeFiles/mpte_partition.dir/partition/ball_partition.cpp.o" "gcc" "src/CMakeFiles/mpte_partition.dir/partition/ball_partition.cpp.o.d"
+  "/root/repo/src/partition/coverage.cpp" "src/CMakeFiles/mpte_partition.dir/partition/coverage.cpp.o" "gcc" "src/CMakeFiles/mpte_partition.dir/partition/coverage.cpp.o.d"
+  "/root/repo/src/partition/grid_partition.cpp" "src/CMakeFiles/mpte_partition.dir/partition/grid_partition.cpp.o" "gcc" "src/CMakeFiles/mpte_partition.dir/partition/grid_partition.cpp.o.d"
+  "/root/repo/src/partition/hybrid_partition.cpp" "src/CMakeFiles/mpte_partition.dir/partition/hybrid_partition.cpp.o" "gcc" "src/CMakeFiles/mpte_partition.dir/partition/hybrid_partition.cpp.o.d"
+  "/root/repo/src/partition/sphere_caps.cpp" "src/CMakeFiles/mpte_partition.dir/partition/sphere_caps.cpp.o" "gcc" "src/CMakeFiles/mpte_partition.dir/partition/sphere_caps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

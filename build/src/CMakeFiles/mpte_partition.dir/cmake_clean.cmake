@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_partition.dir/partition/analysis.cpp.o"
+  "CMakeFiles/mpte_partition.dir/partition/analysis.cpp.o.d"
+  "CMakeFiles/mpte_partition.dir/partition/ball_partition.cpp.o"
+  "CMakeFiles/mpte_partition.dir/partition/ball_partition.cpp.o.d"
+  "CMakeFiles/mpte_partition.dir/partition/coverage.cpp.o"
+  "CMakeFiles/mpte_partition.dir/partition/coverage.cpp.o.d"
+  "CMakeFiles/mpte_partition.dir/partition/grid_partition.cpp.o"
+  "CMakeFiles/mpte_partition.dir/partition/grid_partition.cpp.o.d"
+  "CMakeFiles/mpte_partition.dir/partition/hybrid_partition.cpp.o"
+  "CMakeFiles/mpte_partition.dir/partition/hybrid_partition.cpp.o.d"
+  "CMakeFiles/mpte_partition.dir/partition/sphere_caps.cpp.o"
+  "CMakeFiles/mpte_partition.dir/partition/sphere_caps.cpp.o.d"
+  "libmpte_partition.a"
+  "libmpte_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

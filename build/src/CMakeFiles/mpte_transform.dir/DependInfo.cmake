@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/dense_jl.cpp" "src/CMakeFiles/mpte_transform.dir/transform/dense_jl.cpp.o" "gcc" "src/CMakeFiles/mpte_transform.dir/transform/dense_jl.cpp.o.d"
+  "/root/repo/src/transform/fjlt.cpp" "src/CMakeFiles/mpte_transform.dir/transform/fjlt.cpp.o" "gcc" "src/CMakeFiles/mpte_transform.dir/transform/fjlt.cpp.o.d"
+  "/root/repo/src/transform/mpc_fjlt.cpp" "src/CMakeFiles/mpte_transform.dir/transform/mpc_fjlt.cpp.o" "gcc" "src/CMakeFiles/mpte_transform.dir/transform/mpc_fjlt.cpp.o.d"
+  "/root/repo/src/transform/sparse_jl.cpp" "src/CMakeFiles/mpte_transform.dir/transform/sparse_jl.cpp.o" "gcc" "src/CMakeFiles/mpte_transform.dir/transform/sparse_jl.cpp.o.d"
+  "/root/repo/src/transform/walsh_hadamard.cpp" "src/CMakeFiles/mpte_transform.dir/transform/walsh_hadamard.cpp.o" "gcc" "src/CMakeFiles/mpte_transform.dir/transform/walsh_hadamard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

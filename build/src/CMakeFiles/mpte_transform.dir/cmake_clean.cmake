@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_transform.dir/transform/dense_jl.cpp.o"
+  "CMakeFiles/mpte_transform.dir/transform/dense_jl.cpp.o.d"
+  "CMakeFiles/mpte_transform.dir/transform/fjlt.cpp.o"
+  "CMakeFiles/mpte_transform.dir/transform/fjlt.cpp.o.d"
+  "CMakeFiles/mpte_transform.dir/transform/mpc_fjlt.cpp.o"
+  "CMakeFiles/mpte_transform.dir/transform/mpc_fjlt.cpp.o.d"
+  "CMakeFiles/mpte_transform.dir/transform/sparse_jl.cpp.o"
+  "CMakeFiles/mpte_transform.dir/transform/sparse_jl.cpp.o.d"
+  "CMakeFiles/mpte_transform.dir/transform/walsh_hadamard.cpp.o"
+  "CMakeFiles/mpte_transform.dir/transform/walsh_hadamard.cpp.o.d"
+  "libmpte_transform.a"
+  "libmpte_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

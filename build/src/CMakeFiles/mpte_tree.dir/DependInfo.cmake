@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/distortion.cpp" "src/CMakeFiles/mpte_tree.dir/tree/distortion.cpp.o" "gcc" "src/CMakeFiles/mpte_tree.dir/tree/distortion.cpp.o.d"
+  "/root/repo/src/tree/embedding_builder.cpp" "src/CMakeFiles/mpte_tree.dir/tree/embedding_builder.cpp.o" "gcc" "src/CMakeFiles/mpte_tree.dir/tree/embedding_builder.cpp.o.d"
+  "/root/repo/src/tree/hst.cpp" "src/CMakeFiles/mpte_tree.dir/tree/hst.cpp.o" "gcc" "src/CMakeFiles/mpte_tree.dir/tree/hst.cpp.o.d"
+  "/root/repo/src/tree/hst_io.cpp" "src/CMakeFiles/mpte_tree.dir/tree/hst_io.cpp.o" "gcc" "src/CMakeFiles/mpte_tree.dir/tree/hst_io.cpp.o.d"
+  "/root/repo/src/tree/lca_index.cpp" "src/CMakeFiles/mpte_tree.dir/tree/lca_index.cpp.o" "gcc" "src/CMakeFiles/mpte_tree.dir/tree/lca_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_tree.dir/tree/distortion.cpp.o"
+  "CMakeFiles/mpte_tree.dir/tree/distortion.cpp.o.d"
+  "CMakeFiles/mpte_tree.dir/tree/embedding_builder.cpp.o"
+  "CMakeFiles/mpte_tree.dir/tree/embedding_builder.cpp.o.d"
+  "CMakeFiles/mpte_tree.dir/tree/hst.cpp.o"
+  "CMakeFiles/mpte_tree.dir/tree/hst.cpp.o.d"
+  "CMakeFiles/mpte_tree.dir/tree/hst_io.cpp.o"
+  "CMakeFiles/mpte_tree.dir/tree/hst_io.cpp.o.d"
+  "CMakeFiles/mpte_tree.dir/tree/lca_index.cpp.o"
+  "CMakeFiles/mpte_tree.dir/tree/lca_index.cpp.o.d"
+  "libmpte_tree.a"
+  "libmpte_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

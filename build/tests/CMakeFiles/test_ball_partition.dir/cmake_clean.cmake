@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ball_partition.dir/test_ball_partition.cpp.o"
+  "CMakeFiles/test_ball_partition.dir/test_ball_partition.cpp.o.d"
+  "test_ball_partition"
+  "test_ball_partition.pdb"
+  "test_ball_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ball_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

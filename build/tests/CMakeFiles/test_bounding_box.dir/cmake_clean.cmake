@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounding_box.dir/test_bounding_box.cpp.o"
+  "CMakeFiles/test_bounding_box.dir/test_bounding_box.cpp.o.d"
+  "test_bounding_box"
+  "test_bounding_box.pdb"
+  "test_bounding_box[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounding_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_jl.dir/test_dense_jl.cpp.o"
+  "CMakeFiles/test_dense_jl.dir/test_dense_jl.cpp.o.d"
+  "test_dense_jl"
+  "test_dense_jl.pdb"
+  "test_dense_jl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_jl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

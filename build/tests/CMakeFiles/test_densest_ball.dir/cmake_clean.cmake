@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_densest_ball.dir/test_densest_ball.cpp.o"
+  "CMakeFiles/test_densest_ball.dir/test_densest_ball.cpp.o.d"
+  "test_densest_ball"
+  "test_densest_ball.pdb"
+  "test_densest_ball[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_densest_ball.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distortion.dir/test_distortion.cpp.o"
+  "CMakeFiles/test_distortion.dir/test_distortion.cpp.o.d"
+  "test_distortion"
+  "test_distortion.pdb"
+  "test_distortion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

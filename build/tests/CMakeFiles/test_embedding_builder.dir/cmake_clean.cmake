@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedding_builder.dir/test_embedding_builder.cpp.o"
+  "CMakeFiles/test_embedding_builder.dir/test_embedding_builder.cpp.o.d"
+  "test_embedding_builder"
+  "test_embedding_builder.pdb"
+  "test_embedding_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedding_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedding_io.dir/test_embedding_io.cpp.o"
+  "CMakeFiles/test_embedding_io.dir/test_embedding_io.cpp.o.d"
+  "test_embedding_io"
+  "test_embedding_io.pdb"
+  "test_embedding_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedding_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emd.dir/test_emd.cpp.o"
+  "CMakeFiles/test_emd.dir/test_emd.cpp.o.d"
+  "test_emd"
+  "test_emd.pdb"
+  "test_emd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

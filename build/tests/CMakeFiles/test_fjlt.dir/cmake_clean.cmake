@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fjlt.dir/test_fjlt.cpp.o"
+  "CMakeFiles/test_fjlt.dir/test_fjlt.cpp.o.d"
+  "test_fjlt"
+  "test_fjlt.pdb"
+  "test_fjlt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fjlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

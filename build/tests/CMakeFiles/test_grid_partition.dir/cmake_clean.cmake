@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_partition.dir/test_grid_partition.cpp.o"
+  "CMakeFiles/test_grid_partition.dir/test_grid_partition.cpp.o.d"
+  "test_grid_partition"
+  "test_grid_partition.pdb"
+  "test_grid_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hst.dir/test_hst.cpp.o"
+  "CMakeFiles/test_hst.dir/test_hst.cpp.o.d"
+  "test_hst"
+  "test_hst.pdb"
+  "test_hst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hst_io.dir/test_hst_io.cpp.o"
+  "CMakeFiles/test_hst_io.dir/test_hst_io.cpp.o.d"
+  "test_hst_io"
+  "test_hst_io.pdb"
+  "test_hst_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hst_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

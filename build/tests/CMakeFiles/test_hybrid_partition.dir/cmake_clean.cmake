@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_partition.dir/test_hybrid_partition.cpp.o"
+  "CMakeFiles/test_hybrid_partition.dir/test_hybrid_partition.cpp.o.d"
+  "test_hybrid_partition"
+  "test_hybrid_partition.pdb"
+  "test_hybrid_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kcenter.cpp" "tests/CMakeFiles/test_kcenter.dir/test_kcenter.cpp.o" "gcc" "tests/CMakeFiles/test_kcenter.dir/test_kcenter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mpte_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mpte_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

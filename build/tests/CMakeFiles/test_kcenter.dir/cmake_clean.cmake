@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcenter.dir/test_kcenter.cpp.o"
+  "CMakeFiles/test_kcenter.dir/test_kcenter.cpp.o.d"
+  "test_kcenter"
+  "test_kcenter.pdb"
+  "test_kcenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

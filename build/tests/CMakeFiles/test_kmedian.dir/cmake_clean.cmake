@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmedian.dir/test_kmedian.cpp.o"
+  "CMakeFiles/test_kmedian.dir/test_kmedian.cpp.o.d"
+  "test_kmedian"
+  "test_kmedian.pdb"
+  "test_kmedian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmedian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lca_index.dir/test_lca_index.cpp.o"
+  "CMakeFiles/test_lca_index.dir/test_lca_index.cpp.o.d"
+  "test_lca_index"
+  "test_lca_index.pdb"
+  "test_lca_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lca_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_cost_flow.dir/test_min_cost_flow.cpp.o"
+  "CMakeFiles/test_min_cost_flow.dir/test_min_cost_flow.cpp.o.d"
+  "test_min_cost_flow"
+  "test_min_cost_flow.pdb"
+  "test_min_cost_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_cost_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_apps.dir/test_mpc_apps.cpp.o"
+  "CMakeFiles/test_mpc_apps.dir/test_mpc_apps.cpp.o.d"
+  "test_mpc_apps"
+  "test_mpc_apps.pdb"
+  "test_mpc_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

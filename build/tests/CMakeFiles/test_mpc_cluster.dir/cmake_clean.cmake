@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_cluster.dir/test_mpc_cluster.cpp.o"
+  "CMakeFiles/test_mpc_cluster.dir/test_mpc_cluster.cpp.o.d"
+  "test_mpc_cluster"
+  "test_mpc_cluster.pdb"
+  "test_mpc_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_embedder.dir/test_mpc_embedder.cpp.o"
+  "CMakeFiles/test_mpc_embedder.dir/test_mpc_embedder.cpp.o.d"
+  "test_mpc_embedder"
+  "test_mpc_embedder.pdb"
+  "test_mpc_embedder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_embedder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

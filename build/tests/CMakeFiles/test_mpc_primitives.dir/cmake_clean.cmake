@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_primitives.dir/test_mpc_primitives.cpp.o"
+  "CMakeFiles/test_mpc_primitives.dir/test_mpc_primitives.cpp.o.d"
+  "test_mpc_primitives"
+  "test_mpc_primitives.pdb"
+  "test_mpc_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

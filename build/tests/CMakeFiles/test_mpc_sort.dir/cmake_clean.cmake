@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_sort.dir/test_mpc_sort.cpp.o"
+  "CMakeFiles/test_mpc_sort.dir/test_mpc_sort.cpp.o.d"
+  "test_mpc_sort"
+  "test_mpc_sort.pdb"
+  "test_mpc_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

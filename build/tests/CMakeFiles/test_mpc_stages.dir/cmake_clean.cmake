@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_stages.dir/test_mpc_stages.cpp.o"
+  "CMakeFiles/test_mpc_stages.dir/test_mpc_stages.cpp.o.d"
+  "test_mpc_stages"
+  "test_mpc_stages.pdb"
+  "test_mpc_stages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_violations.dir/test_mpc_violations.cpp.o"
+  "CMakeFiles/test_mpc_violations.dir/test_mpc_violations.cpp.o.d"
+  "test_mpc_violations"
+  "test_mpc_violations.pdb"
+  "test_mpc_violations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_point_set.dir/test_point_set.cpp.o"
+  "CMakeFiles/test_point_set.dir/test_point_set.cpp.o.d"
+  "test_point_set"
+  "test_point_set.pdb"
+  "test_point_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_point_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

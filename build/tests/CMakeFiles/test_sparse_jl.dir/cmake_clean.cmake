@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_jl.dir/test_sparse_jl.cpp.o"
+  "CMakeFiles/test_sparse_jl.dir/test_sparse_jl.cpp.o.d"
+  "test_sparse_jl"
+  "test_sparse_jl.pdb"
+  "test_sparse_jl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_jl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sphere_caps.dir/test_sphere_caps.cpp.o"
+  "CMakeFiles/test_sphere_caps.dir/test_sphere_caps.cpp.o.d"
+  "test_sphere_caps"
+  "test_sphere_caps.pdb"
+  "test_sphere_caps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sphere_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walsh_hadamard.dir/test_walsh_hadamard.cpp.o"
+  "CMakeFiles/test_walsh_hadamard.dir/test_walsh_hadamard.cpp.o.d"
+  "test_walsh_hadamard"
+  "test_walsh_hadamard.pdb"
+  "test_walsh_hadamard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walsh_hadamard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

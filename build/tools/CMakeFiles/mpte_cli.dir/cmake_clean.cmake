@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpte_cli.dir/mpte_cli.cpp.o"
+  "CMakeFiles/mpte_cli.dir/mpte_cli.cpp.o.d"
+  "mpte_cli"
+  "mpte_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpte_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
