@@ -1,0 +1,222 @@
+// Wall-clock scaling of the shared-memory parallel runtime (mpte::par).
+//
+// Unlike the other benches (which measure algorithmic quantities), this one
+// measures *time*: for cluster round execution and for each parallelized
+// point kernel, it times the 1-thread path and the T-thread path over the
+// same input and reports both plus the speedup. Run on a multi-core host;
+// on a single hardware thread the "speedup" column measures only pool
+// overhead (oversubscribed software threads cannot beat one core).
+//
+// Counters per row (threads = the benchmark Arg):
+//   serial_ms   best-of-reps wall-clock of the 1-thread path
+//   par_ms      best-of-reps wall-clock at `threads`
+//   speedup     serial_ms / par_ms
+//   hw_threads  hardware concurrency of this host, for reading the table
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "geometry/generators.hpp"
+#include "mpc/cluster.hpp"
+#include "partition/ball_partition.hpp"
+#include "partition/grid_partition.hpp"
+#include "transform/dense_jl.hpp"
+#include "transform/sparse_jl.hpp"
+#include "transform/walsh_hadamard.hpp"
+#include "tree/distortion.hpp"
+#include "core/embedder.hpp"
+
+namespace mpte::bench {
+namespace {
+
+/// Best-of-`reps` wall-clock milliseconds of fn().
+template <typename Fn>
+double best_ms(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.milliseconds());
+  }
+  return best;
+}
+
+/// Times `fn` at 1 thread and at `threads` (via the process default, which
+/// every kernel call site resolves), reporting the standard counters.
+template <typename Fn>
+void report_scaling(benchmark::State& state, std::size_t threads, Fn&& fn) {
+  par::set_default_threads(1);
+  const double serial_ms = best_ms(fn);
+  par::set_default_threads(threads);
+  const double par_ms = best_ms(fn);
+  par::set_default_threads(0);
+  state.counters["serial_ms"] = serial_ms;
+  state.counters["par_ms"] = par_ms;
+  state.counters["speedup"] = par_ms > 0.0 ? serial_ms / par_ms : 0.0;
+  state.counters["hw_threads"] =
+      static_cast<double>(par::hardware_threads());
+}
+
+/// Acceptance workload: Cluster::run_round on a 64-machine pipeline whose
+/// per-machine step does real local work (an FWHT over a local buffer),
+/// the shape of every compute round in Algorithm 2.
+void BM_ClusterRoundScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kMachines = 64;
+  constexpr std::size_t kLocalDim = 1 << 12;
+  constexpr std::size_t kRounds = 8;
+  for (auto _ : state) {
+    auto run = [&](std::size_t num_threads) {
+      mpc::ClusterConfig config;
+      config.num_machines = kMachines;
+      config.local_memory_bytes = 1 << 22;
+      config.enforce_limits = false;
+      config.num_threads = num_threads;
+      mpc::Cluster cluster(config);
+      for (mpc::MachineId id = 0; id < kMachines; ++id) {
+        std::vector<double> local(kLocalDim);
+        for (std::size_t i = 0; i < kLocalDim; ++i) {
+          local[i] = static_cast<double>((id + 1) * (i + 1) % 97);
+        }
+        cluster.store(id).set_vector("w", local);
+      }
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        cluster.run_round([](mpc::MachineContext& ctx) {
+          auto local = ctx.store().get_vector<double>("w");
+          fwht_normalized(local);
+          fwht_normalized(local);  // involution: keeps values bounded
+          ctx.store().set_vector("w", local);
+        });
+      }
+    };
+    par::set_default_threads(0);
+    const double serial_ms = best_ms([&] { run(1); });
+    const double par_ms = best_ms([&] { run(threads); });
+    state.counters["serial_ms"] = serial_ms;
+    state.counters["par_ms"] = par_ms;
+    state.counters["speedup"] = par_ms > 0.0 ? serial_ms / par_ms : 0.0;
+    state.counters["hw_threads"] =
+        static_cast<double>(par::hardware_threads());
+  }
+}
+BENCHMARK(BM_ClusterRoundScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Acceptance workload: fwht_points on n = 20k, d = 1024.
+void BM_FwhtPointsScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(20000, 1024, 10.0, 7);
+  for (auto _ : state) {
+    report_scaling(state, threads, [&] {
+      benchmark::DoNotOptimize(fwht_points(points));
+    });
+  }
+}
+BENCHMARK(BM_FwhtPointsScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseJlScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(4000, 512, 10.0, 11);
+  const DenseJl jl(512, 64, 23);
+  for (auto _ : state) {
+    report_scaling(state, threads,
+                   [&] { benchmark::DoNotOptimize(jl.transform(points)); });
+  }
+}
+BENCHMARK(BM_DenseJlScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseJlScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(20000, 512, 10.0, 13);
+  const SparseJl jl(512, 64, 29);
+  for (auto _ : state) {
+    report_scaling(state, threads,
+                   [&] { benchmark::DoNotOptimize(jl.transform(points)); });
+  }
+}
+BENCHMARK(BM_SparseJlScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BallPartitionScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(100000, 12, 8.0, 17);
+  const BallGrids grids(12, 2.0, 64, 31);
+  for (auto _ : state) {
+    report_scaling(state, threads, [&] {
+      benchmark::DoNotOptimize(ball_partition(points, grids));
+    });
+  }
+}
+BENCHMARK(BM_BallPartitionScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GridPartitionScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(200000, 16, 8.0, 19);
+  const ShiftedGrid grid(16, 1.5, 37);
+  for (auto _ : state) {
+    report_scaling(state, threads, [&] {
+      benchmark::DoNotOptimize(grid_partition(points, grid));
+    });
+  }
+}
+BENCHMARK(BM_GridPartitionScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExpectedDistortionScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const PointSet points = generate_uniform_cube(600, 8, 20.0, 3);
+  EmbedOptions options;
+  options.delta = 1024;
+  std::vector<Hst> forest;
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    options.seed = s;
+    auto result = embed(points, options);
+    if (result.ok()) forest.push_back(std::move(result->tree));
+  }
+  for (auto _ : state) {
+    report_scaling(state, threads, [&] {
+      benchmark::DoNotOptimize(
+          measure_expected_distortion(forest, points, 120000, 5));
+    });
+  }
+}
+BENCHMARK(BM_ExpectedDistortionScaling)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

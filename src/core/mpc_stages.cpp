@@ -127,6 +127,20 @@ std::uint64_t compute_paths(MachineContext& ctx, std::size_t dim,
       hybrid_scale_ladder(dim, p.num_buckets, p.delta);
   const auto idx = ctx.store().get_vector<std::uint64_t>("emb/idx");
   const auto data = ctx.store().get_vector<double>("emb/pts");
+  if (idx.empty()) return 0;
+
+  // Construct every (level, bucket) grid set once, outside the point loop:
+  // BallGrids materializes its shift table at construction, so rebuilding
+  // it per point would redo U × bucket_dim hashes per assignment.
+  std::vector<BallGrids> grids_cache;
+  grids_cache.reserve(ladder.levels * p.num_buckets);
+  for (std::size_t level = 1; level <= ladder.levels; ++level) {
+    for (std::uint32_t j = 0; j < p.num_buckets; ++j) {
+      grids_cache.emplace_back(p.bucket_dim, ladder.scales[level],
+                               p.num_grids,
+                               hybrid_grid_seed(p.seed, level, j));
+    }
+  }
 
   std::uint64_t failures = 0;
   std::vector<double> bucket_coords(p.bucket_dim);
@@ -136,9 +150,8 @@ std::uint64_t compute_paths(MachineContext& ctx, std::size_t dim,
     for (std::size_t level = 1; level <= ladder.levels; ++level) {
       const std::uint64_t parent = id;
       for (std::uint32_t j = 0; j < p.num_buckets; ++j) {
-        const BallGrids grids(p.bucket_dim, ladder.scales[level],
-                              p.num_grids,
-                              hybrid_grid_seed(p.seed, level, j));
+        const BallGrids& grids =
+            grids_cache[(level - 1) * p.num_buckets + j];
         // Projection with zero padding past the true dimension
         // (footnote 3), matching PointSet::pad_dims + project.
         for (std::uint32_t t = 0; t < p.bucket_dim; ++t) {

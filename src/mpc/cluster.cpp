@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace mpte::mpc {
 
 std::size_t local_memory_for_input(std::size_t input_bytes, double eps,
@@ -28,18 +30,33 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     throw MpteError("Cluster: need at least one machine");
   }
   machines_.resize(config_.num_machines);
+  outboxes_.resize(config_.num_machines);
+  for (auto& row : outboxes_) row.resize(config_.num_machines);
 }
 
 void Cluster::run_round(const Step& step, std::string label) {
   const std::size_t m = machines_.size();
-  // outboxes[src][dst] = bytes queued from src to dst this round.
-  std::vector<std::vector<std::vector<std::uint8_t>>> outboxes(m);
-
-  for (MachineId id = 0; id < m; ++id) {
-    outboxes[id].assign(m, {});
-    MachineContext ctx(id, m, machines_[id], outboxes[id]);
-    step(ctx);
+  // Reset the reusable outbox matrix; clear() keeps capacity, so rounds
+  // after the first only allocate for payloads that outgrow last round's.
+  for (auto& row : outboxes_) {
+    for (auto& cell : row) cell.clear();
   }
+
+  // Execute the machine steps, possibly concurrently: each step touches
+  // only its own Machine and outbox row, so chunking the rank range over
+  // threads is race-free. An exception from a step (lowest rank wins, as
+  // in serial order) propagates after all steps finish; the audit below
+  // never runs on a failed round.
+  auto& outboxes = outboxes_;
+  par::parallel_for(
+      0, m,
+      [&](std::size_t begin, std::size_t end) {
+        for (MachineId id = begin; id < end; ++id) {
+          MachineContext ctx(id, m, machines_[id], outboxes[id]);
+          step(ctx);
+        }
+      },
+      config_.num_threads);
 
   RoundRecord record;
   record.label = std::move(label);

@@ -9,9 +9,13 @@
 // that exceeds the fully-scalable regime fails loudly in tests rather than
 // silently consuming unrealistic resources.
 //
-// The simulation is sequential (machine order is deterministic), which is
-// sound: MPC prices communication, not intra-round wall-clock, and a fixed
-// execution order makes runs bit-reproducible.
+// Machine steps within a round may execute concurrently on host threads
+// (ClusterConfig::num_threads): steps are SPMD and touch only their own
+// Machine and their own outbox row, so threading them is race-free by
+// construction, and auditing + delivery stay in rank order, so runs remain
+// bit-reproducible at every thread count. This is sound because MPC prices
+// rounds and communication, not intra-round interleaving — see
+// docs/mpc-model.md.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +46,11 @@ struct ClusterConfig {
   /// this off still records stats — useful for measuring how much an
   /// algorithm *would* need.
   bool enforce_limits = true;
+  /// Host threads executing machine steps within a round. 0 = auto
+  /// (MPTE_THREADS env var, else hardware concurrency); 1 = the serial
+  /// path. Results are identical at every setting; only wall-clock
+  /// changes. See par::parallel_for.
+  std::size_t num_threads = 0;
 };
 
 /// Suggested local memory (bytes) for an input of `input_bytes` at exponent
@@ -117,6 +126,11 @@ class Cluster {
   ClusterConfig config_;
   std::vector<Machine> machines_;
   RoundStats stats_;
+  /// Reusable M×M outbox matrix: outboxes_[src][dst] = bytes queued from
+  /// src to dst this round. A member (not a run_round local) so the O(M²)
+  /// vector skeleton is allocated once, not rebuilt every round; cells are
+  /// cleared (capacity kept) between rounds.
+  std::vector<std::vector<std::vector<std::uint8_t>>> outboxes_;
 };
 
 }  // namespace mpte::mpc

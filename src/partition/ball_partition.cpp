@@ -1,8 +1,10 @@
 #include "partition/ball_partition.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
@@ -14,14 +16,23 @@ BallGrids::BallGrids(std::size_t dim, double radius, std::size_t num_grids,
   if (dim == 0) throw MpteError("BallGrids: dim must be >= 1");
   if (radius <= 0.0) throw MpteError("BallGrids: radius must be positive");
   if (num_grids == 0) throw MpteError("BallGrids: need at least one grid");
-}
-
-double BallGrids::shift(std::size_t grid, std::size_t t) const {
-  // 53 mixed bits of hash(seed, grid, t) scaled into [0, cell_width).
-  const std::uint64_t h =
-      hash_combine(hash_combine(mix64(seed_ ^ 0x5ba1ull), grid), t);
-  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
-  return unit * cell_width();
+  // Materialize the num_grids × dim shift table once: assign() reads
+  // shift(u, t) per point per dimension, and the two mix64 chains per
+  // lookup dominated its inner loop. Each entry stays the same pure
+  // function of (seed, u, t) it always was — this is a cache, and the
+  // 32-byte (seed, radius, U, dim) description remains what travels
+  // between machines (Lemma 8 accounting is unchanged).
+  shifts_.resize(num_grids * dim);
+  const double cell = cell_width();
+  for (std::size_t u = 0; u < num_grids; ++u) {
+    for (std::size_t t = 0; t < dim; ++t) {
+      // 53 mixed bits of hash(seed, grid, t) scaled into [0, cell_width).
+      const std::uint64_t h =
+          hash_combine(hash_combine(mix64(seed_ ^ 0x5ba1ull), u), t);
+      const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+      shifts_[u * dim + t] = unit * cell;
+    }
+  }
 }
 
 std::uint64_t BallGrids::assign_counted(std::span<const double> p,
@@ -37,8 +48,9 @@ std::uint64_t BallGrids::assign_counted(std::span<const double> p,
     double dist_sq = 0.0;
     std::uint64_t id = mix64(seed_ ^ (0xba11ull + u));
     bool inside = true;
+    const double* shifts = shifts_.data() + u * dim_;
     for (std::size_t t = 0; t < dim_; ++t) {
-      const double s = shift(u, t);
+      const double s = shifts[t];
       const double z = std::round((p[t] - s) / cell);
       const double center = z * cell + s;
       const double diff = p[t] - center;
@@ -66,12 +78,28 @@ std::uint64_t BallGrids::assign(std::span<const double> p) const {
 BallPartitionResult ball_partition(const PointSet& points,
                                    const BallGrids& grids) {
   BallPartitionResult result;
-  result.ball_of_point.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::uint64_t id =
-        grids.assign_counted(points[i], &result.total_grids_scanned);
-    if (id == kUncovered) ++result.uncovered;
-    result.ball_of_point.push_back(id);
+  const std::size_t n = points.size();
+  result.ball_of_point.resize(n);
+  // Per-point assignments write disjoint slots; the two counters are
+  // accumulated per chunk and merged in chunk order. Both are integer
+  // sums, so the totals are identical at every thread count.
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(par::resolve_threads(0), n));
+  std::vector<std::size_t> uncovered(chunks, 0);
+  std::vector<std::size_t> scanned(chunks, 0);
+  par::parallel_for_chunked(
+      0, n, chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t id =
+              grids.assign_counted(points[i], &scanned[chunk]);
+          if (id == kUncovered) ++uncovered[chunk];
+          result.ball_of_point[i] = id;
+        }
+      });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    result.uncovered += uncovered[c];
+    result.total_grids_scanned += scanned[c];
   }
   return result;
 }

@@ -10,8 +10,11 @@
 // partition/coverage.hpp).
 //
 // The grid shifts are counter-based: shift component (u, t) is a pure
-// function of (seed, u, t), so no shift vector is ever materialized — a
-// "grid set" is 32 bytes of parameters. This is the PRG-seed form of the
+// function of (seed, u, t), so a "grid set" is 32 bytes of parameters —
+// that is what machines exchange. (Locally each BallGrids caches the
+// num_grids × dim shift table at construction so the assignment inner
+// loop indexes instead of rehashing; the cache never leaves the host.)
+// This is the PRG-seed form of the
 // same object the paper stores explicitly (Lemma 8 space accounting);
 // explicit_storage_bytes() reports what explicit storage would cost so the
 // E7 bench can compare against the Lemma-8 budget. Assignment scans grids
@@ -44,9 +47,12 @@ class BallGrids {
   std::size_t num_grids() const { return num_grids_; }
   std::uint64_t seed() const { return seed_; }
 
-  /// Shift component t of grid u, uniform in [0, cell_width); pure function
-  /// of (seed, u, t).
-  double shift(std::size_t grid, std::size_t t) const;
+  /// Shift component t of grid u, uniform in [0, cell_width); a pure
+  /// function of (seed, u, t), precomputed into a table at construction
+  /// (assign() reads it per point per dimension).
+  double shift(std::size_t grid, std::size_t t) const {
+    return shifts_[grid * dim_ + t];
+  }
 
   /// The id of the first ball containing p (hash of grid index and lattice
   /// cell), or kUncovered if no grid covers p. p.size() must equal dim().
@@ -69,6 +75,10 @@ class BallGrids {
   double radius_;
   std::size_t num_grids_;
   std::uint64_t seed_;
+  /// Precomputed shift table, shifts_[u * dim_ + t] = shift(u, t). A local
+  /// cache only — the object's identity (and wire form) is still the
+  /// 32-byte parameter tuple.
+  std::vector<double> shifts_;
 };
 
 /// Result of ball-partitioning a point set at one scale.

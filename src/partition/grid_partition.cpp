@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
@@ -37,11 +38,14 @@ std::uint64_t ShiftedGrid::cell_id(std::span<const double> p) const {
 
 std::vector<std::uint64_t> grid_partition(const PointSet& points,
                                           const ShiftedGrid& grid) {
-  std::vector<std::uint64_t> cells;
-  cells.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    cells.push_back(grid.cell_id(points[i]));
-  }
+  std::vector<std::uint64_t> cells(points.size());
+  // Pure per-point hashing into disjoint slots — parallel over points.
+  par::parallel_for(0, points.size(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        cells[i] = grid.cell_id(points[i]);
+                      }
+                    });
   return cells;
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
@@ -56,11 +57,16 @@ std::vector<double> SparseJl::apply(std::span<const double> p) const {
 
 PointSet SparseJl::transform(const PointSet& points) const {
   PointSet out(points.size(), output_dim_);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto mapped = apply(points[i]);
-    auto dst = out[i];
-    for (std::size_t j = 0; j < output_dim_; ++j) dst[j] = mapped[j];
-  }
+  // Shared read-only CSR matrix, disjoint output rows: parallel over
+  // points, identical results at any thread count.
+  par::parallel_for(
+      0, points.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto mapped = apply(points[i]);
+          auto dst = out[i];
+          for (std::size_t j = 0; j < output_dim_; ++j) dst[j] = mapped[j];
+        }
+      });
   return out;
 }
 

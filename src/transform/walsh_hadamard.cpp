@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.hpp"
+#include "common/parallel.hpp"
 #include "common/status.hpp"
 
 namespace mpte {
@@ -42,7 +43,14 @@ double hadamard_entry(std::size_t dim, std::size_t i, std::size_t j) {
 
 PointSet fwht_points(const PointSet& points) {
   PointSet out = points;
-  for (std::size_t i = 0; i < out.size(); ++i) fwht_normalized(out[i]);
+  // Rows are independent transforms over disjoint storage: parallelize
+  // over points (validate the dimension once, not per thread).
+  if (!out.empty() && !is_power_of_two(out.dim())) {
+    throw MpteError("fwht: length must be a power of two");
+  }
+  par::parallel_for(0, out.size(), [&out](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fwht_normalized(out[i]);
+  });
   return out;
 }
 

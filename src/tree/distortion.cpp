@@ -4,6 +4,7 @@
 #include <limits>
 #include <set>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 
@@ -34,6 +35,26 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> sample_pairs(
   return pairs;
 }
 
+namespace {
+
+/// Per-chunk accumulator for the pair loops. Chunks evaluate disjoint pair
+/// ranges; partials are merged in chunk order, so results are
+/// deterministic for a fixed chunk count (and the single-chunk path is the
+/// exact serial accumulation).
+struct PairPartial {
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+};
+
+std::size_t pair_chunks(std::size_t pairs) {
+  return std::max<std::size_t>(1,
+                               std::min(par::resolve_threads(0), pairs));
+}
+
+}  // namespace
+
 DistortionStats measure_distortion(const Hst& tree, const PointSet& points,
                                    std::size_t max_pairs,
                                    std::uint64_t seed) {
@@ -41,17 +62,31 @@ DistortionStats measure_distortion(const Hst& tree, const PointSet& points,
     throw MpteError("measure_distortion: tree/point count mismatch");
   }
   const auto pairs = sample_pairs(points.size(), max_pairs, seed);
+  const std::size_t chunks = pair_chunks(pairs.size());
+  std::vector<PairPartial> partials(chunks);
+  par::parallel_for_chunked(
+      0, pairs.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        PairPartial& part = partials[chunk];
+        for (std::size_t p = begin; p < end; ++p) {
+          const auto& [i, j] = pairs[p];
+          const double true_dist = l2_distance(points[i], points[j]);
+          if (true_dist == 0.0) continue;
+          const double ratio = tree.distance(i, j) / true_dist;
+          part.min = std::min(part.min, ratio);
+          part.max = std::max(part.max, ratio);
+          part.sum += ratio;
+          ++part.pairs;
+        }
+      });
   DistortionStats stats;
   stats.min_ratio = std::numeric_limits<double>::infinity();
   double sum = 0.0;
-  for (const auto& [i, j] : pairs) {
-    const double true_dist = l2_distance(points[i], points[j]);
-    if (true_dist == 0.0) continue;
-    const double ratio = tree.distance(i, j) / true_dist;
-    stats.min_ratio = std::min(stats.min_ratio, ratio);
-    stats.max_ratio = std::max(stats.max_ratio, ratio);
-    sum += ratio;
-    ++stats.pairs;
+  for (const PairPartial& part : partials) {
+    stats.min_ratio = std::min(stats.min_ratio, part.min);
+    stats.max_ratio = std::max(stats.max_ratio, part.max);
+    sum += part.sum;
+    stats.pairs += part.pairs;
   }
   if (stats.pairs == 0) {
     stats.min_ratio = 0.0;
@@ -68,23 +103,40 @@ ExpectedDistortionStats measure_expected_distortion(
     throw MpteError("measure_expected_distortion: no trees");
   }
   const auto pairs = sample_pairs(points.size(), max_pairs, seed);
+  // Pair evaluation (the O(pairs × trees) hot loop) is parallel over the
+  // pair sample; per-chunk partials merge in chunk order.
+  const std::size_t chunks = pair_chunks(pairs.size());
+  std::vector<PairPartial> partials(chunks);
+  par::parallel_for_chunked(
+      0, pairs.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        PairPartial& part = partials[chunk];
+        for (std::size_t p = begin; p < end; ++p) {
+          const auto& [i, j] = pairs[p];
+          const double true_dist = l2_distance(points[i], points[j]);
+          if (true_dist == 0.0) continue;
+          double sum_tree = 0.0;
+          for (const Hst& tree : trees) {
+            const double ratio = tree.distance(i, j) / true_dist;
+            part.min = std::min(part.min, ratio);
+            sum_tree += ratio;
+          }
+          const double expected =
+              sum_tree / static_cast<double>(trees.size());
+          part.max = std::max(part.max, expected);
+          part.sum += expected;
+          ++part.pairs;
+        }
+      });
   ExpectedDistortionStats stats;
   stats.trees = trees.size();
   stats.min_single_ratio = std::numeric_limits<double>::infinity();
   double sum_expected = 0.0;
-  for (const auto& [i, j] : pairs) {
-    const double true_dist = l2_distance(points[i], points[j]);
-    if (true_dist == 0.0) continue;
-    double sum_tree = 0.0;
-    for (const Hst& tree : trees) {
-      const double ratio = tree.distance(i, j) / true_dist;
-      stats.min_single_ratio = std::min(stats.min_single_ratio, ratio);
-      sum_tree += ratio;
-    }
-    const double expected = sum_tree / static_cast<double>(trees.size());
-    stats.max_expected_ratio = std::max(stats.max_expected_ratio, expected);
-    sum_expected += expected;
-    ++stats.pairs;
+  for (const PairPartial& part : partials) {
+    stats.min_single_ratio = std::min(stats.min_single_ratio, part.min);
+    stats.max_expected_ratio = std::max(stats.max_expected_ratio, part.max);
+    sum_expected += part.sum;
+    stats.pairs += part.pairs;
   }
   if (stats.pairs == 0) {
     stats.min_single_ratio = 0.0;

@@ -94,7 +94,9 @@ TEST(Cluster, InboxClearedNextRound) {
     ctx.send(1, std::vector<std::uint8_t>{1, 2, 3});
   });
   cluster.run_round([](MachineContext& ctx) {
-    if (ctx.id() == 1) EXPECT_FALSE(ctx.inbox().empty());
+    if (ctx.id() == 1) {
+      EXPECT_FALSE(ctx.inbox().empty());
+    }
   });
   cluster.run_round([](MachineContext& ctx) {
     EXPECT_TRUE(ctx.inbox().empty());  // nothing sent last round
