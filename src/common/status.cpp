@@ -12,6 +12,10 @@ const char* to_string(StatusCode code) {
       return "invalid-argument";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal";
   }

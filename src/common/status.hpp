@@ -23,8 +23,14 @@ enum class StatusCode {
   kCoverageFailure,
   /// Caller-supplied arguments are outside the algorithm's domain.
   kInvalidArgument,
-  /// A resource bound (local memory / total space) would be exceeded.
+  /// A resource bound (local memory / total space / admission queue)
+  /// would be exceeded. Retrying after backing off is sound.
   kResourceExhausted,
+  /// A request's deadline expired before it was evaluated (serving-path
+  /// admission control; see serve/service.hpp).
+  kDeadlineExceeded,
+  /// The serving subsystem is shutting down or not accepting work.
+  kUnavailable,
   kInternal,
 };
 

@@ -2,25 +2,73 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 
 namespace mpte {
 
-Result<EmbeddingEnsemble> EmbeddingEnsemble::build(
-    const PointSet& points, const EmbedOptions& options, std::size_t trees) {
+EmbeddingEnsemble::EmbeddingEnsemble(std::vector<Embedding> members)
+    : members_(std::move(members)) {
+  indexes_.reserve(members_.size());
+  for (const Embedding& member : members_) {
+    indexes_.emplace_back(member.tree);
+  }
+}
+
+Result<EmbeddingEnsemble> EmbeddingEnsemble::build(const PointSet& points,
+                                                   const EmbedOptions& options,
+                                                   std::size_t trees,
+                                                   std::size_t threads) {
   if (trees == 0) {
     return Status(StatusCode::kInvalidArgument,
                   "EmbeddingEnsemble: need at least one tree");
   }
+  // Each member's options are a pure function of (options.seed, t), so the
+  // members can be built in any order — one chunk per member on the pool.
+  std::vector<std::optional<Embedding>> slots(trees);
+  std::vector<Status> statuses(trees);
+  par::parallel_for_chunked(
+      0, trees, trees,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          EmbedOptions member_options = options;
+          member_options.seed =
+              hash_combine(mix64(options.seed ^ 0xe45eull), t);
+          auto result = embed(points, member_options);
+          if (result.ok()) {
+            slots[t] = std::move(result).value();
+          } else {
+            statuses[t] = result.status();
+          }
+        }
+      },
+      threads);
+  for (std::size_t t = 0; t < trees; ++t) {
+    if (!statuses[t].ok()) return statuses[t];
+  }
   std::vector<Embedding> members;
   members.reserve(trees);
   for (std::size_t t = 0; t < trees; ++t) {
-    EmbedOptions member_options = options;
-    member_options.seed = hash_combine(mix64(options.seed ^ 0xe45eull), t);
-    auto result = embed(points, member_options);
-    if (!result.ok()) return result.status();
-    members.push_back(std::move(result).value());
+    members.push_back(std::move(*slots[t]));
+  }
+  return EmbeddingEnsemble(std::move(members));
+}
+
+Result<EmbeddingEnsemble> EmbeddingEnsemble::from_members(
+    std::vector<Embedding> members) {
+  if (members.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "EmbeddingEnsemble: need at least one member");
+  }
+  const std::size_t n = members.front().tree.num_points();
+  for (const Embedding& member : members) {
+    if (member.tree.num_points() != n) {
+      return Status(StatusCode::kInvalidArgument,
+                    "EmbeddingEnsemble: members embed different point sets");
+    }
   }
   return EmbeddingEnsemble(std::move(members));
 }
@@ -28,16 +76,16 @@ Result<EmbeddingEnsemble> EmbeddingEnsemble::build(
 double EmbeddingEnsemble::expected_distance(std::size_t p,
                                             std::size_t q) const {
   double sum = 0.0;
-  for (const Embedding& member : members_) {
-    sum += member.distance(p, q);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    sum += indexes_[i].distance(p, q) * members_[i].scale_to_input;
   }
   return sum / static_cast<double>(members_.size());
 }
 
 double EmbeddingEnsemble::min_distance(std::size_t p, std::size_t q) const {
   double best = std::numeric_limits<double>::infinity();
-  for (const Embedding& member : members_) {
-    best = std::min(best, member.distance(p, q));
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    best = std::min(best, indexes_[i].distance(p, q) * members_[i].scale_to_input);
   }
   return best;
 }

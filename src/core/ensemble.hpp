@@ -10,40 +10,72 @@
 //   * min_distance — the lower envelope; since every tree dominates the
 //     true metric (min over dominating estimates still dominates), it is
 //     a strictly better point estimate and the one used in practice.
+//
+// Members are built concurrently on the mpte::par pool (each member's seed
+// is a pure function of the root seed and its index, so the result is
+// byte-identical to the serial build at any thread count), and every
+// member carries a precomputed binary-lifting LcaIndex so point-pair
+// queries cost O(log depth) instead of an O(depth) parent walk — the query
+// path a long-lived service (serve/service.hpp) hammers.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/embedder.hpp"
+#include "tree/lca_index.hpp"
 
 namespace mpte {
 
 /// A set of independently seeded embeddings of the same points.
+///
+/// Move-only: each member owns its tree, and the per-member LcaIndex
+/// borrows it. Moves are safe (vector moves do not relocate elements);
+/// copies would leave the indexes borrowing the source's trees.
 class EmbeddingEnsemble {
  public:
-  /// Builds `trees` embeddings with seeds derived from options.seed.
-  /// Fails if any member fails (after its own retries).
+  /// Builds `trees` embeddings with seeds derived from options.seed,
+  /// building up to `threads` members concurrently (0 = the mpte::par
+  /// default). Fails if any member fails (after its own retries); on
+  /// concurrent failures the lowest-index member's status is returned,
+  /// matching the serial order.
   static Result<EmbeddingEnsemble> build(const PointSet& points,
                                          const EmbedOptions& options,
-                                         std::size_t trees);
+                                         std::size_t trees,
+                                         std::size_t threads = 0);
+
+  /// Wraps already-built embeddings (e.g. loaded from disk) as an
+  /// ensemble. All members must embed the same number of points.
+  static Result<EmbeddingEnsemble> from_members(std::vector<Embedding> members);
+
+  EmbeddingEnsemble(EmbeddingEnsemble&&) = default;
+  EmbeddingEnsemble& operator=(EmbeddingEnsemble&&) = default;
+  EmbeddingEnsemble(const EmbeddingEnsemble&) = delete;
+  EmbeddingEnsemble& operator=(const EmbeddingEnsemble&) = delete;
 
   std::size_t size() const { return members_.size(); }
+  std::size_t num_points() const { return members_.front().tree.num_points(); }
   const Embedding& member(std::size_t i) const { return members_[i]; }
 
-  /// Mean tree distance over the ensemble, in input units.
+  /// The precomputed LCA/distance index over member i's tree. Distances it
+  /// returns are in tree units; multiply by member(i).scale_to_input.
+  const LcaIndex& index(std::size_t i) const { return indexes_[i]; }
+
+  /// Mean tree distance over the ensemble, in input units. O(T log depth).
   double expected_distance(std::size_t p, std::size_t q) const;
 
   /// Minimum tree distance over the ensemble, in input units. Dominates
   /// the true distance (every member does) and is the tightest of the
-  /// members' estimates.
+  /// members' estimates. O(T log depth).
   double min_distance(std::size_t p, std::size_t q) const;
 
  private:
-  explicit EmbeddingEnsemble(std::vector<Embedding> members)
-      : members_(std::move(members)) {}
+  explicit EmbeddingEnsemble(std::vector<Embedding> members);
 
   std::vector<Embedding> members_;
+  /// One index per member, built once at construction. References into
+  /// members_ stay valid because members_ is never resized afterwards.
+  std::vector<LcaIndex> indexes_;
 };
 
 }  // namespace mpte

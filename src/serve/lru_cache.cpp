@@ -1,0 +1,86 @@
+#include "serve/lru_cache.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mpte::serve {
+
+std::size_t ShardedLruCache::KeyHash::operator()(const CacheKey& key) const {
+  return static_cast<std::size_t>(
+      hash_combine(hash_combine(mix64(key.tag), key.a), key.b));
+}
+
+ShardedLruCache::ShardedLruCache(std::size_t max_bytes, std::size_t shards) {
+  const std::size_t count = std::max<std::size_t>(1, shards);
+  // Each shard gets an equal slice; a zero slice (max_bytes < shards but
+  // nonzero) still admits one entry per shard via the floor in insert().
+  per_shard_bytes_ = max_bytes / count;
+  if (max_bytes > 0 && per_shard_bytes_ == 0) per_shard_bytes_ = kEntryBytes;
+  shards_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::shard_for(const CacheKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+bool ShardedLruCache::lookup(const CacheKey& key, double* value) {
+  if (!enabled()) return false;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+void ShardedLruCache::insert(const CacheKey& key, double value) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.map.emplace(key, shard.lru.begin());
+  while (shard.lru.size() * kEntryBytes > per_shard_bytes_ &&
+         shard.lru.size() > 1) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ShardedLruCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+ShardedLruCache::Counters ShardedLruCache::counters() const {
+  Counters total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.entries += shard->lru.size();
+  }
+  total.bytes = total.entries * kEntryBytes;
+  return total;
+}
+
+}  // namespace mpte::serve

@@ -1,0 +1,89 @@
+// Sharded, byte-bounded LRU cache for scalar query answers.
+//
+// Pair-distance traffic is heavily skewed in practice (hot pairs repeat),
+// and a cached answer costs one hash probe instead of T O(log depth) tree
+// walks. The cache is sharded by key hash so concurrent batch evaluation
+// on the mpte::par pool doesn't serialize on one lock, and bounded in
+// bytes (approximate, per entry) so a long-lived service can't grow
+// without limit. Only scalar-valued queries (distance, range count) are
+// cached; k-NN responses are variable-sized and left to recompute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace mpte::serve {
+
+/// Cache key: a kind/combiner tag plus two 64-bit operands (canonicalized
+/// point pair, or point + bit-cast radius).
+struct CacheKey {
+  std::uint64_t tag = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return tag == other.tag && a == other.a && b == other.b;
+  }
+};
+
+class ShardedLruCache {
+ public:
+  /// Approximate bytes charged per entry (key + value + list/map nodes).
+  static constexpr std::size_t kEntryBytes = 96;
+
+  /// `max_bytes` = 0 disables the cache (lookup always misses, insert is a
+  /// no-op). `shards` is clamped to at least 1.
+  ShardedLruCache(std::size_t max_bytes, std::size_t shards);
+
+  bool enabled() const { return per_shard_bytes_ > 0; }
+
+  /// On hit, writes the cached value, refreshes recency, returns true.
+  bool lookup(const CacheKey& key, double* value);
+
+  /// Inserts or refreshes key -> value, evicting least-recently-used
+  /// entries of the same shard while the shard exceeds its byte budget.
+  void insert(const CacheKey& key, double value);
+
+  void clear();
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Aggregated over shards.
+  Counters counters() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& key) const;
+  };
+
+  using LruList = std::list<std::pair<CacheKey, double>>;
+
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    LruList lru;
+    std::unordered_map<CacheKey, LruList::iterator, KeyHash> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const CacheKey& key);
+
+  std::size_t per_shard_bytes_ = 0;
+  /// unique_ptr because Shard holds a mutex (immovable).
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mpte::serve

@@ -1,0 +1,398 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <optional>
+
+#include "common/parallel.hpp"
+
+namespace mpte::serve {
+
+namespace {
+
+const char* kCombinerNames[] = {"min", "exp"};
+const char* kKindNames[] = {"dist", "knn", "range"};
+
+double to_ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+CacheKey cache_key(const Request& request) {
+  CacheKey key;
+  key.tag = (static_cast<std::uint64_t>(request.kind) << 8) |
+            static_cast<std::uint64_t>(request.combiner);
+  switch (request.kind) {
+    case RequestKind::kDistance:
+      key.a = std::min(request.p, request.q);
+      key.b = std::max(request.p, request.q);
+      break;
+    case RequestKind::kRangeCount:
+      key.a = request.p;
+      key.b = std::bit_cast<std::uint64_t>(request.radius);
+      break;
+    case RequestKind::kKnn:
+      break;  // not cached
+  }
+  return key;
+}
+
+}  // namespace
+
+const char* to_string(Combiner combiner) {
+  return kCombinerNames[static_cast<std::size_t>(combiner)];
+}
+
+const char* to_string(RequestKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+EmbeddingService::EmbeddingService(EmbeddingEnsemble ensemble,
+                                   ServiceOptions options)
+    : ensemble_(std::move(ensemble)),
+      options_(options),
+      cache_(options.cache_bytes, options.cache_shards),
+      started_(Clock::now()),
+      paused_(options.start_paused) {
+  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  options_.max_queue = std::max<std::size_t>(1, options_.max_queue);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+EmbeddingService::~EmbeddingService() { stop(); }
+
+std::future<Result<Response>> EmbeddingService::submit(
+    const Request& request) {
+  std::vector<Request> one{request};
+  return std::move(submit_batch(one).front());
+}
+
+std::vector<std::future<Result<Response>>> EmbeddingService::submit_batch(
+    const std::vector<Request>& requests) {
+  std::vector<std::future<Result<Response>>> futures;
+  futures.reserve(requests.size());
+  const auto now = Clock::now();
+  std::size_t admitted = 0;
+  std::size_t rejected_full = 0;
+  std::size_t rejected_down = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Request& request : requests) {
+      std::promise<Result<Response>> promise;
+      futures.push_back(promise.get_future());
+      if (stopping_) {
+        promise.set_value(Status(StatusCode::kUnavailable,
+                                 "service is shutting down"));
+        ++rejected_down;
+        continue;
+      }
+      if (queue_.size() >= options_.max_queue) {
+        promise.set_value(
+            Status(StatusCode::kResourceExhausted,
+                   "admission queue full (" +
+                       std::to_string(options_.max_queue) +
+                       "); retry with backoff"));
+        ++rejected_full;
+        continue;
+      }
+      Pending pending;
+      pending.request = request;
+      pending.enqueued = now;
+      pending.deadline = request.deadline.count() > 0
+                             ? now + request.deadline
+                             : Clock::time_point::max();
+      pending.promise = std::move(promise);
+      queue_.push_back(std::move(pending));
+      ++admitted;
+    }
+  }
+  if (admitted > 0) work_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted_ += requests.size();
+    rejected_queue_full_ += rejected_full;
+    failed_ += rejected_down;
+  }
+  return futures;
+}
+
+void EmbeddingService::batcher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (stopping_) return;
+    // A partial batch waits up to max_wait for company; a full one (or a
+    // zero max_wait) drains immediately.
+    if (options_.max_wait.count() > 0 &&
+        queue_.size() < options_.max_batch) {
+      const auto window_end = Clock::now() + options_.max_wait;
+      work_cv_.wait_until(lock, window_end, [this] {
+        return stopping_ || paused_ || queue_.size() >= options_.max_batch;
+      });
+      if (stopping_) return;
+      if (paused_ || queue_.empty()) continue;
+    }
+    std::vector<Pending> batch;
+    const std::size_t take = std::min(queue_.size(), options_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    run_batch(batch);
+    lock.lock();
+  }
+}
+
+void EmbeddingService::run_batch(std::vector<Pending>& batch) {
+  const std::size_t n = batch.size();
+  // Evaluate concurrently, then fold counters, then fulfill promises — in
+  // that order, so by the time a caller's future resolves the stats
+  // already include its request.
+  std::vector<std::optional<Result<Response>>> results(n);
+  std::vector<double> latency_ms(n, 0.0);
+  par::parallel_for(
+      0, n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Pending& item = batch[i];
+          results[i] = [&]() -> Result<Response> {
+            if (Clock::now() > item.deadline) {
+              return Status(StatusCode::kDeadlineExceeded,
+                            "deadline expired before evaluation");
+            }
+            return evaluate_cached(item.request);
+          }();
+          latency_ms[i] = to_ms(Clock::now() - item.enqueued);
+        }
+      },
+      options_.eval_threads);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++batches_;
+    max_batch_observed_ = std::max(max_batch_observed_, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (results[i]->ok()) {
+        ++completed_;
+        record_latency(latency_ms[i]);
+      } else if (results[i]->status().code() ==
+                 StatusCode::kDeadlineExceeded) {
+        ++rejected_deadline_;
+      } else {
+        ++failed_;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    batch[i].promise.set_value(std::move(*results[i]));
+  }
+}
+
+Result<Response> EmbeddingService::evaluate_cached(const Request& request) {
+  if (request.kind == RequestKind::kKnn || !cache_.enabled()) {
+    return evaluate(request);
+  }
+  const CacheKey key = cache_key(request);
+  double cached = 0.0;
+  if (cache_.lookup(key, &cached)) {
+    Response response;
+    response.kind = request.kind;
+    response.value = cached;
+    return response;
+  }
+  auto result = evaluate(request);
+  if (result.ok()) cache_.insert(key, result->value);
+  return result;
+}
+
+Result<Response> EmbeddingService::evaluate(const Request& request) const {
+  const std::size_t n = ensemble_.num_points();
+  const auto combined = [this, &request](std::size_t a, std::size_t b) {
+    return request.combiner == Combiner::kMin
+               ? ensemble_.min_distance(a, b)
+               : ensemble_.expected_distance(a, b);
+  };
+  switch (request.kind) {
+    case RequestKind::kDistance: {
+      if (request.p >= n || request.q >= n) {
+        return Status(StatusCode::kInvalidArgument,
+                      "point index out of range (n=" + std::to_string(n) +
+                          ")");
+      }
+      Response response;
+      response.kind = request.kind;
+      response.value = combined(request.p, request.q);
+      return response;
+    }
+    case RequestKind::kKnn: {
+      if (request.p >= n) {
+        return Status(StatusCode::kInvalidArgument,
+                      "point index out of range (n=" + std::to_string(n) +
+                          ")");
+      }
+      if (request.k == 0) {
+        return Status(StatusCode::kInvalidArgument, "knn needs k >= 1");
+      }
+      const std::size_t want = std::min(request.k, n - 1);
+      // Walk up member 0's tree until the subtree holds enough candidates
+      // (Lemma 1: subtree diameter bounds candidate distance), then rank
+      // the gathered leaves by the combined ensemble distance.
+      const Hst& tree = ensemble_.member(0).tree;
+      std::size_t node = tree.leaf(request.p);
+      while (tree.node(node).parent >= 0 &&
+             tree.node(node).subtree_size < want + 1) {
+        node = static_cast<std::size_t>(tree.node(node).parent);
+      }
+      std::vector<Neighbor> neighbors;
+      neighbors.reserve(tree.node(node).subtree_size);
+      std::vector<std::size_t> stack{node};
+      while (!stack.empty()) {
+        const std::size_t current = stack.back();
+        stack.pop_back();
+        const HstNode& info = tree.node(current);
+        if (info.point >= 0) {
+          const auto point = static_cast<std::size_t>(info.point);
+          if (point != request.p) {
+            neighbors.push_back({point, combined(request.p, point)});
+          }
+          continue;
+        }
+        const auto& children = tree.children(current);
+        stack.insert(stack.end(), children.begin(), children.end());
+      }
+      std::sort(neighbors.begin(), neighbors.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.distance != b.distance ? a.distance < b.distance
+                                                  : a.point < b.point;
+                });
+      if (neighbors.size() > want) neighbors.resize(want);
+      Response response;
+      response.kind = request.kind;
+      response.value = static_cast<double>(neighbors.size());
+      response.neighbors = std::move(neighbors);
+      return response;
+    }
+    case RequestKind::kRangeCount: {
+      if (request.p >= n) {
+        return Status(StatusCode::kInvalidArgument,
+                      "point index out of range (n=" + std::to_string(n) +
+                          ")");
+      }
+      if (request.radius < 0.0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "range radius must be >= 0");
+      }
+      std::size_t count = 0;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (q == request.p) continue;
+        if (combined(request.p, q) <= request.radius) ++count;
+      }
+      Response response;
+      response.kind = request.kind;
+      response.value = static_cast<double>(count);
+      return response;
+    }
+  }
+  return Status(StatusCode::kInternal, "unknown request kind");
+}
+
+void EmbeddingService::record_latency(double ms) {
+  const auto us = static_cast<std::uint64_t>(std::max(0.0, ms * 1000.0));
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(us), kLatencyBuckets - 1);
+  ++latency_histogram_[bucket];
+}
+
+ServiceStats EmbeddingService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.queue_depth = queue_.size();
+  }
+  const auto cache = cache_.counters();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  if (cache.hits + cache.misses > 0) {
+    out.cache_hit_rate = static_cast<double>(cache.hits) /
+                         static_cast<double>(cache.hits + cache.misses);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  out.submitted = submitted_;
+  out.completed = completed_;
+  out.rejected_queue_full = rejected_queue_full_;
+  out.rejected_deadline = rejected_deadline_;
+  out.failed = failed_;
+  out.batches = batches_;
+  out.max_batch_observed = max_batch_observed_;
+  out.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  if (out.uptime_seconds > 0.0) {
+    out.qps = static_cast<double>(completed_) / out.uptime_seconds;
+  }
+  // Percentiles from the log2 histogram: report the upper edge of the
+  // bucket holding the quantile (conservative, resolution one octave).
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : latency_histogram_) total += count;
+  const auto percentile = [&](double quantile) {
+    if (total == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        quantile * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t bucket = 0; bucket < kLatencyBuckets; ++bucket) {
+      seen += latency_histogram_[bucket];
+      if (seen > target) {
+        return (bucket == 0 ? 1.0 : static_cast<double>(1ull << bucket)) /
+               1000.0;  // us -> ms
+      }
+    }
+    return 0.0;
+  };
+  out.p50_ms = percentile(0.50);
+  out.p99_ms = percentile(0.99);
+  return out;
+}
+
+void EmbeddingService::pause() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void EmbeddingService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void EmbeddingService::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    pending.promise.set_value(
+        Status(StatusCode::kUnavailable, "service stopped before evaluation"));
+  }
+  if (!leftover.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    failed_ += leftover.size();
+  }
+}
+
+}  // namespace mpte::serve

@@ -1,0 +1,144 @@
+// EmbeddingService — the long-lived, thread-safe query tier.
+//
+// One embedding build is amortized over millions of queries (the whole
+// point of Corollary 1), so the serving half of the system is: an
+// EmbeddingEnsemble with per-member LcaIndexes, fronted by
+//
+//  * a request batcher: submit() enqueues and returns a future; a
+//    dedicated batcher thread drains up to max_batch requests per wakeup
+//    (waiting at most max_wait for a batch to fill) and evaluates them
+//    concurrently on the mpte::par pool — one queue/condvar handoff per
+//    batch instead of per request;
+//  * a sharded byte-bounded LRU cache over scalar answers (hot pairs);
+//  * admission control: the queue is bounded (submit past capacity is
+//    rejected immediately with kResourceExhausted — backpressure, not
+//    unbounded growth) and each request may carry a deadline (still
+//    queued past it -> kDeadlineExceeded, the work is never done late).
+//
+// Every answer is computed by the same evaluate() used directly against
+// the ensemble, so service answers are byte-identical to unbatched,
+// uncached queries — batching and caching change scheduling, never
+// values.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/types.hpp"
+
+namespace mpte::serve {
+
+struct ServiceOptions {
+  /// Most requests evaluated per batcher wakeup.
+  std::size_t max_batch = 64;
+  /// How long the batcher waits for a partial batch to fill before
+  /// draining what is there. 0 = drain immediately.
+  std::chrono::microseconds max_wait{200};
+  /// Admission bound: submits beyond this many queued requests are
+  /// rejected with kResourceExhausted.
+  std::size_t max_queue = 4096;
+  /// Total LRU cache budget in bytes across shards; 0 disables caching.
+  std::size_t cache_bytes = 1 << 20;
+  std::size_t cache_shards = 8;
+  /// Threads for concurrent batch evaluation (0 = mpte::par default).
+  std::size_t eval_threads = 0;
+  /// Start with the batcher paused (tests exercise admission control by
+  /// filling the queue deterministically; see pause()/resume()).
+  bool start_paused = false;
+};
+
+class EmbeddingService {
+ public:
+  /// Takes ownership of the ensemble and starts the batcher thread.
+  explicit EmbeddingService(EmbeddingEnsemble ensemble,
+                            ServiceOptions options = {});
+  ~EmbeddingService();
+
+  EmbeddingService(const EmbeddingService&) = delete;
+  EmbeddingService& operator=(const EmbeddingService&) = delete;
+
+  /// Enqueues one request. Never blocks: over-capacity or post-stop
+  /// submits resolve the future immediately with a rejection Status.
+  std::future<Result<Response>> submit(const Request& request);
+
+  /// Enqueues many requests under one lock acquisition (the cheap way to
+  /// pipeline). Futures are in request order; each is admitted or
+  /// rejected independently.
+  std::vector<std::future<Result<Response>>> submit_batch(
+      const std::vector<Request>& requests);
+
+  /// Evaluates a request synchronously against the ensemble — no queue,
+  /// no cache, no stats. This is the oracle the batched path must match
+  /// byte-for-byte, and what tests compare against.
+  Result<Response> evaluate(const Request& request) const;
+
+  /// Counters + latency percentiles snapshot.
+  ServiceStats stats() const;
+
+  /// Suspends / resumes batch draining. While paused, submits still
+  /// enqueue (and admission control still applies) — used to exercise
+  /// backpressure and deadline paths deterministically.
+  void pause();
+  void resume();
+
+  /// Stops the batcher and rejects everything still queued with
+  /// kUnavailable. Idempotent; the destructor calls it.
+  void stop();
+
+  const EmbeddingEnsemble& ensemble() const { return ensemble_; }
+  std::size_t num_points() const { return ensemble_.num_points(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    Clock::time_point enqueued;
+    /// Clock::time_point::max() when the request carries no deadline.
+    Clock::time_point deadline;
+    std::promise<Result<Response>> promise;
+  };
+
+  void batcher_loop();
+  /// Evaluates a drained batch on the pool and fulfills its promises.
+  void run_batch(std::vector<Pending>& batch);
+  /// evaluate() plus cache lookup/fill for scalar-valued kinds.
+  Result<Response> evaluate_cached(const Request& request);
+  void record_latency(double ms);
+
+  EmbeddingEnsemble ensemble_;
+  ServiceOptions options_;
+  ShardedLruCache cache_;
+  Clock::time_point started_;
+
+  mutable std::mutex mutex_;  // guards queue_, paused_, stopping_
+  std::condition_variable work_cv_;
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::thread batcher_;
+  std::mutex stop_mutex_;  // serializes stop() callers around the join
+
+  mutable std::mutex stats_mutex_;  // guards everything below
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_deadline_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::size_t max_batch_observed_ = 0;
+  /// Log2-bucketed submit-to-completion latency histogram (microseconds):
+  /// bucket i counts latencies in [2^(i-1), 2^i).
+  static constexpr std::size_t kLatencyBuckets = 40;
+  std::uint64_t latency_histogram_[kLatencyBuckets] = {};
+};
+
+}  // namespace mpte::serve

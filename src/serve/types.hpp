@@ -1,0 +1,134 @@
+// Request/response vocabulary of the embedding query service.
+//
+// The serving tier exists because a tree embedding is a build-once,
+// query-millions sketch (Corollary 1): after the O(1)-round MPC build, a
+// distance / k-NN / range query costs O(T log depth) tree work. These
+// types are the service's typed surface — what the in-process API takes
+// and returns, what the wire protocol (serve/wire.hpp) encodes, and what
+// the stats snapshot reports.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpte::serve {
+
+/// How multi-tree answers are combined across ensemble members (see
+/// core/ensemble.hpp for why min is the practical default).
+enum class Combiner : std::uint8_t {
+  kMin,
+  kExpected,
+};
+
+const char* to_string(Combiner combiner);
+
+enum class RequestKind : std::uint8_t {
+  /// Tree-metric distance between two embedded points.
+  kDistance,
+  /// Approximate k nearest neighbors by HST subtree walk.
+  kKnn,
+  /// Number of points within a given combined tree distance.
+  kRangeCount,
+};
+
+const char* to_string(RequestKind kind);
+
+/// One query. Which fields matter depends on `kind`; the factory
+/// functions build well-formed instances.
+struct Request {
+  RequestKind kind = RequestKind::kDistance;
+  Combiner combiner = Combiner::kMin;
+  /// Query point (all kinds).
+  std::size_t p = 0;
+  /// Second point (kDistance only).
+  std::size_t q = 0;
+  /// Neighbor count (kKnn only).
+  std::size_t k = 0;
+  /// Distance threshold in input units (kRangeCount only).
+  double radius = 0.0;
+  /// Admission deadline measured from submit; 0 = none. A request still
+  /// queued when its deadline passes is rejected with kDeadlineExceeded
+  /// instead of evaluated late.
+  std::chrono::microseconds deadline{0};
+
+  static Request Distance(std::size_t p, std::size_t q,
+                          Combiner combiner = Combiner::kMin) {
+    Request r;
+    r.kind = RequestKind::kDistance;
+    r.combiner = combiner;
+    r.p = p;
+    r.q = q;
+    return r;
+  }
+
+  static Request Knn(std::size_t p, std::size_t k,
+                     Combiner combiner = Combiner::kMin) {
+    Request r;
+    r.kind = RequestKind::kKnn;
+    r.combiner = combiner;
+    r.p = p;
+    r.k = k;
+    return r;
+  }
+
+  static Request RangeCount(std::size_t p, double radius,
+                            Combiner combiner = Combiner::kMin) {
+    Request r;
+    r.kind = RequestKind::kRangeCount;
+    r.combiner = combiner;
+    r.p = p;
+    r.radius = radius;
+    return r;
+  }
+};
+
+/// One k-NN hit.
+struct Neighbor {
+  std::size_t point = 0;
+  /// Combined tree distance to the query, in input units.
+  double distance = 0.0;
+};
+
+/// Answer to a Request of the matching kind.
+struct Response {
+  RequestKind kind = RequestKind::kDistance;
+  /// kDistance: the combined distance. kRangeCount: the count.
+  /// kKnn: the number of neighbors returned.
+  double value = 0.0;
+  /// kKnn only: neighbors ascending by (distance, point index).
+  std::vector<Neighbor> neighbors;
+};
+
+/// Point-in-time service counters; see docs/serving.md for field
+/// semantics. Latency percentiles cover completed requests only
+/// (submit-to-completion, including queue wait).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// Admission-control rejections: queue at capacity at submit time.
+  std::uint64_t rejected_queue_full = 0;
+  /// Deadline expired while the request waited in the queue.
+  std::uint64_t rejected_deadline = 0;
+  /// Evaluated but answered with a non-OK status (e.g. bad point index).
+  std::uint64_t failed = 0;
+  /// Batches drained by the batcher thread.
+  std::uint64_t batches = 0;
+  /// Requests waiting right now.
+  std::size_t queue_depth = 0;
+  /// Largest batch the batcher has drained.
+  std::size_t max_batch_observed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  /// hits / (hits + misses), 0 when no cacheable traffic yet.
+  double cache_hit_rate = 0.0;
+  /// completed / uptime.
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double uptime_seconds = 0.0;
+};
+
+}  // namespace mpte::serve

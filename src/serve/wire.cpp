@@ -1,0 +1,171 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace mpte::serve {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+Status malformed(const std::string& why) {
+  return Status(StatusCode::kInvalidArgument, "malformed request: " + why);
+}
+
+bool parse_size(const std::string& token, std::size_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_double(const std::string& token, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+/// Parses the optional trailing "[min|exp] [deadline_ms]" suffix starting
+/// at tokens[from].
+Status parse_suffix(const std::vector<std::string>& tokens, std::size_t from,
+                    Request* request) {
+  std::size_t at = from;
+  if (at < tokens.size() &&
+      (tokens[at] == "min" || tokens[at] == "exp")) {
+    request->combiner =
+        tokens[at] == "min" ? Combiner::kMin : Combiner::kExpected;
+    ++at;
+  }
+  if (at < tokens.size()) {
+    std::size_t deadline_ms = 0;
+    if (!parse_size(tokens[at], &deadline_ms)) {
+      return malformed("bad deadline '" + tokens[at] + "'");
+    }
+    request->deadline = std::chrono::milliseconds(deadline_ms);
+    ++at;
+  }
+  if (at != tokens.size()) {
+    return malformed("trailing tokens after '" + tokens[at - 1] + "'");
+  }
+  return Status::Ok();
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+ControlCommand parse_control(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.size() != 1) return ControlCommand::kNone;
+  if (tokens[0] == "stats") return ControlCommand::kStats;
+  if (tokens[0] == "info") return ControlCommand::kInfo;
+  if (tokens[0] == "quit") return ControlCommand::kQuit;
+  if (tokens[0] == "shutdown") return ControlCommand::kShutdown;
+  return ControlCommand::kNone;
+}
+
+Result<Request> parse_request(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return malformed("empty line");
+  Request request;
+  if (tokens[0] == "dist") {
+    if (tokens.size() < 3) return malformed("dist needs <p> <q>");
+    request.kind = RequestKind::kDistance;
+    if (!parse_size(tokens[1], &request.p) ||
+        !parse_size(tokens[2], &request.q)) {
+      return malformed("bad point index");
+    }
+  } else if (tokens[0] == "knn") {
+    if (tokens.size() < 3) return malformed("knn needs <p> <k>");
+    request.kind = RequestKind::kKnn;
+    if (!parse_size(tokens[1], &request.p) ||
+        !parse_size(tokens[2], &request.k)) {
+      return malformed("bad point index or k");
+    }
+  } else if (tokens[0] == "range") {
+    if (tokens.size() < 3) return malformed("range needs <p> <radius>");
+    request.kind = RequestKind::kRangeCount;
+    if (!parse_size(tokens[1], &request.p)) {
+      return malformed("bad point index");
+    }
+    if (!parse_double(tokens[2], &request.radius)) {
+      return malformed("bad radius '" + tokens[2] + "'");
+    }
+  } else {
+    return malformed("unknown verb '" + tokens[0] + "'");
+  }
+  const Status suffix = parse_suffix(tokens, 3, &request);
+  if (!suffix.ok()) return suffix;
+  return request;
+}
+
+std::string format_response(const Result<Response>& result) {
+  if (!result.ok()) {
+    return std::string("err ") + to_string(result.status().code()) + " " +
+           result.status().message();
+  }
+  const Response& response = *result;
+  std::string line = "ok ";
+  line += to_string(response.kind);
+  switch (response.kind) {
+    case RequestKind::kDistance:
+      line += " " + format_double(response.value);
+      break;
+    case RequestKind::kKnn:
+      line += " " + std::to_string(response.neighbors.size());
+      for (const Neighbor& neighbor : response.neighbors) {
+        line += " " + std::to_string(neighbor.point) + ":" +
+                format_double(neighbor.distance);
+      }
+      break;
+    case RequestKind::kRangeCount:
+      line += " " + std::to_string(
+                        static_cast<unsigned long long>(response.value));
+      break;
+  }
+  return line;
+}
+
+std::string format_info(std::size_t points, std::size_t trees) {
+  return "ok info points=" + std::to_string(points) +
+         " trees=" + std::to_string(trees);
+}
+
+std::string format_stats(const ServiceStats& stats) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "ok stats qps=%.1f p50_ms=%.3f p99_ms=%.3f hit_rate=%.3f depth=%zu "
+      "rejected=%llu completed=%llu",
+      stats.qps, stats.p50_ms, stats.p99_ms, stats.cache_hit_rate,
+      stats.queue_depth,
+      static_cast<unsigned long long>(stats.rejected_queue_full +
+                                      stats.rejected_deadline),
+      static_cast<unsigned long long>(stats.completed));
+  return buffer;
+}
+
+bool is_ok_line(const std::string& line) {
+  return line.rfind("ok", 0) == 0;
+}
+
+}  // namespace mpte::serve

@@ -1,0 +1,54 @@
+// Newline-delimited text protocol for the socket server.
+//
+// One request per line, one response line per request, in order. Kept as
+// pure string <-> struct functions so the protocol is unit-testable
+// without sockets. Grammar (fields space-separated; [] optional):
+//
+//   dist  <p> <q> [min|exp] [deadline_ms]
+//   knn   <p> <k> [min|exp] [deadline_ms]
+//   range <p> <radius> [min|exp] [deadline_ms]
+//   stats | info | quit | shutdown
+//
+// Responses:
+//
+//   ok dist <value>
+//   ok knn <count> <point>:<distance> ...
+//   ok range <count>
+//   ok info points=<n> trees=<t>
+//   ok stats qps=... p50_ms=... p99_ms=... hit_rate=... depth=...
+//            rejected=... completed=...
+//   err <code> <message>
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "serve/types.hpp"
+
+namespace mpte::serve {
+
+/// Non-query protocol lines the server handles itself.
+enum class ControlCommand {
+  kNone,      // not a control line — parse as a request
+  kStats,     // reply with a stats line
+  kInfo,      // reply with ensemble shape
+  kQuit,      // close this connection
+  kShutdown,  // stop the whole server
+};
+
+ControlCommand parse_control(const std::string& line);
+
+/// Parses a query line; kInvalidArgument on malformed input.
+Result<Request> parse_request(const std::string& line);
+
+/// Formats one response line (no trailing newline). Errors become
+/// "err <code> <message>".
+std::string format_response(const Result<Response>& result);
+
+std::string format_info(std::size_t points, std::size_t trees);
+std::string format_stats(const ServiceStats& stats);
+
+/// True when the line is a success response.
+bool is_ok_line(const std::string& line);
+
+}  // namespace mpte::serve

@@ -1,5 +1,8 @@
 #include "core/ensemble.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "geometry/generators.hpp"
@@ -71,6 +74,68 @@ TEST(Ensemble, MinEstimateTightensWithMoreTrees) {
   }
   EXPECT_LE(sum_large, sum_small + 1e-9);
   EXPECT_LT(sum_large, sum_small * 0.999);
+}
+
+TEST(Ensemble, ParallelBuildIsByteIdenticalToSerial) {
+  // Member seeds are pure functions of (root seed, index), so building
+  // on 1 thread and on many must produce identical trees.
+  const PointSet points = generate_uniform_cube(40, 3, 20.0, 17);
+  const auto serial = EmbeddingEnsemble::build(points, base_options(), 5,
+                                               /*threads=*/1);
+  const auto parallel = EmbeddingEnsemble::build(points, base_options(), 5,
+                                                 /*threads=*/8);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (std::size_t t = 0; t < serial->size(); ++t) {
+    EXPECT_EQ(serial->member(t).tree.num_nodes(),
+              parallel->member(t).tree.num_nodes());
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = i + 1; j < 40; ++j) {
+      EXPECT_EQ(serial->min_distance(i, j), parallel->min_distance(i, j));
+      EXPECT_EQ(serial->expected_distance(i, j),
+                parallel->expected_distance(i, j));
+    }
+  }
+}
+
+TEST(Ensemble, IndexedDistancesMatchWalkOracle) {
+  // The binary-lifting query path must agree with the O(depth) walk.
+  const PointSet points = generate_uniform_cube(35, 3, 20.0, 19);
+  const auto ensemble = EmbeddingEnsemble::build(points, base_options(), 3);
+  ASSERT_TRUE(ensemble.ok());
+  for (std::size_t i = 0; i < 35; ++i) {
+    for (std::size_t j = i; j < 35; ++j) {
+      double walk_min = std::numeric_limits<double>::infinity();
+      for (std::size_t t = 0; t < ensemble->size(); ++t) {
+        walk_min = std::min(walk_min, ensemble->member(t).distance(i, j));
+        EXPECT_NEAR(
+            ensemble->index(t).distance(i, j) *
+                ensemble->member(t).scale_to_input,
+            ensemble->member(t).distance(i, j),
+            1e-9 * (1.0 + ensemble->member(t).distance(i, j)));
+      }
+      EXPECT_NEAR(ensemble->min_distance(i, j), walk_min,
+                  1e-9 * (1.0 + walk_min));
+    }
+  }
+}
+
+TEST(Ensemble, FromMembersValidatesShapes) {
+  const PointSet points = generate_uniform_cube(20, 3, 20.0, 23);
+  const PointSet other = generate_uniform_cube(25, 3, 20.0, 23);
+  EXPECT_FALSE(EmbeddingEnsemble::from_members({}).ok());
+  std::vector<Embedding> mismatched;
+  mismatched.push_back(std::move(embed(points, base_options())).value());
+  mismatched.push_back(std::move(embed(other, base_options())).value());
+  EXPECT_FALSE(EmbeddingEnsemble::from_members(std::move(mismatched)).ok());
+  std::vector<Embedding> matched;
+  matched.push_back(std::move(embed(points, base_options())).value());
+  matched.push_back(std::move(embed(points, base_options())).value());
+  const auto ensemble = EmbeddingEnsemble::from_members(std::move(matched));
+  ASSERT_TRUE(ensemble.ok());
+  EXPECT_EQ(ensemble->size(), 2u);
+  EXPECT_EQ(ensemble->num_points(), 20u);
 }
 
 TEST(Ensemble, DeterministicGivenSeed) {

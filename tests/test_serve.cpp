@@ -1,0 +1,423 @@
+// mpte::serve — batcher correctness vs direct queries, cache semantics,
+// admission control (backpressure + deadlines), the wire protocol, the
+// socket server, and a multi-threaded hammer suitable for the TSan job.
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/ensemble.hpp"
+#include "geometry/generators.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+
+namespace mpte::serve {
+namespace {
+
+EmbeddingEnsemble test_ensemble(std::size_t n = 60, std::size_t trees = 3,
+                                std::uint64_t seed = 5) {
+  const PointSet points = generate_uniform_cube(n, 3, 20.0, seed);
+  EmbedOptions options;
+  options.use_fjlt = false;
+  options.seed = seed;
+  auto result = EmbeddingEnsemble::build(points, options, trees);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(LruCache, HitMissAndRecency) {
+  ShardedLruCache cache(ShardedLruCache::kEntryBytes * 64, 1);
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup({1, 2, 3}, &value));
+  cache.insert({1, 2, 3}, 7.5);
+  EXPECT_TRUE(cache.lookup({1, 2, 3}, &value));
+  EXPECT_EQ(value, 7.5);
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedWithinByteBudget) {
+  // Budget of exactly 3 entries, single shard so order is total.
+  ShardedLruCache cache(ShardedLruCache::kEntryBytes * 3, 1);
+  cache.insert({0, 0, 1}, 1.0);
+  cache.insert({0, 0, 2}, 2.0);
+  cache.insert({0, 0, 3}, 3.0);
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup({0, 0, 1}, &value));  // refresh key 1
+  cache.insert({0, 0, 4}, 4.0);                  // evicts key 2 (LRU)
+  EXPECT_FALSE(cache.lookup({0, 0, 2}, &value));
+  EXPECT_TRUE(cache.lookup({0, 0, 1}, &value));
+  EXPECT_TRUE(cache.lookup({0, 0, 3}, &value));
+  EXPECT_TRUE(cache.lookup({0, 0, 4}, &value));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_LE(cache.counters().bytes, ShardedLruCache::kEntryBytes * 3);
+}
+
+TEST(LruCache, ZeroBytesDisables) {
+  ShardedLruCache cache(0, 4);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert({1, 1, 1}, 1.0);
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup({1, 1, 1}, &value));
+  EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+TEST(LruCache, InsertRefreshesExistingKey) {
+  ShardedLruCache cache(ShardedLruCache::kEntryBytes * 8, 2);
+  cache.insert({9, 1, 2}, 1.0);
+  cache.insert({9, 1, 2}, 2.0);
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup({9, 1, 2}, &value));
+  EXPECT_EQ(value, 2.0);
+  EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(Wire, ParsesDistanceWithDefaults) {
+  const auto request = parse_request("dist 3 9");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->kind, RequestKind::kDistance);
+  EXPECT_EQ(request->combiner, Combiner::kMin);
+  EXPECT_EQ(request->p, 3u);
+  EXPECT_EQ(request->q, 9u);
+  EXPECT_EQ(request->deadline.count(), 0);
+}
+
+TEST(Wire, ParsesCombinerAndDeadline) {
+  const auto request = parse_request("knn 5 8 exp 250");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->kind, RequestKind::kKnn);
+  EXPECT_EQ(request->combiner, Combiner::kExpected);
+  EXPECT_EQ(request->k, 8u);
+  EXPECT_EQ(request->deadline, std::chrono::milliseconds(250));
+  const auto range = parse_request("range 2 12.5 min");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->kind, RequestKind::kRangeCount);
+  EXPECT_EQ(range->radius, 12.5);
+}
+
+TEST(Wire, RejectsMalformedLines) {
+  for (const char* line :
+       {"", "dist", "dist 1", "dist 1 x", "knn 1 2 bogus", "range 1 nan2",
+        "frob 1 2", "dist 1 2 min 10 extra"}) {
+    EXPECT_FALSE(parse_request(line).ok()) << "line: '" << line << "'";
+    const auto status = parse_request(line).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Wire, ControlLines) {
+  EXPECT_EQ(parse_control("stats"), ControlCommand::kStats);
+  EXPECT_EQ(parse_control("info"), ControlCommand::kInfo);
+  EXPECT_EQ(parse_control("quit"), ControlCommand::kQuit);
+  EXPECT_EQ(parse_control("shutdown"), ControlCommand::kShutdown);
+  EXPECT_EQ(parse_control("dist 1 2"), ControlCommand::kNone);
+  EXPECT_EQ(parse_control("statsx"), ControlCommand::kNone);
+}
+
+TEST(Wire, FormatsResponsesAndErrors) {
+  Response distance;
+  distance.kind = RequestKind::kDistance;
+  distance.value = 1.5;
+  EXPECT_EQ(format_response(distance), "ok dist 1.5");
+  Response knn;
+  knn.kind = RequestKind::kKnn;
+  knn.neighbors = {{4, 2.0}, {7, 3.0}};
+  knn.value = 2.0;
+  EXPECT_EQ(format_response(knn), "ok knn 2 4:2 7:3");
+  Response range;
+  range.kind = RequestKind::kRangeCount;
+  range.value = 12.0;
+  EXPECT_EQ(format_response(range), "ok range 12");
+  const std::string err = format_response(
+      Status(StatusCode::kDeadlineExceeded, "too late"));
+  EXPECT_EQ(err, "err deadline-exceeded too late");
+  EXPECT_TRUE(is_ok_line("ok dist 1.5"));
+  EXPECT_FALSE(is_ok_line(err));
+}
+
+// -------------------------------------------------------------- service
+
+TEST(Service, BatchedAnswersMatchDirectQueries) {
+  EmbeddingService service(test_ensemble());
+  const EmbeddingEnsemble& ensemble = service.ensemble();
+  const std::size_t n = ensemble.num_points();
+  std::vector<Request> requests;
+  for (std::size_t p = 0; p < n; p += 3) {
+    for (std::size_t q = p + 1; q < n; q += 7) {
+      requests.push_back(Request::Distance(p, q, Combiner::kMin));
+      requests.push_back(Request::Distance(p, q, Combiner::kExpected));
+    }
+  }
+  auto futures = service.submit_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok());
+    const Request& request = requests[i];
+    const double direct =
+        request.combiner == Combiner::kMin
+            ? ensemble.min_distance(request.p, request.q)
+            : ensemble.expected_distance(request.p, request.q);
+    EXPECT_EQ(result->value, direct) << "request " << i;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_EQ(stats.submitted, requests.size());
+}
+
+TEST(Service, EnsembleQueriesMatchNaiveWalkOracle) {
+  // The LcaIndex-backed ensemble path must agree with the O(depth)
+  // Hst::distance walk (the oracle) to float tolerance.
+  const EmbeddingEnsemble ensemble = test_ensemble(50, 4, 11);
+  const std::size_t n = ensemble.num_points();
+  for (std::size_t p = 0; p < n; p += 2) {
+    for (std::size_t q = p; q < n; q += 5) {
+      double walk_min = std::numeric_limits<double>::infinity();
+      double walk_sum = 0.0;
+      for (std::size_t t = 0; t < ensemble.size(); ++t) {
+        const double walk = ensemble.member(t).distance(p, q);
+        walk_min = std::min(walk_min, walk);
+        walk_sum += walk;
+      }
+      const double walk_mean = walk_sum / static_cast<double>(ensemble.size());
+      EXPECT_NEAR(ensemble.min_distance(p, q), walk_min,
+                  1e-9 * (1.0 + walk_min));
+      EXPECT_NEAR(ensemble.expected_distance(p, q), walk_mean,
+                  1e-9 * (1.0 + walk_mean));
+    }
+  }
+}
+
+TEST(Service, KnnReturnsSortedNeighborsWithExactDistances) {
+  EmbeddingService service(test_ensemble());
+  const EmbeddingEnsemble& ensemble = service.ensemble();
+  const std::size_t n = ensemble.num_points();
+  for (const std::size_t p : {std::size_t{0}, n / 2, n - 1}) {
+    auto result = service.submit(Request::Knn(p, 5)).get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->neighbors.size(), 5u);
+    double last = -1.0;
+    for (const Neighbor& neighbor : result->neighbors) {
+      EXPECT_NE(neighbor.point, p);
+      EXPECT_GE(neighbor.distance, last);
+      last = neighbor.distance;
+      EXPECT_EQ(neighbor.distance, ensemble.min_distance(p, neighbor.point));
+    }
+  }
+  // k larger than n-1 clamps.
+  auto all = service.submit(Request::Knn(0, n + 10)).get();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->neighbors.size(), n - 1);
+}
+
+TEST(Service, RangeCountMatchesBruteForce) {
+  EmbeddingService service(test_ensemble());
+  const EmbeddingEnsemble& ensemble = service.ensemble();
+  const std::size_t n = ensemble.num_points();
+  for (const double radius : {0.0, 5.0, 15.0, 1e9}) {
+    auto result = service.submit(Request::RangeCount(7, radius)).get();
+    ASSERT_TRUE(result.ok());
+    std::size_t expected = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q != 7 && ensemble.min_distance(7, q) <= radius) ++expected;
+    }
+    EXPECT_EQ(result->value, static_cast<double>(expected))
+        << "radius " << radius;
+  }
+}
+
+TEST(Service, CachedAnswersEqualUncached) {
+  EmbeddingService service(test_ensemble());
+  const auto first = service.submit(Request::Distance(1, 2)).get();
+  const auto second = service.submit(Request::Distance(1, 2)).get();
+  const auto swapped = service.submit(Request::Distance(2, 1)).get();
+  ASSERT_TRUE(first.ok() && second.ok() && swapped.ok());
+  EXPECT_EQ(first->value, second->value);
+  EXPECT_EQ(first->value, swapped->value);  // canonicalized pair key
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.cache_hits, 2u);
+  EXPECT_GE(stats.cache_misses, 1u);
+  EXPECT_GT(stats.cache_hit_rate, 0.0);
+}
+
+TEST(Service, CacheDisabledStillAnswersIdentically) {
+  ServiceOptions cached_options;
+  ServiceOptions uncached_options;
+  uncached_options.cache_bytes = 0;
+  EmbeddingService cached(test_ensemble(40, 2, 3), cached_options);
+  EmbeddingService uncached(test_ensemble(40, 2, 3), uncached_options);
+  for (std::size_t q = 1; q < 40; q += 3) {
+    const auto a = cached.submit(Request::Distance(0, q)).get();
+    const auto b = uncached.submit(Request::Distance(0, q)).get();
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->value, b->value);
+  }
+  EXPECT_EQ(uncached.stats().cache_hits + uncached.stats().cache_misses, 0u);
+}
+
+TEST(Service, InvalidRequestsGetTypedStatuses) {
+  EmbeddingService service(test_ensemble(30, 1, 9));
+  const auto out_of_range = service.submit(Request::Distance(0, 900)).get();
+  EXPECT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+  const auto zero_k = service.submit(Request::Knn(0, 0)).get();
+  EXPECT_FALSE(zero_k.ok());
+  EXPECT_EQ(zero_k.status().code(), StatusCode::kInvalidArgument);
+  const auto negative = service.submit(Request::RangeCount(0, -1.0)).get();
+  EXPECT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().failed, 3u);
+}
+
+TEST(Service, BackpressureRejectsBeyondQueueBound) {
+  ServiceOptions options;
+  options.max_queue = 2;
+  options.start_paused = true;
+  EmbeddingService service(test_ensemble(30, 1, 7), options);
+  auto a = service.submit(Request::Distance(0, 1));
+  auto b = service.submit(Request::Distance(0, 2));
+  auto c = service.submit(Request::Distance(0, 3));  // over capacity
+  const auto rejected = c.get();  // resolved immediately, while paused
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().rejected_queue_full, 1u);
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+  service.resume();
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+}
+
+TEST(Service, ExpiredDeadlineIsRejectedNotEvaluatedLate) {
+  ServiceOptions options;
+  options.start_paused = true;
+  EmbeddingService service(test_ensemble(30, 1, 7), options);
+  Request hurried = Request::Distance(0, 1);
+  hurried.deadline = std::chrono::microseconds(1000);  // 1ms
+  Request patient = Request::Distance(0, 2);           // no deadline
+  auto hurried_future = service.submit(hurried);
+  auto patient_future = service.submit(patient);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.resume();
+  const auto late = hurried_future.get();
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(patient_future.get().ok());
+  EXPECT_EQ(service.stats().rejected_deadline, 1u);
+}
+
+TEST(Service, StopRejectsQueuedAndSubsequentRequests) {
+  ServiceOptions options;
+  options.start_paused = true;
+  EmbeddingService service(test_ensemble(30, 1, 7), options);
+  auto queued = service.submit(Request::Distance(0, 1));
+  service.stop();
+  const auto abandoned = queued.get();
+  EXPECT_FALSE(abandoned.ok());
+  EXPECT_EQ(abandoned.status().code(), StatusCode::kUnavailable);
+  const auto refused = service.submit(Request::Distance(0, 2)).get();
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Service, HammerManyClientThreadsMatchSerialAnswers) {
+  // N client threads x M queries, deterministic per (thread, i); every
+  // answer must equal the serial direct answer. Runs under TSan in CI.
+  EmbeddingService service(test_ensemble(40, 2, 13));
+  const EmbeddingEnsemble& ensemble = service.ensemble();
+  const std::size_t n = ensemble.num_points();
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kQueries = 150;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        const std::uint64_t h = mix64(c * kQueries + i + 1);
+        const std::size_t p = h % n;
+        const std::size_t q = (p + 1 + (h >> 32) % (n - 1)) % n;
+        const Combiner combiner =
+            (h & 1) != 0 ? Combiner::kMin : Combiner::kExpected;
+        auto result =
+            service.submit(Request::Distance(p, q, combiner)).get();
+        const double direct = combiner == Combiner::kMin
+                                  ? ensemble.min_distance(p, q)
+                                  : ensemble.expected_distance(p, q);
+        if (!result.ok() || result->value != direct) {
+          failures[c] = "thread " + std::to_string(c) + " query " +
+                        std::to_string(i) + " mismatch";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, kThreads * kQueries);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+// --------------------------------------------------------------- server
+
+TEST(Server, AnswersWireQueriesOverLoopback) {
+  EmbeddingService service(test_ensemble());
+  SocketServer server(service);  // port 0: ephemeral
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok()) << port.status().to_string();
+
+  LineClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", *port).ok());
+  const auto info = client.roundtrip("info");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(*info, format_info(service.num_points(),
+                               service.ensemble().size()));
+
+  const auto distance = client.roundtrip("dist 1 2");
+  ASSERT_TRUE(distance.ok());
+  const auto direct = service.evaluate(Request::Distance(1, 2));
+  EXPECT_EQ(*distance, format_response(direct));
+
+  const auto knn = client.roundtrip("knn 0 3");
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(is_ok_line(*knn));
+  const auto bad = client.roundtrip("dist 0");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(is_ok_line(*bad));
+
+  // Pipelined burst: one write, responses in order.
+  ASSERT_TRUE(client.send_line("dist 3 4\ndist 5 6\nrange 0 100").ok());
+  for (int i = 0; i < 3; ++i) {
+    const auto reply = client.read_line();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(is_ok_line(*reply)) << *reply;
+  }
+
+  const auto stats_line = client.roundtrip("stats");
+  ASSERT_TRUE(stats_line.ok());
+  EXPECT_TRUE(is_ok_line(*stats_line));
+
+  LineClient closer;
+  ASSERT_TRUE(closer.connect("127.0.0.1", *port).ok());
+  const auto ack = closer.roundtrip("shutdown");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(*ack, "ok shutdown");
+  server.wait();  // returns because a client requested shutdown
+  server.stop();
+}
+
+}  // namespace
+}  // namespace mpte::serve

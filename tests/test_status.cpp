@@ -25,6 +25,9 @@ TEST(Status, CodeNames) {
   EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "invalid-argument");
   EXPECT_STREQ(to_string(StatusCode::kResourceExhausted),
                "resource-exhausted");
+  EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(to_string(StatusCode::kUnavailable), "unavailable");
   EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
 }
 

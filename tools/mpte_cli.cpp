@@ -8,18 +8,38 @@
 //   mpte_cli stats <tree>
 //   mpte_cli query <tree> <i> <j>
 //   mpte_cli distortion <tree> <in.csv>
+//   mpte_cli serve <tree...> --port <p> [--batch N] [--wait-us N]
+//       [--queue N] [--cache-bytes N] [--threads N]
+//       Long-lived query service over the newline protocol
+//       (docs/serving.md); multiple tree files form an ensemble. Runs
+//       until a client sends `shutdown`, then prints final stats.
+//   mpte_cli bench-client --port <p> [--host H] [--clients C]
+//       [--queries Q] [--pipeline K] [--kind dist|knn|range|mix]
+//       [--shutdown]
+//       Load generator: C connections issue Q total queries, pipelined
+//       K per write; reports achieved qps and the server's stats line.
+//       --shutdown stops the server afterwards.
 //
-// Exit codes: 0 success, 1 usage, 2 runtime failure (including the
-// Theorem-1 coverage-failure report).
+// Exit codes: 0 success, 1 usage (incl. unknown subcommands), 2 runtime
+// failure (including the Theorem-1 coverage-failure report and
+// bench-client runs that saw any error response).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/embedder.hpp"
 #include "core/embedding_io.hpp"
+#include "core/ensemble.hpp"
 #include "geometry/csv_io.hpp"
 #include "geometry/generators.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
 #include "tree/distortion.hpp"
 #include "tree/embedding_builder.hpp"
 #include "tree/hst_io.hpp"
@@ -37,8 +57,46 @@ int usage() {
                "[seed]\n"
                "  mpte_cli stats <tree>\n"
                "  mpte_cli query <tree> <i> <j>\n"
-               "  mpte_cli distortion <tree> <in.csv>\n");
+               "  mpte_cli distortion <tree> <in.csv>\n"
+               "  mpte_cli serve <tree...> --port <p> [--batch N] "
+               "[--wait-us N] [--queue N]\n"
+               "            [--cache-bytes N] [--threads N]\n"
+               "  mpte_cli bench-client --port <p> [--host H] "
+               "[--clients C] [--queries Q]\n"
+               "            [--pipeline K] [--kind dist|knn|range|mix] "
+               "[--shutdown]\n");
   return 1;
+}
+
+/// Parses "--flag value" pairs after `from`; returns false (usage error)
+/// on an unknown flag or missing value. Positional arguments (no leading
+/// --) are collected into `positional`.
+bool parse_flags(int argc, char** argv, int from,
+                 std::vector<std::string>* positional,
+                 std::vector<std::pair<std::string, std::string>>* flags) {
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional->push_back(arg);
+      continue;
+    }
+    if (arg == "--shutdown") {  // the only value-less flag
+      flags->emplace_back(arg, "1");
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    flags->emplace_back(arg, argv[++i]);
+  }
+  return true;
+}
+
+std::string flag_value(
+    const std::vector<std::pair<std::string, std::string>>& flags,
+    const std::string& name, const std::string& fallback) {
+  for (const auto& [flag, value] : flags) {
+    if (flag == name) return value;
+  }
+  return fallback;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -171,6 +229,191 @@ int cmd_distortion(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  std::vector<std::string> trees;
+  std::vector<std::pair<std::string, std::string>> flags;
+  if (!parse_flags(argc, argv, 2, &trees, &flags)) return usage();
+  if (trees.empty() || flag_value(flags, "--port", "").empty()) {
+    return usage();
+  }
+
+  std::vector<Embedding> members;
+  members.reserve(trees.size());
+  for (const std::string& path : trees) {
+    members.push_back(load_embedding(path));
+  }
+  auto ensemble = EmbeddingEnsemble::from_members(std::move(members));
+  if (!ensemble.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 ensemble.status().to_string().c_str());
+    return 2;
+  }
+
+  serve::ServiceOptions options;
+  options.max_batch = static_cast<std::size_t>(
+      std::atoll(flag_value(flags, "--batch", "64").c_str()));
+  options.max_wait = std::chrono::microseconds(
+      std::atoll(flag_value(flags, "--wait-us", "200").c_str()));
+  options.max_queue = static_cast<std::size_t>(
+      std::atoll(flag_value(flags, "--queue", "4096").c_str()));
+  options.cache_bytes = static_cast<std::size_t>(
+      std::atoll(flag_value(flags, "--cache-bytes", "1048576").c_str()));
+  options.eval_threads = static_cast<std::size_t>(
+      std::atoll(flag_value(flags, "--threads", "0").c_str()));
+  serve::EmbeddingService service(std::move(ensemble).value(), options);
+
+  serve::ServerOptions server_options;
+  server_options.port = static_cast<std::uint16_t>(
+      std::atoi(flag_value(flags, "--port", "0").c_str()));
+  serve::SocketServer server(service, server_options);
+  const auto port = server.start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "serve: %s\n", port.status().to_string().c_str());
+    return 2;
+  }
+  std::printf("serving %zu points, %zu tree(s) on 127.0.0.1:%u "
+              "(batch=%zu wait=%lldus queue=%zu cache=%zuB)\n",
+              service.num_points(), service.ensemble().size(),
+              static_cast<unsigned>(*port), options.max_batch,
+              static_cast<long long>(options.max_wait.count()),
+              options.max_queue, options.cache_bytes);
+  std::fflush(stdout);
+  server.wait();
+  server.stop();
+  const serve::ServiceStats stats = service.stats();
+  std::printf("shutdown: completed=%llu rejected=%llu qps=%.1f "
+              "hit_rate=%.3f p50_ms=%.3f p99_ms=%.3f\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected_queue_full +
+                                              stats.rejected_deadline),
+              stats.qps, stats.cache_hit_rate, stats.p50_ms, stats.p99_ms);
+  return 0;
+}
+
+int cmd_bench_client(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+  if (!parse_flags(argc, argv, 2, &positional, &flags)) return usage();
+  const std::string port_text = flag_value(flags, "--port", "");
+  if (!positional.empty() || port_text.empty()) return usage();
+
+  const auto port = static_cast<std::uint16_t>(std::atoi(port_text.c_str()));
+  const std::string host = flag_value(flags, "--host", "127.0.0.1");
+  const auto clients = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::atoll(flag_value(flags, "--clients", "4").c_str())));
+  const auto total_queries = std::max<std::size_t>(
+      clients, static_cast<std::size_t>(
+                   std::atoll(flag_value(flags, "--queries", "1000").c_str())));
+  const auto pipeline = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::atoll(flag_value(flags, "--pipeline", "32").c_str())));
+  const std::string kind = flag_value(flags, "--kind", "dist");
+  const bool shutdown = flag_value(flags, "--shutdown", "") == "1";
+
+  // One probe connection discovers the point count.
+  std::size_t points = 0;
+  {
+    serve::LineClient probe;
+    const Status connected = probe.connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "bench-client: %s\n",
+                   connected.to_string().c_str());
+      return 2;
+    }
+    const auto info = probe.roundtrip("info");
+    if (!info.ok() || std::sscanf(info->c_str(), "ok info points=%zu",
+                                  &points) != 1 ||
+        points < 2) {
+      std::fprintf(stderr, "bench-client: bad info reply\n");
+      return 2;
+    }
+  }
+
+  // Deterministic per-client query streams: query i of client c is a pure
+  // function of (c, i), mixing "dist" with knn/range when --kind=mix.
+  const auto query_line = [&](std::size_t client, std::size_t i) {
+    const std::uint64_t h = mix64(hash_combine(client + 1, i));
+    const std::size_t p = h % points;
+    const std::size_t q = (p + 1 + (h >> 32) % (points - 1)) % points;
+    std::string which = kind;
+    if (kind == "mix") {
+      which = (h % 8 < 6) ? "dist" : (h % 8 == 6 ? "knn" : "range");
+    }
+    if (which == "knn") return "knn " + std::to_string(p) + " 4";
+    if (which == "range") return "range " + std::to_string(p) + " 100.0";
+    return "dist " + std::to_string(p) + " " + std::to_string(q);
+  };
+
+  std::vector<std::uint64_t> ok_counts(clients, 0);
+  std::vector<std::uint64_t> err_counts(clients, 0);
+  const std::size_t per_client = total_queries / clients;
+  Timer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      serve::LineClient client;
+      if (!client.connect(host, port).ok()) {
+        err_counts[c] = per_client;
+        return;
+      }
+      std::size_t done = 0;
+      while (done < per_client) {
+        const std::size_t window = std::min(pipeline, per_client - done);
+        std::string lines;
+        for (std::size_t i = 0; i < window; ++i) {
+          lines += query_line(c, done + i) + "\n";
+        }
+        // One write, `window` reads: the server batches the whole window.
+        if (!client.send_line(lines.substr(0, lines.size() - 1)).ok()) {
+          err_counts[c] += window;
+          done += window;
+          continue;
+        }
+        for (std::size_t i = 0; i < window; ++i) {
+          const auto reply = client.read_line();
+          if (reply.ok() && serve::is_ok_line(*reply)) {
+            ++ok_counts[c];
+          } else {
+            ++err_counts[c];
+          }
+        }
+        done += window;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = timer.seconds();
+
+  std::uint64_t ok_total = 0, err_total = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    ok_total += ok_counts[c];
+    err_total += err_counts[c];
+  }
+  const double qps = elapsed > 0.0
+                         ? static_cast<double>(ok_total) / elapsed
+                         : 0.0;
+  std::printf("clients:  %zu\n", clients);
+  std::printf("queries:  %llu ok, %llu err\n",
+              static_cast<unsigned long long>(ok_total),
+              static_cast<unsigned long long>(err_total));
+  std::printf("elapsed:  %.3f s\n", elapsed);
+  std::printf("qps:      %.1f\n", qps);
+
+  serve::LineClient control;
+  if (control.connect(host, port).ok()) {
+    const auto stats = control.roundtrip("stats");
+    if (stats.ok()) std::printf("server:   %s\n", stats->c_str());
+    if (shutdown) {
+      const auto reply = control.roundtrip("shutdown");
+      std::printf("shutdown: %s\n",
+                  reply.ok() ? reply->c_str() : "(no reply)");
+    }
+  }
+  return err_total == 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +425,9 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "query") return cmd_query(argc, argv);
     if (command == "distortion") return cmd_distortion(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "bench-client") return cmd_bench_client(argc, argv);
+    // Unknown subcommands are a usage error (exit 1), never a crash.
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
