@@ -1,0 +1,89 @@
+// Zero-copy communication substrate: how many byte slabs the host actually
+// materializes per logical MPC operation. Before the Buffer refactor a
+// broadcast deep-copied its blob O(M) times (once per queued send, again
+// per delivery, again per persist); with refcounted Buffers the whole
+// fan-out shares the sender's single slab, so slabs-per-broadcast is O(1)
+// — in fact 0 beyond the initial materialization — independent of M.
+#include <benchmark/benchmark.h>
+
+#include "mpc/buffer.hpp"
+#include "mpc/primitives.hpp"
+
+namespace mpte::bench {
+namespace {
+
+using mpc::Buffer;
+using mpc::Cluster;
+using mpc::ClusterConfig;
+
+void BM_BroadcastSlabs(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const std::size_t blob_bytes = 1 << 16;
+  std::uint64_t slabs = 0;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{machines, 1 << 22, true});
+    cluster.store(0).set_blob("b", std::vector<std::uint8_t>(blob_bytes));
+    Buffer::reset_counters();
+    broadcast_blob(cluster, 0, "b", 4);
+    slabs = Buffer::slabs_created();
+  }
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["slabs_per_broadcast"] = static_cast<double>(slabs);
+  // What the pre-Buffer implementation materialized: one deep copy per
+  // queued send plus one stored copy per receiving machine.
+  state.counters["deep_copies_before"] =
+      static_cast<double>(2 * (machines - 1));
+}
+BENCHMARK(BM_BroadcastSlabs)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastWallClock(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const std::size_t blob_bytes = 1 << 20;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{machines, 8u << 20, true});
+    cluster.store(0).set_blob("b", std::vector<std::uint8_t>(blob_bytes));
+    broadcast_blob(cluster, 0, "b", 4);
+    benchmark::DoNotOptimize(cluster.store(machines - 1).blob("b").data());
+  }
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["blob_B"] = static_cast<double>(blob_bytes);
+}
+BENCHMARK(BM_BroadcastWallClock)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShuffleSlabs(benchmark::State& state) {
+  // The shuffle's payloads are freshly serialized buckets, so slabs scale
+  // with the number of non-empty (src, dst) pairs — reported here as the
+  // baseline the broadcast numbers contrast against.
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  std::vector<mpc::KV> records(4096);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i] = mpc::KV{i * 2654435761u, i};
+  }
+  std::uint64_t slabs = 0;
+  for (auto _ : state) {
+    Cluster cluster(ClusterConfig{machines, 1 << 22, true});
+    mpc::scatter_vector(cluster, "in", records);
+    Buffer::reset_counters();
+    mpc::shuffle_kv_by_key(cluster, "in", "out");
+    slabs = Buffer::slabs_created();
+  }
+  state.counters["machines"] = static_cast<double>(machines);
+  state.counters["slabs_per_shuffle"] = static_cast<double>(slabs);
+}
+BENCHMARK(BM_ShuffleSlabs)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -17,10 +17,39 @@
 namespace mpte {
 namespace {
 
+using mpc::Channel;
 using mpc::Cluster;
+using mpc::Key;
 using mpc::KV;
 using mpc::MachineContext;
 using mpc::MachineId;
+using mpc::ValueKey;
+using detail::keys::kFail;
+using detail::keys::kFailTotal;
+using detail::keys::kIdx;
+using detail::keys::kLinks;
+using detail::keys::kNodes;
+using detail::keys::kPts;
+
+// Typed handles to the per-application cluster state.
+const Key<KV> kEmdIn{"emd/in"};
+const Key<KV> kEmdImbalance{"emd/imbalance"};
+const ValueKey<double> kEmdPartial{"emd/partial"};
+const ValueKey<double> kEmdTotal{"emd/total"};
+const Key<std::int64_t> kMass{"emb/mass"};
+const Key<KV> kDbIn{"db/in"};
+const Key<KV> kDbCounts{"db/counts"};
+const Key<KV> kMstRep{"mst/rep"};
+const Key<KV> kMstLinks{"mst/links"};
+const Key<KV> kMstEdges{"mst/edges"};
+const Key<KV> kMstEdgesDedup{"mst/edges/dedup"};
+
+/// Wire record of the densest-ball converge-cast: a machine's best
+/// qualifying cluster size and its diameter bound.
+struct BallBest {
+  std::uint64_t count;
+  double bound;
+};
 
 /// Everything the shared pipeline prologue produces.
 struct Prep {
@@ -34,7 +63,7 @@ struct Prep {
 };
 
 /// Runs stages 1–4 (FJLT, quantize, grids, path records) with retries and
-/// leaves "emb/nodes" (+ optional "emb/links") distributed.
+/// leaves keys::kNodes (+ optional keys::kLinks) distributed.
 Result<Prep> prepare_paths(Cluster& cluster, const PointSet& points,
                            const MpcEmbedOptions& options, bool emit_links) {
   if (points.size() < 2) {
@@ -111,25 +140,25 @@ Result<Prep> prepare_paths(Cluster& cluster, const PointSet& points,
 }
 
 /// Clears all per-run keys from every machine.
-void cleanup(Cluster& cluster, std::initializer_list<const char*> keys) {
+void cleanup(Cluster& cluster, std::initializer_list<std::string> keys) {
   for (MachineId id = 0; id < cluster.num_machines(); ++id) {
-    for (const char* key : keys) cluster.store(id).erase(key);
+    for (const std::string& key : keys) cluster.store(id).erase(key);
   }
 }
 
 /// Scatters a signed per-point value with the same block layout as
 /// detail::scatter_points, so each machine holds the values of exactly its
 /// own points (keyed by global index in "emb/idx").
-void scatter_point_values(Cluster& cluster, const std::string& key,
+void scatter_point_values(Cluster& cluster, const Key<std::int64_t>& key,
                           const std::vector<std::int64_t>& values) {
   const std::size_t m = cluster.num_machines();
   const std::size_t block = ceil_div(values.size(), m);
   for (MachineId id = 0; id < m; ++id) {
     const std::size_t begin = std::min(values.size(), id * block);
     const std::size_t end = std::min(values.size(), begin + block);
-    cluster.store(id).set_vector(
-        key, std::vector<std::int64_t>(values.begin() + begin,
-                                       values.begin() + end));
+    key.set(cluster.store(id),
+            std::vector<std::int64_t>(values.begin() + begin,
+                                      values.begin() + end));
   }
 }
 
@@ -137,32 +166,31 @@ void scatter_point_values(Cluster& cluster, const std::string& key,
 /// by level, converge-cast, read out, clean up. The caller must have left
 /// signed per-record values under "emd/in".
 MpcEmdResult finish_emd(Cluster& cluster, const Prep& prep) {
-  mpc::reduce_kv_sum(cluster, "emd/in", "emd/imbalance");
+  mpc::reduce_kv_sum(cluster, kEmdIn.name, kEmdImbalance.name);
 
   const ScaleLadder ladder = prep.ladder;
   cluster.run_round(
       [&](MachineContext& ctx) {
         double partial = 0.0;
-        for (const KV& kv : ctx.store().get_vector<KV>("emd/imbalance")) {
+        for (const KV& kv : kEmdImbalance.get(ctx.store())) {
           const std::size_t level = detail::packed_level(kv.key);
           const auto imbalance = static_cast<std::int64_t>(kv.value);
           partial += ladder.edge_weight[level] *
                      static_cast<double>(std::llabs(imbalance));
         }
-        ctx.store().erase("emd/imbalance");
-        ctx.store().set_value("emd/partial", partial);
+        kEmdImbalance.erase(ctx.store());
+        kEmdPartial.set(ctx.store(), partial);
       },
       "emd/weight");
 
-  mpc::sum_double(cluster, "emd/partial", "emd/total", 0);
+  mpc::sum_double(cluster, kEmdPartial.name, kEmdTotal.name, 0);
 
   MpcEmdResult result;
-  result.emd =
-      cluster.store(0).get_value<double>("emd/total") * prep.scale_to_input;
+  result.emd = kEmdTotal.get(cluster.store(0)) * prep.scale_to_input;
   result.retries_used = prep.retries;
   result.rounds_used = cluster.stats().rounds() - prep.rounds_before;
-  cleanup(cluster, {"emb/idx", "emb/pts", "emb/fail", "emb/fail/total",
-                    "emb/mass", "emd/partial", "emd/total"});
+  cleanup(cluster, {kIdx.name, kPts.name, kFail.name, kFailTotal.name,
+                    kMass.name, kEmdPartial.name, kEmdTotal.name});
   return result;
 }
 
@@ -190,13 +218,13 @@ Result<MpcEmdResult> mpc_tree_emd(Cluster& cluster, const PointSet& a,
   // (two's-complement u64 so the KV sum reduction computes signed sums).
   cluster.run_round(
       [&](MachineContext& ctx) {
-        auto records = ctx.store().get_vector<KV>("emb/nodes");
-        ctx.store().erase("emb/nodes");
+        auto records = kNodes.get(ctx.store());
+        kNodes.erase(ctx.store());
         for (KV& kv : records) {
           const std::int64_t side = kv.value < a_count ? 1 : -1;
           kv.value = static_cast<std::uint64_t>(side);
         }
-        ctx.store().set_vector("emd/in", records);
+        kEmdIn.set(ctx.store(), records);
       },
       "emd/label");
 
@@ -248,23 +276,22 @@ Result<MpcEmdResult> mpc_tree_emd_weighted(
 
   // Distribute the masses with the points' block layout (they are part of
   // the distributed input), then label each record with its point's mass.
-  scatter_point_values(cluster, "emb/mass", signed_mass);
+  scatter_point_values(cluster, kMass, signed_mass);
   cluster.run_round(
       [&](MachineContext& ctx) {
-        const auto idx = ctx.store().get_vector<std::uint64_t>("emb/idx");
-        const auto mass =
-            ctx.store().get_vector<std::int64_t>("emb/mass");
+        const auto idx = kIdx.get(ctx.store());
+        const auto mass = kMass.get(ctx.store());
         std::unordered_map<std::uint64_t, std::int64_t> mass_of;
         mass_of.reserve(idx.size());
         for (std::size_t local = 0; local < idx.size(); ++local) {
           mass_of.emplace(idx[local], mass[local]);
         }
-        auto records = ctx.store().get_vector<KV>("emb/nodes");
-        ctx.store().erase("emb/nodes");
+        auto records = kNodes.get(ctx.store());
+        kNodes.erase(ctx.store());
         for (KV& kv : records) {
           kv.value = static_cast<std::uint64_t>(mass_of.at(kv.value));
         }
-        ctx.store().set_vector("emd/in", records);
+        kEmdIn.set(ctx.store(), records);
       },
       "emd/label-weighted");
 
@@ -285,64 +312,49 @@ Result<MpcDensestBallResult> mpc_densest_ball(
   // Per-cluster point counts.
   cluster.run_round(
       [&](MachineContext& ctx) {
-        auto records = ctx.store().get_vector<KV>("emb/nodes");
-        ctx.store().erase("emb/nodes");
+        auto records = kNodes.get(ctx.store());
+        kNodes.erase(ctx.store());
         for (KV& kv : records) kv.value = 1;
-        ctx.store().set_vector("db/in", records);
+        kDbIn.set(ctx.store(), records);
       },
       "densest/count-prep");
-  mpc::reduce_kv_sum(cluster, "db/in", "db/counts");
+  mpc::reduce_kv_sum(cluster, kDbIn.name, kDbCounts.name);
 
   // Local best among qualifying levels, converge-cast to rank 0.
   const ScaleLadder ladder = prep->ladder;
   const double sqrt_r =
       std::sqrt(static_cast<double>(prep->params.num_buckets));
+  const Channel<BallBest> best_ch{"db/best"};
+  const ValueKey<BallBest> best_key{"db/best"};
   cluster.run_round(
       [&](MachineContext& ctx) {
-        std::uint64_t best_count = 0;
-        double best_bound = 0.0;
-        for (const KV& kv : ctx.store().get_vector<KV>("db/counts")) {
+        BallBest best{0, 0.0};
+        for (const KV& kv : kDbCounts.get(ctx.store())) {
           const std::size_t level = detail::packed_level(kv.key);
           const double bound = 2.0 * sqrt_r * ladder.scales[level];
           if (bound > max_diameter_q) continue;
-          if (kv.value > best_count) {
-            best_count = kv.value;
-            best_bound = bound;
-          }
+          if (kv.value > best.count) best = BallBest{kv.value, bound};
         }
-        ctx.store().erase("db/counts");
-        Serializer s;
-        s.write(best_count);
-        s.write(best_bound);
-        ctx.send(0, std::move(s));
+        kDbCounts.erase(ctx.store());
+        best_ch.send_one(ctx, 0, best);
       },
       "densest/local-best");
   cluster.run_round(
       [&](MachineContext& ctx) {
         if (ctx.id() != 0) return;
-        std::uint64_t best_count = 1;  // a singleton always qualifies
-        double best_bound = 0.0;
-        for (const auto& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          const auto count = d.read<std::uint64_t>();
-          const auto bound = d.read<double>();
-          if (count > best_count) {
-            best_count = count;
-            best_bound = bound;
-          }
+        BallBest best{1, 0.0};  // a singleton always qualifies
+        for (const BallBest& candidate : best_ch.receive_raw(ctx)) {
+          if (candidate.count > best.count) best = candidate;
         }
-        Serializer s;
-        s.write(best_count);
-        s.write(best_bound);
-        ctx.store().set_blob("db/best", s.take());
+        best_key.set(ctx.store(), best);
       },
       "densest/global-best");
 
   MpcDensestBallResult result;
   {
-    Deserializer d(cluster.store(0).blob("db/best"));
-    result.count = d.read<std::uint64_t>();
-    result.diameter = d.read<double>() * prep->scale_to_input;
+    const BallBest best = best_key.get(cluster.store(0));
+    result.count = best.count;
+    result.diameter = best.bound * prep->scale_to_input;
   }
   // The root cluster (level 0, all n points) is not in the path records;
   // it qualifies whenever its diameter bound fits.
@@ -353,8 +365,8 @@ Result<MpcDensestBallResult> mpc_densest_ball(
   }
   result.retries_used = prep->retries;
   result.rounds_used = cluster.stats().rounds() - prep->rounds_before;
-  cleanup(cluster, {"emb/idx", "emb/pts", "emb/fail", "emb/fail/total",
-                    "db/best"});
+  cleanup(cluster, {kIdx.name, kPts.name, kFail.name, kFailTotal.name,
+                    best_key.name});
   return result;
 }
 
@@ -366,24 +378,25 @@ Result<MpcMstResult> mpc_tree_mst(Cluster& cluster, const PointSet& points,
 
   // Representative (min point index) per cluster; child->parent links
   // land on the same machines (same key hashing).
-  mpc::reduce_kv_min(cluster, "emb/nodes", "mst/rep");
-  mpc::dedup_kv(cluster, "emb/links", "mst/links");
+  mpc::reduce_kv_min(cluster, kNodes.name, kMstRep.name);
+  mpc::dedup_kv(cluster, kLinks.name, kMstLinks.name);
 
   // Route each link's child-representative to the parent's machine.
+  const Channel<KV> reps_ch{kMstLinks.name};
   cluster.run_round(
       [&](MachineContext& ctx) {
         std::unordered_map<std::uint64_t, std::uint64_t> rep;
-        for (const KV& kv : ctx.store().get_vector<KV>("mst/rep")) {
+        for (const KV& kv : kMstRep.get(ctx.store())) {
           rep.emplace(kv.key, kv.value);
         }
-        std::vector<Serializer> out(m);
-        for (const KV& link : ctx.store().get_vector<KV>("mst/links")) {
+        std::vector<std::vector<KV>> out(m);
+        for (const KV& link : kMstLinks.get(ctx.store())) {
           const std::uint64_t child_rep = rep.at(link.key);
-          out[mix64(link.value) % m].write(KV{link.value, child_rep});
+          out[mix64(link.value) % m].push_back(KV{link.value, child_rep});
         }
-        ctx.store().erase("mst/links");
+        kMstLinks.erase(ctx.store());
         for (MachineId dst = 0; dst < m; ++dst) {
-          if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+          if (!out[dst].empty()) reps_ch.send(ctx, dst, out[dst]);
         }
       },
       "mst/route-child-reps");
@@ -392,38 +405,34 @@ Result<MpcMstResult> mpc_tree_mst(Cluster& cluster, const PointSet& points,
   cluster.run_round(
       [&](MachineContext& ctx) {
         std::unordered_map<std::uint64_t, std::uint64_t> rep;
-        for (const KV& kv : ctx.store().get_vector<KV>("mst/rep")) {
+        for (const KV& kv : kMstRep.get(ctx.store())) {
           rep.emplace(kv.key, kv.value);
         }
-        ctx.store().erase("mst/rep");
+        kMstRep.erase(ctx.store());
         std::vector<KV> edges;
-        for (const auto& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          while (!d.exhausted()) {
-            const auto record = d.read<KV>();  // {parent node, child rep}
-            const auto it = rep.find(record.key);
-            // The root (level 0) never appears under "emb/nodes" — its
-            // representative is the global min index, 0.
-            const std::uint64_t parent_rep =
-                it != rep.end() ? it->second : 0;
-            if (parent_rep != record.value) {
-              edges.push_back(KV{std::min(parent_rep, record.value),
-                                 std::max(parent_rep, record.value)});
-            }
+        for (const KV& record : reps_ch.receive(ctx)) {
+          // record = {parent node, child rep}.
+          const auto it = rep.find(record.key);
+          // The root (level 0) never appears under kNodes — its
+          // representative is the global min index, 0.
+          const std::uint64_t parent_rep = it != rep.end() ? it->second : 0;
+          if (parent_rep != record.value) {
+            edges.push_back(KV{std::min(parent_rep, record.value),
+                               std::max(parent_rep, record.value)});
           }
         }
         std::sort(edges.begin(), edges.end(), mpc::kv_less);
         edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-        ctx.store().set_vector("mst/edges", edges);
+        kMstEdges.set(ctx.store(), edges);
       },
       "mst/emit-edges");
 
-  mpc::dedup_kv(cluster, "mst/edges", "mst/edges/dedup");
+  mpc::dedup_kv(cluster, kMstEdges.name, kMstEdgesDedup.name);
 
   // Output readout: the distributed edge list, lengths evaluated against
   // the original points.
   MpcMstResult result;
-  const auto edges = mpc::gather_vector<KV>(cluster, "mst/edges/dedup");
+  const auto edges = mpc::gather_vector<KV>(cluster, kMstEdgesDedup.name);
   result.edges.reserve(edges.size());
   for (const KV& edge : edges) {
     const double length = l2_distance(points[edge.key], points[edge.value]);
@@ -434,8 +443,8 @@ Result<MpcMstResult> mpc_tree_mst(Cluster& cluster, const PointSet& points,
   }
   result.retries_used = prep->retries;
   result.rounds_used = cluster.stats().rounds() - prep->rounds_before;
-  cleanup(cluster, {"emb/idx", "emb/pts", "emb/fail", "emb/fail/total",
-                    "mst/edges/dedup"});
+  cleanup(cluster, {kIdx.name, kPts.name, kFail.name, kFailTotal.name,
+                    kMstEdgesDedup.name});
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -20,9 +21,26 @@
 
 namespace mpte {
 
+/// Byte size of a length-prefixed span of `count` records of type T, as
+/// written by Serializer::write_span — the right reserve hint for a
+/// message that is one record batch.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+constexpr std::size_t wire_size(std::size_t count) {
+  return sizeof(std::uint64_t) + count * sizeof(T);
+}
+
 /// Append-only encoder producing the wire bytes of a message.
 class Serializer {
  public:
+  Serializer() = default;
+
+  /// Size hint: reserves `reserve_bytes` of capacity up front so a message
+  /// of known size is encoded with a single allocation.
+  explicit Serializer(std::size_t reserve_bytes) {
+    buffer_.reserve(reserve_bytes);
+  }
+
   /// Writes a trivially copyable scalar verbatim (little-endian host order;
   /// the simulator never crosses endianness domains).
   template <typename T>
@@ -32,16 +50,24 @@ class Serializer {
     buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
   }
 
-  /// Writes a length-prefixed vector of trivially copyable elements.
+  /// Writes a length-prefixed span of trivially copyable elements.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
-  void write_vector(const std::vector<T>& values) {
+  void write_span(std::span<const T> values) {
     write(static_cast<std::uint64_t>(values.size()));
     if (!values.empty()) {
       const auto* bytes =
           reinterpret_cast<const std::uint8_t*>(values.data());
-      buffer_.insert(buffer_.end(), bytes, bytes + values.size() * sizeof(T));
+      buffer_.insert(buffer_.end(), bytes,
+                     bytes + values.size() * sizeof(T));
     }
+  }
+
+  /// Writes a length-prefixed vector of trivially copyable elements.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& values) {
+    write_span(std::span<const T>(values));
   }
 
   /// Writes a length-prefixed string.
@@ -49,7 +75,15 @@ class Serializer {
 
   std::size_t size() const { return buffer_.size(); }
   const std::vector<std::uint8_t>& bytes() const { return buffer_; }
-  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+  /// Releases the encoded bytes without copying. The Serializer is left
+  /// empty and reusable: size() == 0 and subsequent writes start a fresh
+  /// buffer.
+  std::vector<std::uint8_t> take() {
+    std::vector<std::uint8_t> out = std::move(buffer_);
+    buffer_.clear();  // moved-from state is unspecified; make it empty
+    return out;
+  }
 
  private:
   std::vector<std::uint8_t> buffer_;
@@ -62,6 +96,8 @@ class Deserializer {
  public:
   explicit Deserializer(const std::vector<std::uint8_t>& buffer)
       : data_(buffer.data()), size_(buffer.size()) {}
+  explicit Deserializer(std::span<const std::uint8_t> bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
   Deserializer(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
 

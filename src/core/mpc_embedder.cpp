@@ -99,12 +99,13 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
   }
 
   // Stage 5: the tree is the deduplicated union of paths.
-  mpc::dedup_kv(cluster, "emb/edges", "emb/edges/dedup");
+  const mpc::Key<KV> dedup_key{detail::keys::kEdges.name + "/dedup"};
+  mpc::dedup_kv(cluster, detail::keys::kEdges.name, dedup_key.name);
 
   // Host-side assembly (output readout): BFS from the root id over the
   // gathered edge set, then the shared pruning pass.
-  const auto edges = mpc::gather_vector<KV>(cluster, "emb/edges/dedup");
-  const auto leaves = mpc::gather_vector<KV>(cluster, "emb/leaf");
+  const auto edges = mpc::gather_vector<KV>(cluster, dedup_key.name);
+  const auto leaves = mpc::gather_vector<KV>(cluster, detail::keys::kLeaf.name);
 
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> children;
   children.reserve(edges.size());
@@ -142,19 +143,20 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
   // Gather the quantized points for inspection/distortion measurement.
   PointSet embedded(n, dim);
   for (MachineId id = 0; id < cluster.num_machines(); ++id) {
-    const auto idx = cluster.store(id).get_vector<std::uint64_t>("emb/idx");
-    const auto data = cluster.store(id).get_vector<double>("emb/pts");
+    auto& store = cluster.store(id);
+    const auto idx = detail::keys::kIdx.get(store);
+    const auto data = detail::keys::kPts.get(store);
     for (std::size_t local = 0; local < idx.size(); ++local) {
       auto dst = embedded[idx[local]];
       for (std::size_t j = 0; j < dim; ++j) dst[j] = data[local * dim + j];
     }
-    cluster.store(id).erase("emb/idx");
-    cluster.store(id).erase("emb/pts");
-    cluster.store(id).erase("emb/edges/dedup");
-    cluster.store(id).erase("emb/leaf");
-    cluster.store(id).erase("emb/fail");
+    detail::keys::kIdx.erase(store);
+    detail::keys::kPts.erase(store);
+    dedup_key.erase(store);
+    detail::keys::kLeaf.erase(store);
+    detail::keys::kFail.erase(store);
   }
-  cluster.store(0).erase("emb/fail/total");
+  detail::keys::kFailTotal.erase(cluster.store(0));
 
   MpcEmbedding embedding{
       assemble_pruned(raw),

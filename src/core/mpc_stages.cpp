@@ -6,7 +6,6 @@
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
-#include "mpc/primitives.hpp"
 #include "partition/ball_partition.hpp"
 
 namespace mpte::detail {
@@ -32,8 +31,8 @@ void scatter_points(Cluster& cluster, const PointSet& points) {
       const auto p = points[i];
       data.insert(data.end(), p.begin(), p.end());
     }
-    cluster.store(id).set_vector("emb/idx", idx);
-    cluster.store(id).set_vector("emb/pts", data);
+    keys::kIdx.set(cluster.store(id), idx);
+    keys::kPts.set(cluster.store(id), data);
   }
 }
 
@@ -41,7 +40,7 @@ void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
                   std::size_t fanout) {
   cluster.run_round(
       [&](MachineContext& ctx) {
-        const auto data = ctx.store().get_vector<double>("emb/pts");
+        const auto data = keys::kPts.get(ctx.store());
         std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
         std::vector<double> hi(dim,
                                -std::numeric_limits<double>::infinity());
@@ -51,10 +50,12 @@ void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
             hi[j] = std::max(hi[j], data[i * dim + j]);
           }
         }
-        Serializer s;
+        // One message carrying both extreme vectors (mixed content, so a
+        // raw Serializer rather than a Channel batch).
+        Serializer s(2 * wire_size<double>(dim));
         s.write_vector(lo);
         s.write_vector(hi);
-        ctx.send(0, std::move(s));
+        ctx.send(0, std::move(s), keys::kBox);
       },
       "quantize/extremes");
 
@@ -79,22 +80,22 @@ void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
         }
         const double cell =
             width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
-        Serializer s;
+        Serializer s(sizeof(double) + wire_size<double>(dim));
         s.write(cell);
         s.write_vector(lo);
-        ctx.store().set_blob("emb/box", s.take());
+        ctx.store().set_blob(keys::kBox, s.take());
       },
       "quantize/combine");
 
-  mpc::broadcast_blob(cluster, 0, "emb/box", fanout);
+  mpc::broadcast_blob(cluster, 0, keys::kBox, fanout);
 
   cluster.run_round(
       [&](MachineContext& ctx) {
-        Deserializer d(ctx.store().blob("emb/box"));
+        Deserializer d(ctx.store().blob(keys::kBox));
         const auto cell = d.read<double>();
         const auto lo = d.read_vector<double>();
-        ctx.store().erase("emb/box");
-        auto data = ctx.store().get_vector<double>("emb/pts");
+        ctx.store().erase(keys::kBox);
+        auto data = keys::kPts.get(ctx.store());
         for (std::size_t e = 0; e < data.size(); ++e) {
           const std::size_t j = e % dim;
           const double offset = (data[e] - lo[j]) / cell;
@@ -102,7 +103,7 @@ void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
               std::round(offset), 0.0, static_cast<double>(delta - 1));
           data[e] = snapped + 1.0;
         }
-        ctx.store().set_vector("emb/pts", data);
+        keys::kPts.set(ctx.store(), data);
       },
       "quantize/snap");
 }
@@ -125,8 +126,8 @@ std::uint64_t compute_paths(MachineContext& ctx, std::size_t dim,
                             const PartitionParams& p, Emit&& emit) {
   const ScaleLadder ladder =
       hybrid_scale_ladder(dim, p.num_buckets, p.delta);
-  const auto idx = ctx.store().get_vector<std::uint64_t>("emb/idx");
-  const auto data = ctx.store().get_vector<double>("emb/pts");
+  const auto idx = keys::kIdx.get(ctx.store());
+  const auto data = keys::kPts.get(ctx.store());
   if (idx.empty()) return 0;
 
   // Construct every (level, bucket) grid set once, outside the point loop:
@@ -182,10 +183,18 @@ void broadcast_params(Cluster& cluster, const PartitionParams& params,
   cluster.run_round(
       [&](MachineContext& ctx) {
         if (ctx.id() != 0) return;
-        ctx.store().set_value("emb/grids", params);
+        keys::kGrids.set(ctx.store(), params);
       },
       "grids/build");
-  mpc::broadcast_blob(cluster, 0, "emb/grids", fanout);
+  mpc::broadcast_blob(cluster, 0, keys::kGrids.name, fanout);
+}
+
+/// Converge-cast of the per-machine failure counters; returns the total.
+std::uint64_t total_failures(Cluster& cluster) {
+  mpc::sum_u64(cluster, keys::kFail.name, keys::kFailTotal.name, 0);
+  return keys::kFailTotal.in(cluster.store(0))
+             ? keys::kFailTotal.get(cluster.store(0))
+             : 0;
 }
 
 }  // namespace
@@ -197,8 +206,8 @@ std::uint64_t run_partition_attempt(Cluster& cluster, std::size_t dim,
 
   cluster.run_round(
       [&](MachineContext& ctx) {
-        const auto p = ctx.store().get_value<PartitionParams>("emb/grids");
-        ctx.store().erase("emb/grids");
+        const auto p = keys::kGrids.get(ctx.store());
+        keys::kGrids.erase(ctx.store());
         std::vector<KV> edges;
         std::vector<KV> leaves;
         std::uint64_t last_point = ~0ull;
@@ -215,16 +224,13 @@ std::uint64_t run_partition_attempt(Cluster& cluster, std::size_t dim,
               }
               (void)level;
             });
-        ctx.store().set_vector("emb/edges", edges);
-        ctx.store().set_vector("emb/leaf", leaves);
-        ctx.store().set_value<std::uint64_t>("emb/fail", failures);
+        keys::kEdges.set(ctx.store(), edges);
+        keys::kLeaf.set(ctx.store(), leaves);
+        keys::kFail.set(ctx.store(), failures);
       },
       "paths/compute");
 
-  mpc::sum_u64(cluster, "emb/fail", "emb/fail/total", 0);
-  return cluster.store(0).contains("emb/fail/total")
-             ? cluster.store(0).get_value<std::uint64_t>("emb/fail/total")
-             : 0;
+  return total_failures(cluster);
 }
 
 std::uint64_t run_path_records_attempt(Cluster& cluster, std::size_t dim,
@@ -235,8 +241,8 @@ std::uint64_t run_path_records_attempt(Cluster& cluster, std::size_t dim,
 
   cluster.run_round(
       [&](MachineContext& ctx) {
-        const auto p = ctx.store().get_value<PartitionParams>("emb/grids");
-        ctx.store().erase("emb/grids");
+        const auto p = keys::kGrids.get(ctx.store());
+        keys::kGrids.erase(ctx.store());
         std::vector<KV> records;
         std::vector<KV> links;
         const std::uint64_t failures = compute_paths(
@@ -249,16 +255,13 @@ std::uint64_t run_path_records_attempt(Cluster& cluster, std::size_t dim,
                                    pack_level_node(level - 1, parent)});
               }
             });
-        ctx.store().set_vector("emb/nodes", records);
-        if (emit_links) ctx.store().set_vector("emb/links", links);
-        ctx.store().set_value<std::uint64_t>("emb/fail", failures);
+        keys::kNodes.set(ctx.store(), records);
+        if (emit_links) keys::kLinks.set(ctx.store(), links);
+        keys::kFail.set(ctx.store(), failures);
       },
       "paths/records");
 
-  mpc::sum_u64(cluster, "emb/fail", "emb/fail/total", 0);
-  return cluster.store(0).contains("emb/fail/total")
-             ? cluster.store(0).get_value<std::uint64_t>("emb/fail/total")
-             : 0;
+  return total_failures(cluster);
 }
 
 }  // namespace mpte::detail

@@ -1,0 +1,133 @@
+// Typed handles over the MPC byte substrate.
+//
+// The simulator moves raw bytes: LocalStore maps string keys to Buffers,
+// MachineContext::send ships Buffers. Algorithms, though, think in records
+// — "the KV edges under 'emb/edges'", "a stream of ElemRecord chunks".
+// This header provides the thin typed layer between the two:
+//
+//   Key<T>       a named LocalStore slot holding a vector<T>
+//   ValueKey<T>  a named LocalStore slot holding a single T
+//   Channel<T>   a named message stream carrying batches (or raw records)
+//                of T between machines
+//
+// Handles are just names plus a type; they hold no state and are cheap to
+// copy or declare `inline const` next to the algorithm that owns them.
+// Every Channel send is attributed to the channel's name in RoundStats
+// (see RoundRecord::channel_bytes), so a run can report which logical
+// stream dominates communication. Names travel as metadata, not on the
+// wire — in the MPC model, program constants are free.
+//
+// Wire formats (unchanged from the untyped call sites they replace):
+//   Channel<T>::send(span)   one length-prefixed batch per call
+//                            (Serializer::write_span), so multiple sends
+//                            to the same peer frame themselves and
+//                            receive() can split them back apart.
+//   Channel<T>::send_one(v)  sizeof(T) raw bytes, no prefix — for
+//                            single-record reductions where the prefix
+//                            would double the message size.
+#pragma once
+
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/machine.hpp"
+
+namespace mpte::mpc {
+
+/// Typed handle to a LocalStore slot holding a vector<T>.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+struct Key {
+  std::string name;
+
+  void set(LocalStore& store, std::span<const T> values) const {
+    Serializer s(wire_size<T>(values.size()));
+    s.write_span(values);
+    store.set_blob(name, Buffer(s.take()));
+  }
+  void set(LocalStore& store, const std::vector<T>& values) const {
+    set(store, std::span<const T>(values));
+  }
+
+  std::vector<T> get(const LocalStore& store) const {
+    return store.get_vector<T>(name);
+  }
+
+  bool in(const LocalStore& store) const { return store.contains(name); }
+  void erase(LocalStore& store) const { store.erase(name); }
+};
+
+/// Typed handle to a LocalStore slot holding a single T.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+struct ValueKey {
+  std::string name;
+
+  void set(LocalStore& store, const T& value) const {
+    store.set_value(name, value);
+  }
+  T get(const LocalStore& store) const { return store.get_value<T>(name); }
+
+  bool in(const LocalStore& store) const { return store.contains(name); }
+  void erase(LocalStore& store) const { store.erase(name); }
+};
+
+/// Typed handle to a named message stream carrying records of T.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+struct Channel {
+  std::string name;
+
+  /// Sends one length-prefixed batch of records to `to`.
+  void send(MachineContext& ctx, MachineId to,
+            std::span<const T> records) const {
+    Serializer s(wire_size<T>(records.size()));
+    s.write_span(records);
+    ctx.send(to, Buffer(s.take()), name);
+  }
+  void send(MachineContext& ctx, MachineId to,
+            const std::vector<T>& records) const {
+    send(ctx, to, std::span<const T>(records));
+  }
+
+  /// Sends a single record raw (sizeof(T) bytes, no length prefix).
+  /// Receive with receive_raw(); mixing send and send_one on one channel
+  /// in one round is a framing error.
+  void send_one(MachineContext& ctx, MachineId to, const T& record) const {
+    Serializer s(sizeof(T));
+    s.write(record);
+    ctx.send(to, Buffer(s.take()), name);
+  }
+
+  /// Reads every batch from every inbox message, concatenated in source
+  /// rank order (deterministic). Messages may carry several batches (one
+  /// per send to this receiver).
+  std::vector<T> receive(MachineContext& ctx) const {
+    std::vector<T> records;
+    for (const auto& msg : ctx.inbox()) {
+      Deserializer d(msg.payload);
+      while (!d.exhausted()) {
+        auto batch = d.read_vector<T>();
+        records.insert(records.end(), batch.begin(), batch.end());
+      }
+    }
+    return records;
+  }
+
+  /// Reads records sent with send_one: each inbox message is a run of raw
+  /// sizeof(T) records, concatenated in source rank order.
+  std::vector<T> receive_raw(MachineContext& ctx) const {
+    std::vector<T> records;
+    for (const auto& msg : ctx.inbox()) {
+      Deserializer d(msg.payload);
+      while (!d.exhausted()) records.push_back(d.read<T>());
+    }
+    return records;
+  }
+};
+
+}  // namespace mpte::mpc

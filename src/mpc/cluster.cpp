@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/parallel.hpp"
 
@@ -14,16 +15,38 @@ std::size_t local_memory_for_input(std::size_t input_bytes, double eps,
   return std::max(min_bytes, static_cast<std::size_t>(std::ceil(s)));
 }
 
-void MachineContext::send(MachineId to, std::vector<std::uint8_t> payload) {
+void MachineContext::send(MachineId to, Buffer payload,
+                          std::string_view channel) {
   if (to >= num_machines_) {
     throw MpcViolation("send: destination rank out of range");
   }
-  auto& buf = outbox_[to];
-  // Multiple sends to the same destination within a round are concatenated;
-  // receivers see one message per (sender, round). Senders that need
-  // framing write their own length prefixes (Serializer does).
-  buf.insert(buf.end(), payload.begin(), payload.end());
+  if (channel.empty()) channel = kUntypedChannel;
+  outbox_.channel_bytes[std::string(channel)] += payload.size();
+  // Multiple sends to the same destination within a round are concatenated
+  // at delivery; receivers see one message per (sender, round). Senders
+  // that need framing write their own length prefixes (Serializer does).
+  outbox_.fragments[to].push_back(std::move(payload));
 }
+
+namespace {
+
+/// Collapses the fragments queued from one sender to one receiver into the
+/// single delivered payload. The common case — one send — moves the Buffer
+/// (shares the slab, zero copy); only genuine multi-send cells concatenate
+/// into a fresh slab.
+Buffer coalesce(std::vector<Buffer>& fragments) {
+  if (fragments.size() == 1) return std::move(fragments.front());
+  std::size_t total = 0;
+  for (const auto& f : fragments) total += f.size();
+  std::vector<std::uint8_t> joined;
+  joined.reserve(total);
+  for (const auto& f : fragments) {
+    joined.insert(joined.end(), f.data(), f.data() + f.size());
+  }
+  return Buffer(std::move(joined));
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   if (config_.num_machines == 0) {
@@ -31,7 +54,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   }
   machines_.resize(config_.num_machines);
   outboxes_.resize(config_.num_machines);
-  for (auto& row : outboxes_) row.resize(config_.num_machines);
+  for (auto& row : outboxes_) row.fragments.resize(config_.num_machines);
 }
 
 void Cluster::run_round(const Step& step, std::string label) {
@@ -39,7 +62,8 @@ void Cluster::run_round(const Step& step, std::string label) {
   // Reset the reusable outbox matrix; clear() keeps capacity, so rounds
   // after the first only allocate for payloads that outgrow last round's.
   for (auto& row : outboxes_) {
-    for (auto& cell : row) cell.clear();
+    for (auto& cell : row.fragments) cell.clear();
+    row.channel_bytes.clear();
   }
 
   // Execute the machine steps, possibly concurrently: each step touches
@@ -61,44 +85,60 @@ void Cluster::run_round(const Step& step, std::string label) {
   RoundRecord record;
   record.label = std::move(label);
 
-  // Audit send quotas and compute per-receiver volumes.
+  // Audit send quotas, merge channel attributions (rank order, so the
+  // resulting map is identical at every thread count), and compute
+  // per-receiver volumes.
   std::vector<std::size_t> recv_bytes(m, 0);
   for (MachineId src = 0; src < m; ++src) {
     std::size_t sent = 0;
     for (MachineId dst = 0; dst < m; ++dst) {
-      const std::size_t bytes = outboxes[src][dst].size();
+      std::size_t bytes = 0;
+      for (const auto& fragment : outboxes[src].fragments[dst]) {
+        bytes += fragment.size();
+      }
       sent += bytes;
       recv_bytes[dst] += bytes;
     }
+    for (const auto& [channel, bytes] : outboxes[src].channel_bytes) {
+      record.channel_bytes[channel] += bytes;
+    }
     record.max_sent_bytes = std::max(record.max_sent_bytes, sent);
     record.total_message_bytes += sent;
-    if (config_.enforce_limits && sent > config_.local_memory_bytes) {
-      throw MpcViolation("round '" + record.label + "': machine " +
-                         std::to_string(src) + " sent " +
-                         std::to_string(sent) + "B > local memory " +
-                         std::to_string(config_.local_memory_bytes) + "B");
+    if (sent > config_.local_memory_bytes) {
+      if (config_.enforce_limits) {
+        throw MpcViolation("round '" + record.label + "': machine " +
+                           std::to_string(src) + " sent " +
+                           std::to_string(sent) + "B > local memory " +
+                           std::to_string(config_.local_memory_bytes) + "B");
+      }
+      ++record.violations;
     }
   }
   for (MachineId dst = 0; dst < m; ++dst) {
     record.max_recv_bytes = std::max(record.max_recv_bytes, recv_bytes[dst]);
-    if (config_.enforce_limits &&
-        recv_bytes[dst] > config_.local_memory_bytes) {
-      throw MpcViolation("round '" + record.label + "': machine " +
-                         std::to_string(dst) + " received " +
-                         std::to_string(recv_bytes[dst]) +
-                         "B > local memory " +
-                         std::to_string(config_.local_memory_bytes) + "B");
+    if (recv_bytes[dst] > config_.local_memory_bytes) {
+      if (config_.enforce_limits) {
+        throw MpcViolation("round '" + record.label + "': machine " +
+                           std::to_string(dst) + " received " +
+                           std::to_string(recv_bytes[dst]) +
+                           "B > local memory " +
+                           std::to_string(config_.local_memory_bytes) + "B");
+      }
+      ++record.violations;
     }
   }
 
   // Deliver: replace inboxes with this round's messages (previous inboxes
-  // are consumed — machines that need old messages must store them).
+  // are consumed — machines that need old messages must store them). A
+  // single-fragment cell moves its Buffer, sharing the slab with whoever
+  // else holds it (sender-side store, sibling receivers).
   for (MachineId dst = 0; dst < m; ++dst) {
     auto& inbox = machines_[dst].inbox;
     inbox.clear();
     for (MachineId src = 0; src < m; ++src) {
-      if (!outboxes[src][dst].empty()) {
-        inbox.push_back(Message{src, std::move(outboxes[src][dst])});
+      auto& fragments = outboxes[src].fragments[dst];
+      if (!fragments.empty()) {
+        inbox.push_back(Message{src, coalesce(fragments)});
       }
     }
   }
@@ -109,11 +149,14 @@ void Cluster::run_round(const Step& step, std::string label) {
         machines_[id].store.resident_bytes() + machines_[id].inbox_bytes();
     record.max_resident_bytes = std::max(record.max_resident_bytes, resident);
     record.total_resident_bytes += resident;
-    if (config_.enforce_limits && resident > config_.local_memory_bytes) {
-      throw MpcViolation("round '" + record.label + "': machine " +
-                         std::to_string(id) + " resident " +
-                         std::to_string(resident) + "B > local memory " +
-                         std::to_string(config_.local_memory_bytes) + "B");
+    if (resident > config_.local_memory_bytes) {
+      if (config_.enforce_limits) {
+        throw MpcViolation("round '" + record.label + "': machine " +
+                           std::to_string(id) + " resident " +
+                           std::to_string(resident) + "B > local memory " +
+                           std::to_string(config_.local_memory_bytes) + "B");
+      }
+      ++record.violations;
     }
   }
 

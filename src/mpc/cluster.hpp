@@ -7,7 +7,15 @@
 // local memory, residency <= local memory — then delivers all messages.
 // Violations throw MpcViolation when enforcement is on, so an algorithm
 // that exceeds the fully-scalable regime fails loudly in tests rather than
-// silently consuming unrealistic resources.
+// silently consuming unrealistic resources. With enforcement off the
+// breaches are still counted (RoundRecord::violations) so a run can report
+// how far outside the model it strayed.
+//
+// Payloads are mpc::Buffer slabs: queueing, delivering, and storing a
+// message shares one slab (refcount) rather than deep-copying, so e.g. a
+// fan-out broadcast materializes its blob exactly once no matter how many
+// machines receive it. Sends are attributed to named *channels* (see
+// mpc/channel.hpp) and RoundStats reports bytes per channel.
 //
 // Machine steps within a round may execute concurrently on host threads
 // (ClusterConfig::num_threads): steps are SPMD and touch only their own
@@ -20,7 +28,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.hpp"
@@ -43,8 +53,8 @@ struct ClusterConfig {
   /// s = O((nd)^eps); see local_memory_for_input() below.
   std::size_t local_memory_bytes = 1 << 20;
   /// If true (default), constraint violations throw MpcViolation. Turning
-  /// this off still records stats — useful for measuring how much an
-  /// algorithm *would* need.
+  /// this off still records violation counts and stats — useful for
+  /// measuring how much an algorithm *would* need.
   bool enforce_limits = true;
   /// Host threads executing machine steps within a round. 0 = auto
   /// (MPTE_THREADS env var, else hardware concurrency); 1 = the serial
@@ -59,12 +69,22 @@ struct ClusterConfig {
 std::size_t local_memory_for_input(std::size_t input_bytes, double eps,
                                    std::size_t min_bytes = 4096);
 
+/// One machine's queued output for a round: payload fragments per
+/// destination plus per-channel byte attribution. Owned by the Cluster,
+/// written only by that machine's step (race-free under threading).
+struct Outbox {
+  /// fragments[dst] = payloads queued to dst this round, in send order.
+  std::vector<std::vector<Buffer>> fragments;
+  /// Bytes queued this round keyed by channel name.
+  std::map<std::string, std::size_t> channel_bytes;
+};
+
 /// Per-machine handle passed to step functions: local state access plus
 /// message sending. Only valid during the round that supplied it.
 class MachineContext {
  public:
   MachineContext(MachineId id, std::size_t num_machines, Machine& machine,
-                 std::vector<std::vector<std::uint8_t>>& outbox)
+                 Outbox& outbox)
       : id_(id),
         num_machines_(num_machines),
         machine_(machine),
@@ -80,19 +100,29 @@ class MachineContext {
   /// rank (deterministic).
   const std::vector<Message>& inbox() const { return machine_.inbox; }
 
-  /// Queues `payload` for delivery to machine `to` at the round boundary.
-  void send(MachineId to, std::vector<std::uint8_t> payload);
+  /// Queues `payload` for delivery to machine `to` at the round boundary,
+  /// sharing the slab (no copy). `channel` attributes the bytes in
+  /// RoundStats; empty means kUntypedChannel. Typed code should go
+  /// through Channel<T>::send, which names the channel for you.
+  void send(MachineId to, Buffer payload, std::string_view channel = {});
+
+  /// Queues owned bytes (wrapped into a Buffer without copying).
+  void send(MachineId to, std::vector<std::uint8_t> payload,
+            std::string_view channel = {}) {
+    send(to, Buffer(std::move(payload)), channel);
+  }
 
   /// Convenience: queue the contents of a Serializer.
-  void send(MachineId to, Serializer serializer) {
-    send(to, serializer.take());
+  void send(MachineId to, Serializer serializer,
+            std::string_view channel = {}) {
+    send(to, Buffer(serializer.take()), channel);
   }
 
  private:
   MachineId id_;
   std::size_t num_machines_;
   Machine& machine_;
-  std::vector<std::vector<std::uint8_t>>& outbox_;  // indexed by dest rank
+  Outbox& outbox_;
 };
 
 /// Step function executed by every machine in a round.
@@ -126,11 +156,11 @@ class Cluster {
   ClusterConfig config_;
   std::vector<Machine> machines_;
   RoundStats stats_;
-  /// Reusable M×M outbox matrix: outboxes_[src][dst] = bytes queued from
-  /// src to dst this round. A member (not a run_round local) so the O(M²)
-  /// vector skeleton is allocated once, not rebuilt every round; cells are
-  /// cleared (capacity kept) between rounds.
-  std::vector<std::vector<std::vector<std::uint8_t>>> outboxes_;
+  /// Reusable per-machine outboxes: outboxes_[src].fragments[dst] holds the
+  /// Buffers queued from src to dst this round. A member (not a run_round
+  /// local) so the O(M²) vector skeleton is allocated once, not rebuilt
+  /// every round; cells are cleared (capacity kept) between rounds.
+  std::vector<Outbox> outboxes_;
 };
 
 }  // namespace mpte::mpc

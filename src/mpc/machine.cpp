@@ -2,8 +2,7 @@
 
 namespace mpte::mpc {
 
-void LocalStore::set_blob(const std::string& key,
-                          std::vector<std::uint8_t> blob) {
+void LocalStore::set_blob(const std::string& key, Buffer blob) {
   auto it = blobs_.find(key);
   if (it != blobs_.end()) {
     resident_bytes_ -= it->second.size();
@@ -15,8 +14,7 @@ void LocalStore::set_blob(const std::string& key,
   }
 }
 
-const std::vector<std::uint8_t>& LocalStore::blob(
-    const std::string& key) const {
+const Buffer& LocalStore::blob(const std::string& key) const {
   auto it = blobs_.find(key);
   if (it == blobs_.end()) {
     throw MpteError("LocalStore: missing key '" + key + "'");

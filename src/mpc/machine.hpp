@@ -6,6 +6,12 @@
 // local memory. `Machine` models exactly the state side of this: a byte-
 // accounted key/value store (the machine's RAM between rounds) and an inbox
 // of messages delivered at the last round boundary.
+//
+// Payloads everywhere are mpc::Buffer — immutable refcounted slabs — so
+// storing a delivered message, broadcasting a blob, or self-sending shares
+// one slab instead of deep-copying. The byte accounting is unchanged: a
+// slab's bytes are charged to every store/inbox that references it (the
+// model prices what a machine *holds*, not how the host deduplicates).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +22,7 @@
 
 #include "common/serialize.hpp"
 #include "common/status.hpp"
+#include "mpc/buffer.hpp"
 
 namespace mpte::mpc {
 
@@ -26,7 +33,7 @@ using MachineId = std::uint32_t;
 /// which inbox it sits in).
 struct Message {
   MachineId from;
-  std::vector<std::uint8_t> payload;
+  Buffer payload;
 };
 
 /// Byte-accounted key/value RAM of one machine. Keys are names chosen by
@@ -34,11 +41,16 @@ struct Message {
 /// Every byte stored counts against the machine's local-memory budget.
 class LocalStore {
  public:
-  /// Replaces the blob under `key`.
-  void set_blob(const std::string& key, std::vector<std::uint8_t> blob);
+  /// Replaces the blob under `key`, sharing the slab (no copy).
+  void set_blob(const std::string& key, Buffer blob);
+
+  /// Replaces the blob under `key`, taking ownership of the bytes.
+  void set_blob(const std::string& key, std::vector<std::uint8_t> blob) {
+    set_blob(key, Buffer(std::move(blob)));
+  }
 
   /// Read access; throws MpteError if absent.
-  const std::vector<std::uint8_t>& blob(const std::string& key) const;
+  const Buffer& blob(const std::string& key) const;
 
   bool contains(const std::string& key) const;
 
@@ -52,9 +64,9 @@ class LocalStore {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void set_vector(const std::string& key, const std::vector<T>& values) {
-    Serializer s;
+    Serializer s(wire_size<T>(values.size()));
     s.write_vector(values);
-    set_blob(key, s.take());
+    set_blob(key, Buffer(s.take()));
   }
 
   /// Reads back a vector stored by set_vector.
@@ -69,9 +81,9 @@ class LocalStore {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void set_value(const std::string& key, const T& value) {
-    Serializer s;
+    Serializer s(sizeof(T));
     s.write(value);
-    set_blob(key, s.take());
+    set_blob(key, Buffer(s.take()));
   }
 
   template <typename T>
@@ -86,7 +98,7 @@ class LocalStore {
   std::size_t resident_bytes() const { return resident_bytes_; }
 
  private:
-  std::unordered_map<std::string, std::vector<std::uint8_t>> blobs_;
+  std::unordered_map<std::string, Buffer> blobs_;
   std::size_t resident_bytes_ = 0;
 };
 

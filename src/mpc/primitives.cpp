@@ -1,8 +1,10 @@
 #include "mpc/primitives.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/rng.hpp"
+#include "mpc/channel.hpp"
 
 namespace mpte::mpc {
 
@@ -29,7 +31,9 @@ void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
     cluster.run_round(
         [&](MachineContext& ctx) {
           // A machine that received the blob last round persists it first —
-          // it may already be a sender this round.
+          // it may already be a sender this round. Persisting shares the
+          // delivered slab; forwarding shares it again: the blob is
+          // materialized once, cluster-wide, no matter how many receivers.
           if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
             ctx.store().set_blob(key, ctx.inbox().front().payload);
           }
@@ -41,7 +45,7 @@ void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
               const std::size_t dest_virt =
                   holders_before + virt * fanout + j;
               if (dest_virt >= m) break;
-              ctx.send(to_real(dest_virt), ctx.store().blob(key));
+              ctx.send(to_real(dest_virt), ctx.store().blob(key), key);
             }
           }
         },
@@ -61,123 +65,112 @@ void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
 
 namespace {
 
-/// Routes each machine's `in_key` records to hash(key) % M, storing sorted
-/// arrivals under `out_key`.
-void shuffle_round(Cluster& cluster, const std::string& in_key,
-                   const std::string& out_key, const std::string& label) {
+/// Routes each machine's `in` records to hash(key) % M, storing sorted
+/// arrivals under `out`. Bytes are attributed to channel `in.name`.
+void shuffle_round(Cluster& cluster, const Key<KV>& in, const Key<KV>& out,
+                   const std::string& label) {
   const std::size_t m = cluster.num_machines();
+  const Channel<KV> ch{in.name};
   cluster.run_round(
       [&](MachineContext& ctx) {
         std::vector<std::vector<KV>> buckets(m);
-        if (ctx.store().contains(in_key)) {
-          for (const KV& kv : ctx.store().get_vector<KV>(in_key)) {
+        if (in.in(ctx.store())) {
+          for (const KV& kv : in.get(ctx.store())) {
             buckets[mix64(kv.key) % m].push_back(kv);
           }
-          ctx.store().erase(in_key);
+          in.erase(ctx.store());
         }
         for (MachineId dst = 0; dst < m; ++dst) {
           if (buckets[dst].empty()) continue;
-          Serializer s;
-          s.write_vector(buckets[dst]);
-          ctx.send(dst, std::move(s));
+          ch.send(ctx, dst, buckets[dst]);
         }
       },
       label + "/route");
   cluster.run_round(
       [&](MachineContext& ctx) {
-        std::vector<KV> arrived;
-        for (const Message& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          while (!d.exhausted()) {
-            auto part = d.read_vector<KV>();
-            arrived.insert(arrived.end(), part.begin(), part.end());
-          }
-        }
+        auto arrived = ch.receive(ctx);
         std::sort(arrived.begin(), arrived.end(), kv_less);
-        ctx.store().set_vector(out_key, arrived);
+        out.set(ctx.store(), arrived);
       },
       label + "/collect");
+}
+
+/// Shared body of the key-wise reductions: shuffle, then fold runs of equal
+/// keys with `combine` (records arrive sorted by kv_less, so equal keys are
+/// adjacent). The sum and min reductions differ only in the fold.
+void reduce_kv(Cluster& cluster, const std::string& in_key,
+               const std::string& out_key, const std::string& label,
+               const std::function<std::uint64_t(std::uint64_t,
+                                                 std::uint64_t)>& combine) {
+  const Key<KV> out{out_key};
+  shuffle_round(cluster, Key<KV>{in_key}, out, label);
+  cluster.run_round(
+      [&](MachineContext& ctx) {
+        const auto records = out.get(ctx.store());
+        std::vector<KV> reduced;
+        for (const KV& kv : records) {
+          if (!reduced.empty() && reduced.back().key == kv.key) {
+            reduced.back().value = combine(reduced.back().value, kv.value);
+          } else {
+            reduced.push_back(kv);
+          }
+        }
+        out.set(ctx.store(), reduced);
+      },
+      label + "/combine");
 }
 
 }  // namespace
 
 void shuffle_kv_by_key(Cluster& cluster, const std::string& in_key,
                        const std::string& out_key) {
-  shuffle_round(cluster, in_key, out_key, "shuffle");
+  shuffle_round(cluster, Key<KV>{in_key}, Key<KV>{out_key}, "shuffle");
 }
 
 void dedup_kv(Cluster& cluster, const std::string& in_key,
               const std::string& out_key) {
-  shuffle_round(cluster, in_key, out_key, "dedup");
+  const Key<KV> out{out_key};
+  shuffle_round(cluster, Key<KV>{in_key}, out, "dedup");
   cluster.run_round(
       [&](MachineContext& ctx) {
-        auto records = ctx.store().get_vector<KV>(out_key);
+        auto records = out.get(ctx.store());
         records.erase(std::unique(records.begin(), records.end()),
                       records.end());
-        ctx.store().set_vector(out_key, records);
+        out.set(ctx.store(), records);
       },
       "dedup/unique");
 }
 
 void reduce_kv_sum(Cluster& cluster, const std::string& in_key,
                    const std::string& out_key) {
-  shuffle_round(cluster, in_key, out_key, "reduce");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto records = ctx.store().get_vector<KV>(out_key);
-        std::vector<KV> reduced;
-        for (const KV& kv : records) {
-          if (!reduced.empty() && reduced.back().key == kv.key) {
-            reduced.back().value += kv.value;
-          } else {
-            reduced.push_back(kv);
-          }
-        }
-        ctx.store().set_vector(out_key, reduced);
-      },
-      "reduce/combine");
+  reduce_kv(cluster, in_key, out_key, "reduce",
+            [](std::uint64_t acc, std::uint64_t v) { return acc + v; });
 }
 
 void reduce_kv_min(Cluster& cluster, const std::string& in_key,
                    const std::string& out_key) {
-  shuffle_round(cluster, in_key, out_key, "reduce-min");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto records = ctx.store().get_vector<KV>(out_key);
-        std::vector<KV> reduced;
-        for (const KV& kv : records) {
-          if (!reduced.empty() && reduced.back().key == kv.key) {
-            reduced.back().value = std::min(reduced.back().value, kv.value);
-          } else {
-            reduced.push_back(kv);
-          }
-        }
-        ctx.store().set_vector(out_key, reduced);
-      },
-      "reduce-min/combine");
+  reduce_kv(cluster, in_key, out_key, "reduce-min",
+            [](std::uint64_t acc, std::uint64_t v) {
+              return std::min(acc, v);
+            });
 }
 
 void sum_u64(Cluster& cluster, const std::string& in_key,
              const std::string& out_key, MachineId root) {
+  const ValueKey<std::uint64_t> in{in_key};
+  const Channel<std::uint64_t> ch{in_key};
   cluster.run_round(
       [&](MachineContext& ctx) {
-        std::uint64_t value = 0;
-        if (ctx.store().contains(in_key)) {
-          value = ctx.store().get_value<std::uint64_t>(in_key);
-        }
-        Serializer s;
-        s.write(value);
-        ctx.send(root, std::move(s));
+        const std::uint64_t value =
+            in.in(ctx.store()) ? in.get(ctx.store()) : 0;
+        ch.send_one(ctx, root, value);
       },
       "sum_u64/send");
   cluster.run_round(
       [&](MachineContext& ctx) {
         if (ctx.id() != root) return;
         std::uint64_t total = 0;
-        for (const Message& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          total += d.read<std::uint64_t>();
-        }
+        for (const std::uint64_t v : ch.receive_raw(ctx)) total += v;
         ctx.store().set_value(out_key, total);
       },
       "sum_u64/combine");
@@ -185,48 +178,49 @@ void sum_u64(Cluster& cluster, const std::string& in_key,
 
 void sum_double(Cluster& cluster, const std::string& in_key,
                 const std::string& out_key, MachineId root) {
+  const ValueKey<double> in{in_key};
+  const Channel<double> ch{in_key};
   cluster.run_round(
       [&](MachineContext& ctx) {
-        double value = 0.0;
-        if (ctx.store().contains(in_key)) {
-          value = ctx.store().get_value<double>(in_key);
-        }
-        Serializer s;
-        s.write(value);
-        ctx.send(root, std::move(s));
+        const double value = in.in(ctx.store()) ? in.get(ctx.store()) : 0.0;
+        ch.send_one(ctx, root, value);
       },
       "sum_double/send");
   cluster.run_round(
       [&](MachineContext& ctx) {
         if (ctx.id() != root) return;
         double total = 0.0;
-        for (const Message& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          total += d.read<double>();
-        }
+        for (const double v : ch.receive_raw(ctx)) total += v;
         ctx.store().set_value(out_key, total);
       },
       "sum_double/combine");
 }
 
+namespace {
+
+/// Wire record of prefix_sum's converge-cast: which rank is reporting and
+/// its local sum.
+struct RankSum {
+  std::uint64_t rank;
+  std::uint64_t sum;
+};
+
+}  // namespace
+
 void prefix_sum_u64(Cluster& cluster, const std::string& in_key,
                     const std::string& out_key, std::size_t fanout) {
-  const std::string offsets_key = out_key + "/__offsets";
+  const Key<std::uint64_t> in{in_key};
+  const Key<std::uint64_t> offsets{out_key + "/__offsets"};
+  const Channel<RankSum> ch{in_key};
 
   // Local sums to rank 0.
   cluster.run_round(
       [&](MachineContext& ctx) {
         std::uint64_t local = 0;
-        if (ctx.store().contains(in_key)) {
-          for (const std::uint64_t v :
-               ctx.store().get_vector<std::uint64_t>(in_key)) {
-            local += v;
-          }
+        if (in.in(ctx.store())) {
+          for (const std::uint64_t v : in.get(ctx.store())) local += v;
         }
-        Serializer s;
-        s.write(ctx.id());
-        s.write(local);
-        ctx.send(0, std::move(s));
+        ch.send_one(ctx, 0, RankSum{ctx.id(), local});
       },
       "prefix/local-sums");
 
@@ -235,32 +229,28 @@ void prefix_sum_u64(Cluster& cluster, const std::string& in_key,
       [&](MachineContext& ctx) {
         if (ctx.id() != 0) return;
         std::vector<std::uint64_t> sums(ctx.num_machines(), 0);
-        for (const Message& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          const auto rank = d.read<MachineId>();
-          sums[rank] = d.read<std::uint64_t>();
+        for (const RankSum& rs : ch.receive_raw(ctx)) {
+          sums.at(rs.rank) = rs.sum;
         }
-        std::vector<std::uint64_t> offsets(ctx.num_machines(), 0);
-        for (std::size_t r = 1; r < offsets.size(); ++r) {
-          offsets[r] = offsets[r - 1] + sums[r - 1];
+        std::vector<std::uint64_t> out(ctx.num_machines(), 0);
+        for (std::size_t r = 1; r < out.size(); ++r) {
+          out[r] = out[r - 1] + sums[r - 1];
         }
-        ctx.store().set_vector(offsets_key, offsets);
+        offsets.set(ctx.store(), out);
       },
       "prefix/offsets");
 
-  mpc::broadcast_blob(cluster, 0, offsets_key, fanout);
+  mpc::broadcast_blob(cluster, 0, offsets.name, fanout);
 
   // Local exclusive scan shifted by the machine's offset.
   cluster.run_round(
       [&](MachineContext& ctx) {
-        const auto offsets =
-            ctx.store().get_vector<std::uint64_t>(offsets_key);
-        ctx.store().erase(offsets_key);
+        const auto machine_offsets = offsets.get(ctx.store());
+        offsets.erase(ctx.store());
         std::vector<std::uint64_t> out;
-        if (ctx.store().contains(in_key)) {
-          std::uint64_t running = offsets[ctx.id()];
-          for (const std::uint64_t v :
-               ctx.store().get_vector<std::uint64_t>(in_key)) {
+        if (in.in(ctx.store())) {
+          std::uint64_t running = machine_offsets[ctx.id()];
+          for (const std::uint64_t v : in.get(ctx.store())) {
             out.push_back(running);
             running += v;
           }

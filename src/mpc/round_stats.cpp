@@ -10,20 +10,45 @@ void RoundStats::record(RoundRecord record) {
   peak_total_bytes_ = std::max(peak_total_bytes_, record.total_resident_bytes);
   peak_round_io_bytes_ = std::max(
       {peak_round_io_bytes_, record.max_sent_bytes, record.max_recv_bytes});
+  total_violations_ += record.violations;
+  for (const auto& [channel, bytes] : record.channel_bytes) {
+    channel_totals_[channel] += bytes;
+  }
   records_.push_back(std::move(record));
+}
+
+std::vector<std::pair<std::string, std::size_t>> RoundStats::channel_totals()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> totals(
+      channel_totals_.begin(), channel_totals_.end());
+  std::sort(totals.begin(), totals.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return totals;
 }
 
 std::string RoundStats::summary() const {
   std::ostringstream out;
   out << "rounds=" << rounds() << " peak_local=" << peak_local_bytes()
       << "B peak_total=" << peak_total_bytes()
-      << "B peak_round_io=" << peak_round_io_bytes() << "B\n";
+      << "B peak_round_io=" << peak_round_io_bytes() << "B";
+  if (total_violations_ > 0) out << " violations=" << total_violations_;
+  out << "\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     out << "  round " << i << (r.label.empty() ? "" : " [" + r.label + "]")
         << ": sent<=" << r.max_sent_bytes << "B recv<=" << r.max_recv_bytes
         << "B volume=" << r.total_message_bytes
         << "B local<=" << r.max_resident_bytes << "B\n";
+  }
+  const auto channels = channel_totals();
+  if (!channels.empty()) {
+    out << "  channels:";
+    for (const auto& [channel, bytes] : channels) {
+      out << " " << channel << "=" << bytes << "B";
+    }
+    out << "\n";
   }
   return out.str();
 }
@@ -33,6 +58,8 @@ void RoundStats::reset() {
   peak_local_bytes_ = 0;
   peak_total_bytes_ = 0;
   peak_round_io_bytes_ = 0;
+  total_violations_ = 0;
+  channel_totals_.clear();
 }
 
 }  // namespace mpte::mpc

@@ -5,13 +5,25 @@
 // total space. RoundStats records all three per round and in aggregate so
 // that benches can report them and tests can assert the paper's bounds
 // (O(1) rounds, O((nd)^eps) local, near-linear total).
+//
+// Additionally, every send is attributed to a *channel* (the typed
+// Channel<T>'s name, the broadcast key, or "(untyped)" for raw sends), so
+// a run can report which logical stream — grid broadcast, edge shuffle,
+// FJLT transpose — dominates communication. Per round, the per-channel
+// bytes sum exactly to total_message_bytes.
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mpte::mpc {
+
+/// Channel name under which MachineContext::send files payloads that were
+/// not sent through a typed channel (or an otherwise-named stream).
+inline constexpr const char* kUntypedChannel = "(untyped)";
 
 /// Costs of a single round.
 struct RoundRecord {
@@ -27,6 +39,14 @@ struct RoundRecord {
   std::size_t max_resident_bytes = 0;
   /// Sum of residencies over machines at the end of the round (total space).
   std::size_t total_resident_bytes = 0;
+  /// Model-constraint breaches observed this round (send/receive/residency
+  /// over local memory). Nonzero only when enforcement is off — with
+  /// enforcement on, the first breach throws and the round is not
+  /// recorded.
+  std::size_t violations = 0;
+  /// Bytes sent this round keyed by channel name. Values sum to
+  /// total_message_bytes (every send is attributed to some channel).
+  std::map<std::string, std::size_t> channel_bytes;
 };
 
 /// Aggregate statistics over an execution.
@@ -49,6 +69,14 @@ class RoundStats {
   /// Peak per-machine bytes sent or received in one round.
   std::size_t peak_round_io_bytes() const { return peak_round_io_bytes_; }
 
+  /// Total constraint breaches recorded (only populated when
+  /// enforce_limits is off; see RoundRecord::violations).
+  std::size_t total_violations() const { return total_violations_; }
+
+  /// Aggregate bytes per channel over all rounds, sorted by descending
+  /// bytes (ties broken by name) — ready for "top K channels" reports.
+  std::vector<std::pair<std::string, std::size_t>> channel_totals() const;
+
   /// Human-readable multi-line summary for examples and benches.
   std::string summary() const;
 
@@ -59,6 +87,8 @@ class RoundStats {
   std::size_t peak_local_bytes_ = 0;
   std::size_t peak_total_bytes_ = 0;
   std::size_t peak_round_io_bytes_ = 0;
+  std::size_t total_violations_ = 0;
+  std::map<std::string, std::size_t> channel_totals_;
 };
 
 }  // namespace mpte::mpc

@@ -3,20 +3,25 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "mpc/channel.hpp"
 
 namespace mpte::mpc {
 
 void sample_sort_kv(Cluster& cluster, const std::string& in_key,
                     const std::string& out_key, const SortOptions& options) {
   const std::size_t m = cluster.num_machines();
-  const std::string splitters_key = out_key + "/__splitters";
+  const Key<KV> in{in_key};
+  const Key<KV> out{out_key};
+  const Key<KV> splitters_key{out_key + "/__splitters"};
+  const Channel<KV> samples_ch{out_key + "/__samples"};
+  const Channel<KV> route_ch{in_key};
 
   // Round 1: every machine sends a random sample of its records to rank 0.
   cluster.run_round(
       [&](MachineContext& ctx) {
         std::vector<KV> sample;
-        if (ctx.store().contains(in_key)) {
-          const auto records = ctx.store().get_vector<KV>(in_key);
+        if (in.in(ctx.store())) {
+          const auto records = in.get(ctx.store());
           Rng rng = Rng(options.seed).split(ctx.id());
           if (records.size() <= options.samples_per_machine) {
             sample = records;
@@ -27,9 +32,7 @@ void sample_sort_kv(Cluster& cluster, const std::string& in_key,
             }
           }
         }
-        Serializer s;
-        s.write_vector(sample);
-        ctx.send(0, std::move(s));
+        samples_ch.send(ctx, 0, sample);
       },
       "sort/sample");
 
@@ -37,12 +40,7 @@ void sample_sort_kv(Cluster& cluster, const std::string& in_key,
   cluster.run_round(
       [&](MachineContext& ctx) {
         if (ctx.id() != 0) return;
-        std::vector<KV> samples;
-        for (const Message& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          auto part = d.read_vector<KV>();
-          samples.insert(samples.end(), part.begin(), part.end());
-        }
+        auto samples = samples_ch.receive(ctx);
         std::sort(samples.begin(), samples.end(), kv_less);
         std::vector<KV> splitters;
         if (!samples.empty()) {
@@ -50,20 +48,20 @@ void sample_sort_kv(Cluster& cluster, const std::string& in_key,
             splitters.push_back(samples[i * samples.size() / m]);
           }
         }
-        ctx.store().set_vector(splitters_key, splitters);
+        splitters_key.set(ctx.store(), splitters);
       },
       "sort/select-splitters");
 
-  broadcast_blob(cluster, 0, splitters_key, options.broadcast_fanout);
+  broadcast_blob(cluster, 0, splitters_key.name, options.broadcast_fanout);
 
   // Route every record to its splitter bucket.
   cluster.run_round(
       [&](MachineContext& ctx) {
-        const auto splitters = ctx.store().get_vector<KV>(splitters_key);
-        ctx.store().erase(splitters_key);
+        const auto splitters = splitters_key.get(ctx.store());
+        splitters_key.erase(ctx.store());
         std::vector<std::vector<KV>> buckets(m);
-        if (ctx.store().contains(in_key)) {
-          for (const KV& kv : ctx.store().get_vector<KV>(in_key)) {
+        if (in.in(ctx.store())) {
+          for (const KV& kv : in.get(ctx.store())) {
             // Bucket = number of splitters strictly less than kv.
             const auto it = std::upper_bound(splitters.begin(),
                                              splitters.end(), kv, kv_less);
@@ -71,13 +69,11 @@ void sample_sort_kv(Cluster& cluster, const std::string& in_key,
                 static_cast<std::size_t>(it - splitters.begin());
             buckets[bucket].push_back(kv);
           }
-          ctx.store().erase(in_key);
+          in.erase(ctx.store());
         }
         for (MachineId dst = 0; dst < m; ++dst) {
           if (buckets[dst].empty()) continue;
-          Serializer s;
-          s.write_vector(buckets[dst]);
-          ctx.send(dst, std::move(s));
+          route_ch.send(ctx, dst, buckets[dst]);
         }
       },
       "sort/route");
@@ -85,16 +81,9 @@ void sample_sort_kv(Cluster& cluster, const std::string& in_key,
   // Collect and sort locally: blocks are now ordered across ranks.
   cluster.run_round(
       [&](MachineContext& ctx) {
-        std::vector<KV> arrived;
-        for (const Message& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          while (!d.exhausted()) {
-            auto part = d.read_vector<KV>();
-            arrived.insert(arrived.end(), part.begin(), part.end());
-          }
-        }
+        auto arrived = route_ch.receive(ctx);
         std::sort(arrived.begin(), arrived.end(), kv_less);
-        ctx.store().set_vector(out_key, arrived);
+        out.set(ctx.store(), arrived);
       },
       "sort/local-sort");
 }

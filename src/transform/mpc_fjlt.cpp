@@ -2,23 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <map>
 #include <utility>
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "mpc/channel.hpp"
 #include "mpc/primitives.hpp"
 #include "transform/walsh_hadamard.hpp"
 
 namespace mpte {
 namespace {
 
+using mpc::Channel;
 using mpc::Cluster;
 using mpc::KV;
 using mpc::MachineContext;
 using mpc::MachineId;
+
+/// Channel names for the FJLT message streams (see RoundStats
+/// channel_bytes).
+constexpr const char* kChunkChannel = "fjlt/chunks";
+constexpr const char* kPartialChannel = "fjlt/partials";
+constexpr const char* kElemChannel = "fjlt/elems";
 
 /// Header preceding a transposed chunk on the wire.
 struct ChunkHeader {
@@ -163,13 +170,14 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
             Serializer& s = out[col_machine(point, c)];
             s.write(ChunkHeader{point, static_cast<std::uint32_t>(j),
                                 static_cast<std::uint32_t>(c)});
-            s.write_vector(std::vector<double>(
-                row.begin() + c * chunk_len,
-                row.begin() + (c + 1) * chunk_len));
+            s.write_span(std::span<const double>(
+                row.data() + c * chunk_len, chunk_len));
           }
         }
         for (MachineId dst = 0; dst < m; ++dst) {
-          if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+          if (out[dst].size() > 0) {
+            ctx.send(dst, std::move(out[dst]), kChunkChannel);
+          }
         }
       },
       "fjlt/D+fwht_b+transpose");
@@ -252,7 +260,9 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
           s.write_vector(acc);
         }
         for (MachineId dst = 0; dst < m; ++dst) {
-          if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+          if (out[dst].size() > 0) {
+            ctx.send(dst, std::move(out[dst]), kPartialChannel);
+          }
         }
       },
       "fjlt/fwht_g+P-partials");
@@ -422,13 +432,7 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
               rec.value *= fjlt_d_sign(config.seed, rec.index);
             }
           } else {
-            for (const auto& msg : ctx.inbox()) {
-              Deserializer d(msg.payload);
-              while (!d.exhausted()) {
-                auto part = d.read_vector<ElemRecord>();
-                records.insert(records.end(), part.begin(), part.end());
-              }
-            }
+            records = Channel<ElemRecord>{kElemChannel}.receive(ctx);
           }
 
           // Group into axis-t fibers and butterfly each.
@@ -445,7 +449,8 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
           }
           std::vector<double> buffer(fiber);
           const bool last = t + 1 == stages;
-          std::vector<Serializer> out(m_machines);
+          const Channel<ElemRecord> elems{kElemChannel};
+          std::vector<std::vector<ElemRecord>> route(m_machines);
           std::map<std::uint64_t, std::vector<double>> partials;
           for (auto& [key, recs] : fibers) {
             buffer.assign(fiber, 0.0);
@@ -475,32 +480,26 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
                 }
               } else {
                 // Route for the next stage. Batched per destination below.
-                out[machine_of(t + 1, key.first, e)].write(
+                route[machine_of(t + 1, key.first, e)].push_back(
                     ElemRecord{key.first, e, 0, value});
               }
             }
           }
           if (last) {
+            std::vector<Serializer> out(m_machines);
             for (const auto& [point, acc] : partials) {
               Serializer& s = out[owner(point)];
               s.write(PartialHeader{point});
               s.write_vector(acc);
             }
             for (MachineId dst = 0; dst < m_machines; ++dst) {
-              if (out[dst].size() > 0) ctx.send(dst, std::move(out[dst]));
+              if (out[dst].size() > 0) {
+                ctx.send(dst, std::move(out[dst]), kPartialChannel);
+              }
             }
           } else {
-            // Length-prefix framing: rewrap each destination's raw records
-            // as one vector so receivers can read_vector them.
             for (MachineId dst = 0; dst < m_machines; ++dst) {
-              if (out[dst].size() == 0) continue;
-              const auto& raw = out[dst].bytes();
-              std::vector<ElemRecord> batch(raw.size() /
-                                            sizeof(ElemRecord));
-              std::memcpy(batch.data(), raw.data(), raw.size());
-              Serializer framed;
-              framed.write_vector(batch);
-              ctx.send(dst, std::move(framed));
+              if (!route[dst].empty()) elems.send(ctx, dst, route[dst]);
             }
           }
         },

@@ -3,8 +3,10 @@
 //   mpte_cli generate <n> <dim> <kind> <out.csv> [seed]
 //       kind: uniform | clusters | blobs | subspace
 //   mpte_cli embed <in.csv> <out.tree> [method] [seed]
-//       method: hybrid (default) | grid | ball
+//       method: hybrid (default) | grid | ball | mpc
 //       Writes the tree plus its input-unit scale; prints pipeline stats.
+//       `mpc` runs the distributed pipeline on a simulated cluster and
+//       also prints the per-channel communication breakdown (top 5).
 //   mpte_cli stats <tree>
 //   mpte_cli query <tree> <i> <j>
 //   mpte_cli distortion <tree> <in.csv>
@@ -35,6 +37,7 @@
 #include "core/embedder.hpp"
 #include "core/embedding_io.hpp"
 #include "core/ensemble.hpp"
+#include "core/mpc_embedder.hpp"
 #include "geometry/csv_io.hpp"
 #include "geometry/generators.hpp"
 #include "serve/server.hpp"
@@ -53,7 +56,7 @@ int usage() {
                "usage:\n"
                "  mpte_cli generate <n> <dim> "
                "<uniform|clusters|blobs|subspace> <out.csv> [seed]\n"
-               "  mpte_cli embed <in.csv> <out.tree> [hybrid|grid|ball] "
+               "  mpte_cli embed <in.csv> <out.tree> [hybrid|grid|ball|mpc] "
                "[seed]\n"
                "  mpte_cli stats <tree>\n"
                "  mpte_cli query <tree> <i> <j>\n"
@@ -127,13 +130,72 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+/// `embed ... mpc`: the distributed pipeline on a simulated cluster.
+/// Machine memory is sized so the run fits the model comfortably (this is
+/// a demo of the pipeline, not a scalability experiment — bench_mpc_*
+/// cover that); afterwards the per-channel byte breakdown shows where the
+/// communication went.
+int cmd_embed_mpc(const PointSet& points, const char* out_path,
+                  std::uint64_t seed) {
+  const std::size_t input_bytes =
+      points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
+  mpc::ClusterConfig config;
+  config.num_machines = 8;
+  config.local_memory_bytes = std::max<std::size_t>(1 << 22, 4 * input_bytes);
+  mpc::Cluster cluster(config);
+
+  MpcEmbedOptions options;
+  options.seed = seed;
+  const auto result = mpc_embed(cluster, points, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mpc embed failed: %s\n",
+                 result.status().to_string().c_str());
+    return 2;
+  }
+
+  const Embedding embedding{result->tree,        result->embedded_points,
+                            result->scale_to_input, result->delta_used,
+                            result->buckets_used,   result->grids_used,
+                            result->dim_used,       result->fjlt_applied,
+                            result->retries_used};
+  save_embedding(embedding, out_path, /*include_points=*/false);
+
+  const HstShape shape = hst_shape(result->tree);
+  std::printf("embedded %zu points (R^%zu -> dim %zu, fjlt=%s, delta=%llu, "
+              "r=%u, U=%zu)\n",
+              points.size(), points.dim(), result->dim_used,
+              result->fjlt_applied ? "yes" : "no",
+              static_cast<unsigned long long>(result->delta_used),
+              result->buckets_used, result->grids_used);
+  std::printf("tree: %zu nodes, depth %zu -> %s\n", shape.nodes, shape.depth,
+              out_path);
+  std::printf("cluster: %zu machines, %zu B local memory, %zu rounds\n",
+              config.num_machines, config.local_memory_bytes,
+              result->rounds_used);
+
+  const auto totals = cluster.stats().channel_totals();
+  std::size_t all_bytes = 0;
+  for (const auto& [channel, bytes] : totals) all_bytes += bytes;
+  std::printf("communication: %zu B over %zu channels; top %zu:\n", all_bytes,
+              totals.size(), std::min<std::size_t>(5, totals.size()));
+  for (std::size_t i = 0; i < totals.size() && i < 5; ++i) {
+    std::printf("  %-24s %12zu B\n", totals[i].first.c_str(),
+                totals[i].second);
+  }
+  return 0;
+}
+
 int cmd_embed(int argc, char** argv) {
   if (argc < 4) return usage();
   const PointSet points = read_csv_points_file(argv[2]);
+  const std::uint64_t seed =
+      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
   EmbedOptions options;
   if (argc > 4) {
     const std::string method = argv[4];
-    if (method == "grid") {
+    if (method == "mpc") {
+      return cmd_embed_mpc(points, argv[3], seed);
+    } else if (method == "grid") {
       options.method = PartitionMethod::kGrid;
     } else if (method == "ball") {
       options.method = PartitionMethod::kBall;
@@ -143,7 +205,7 @@ int cmd_embed(int argc, char** argv) {
       return usage();
     }
   }
-  if (argc > 5) options.seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  options.seed = seed;
 
   const auto result = embed(points, options);
   if (!result.ok()) {
