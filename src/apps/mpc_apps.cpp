@@ -151,6 +151,10 @@ void cleanup(Cluster& cluster, std::initializer_list<std::string> keys) {
 /// own points (keyed by global index in "emb/idx").
 void scatter_point_values(Cluster& cluster, const Key<std::int64_t>& key,
                           const std::vector<std::int64_t>& values) {
+  // Host-side write: suppressed while fast-forwarding a restored run, like
+  // every other scatter (the apps recover by restart, so this only matters
+  // if a caller resumes a cluster mid-pipeline by hand).
+  if (cluster.fast_forwarding()) return;
   const std::size_t m = cluster.num_machines();
   const std::size_t block = ceil_div(values.size(), m);
   for (MachineId id = 0; id < m; ++id) {

@@ -1,0 +1,145 @@
+#include "ckpt/manager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/checksum.hpp"
+#include "common/timer.hpp"
+
+namespace mpte::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".mpck";
+
+std::string snapshot_filename(std::uint64_t rounds) {
+  // Zero-padded so lexicographic filename order equals round order.
+  std::string digits = std::to_string(rounds);
+  if (digits.size() < 8) digits.insert(0, 8 - digits.size(), '0');
+  return kPrefix + digits + kSuffix;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(mpc::CheckpointPolicy policy, FaultPlan plan)
+    : policy_(std::move(policy)), plan_(std::move(plan)) {
+  if (policy_.enabled() && policy_.directory.empty()) {
+    throw MpteError("Coordinator: checkpoint policy enabled without a directory");
+  }
+}
+
+std::optional<mpc::MachineId> Coordinator::crash_rank(std::size_t round) {
+  return plan_.take_crash(round);
+}
+
+mpc::ClusterHooks::DeliveryFaults Coordinator::delivery_faults(
+    std::size_t round, mpc::MachineId src, mpc::MachineId dst) {
+  return plan_.take_delivery(round, src, dst);
+}
+
+void Coordinator::round_committed(mpc::Cluster& cluster, std::size_t round) {
+  (void)round;
+  if (!policy_.enabled()) return;
+  ++rounds_since_checkpoint_;
+  const auto& records = cluster.stats().records();
+  if (!records.empty()) {
+    bytes_since_checkpoint_ += records.back().total_message_bytes;
+  }
+  bool due = false;
+  switch (policy_.mode) {
+    case mpc::CheckpointPolicy::Mode::kOff:
+      break;
+    case mpc::CheckpointPolicy::Mode::kEveryK:
+      due = rounds_since_checkpoint_ >=
+            std::max<std::size_t>(policy_.every_k, 1);
+      break;
+    case mpc::CheckpointPolicy::Mode::kByteBudget:
+      due = bytes_since_checkpoint_ >= policy_.byte_budget;
+      break;
+  }
+  if (!due) return;
+  last_write_status_ = write_snapshot(cluster);
+  rounds_since_checkpoint_ = 0;
+  bytes_since_checkpoint_ = 0;
+}
+
+Status Coordinator::write_snapshot(mpc::Cluster& cluster) {
+  Timer timer;
+  std::error_code ec;
+  fs::create_directories(policy_.directory, ec);
+  if (ec) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot create checkpoint directory " + policy_.directory);
+  }
+  const Snapshot snap = Snapshot::capture(cluster, plan_.consumed_flags());
+  const std::vector<std::uint8_t> bytes = snap.to_bytes();
+  const fs::path path = fs::path(policy_.directory) /
+                        snapshot_filename(snap.rounds);
+  const Status status = write_file_atomic(path.string(), bytes);
+  if (!status.ok()) return status;
+
+  auto& resilience = cluster.stats().resilience();
+  resilience.checkpoints_written += 1;
+  resilience.checkpoint_bytes += bytes.size();
+  resilience.checkpoint_seconds += timer.seconds();
+
+  // Prune oldest snapshots beyond the retention count.
+  const auto paths = snapshot_paths();
+  const std::size_t keep = std::max<std::size_t>(policy_.keep, 1);
+  if (paths.size() > keep) {
+    for (std::size_t i = 0; i + keep < paths.size(); ++i) {
+      fs::remove(paths[i], ec);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Coordinator::snapshot_paths() const {
+  return snapshot_paths(policy_.directory);
+}
+
+std::vector<std::string> Coordinator::snapshot_paths(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(kPrefix) && name.ends_with(kSuffix)) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Result<Snapshot> Coordinator::load_latest() const {
+  const auto paths = snapshot_paths();
+  Status last(StatusCode::kUnavailable,
+              "no snapshots in " + policy_.directory);
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    auto snap = Snapshot::read(*it);
+    if (snap.ok()) return snap;
+    last = snap.status();  // corrupt/truncated: fall back to an older file
+  }
+  return last;
+}
+
+void Coordinator::restore_latest(mpc::Cluster& cluster) {
+  Timer timer;
+  auto snap = load_latest();
+  if (snap.ok()) {
+    cluster.resume_from(std::move(snap->state));
+  } else {
+    // Nothing usable on disk: recovery degenerates to restart-from-scratch.
+    cluster.reset_to_start();
+  }
+  // plan_'s consumed events intentionally stay consumed (see header).
+  auto& resilience = cluster.stats().resilience();
+  resilience.recoveries += 1;
+  resilience.recovery_seconds += timer.seconds();
+}
+
+}  // namespace mpte::ckpt

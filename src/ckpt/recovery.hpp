@@ -1,0 +1,77 @@
+// Crash-recovery driver loop.
+//
+// run_with_recovery re-runs a pipeline until it finishes without an
+// injected crash. On RankCrashed it restores the newest snapshot through
+// the Coordinator (or resets the cluster when none exists) and calls the
+// body again; the restored cluster fast-forwards the already-committed
+// rounds, so the re-driven pipeline produces state — and output — byte-
+// identical to a fault-free run. The body must therefore be *re-enterable*:
+// calling it again after resume_from must issue the same run_round
+// sequence (every pipeline in this library is, because round structure is
+// a pure function of config).
+//
+// When the restore budget runs out the Status code is kAborted — terminal,
+// unlike the retryable kUnavailable.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "ckpt/manager.hpp"
+#include "common/status.hpp"
+#include "mpc/cluster.hpp"
+
+namespace mpte::ckpt {
+
+struct RecoveryOptions {
+  enum class Mode {
+    /// Restore the newest snapshot and fast-forward to it. Requires a
+    /// resume-aware pipeline (mpc_embed; anything whose host-side code
+    /// honors fast_forwarding()).
+    kResume,
+    /// Reset the cluster to the start and re-run from round 0. Always
+    /// sound — the choice for pipelines with host-side decision reads
+    /// between rounds (the mpc_apps algorithms).
+    kRestart,
+  };
+  Mode mode = Mode::kResume;
+  /// Restores attempted before giving up with kAborted. Bounds the
+  /// pathological case of a fault plan that crashes faster than the
+  /// checkpoint policy makes progress.
+  int max_recoveries = 8;
+};
+
+/// Runs `body` (any callable returning Status or Result<T>, constructible
+/// from a Status) under crash recovery. Returns the body's result, or a
+/// kAborted Status/Result when max_recoveries restores were not enough.
+template <typename Fn>
+auto run_with_recovery(mpc::Cluster& cluster, Coordinator& coordinator,
+                       Fn&& body, RecoveryOptions options = {})
+    -> std::invoke_result_t<Fn&> {
+  using R = std::invoke_result_t<Fn&>;
+  int recoveries = 0;
+  for (;;) {
+    try {
+      return body();
+    } catch (const mpc::RankCrashed& crash) {
+      if (recoveries >= options.max_recoveries) {
+        return R(Status(
+            StatusCode::kAborted,
+            std::string("crash recovery exhausted after ") +
+                std::to_string(recoveries) + " restores (last: " +
+                crash.what() + ")"));
+      }
+      ++recoveries;
+      if (options.mode == RecoveryOptions::Mode::kResume) {
+        coordinator.restore_latest(cluster);
+      } else {
+        cluster.reset_to_start();
+        auto& resilience = cluster.stats().resilience();
+        resilience.recoveries += 1;
+      }
+    }
+  }
+}
+
+}  // namespace mpte::ckpt

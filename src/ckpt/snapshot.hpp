@@ -1,0 +1,50 @@
+// Versioned, checksummed on-disk snapshots of Cluster execution state.
+//
+// A snapshot captures everything needed to re-enter a run at a round
+// boundary: every machine's LocalStore and inbox (Buffer slabs shared with
+// the live cluster at capture — serialization is the only copy), the full
+// RoundRecord history (doubling as the round counter), the driver note
+// (host-side decisions like the chosen delta), and the fault plan's
+// consumption cursor. The encoding reuses Serializer and is wrapped in the
+// common checksummed file envelope, so truncated or bit-flipped snapshot
+// files are rejected with a Status instead of resurrecting garbage state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpc/cluster.hpp"
+
+namespace mpte::ckpt {
+
+struct Snapshot {
+  static constexpr std::uint32_t kMagic = 0x4b43504d;  // "MPCK"
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Rounds committed when the snapshot was taken (== state.records.size();
+  /// resume_from skips exactly this many run_round calls).
+  std::uint64_t rounds = 0;
+  mpc::ClusterState state;
+  std::vector<std::uint8_t> fault_cursor;
+
+  /// Captures the cluster's restorable state plus the fault plan cursor.
+  static Snapshot capture(const mpc::Cluster& cluster,
+                          std::vector<std::uint8_t> fault_cursor = {});
+
+  /// Serialized payload wrapped in the checksummed envelope.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Envelope-validates and decodes; malformed input yields a Status
+  /// (kInvalidArgument), never UB or a partially constructed snapshot.
+  static Result<Snapshot> from_bytes(std::vector<std::uint8_t> file_bytes,
+                                     const std::string& context);
+
+  /// Atomic write (same-directory temp file + rename).
+  Status write(const std::string& path) const;
+
+  static Result<Snapshot> read(const std::string& path);
+};
+
+}  // namespace mpte::ckpt

@@ -1,0 +1,129 @@
+#include "common/checksum.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/serialize.hpp"
+
+namespace mpte {
+
+namespace {
+
+// "FVMP" on disk (written little-endian); distinct from the payload magics
+// of hst_io ("ETPM") and embedding_io ("BEPM") so legacy files — whose
+// first four bytes are those payload magics — are never mistaken for an
+// envelope.
+constexpr std::uint32_t kEnvelopeMagic = 0x504d5646;
+constexpr std::uint32_t kEnvelopeVersion = 1;
+// magic + version + payload_size up front, digest behind the payload.
+constexpr std::size_t kHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+constexpr std::size_t kTrailerBytes = sizeof(std::uint64_t);
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t state) {
+  for (const std::uint8_t b : bytes) {
+    state ^= b;
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+std::vector<std::uint8_t> wrap_checksummed(
+    std::span<const std::uint8_t> payload) {
+  Serializer s(kHeaderBytes + payload.size() + kTrailerBytes);
+  s.write(kEnvelopeMagic);
+  s.write(kEnvelopeVersion);
+  s.write(static_cast<std::uint64_t>(payload.size()));
+  s.write_raw(payload);
+  s.write(fnv1a64(payload));
+  return s.take();
+}
+
+bool looks_checksummed(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(std::uint32_t)) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  return magic == kEnvelopeMagic;
+}
+
+Result<std::vector<std::uint8_t>> unwrap_checksummed(
+    std::vector<std::uint8_t> file_bytes, bool allow_legacy,
+    const std::string& context) {
+  if (!looks_checksummed(file_bytes)) {
+    if (allow_legacy) return file_bytes;  // pre-envelope file: raw payload
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": not a checksummed file (bad magic)");
+  }
+  if (file_bytes.size() < kHeaderBytes + kTrailerBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": truncated (file shorter than envelope)");
+  }
+  Deserializer d(file_bytes);
+  (void)d.read<std::uint32_t>();  // magic, already matched
+  const auto version = d.read<std::uint32_t>();
+  if (version != kEnvelopeVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": unsupported envelope version " +
+                      std::to_string(version));
+  }
+  const auto payload_size = d.read<std::uint64_t>();
+  if (file_bytes.size() != kHeaderBytes + payload_size + kTrailerBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": truncated (payload declares " +
+                      std::to_string(payload_size) + "B, file holds " +
+                      std::to_string(file_bytes.size()) + "B)");
+  }
+  const std::span<const std::uint8_t> payload(
+      file_bytes.data() + kHeaderBytes, payload_size);
+  std::uint64_t stored;
+  std::memcpy(&stored, file_bytes.data() + kHeaderBytes + payload_size,
+              sizeof(stored));
+  const std::uint64_t computed = fnv1a64(payload);
+  if (stored != computed) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": checksum mismatch (stored " +
+                      std::to_string(stored) + ", computed " +
+                      std::to_string(computed) + ")");
+  }
+  return std::vector<std::uint8_t>(payload.begin(), payload.end());
+}
+
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status(StatusCode::kUnavailable, "cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      return Status(StatusCode::kUnavailable, "short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status(StatusCode::kUnavailable,
+                  "cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint8_t>> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace mpte

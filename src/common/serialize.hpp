@@ -70,6 +70,12 @@ class Serializer {
     write_span(std::span<const T>(values));
   }
 
+  /// Appends raw bytes verbatim, with no length prefix (for embedding an
+  /// already-framed payload, e.g. a file envelope's body).
+  void write_raw(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
   /// Writes a length-prefixed string.
   void write_string(const std::string& s);
 

@@ -16,6 +16,8 @@ const char* to_string(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kAborted:
+      return "aborted";
     case StatusCode::kInternal:
       return "internal";
   }

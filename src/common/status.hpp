@@ -31,6 +31,11 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The serving subsystem is shutting down or not accepting work.
   kUnavailable,
+  /// A retried operation gave up: crash recovery exhausted its restore
+  /// budget, or a client exhausted its backoff schedule. Unlike
+  /// kUnavailable this is terminal — retrying again is not expected to
+  /// succeed.
+  kAborted,
   kInternal,
 };
 

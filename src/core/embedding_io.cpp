@@ -1,7 +1,8 @@
 #include "core/embedding_io.hpp"
 
-#include <fstream>
+#include <utility>
 
+#include "common/checksum.hpp"
 #include "tree/hst_io.hpp"
 
 namespace mpte {
@@ -83,24 +84,33 @@ Embedding embedding_from_bytes(const std::vector<std::uint8_t>& bytes) {
 
 void save_embedding(const Embedding& embedding, const std::string& path,
                     bool include_points) {
-  const auto bytes = embedding_to_bytes(embedding, include_points);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw MpteError("save_embedding: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw MpteError("save_embedding: write failed for " + path);
+  const auto enveloped =
+      wrap_checksummed(embedding_to_bytes(embedding, include_points));
+  const Status status = write_file_atomic(path, enveloped);
+  if (!status.ok()) throw MpteError("save_embedding: " + status.to_string());
 }
 
 Embedding load_embedding(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw MpteError("load_embedding: cannot open " + path);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<std::uint8_t> bytes(size);
-  in.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(size));
-  if (!in) throw MpteError("load_embedding: read failed for " + path);
-  return embedding_from_bytes(bytes);
+  auto embedding = try_load_embedding(path);
+  if (!embedding.ok()) {
+    throw MpteError("load_embedding: " + embedding.status().to_string());
+  }
+  return std::move(*embedding);
+}
+
+Result<Embedding> try_load_embedding(const std::string& path) {
+  auto file_bytes = read_file_bytes(path);
+  if (!file_bytes.ok()) return file_bytes.status();
+  // Pre-envelope files carried the raw payload; still accepted.
+  auto payload = unwrap_checksummed(std::move(*file_bytes),
+                                    /*allow_legacy=*/true, path);
+  if (!payload.ok()) return payload.status();
+  try {
+    return embedding_from_bytes(*payload);
+  } catch (const MpteError& error) {
+    return Status(StatusCode::kInvalidArgument,
+                  path + ": " + error.what());
+  }
 }
 
 }  // namespace mpte

@@ -6,11 +6,14 @@
 // This serializes a full Embedding — tree, input-unit scale, pipeline
 // metadata, and (optionally) the embedded coordinates — with the same
 // versioned wire format family as tree/hst_io.
+// On disk the payload travels inside the checksummed file envelope
+// (common/checksum.hpp) — see tree/hst_io.hpp for the integrity contract.
 #pragma once
 
 #include <string>
 
 #include "common/serialize.hpp"
+#include "common/status.hpp"
 #include "core/embedder.hpp"
 
 namespace mpte {
@@ -35,5 +38,11 @@ Embedding embedding_from_bytes(const std::vector<std::uint8_t>& bytes);
 void save_embedding(const Embedding& embedding, const std::string& path,
                     bool include_points = true);
 Embedding load_embedding(const std::string& path);
+
+/// Like load_embedding but reports failure as a Status instead of
+/// throwing: kUnavailable when the file cannot be opened, kInvalidArgument
+/// when it is truncated, fails its checksum, or decodes to an invalid
+/// embedding.
+Result<Embedding> try_load_embedding(const std::string& path);
 
 }  // namespace mpte

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "common/math_util.hpp"
@@ -20,6 +21,50 @@ using mpc::Cluster;
 using mpc::KV;
 using mpc::MachineId;
 
+namespace {
+
+constexpr std::uint32_t kNoteMagic = 0x65746f6e;  // "note"
+
+/// Host-side decisions recorded in the cluster's driver note (and thus in
+/// every snapshot): the quantization geometry chosen after the FJLT stage
+/// and the Monte Carlo attempt in progress. A resumed run fast-forwards
+/// the rounds that produced these values, so it reads them from here
+/// instead of recomputing them from stores it is skipping over.
+struct ResumeNote {
+  std::uint8_t has_geometry = 0;
+  std::uint64_t delta = 0;
+  double scale_to_input = 1.0;
+  std::uint32_t attempt = 0;
+
+  mpc::Buffer to_buffer() const {
+    Serializer s(32);
+    s.write(kNoteMagic);
+    s.write(has_geometry);
+    s.write(delta);
+    s.write(scale_to_input);
+    s.write(attempt);
+    return mpc::Buffer(s.take());
+  }
+
+  static std::optional<ResumeNote> from_buffer(const mpc::Buffer& buffer) {
+    if (buffer.empty()) return std::nullopt;
+    try {
+      Deserializer d(buffer.span());
+      if (d.read<std::uint32_t>() != kNoteMagic) return std::nullopt;
+      ResumeNote note;
+      note.has_geometry = d.read<std::uint8_t>();
+      note.delta = d.read<std::uint64_t>();
+      note.scale_to_input = d.read<double>();
+      note.attempt = d.read<std::uint32_t>();
+      return note;
+    } catch (const MpteError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
 Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
                                const MpcEmbedOptions& options) {
   if (points.size() < 2) {
@@ -28,6 +73,18 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
   }
   const std::size_t rounds_before = cluster.stats().rounds();
   const std::size_t n = points.size();
+
+  // When the cluster was just restored from a snapshot it is
+  // fast-forwarding: rounds up to the snapshot point are skipped, and
+  // host-side reads in that prefix would observe snapshot-time state
+  // rather than the values the original run saw. The driver note captured
+  // with the snapshot disambiguates (see ResumeNote above). Each use
+  // below re-checks fast_forwarding() at its own program point, so a
+  // stale note from before the snapshot's pipeline is never consulted.
+  const std::optional<ResumeNote> restored =
+      cluster.fast_forwarding()
+          ? ResumeNote::from_buffer(cluster.driver_note())
+          : std::nullopt;
 
   // Stage 1: MPC FJLT.
   PointSet working = points;
@@ -42,23 +99,39 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
   }
   const std::size_t dim = working.dim();
 
-  // Delta is the paper's input promise; derive it host-side if absent.
-  const std::uint64_t delta =
-      options.delta > 0
-          ? options.delta
-          : recommended_delta(working, options.quantize_eps, 1ull << 20);
+  std::uint64_t delta;
+  double scale_to_input;
+  if (cluster.fast_forwarding() && restored && restored->has_geometry) {
+    // The snapshot lies beyond the FJLT gather, so `working` is a
+    // fast-forward placeholder; take the geometry the original run chose.
+    delta = restored->delta;
+    scale_to_input = restored->scale_to_input;
+  } else {
+    // Delta is the paper's input promise; derive it host-side if absent.
+    delta = options.delta > 0
+                ? options.delta
+                : recommended_delta(working, options.quantize_eps, 1ull << 20);
+    // scale_to_input mirrors the snap cell (same arithmetic, host-side).
+    const double width = BoundingBox::of(working).width();
+    scale_to_input =
+        width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
+  }
   if (delta < 2) {
     return Status(StatusCode::kInvalidArgument,
                   "mpc_embed: delta must be >= 2");
   }
 
+  // Record the geometry before the rounds it feeds: every snapshot taken
+  // from here on carries it.
+  ResumeNote note;
+  note.has_geometry = 1;
+  note.delta = delta;
+  note.scale_to_input = scale_to_input;
+  cluster.set_driver_note(note.to_buffer());
+
   // Stage 2: distributed quantization.
   detail::scatter_points(cluster, working);
   detail::mpc_quantize(cluster, dim, delta, options.broadcast_fanout);
-  // scale_to_input mirrors the snap cell (same arithmetic, host-side).
-  const double width = BoundingBox::of(working).width();
-  const double scale_to_input =
-      width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
 
   // Partition parameters.
   detail::PartitionParams params;
@@ -84,10 +157,22 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
   // Stages 3–4 with Monte Carlo retries.
   int attempt = 0;
   for (;; ++attempt) {
+    note.attempt = static_cast<std::uint32_t>(attempt);
+    cluster.set_driver_note(note.to_buffer());
     params.seed = hash_combine(mix64(options.seed),
                                static_cast<std::uint64_t>(attempt));
-    const std::uint64_t failures = detail::run_partition_attempt(
+    std::uint64_t failures = detail::run_partition_attempt(
         cluster, dim, params, options.broadcast_fanout);
+    // While fast-forwarding, the fail-total read above observed the
+    // snapshot round's state, not this attempt's own converge-cast. The
+    // noted attempt disambiguates: every attempt before the one in
+    // progress at the snapshot had failed (or there would have been no
+    // later attempt), and the in-progress attempt's own total is exactly
+    // what is resident at the snapshot point.
+    if (cluster.fast_forwarding() && restored &&
+        attempt < static_cast<int>(restored->attempt)) {
+      failures = 1;
+    }
     if (failures == 0) break;
     if (attempt >= options.max_retries) {
       return Status(StatusCode::kCoverageFailure,

@@ -16,6 +16,9 @@ using mpc::MachineContext;
 using mpc::MachineId;
 
 void scatter_points(Cluster& cluster, const PointSet& points) {
+  // Host-side write: suppressed while fast-forwarding a restored run (the
+  // restored stores already reflect it — see mpc::Cluster::resume_from).
+  if (cluster.fast_forwarding()) return;
   const std::size_t m = cluster.num_machines();
   const std::size_t n = points.size();
   const std::size_t block = ceil_div(n, m);

@@ -57,7 +57,53 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   for (auto& row : outboxes_) row.fragments.resize(config_.num_machines);
 }
 
+ClusterState Cluster::capture_state() const {
+  ClusterState state;
+  state.machines = machines_;
+  state.records = stats_.records();
+  state.driver_note = driver_note_;
+  return state;
+}
+
+void Cluster::resume_from(ClusterState state) {
+  if (state.machines.size() != machines_.size()) {
+    throw MpteError("resume_from: snapshot has " +
+                    std::to_string(state.machines.size()) +
+                    " machines, cluster has " +
+                    std::to_string(machines_.size()));
+  }
+  machines_ = std::move(state.machines);
+  skip_rounds_ = state.records.size();
+  stats_.rollback(std::move(state.records));
+  driver_note_ = std::move(state.driver_note);
+}
+
+void Cluster::reset_to_start() {
+  for (auto& machine : machines_) {
+    machine.store.clear();
+    machine.inbox.clear();
+  }
+  skip_rounds_ = 0;
+  stats_.rollback({});
+  driver_note_ = Buffer();
+}
+
 void Cluster::run_round(const Step& step, std::string label) {
+  if (skip_rounds_ > 0) {
+    // Fast-forward after resume_from: the restored state already contains
+    // this round's effects, and its restored RoundRecord stands in for the
+    // one a live execution would append. No steps, no hooks, no audits.
+    --skip_rounds_;
+    ++stats_.resilience().rounds_replayed;
+    return;
+  }
+  const std::size_t round = stats_.rounds();
+  if (hooks_ != nullptr) {
+    if (const auto crashed = hooks_->crash_rank(round)) {
+      ++stats_.resilience().crashes_injected;
+      throw RankCrashed(*crashed, round);
+    }
+  }
   const std::size_t m = machines_.size();
   // Reset the reusable outbox matrix; clear() keeps capacity, so rounds
   // after the first only allocate for payloads that outgrow last round's.
@@ -138,6 +184,14 @@ void Cluster::run_round(const Step& step, std::string label) {
     for (MachineId src = 0; src < m; ++src) {
       auto& fragments = outboxes[src].fragments[dst];
       if (!fragments.empty()) {
+        if (hooks_ != nullptr) {
+          // Injected transport faults are masked (drop -> retransmit,
+          // duplicate -> dedup), so delivery is byte-identical either way;
+          // only the resilience counters observe them.
+          const auto faults = hooks_->delivery_faults(round, src, dst);
+          stats_.resilience().drops_retransmitted += faults.dropped;
+          stats_.resilience().duplicates_suppressed += faults.duplicated;
+        }
         inbox.push_back(Message{src, coalesce(fragments)});
       }
     }
@@ -161,6 +215,9 @@ void Cluster::run_round(const Step& step, std::string label) {
   }
 
   stats_.record(std::move(record));
+  // The commit hook runs at the exact boundary resume_from re-enters:
+  // a snapshot taken here restores to "run_round(round) just returned".
+  if (hooks_ != nullptr) hooks_->round_committed(*this, round);
 }
 
 }  // namespace mpte::mpc

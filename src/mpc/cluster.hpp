@@ -27,10 +27,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -43,6 +46,48 @@ namespace mpte::mpc {
 class MpcViolation : public MpteError {
  public:
   explicit MpcViolation(const std::string& what) : MpteError(what) {}
+};
+
+/// Thrown by run_round when the attached ClusterHooks inject a rank crash —
+/// the simulated analogue of a worker dying between rounds. Caught by
+/// recovery drivers (ckpt::run_with_recovery), never by the mpc layer.
+class RankCrashed : public MpteError {
+ public:
+  RankCrashed(MachineId rank, std::size_t round)
+      : MpteError("machine " + std::to_string(rank) +
+                  " crashed entering round " + std::to_string(round)),
+        rank_(rank),
+        round_(round) {}
+
+  MachineId rank() const { return rank_; }
+  std::size_t round() const { return round_; }
+
+ private:
+  MachineId rank_;
+  std::size_t round_;
+};
+
+/// When (if ever) the attached checkpoint coordinator snapshots cluster
+/// state. Plain data hung off ClusterConfig; the mpc layer itself never
+/// touches disk — src/ckpt/ interprets the policy (see ckpt/manager.hpp).
+struct CheckpointPolicy {
+  enum class Mode : std::uint8_t {
+    kOff = 0,
+    /// Snapshot after every k-th committed round.
+    kEveryK = 1,
+    /// Snapshot once >= `byte_budget` message bytes have been exchanged
+    /// since the last snapshot.
+    kByteBudget = 2,
+  };
+  Mode mode = Mode::kOff;
+  /// Directory snapshots are written into (created on demand).
+  std::string directory;
+  std::size_t every_k = 1;
+  std::size_t byte_budget = 0;
+  /// Snapshots retained on disk; older files are pruned after each write.
+  std::size_t keep = 2;
+
+  bool enabled() const { return mode != Mode::kOff; }
 };
 
 /// Static description of the simulated cluster.
@@ -61,6 +106,9 @@ struct ClusterConfig {
   /// path. Results are identical at every setting; only wall-clock
   /// changes. See par::parallel_for.
   std::size_t num_threads = 0;
+  /// Round-level checkpointing policy, interpreted by an attached
+  /// ckpt::Coordinator (off by default; the Cluster alone never snapshots).
+  CheckpointPolicy checkpoint{};
 };
 
 /// Suggested local memory (bytes) for an input of `input_bytes` at exponent
@@ -128,6 +176,54 @@ class MachineContext {
 /// Step function executed by every machine in a round.
 using Step = std::function<void(MachineContext&)>;
 
+class Cluster;
+
+/// Fault-injection + checkpointing interface consulted by run_round on
+/// live (non-fast-forwarded) rounds only. The mpc layer defines the
+/// interface; src/ckpt/ provides the concrete Coordinator (seeded
+/// FaultPlan + snapshot writer). All calls happen on the driver thread.
+class ClusterHooks {
+ public:
+  virtual ~ClusterHooks() = default;
+
+  /// Consulted at round entry. Returning a rank makes run_round throw
+  /// RankCrashed before executing any step. Implementations should
+  /// consume the event (fire it once) so recovery can progress past it.
+  virtual std::optional<MachineId> crash_rank(std::size_t) {
+    return std::nullopt;
+  }
+
+  struct DeliveryFaults {
+    std::uint32_t dropped = 0;
+    std::uint32_t duplicated = 0;
+  };
+
+  /// Consulted once per (src, dst) pair that delivers a message this
+  /// round. Injected faults are *masked* by the simulated substrate — a
+  /// dropped message is retransmitted, a duplicate suppressed — so the
+  /// delivered bytes never change and runs stay bit-reproducible; the
+  /// counts surface in ResilienceCounters.
+  virtual DeliveryFaults delivery_faults(std::size_t /*round*/,
+                                         MachineId /*src*/,
+                                         MachineId /*dst*/) {
+    return {};
+  }
+
+  /// Called after a round is audited, delivered, and recorded. The
+  /// checkpoint coordinator snapshots here: the boundary "just after
+  /// run_round(round) returned" is exactly where resume_from re-enters.
+  virtual void round_committed(Cluster& /*cluster*/, std::size_t /*round*/) {}
+};
+
+/// Restorable execution state — what a snapshot captures (ckpt/snapshot.hpp
+/// defines the on-disk form). `records` double as the round counter:
+/// resume_from skips exactly records.size() run_round calls.
+struct ClusterState {
+  std::vector<Machine> machines;
+  std::vector<RoundRecord> records;
+  Buffer driver_note;
+};
+
 /// The simulated cluster.
 class Cluster {
  public:
@@ -152,10 +248,45 @@ class Cluster {
   const RoundStats& stats() const { return stats_; }
   RoundStats& stats() { return stats_; }
 
+  // --- Fault tolerance (src/ckpt/; docs/mpc-model.md "Failure model") ---
+
+  /// Attaches (nullptr detaches) the fault-injection / checkpointing
+  /// hooks. Non-owning; the hooks must outlive their attachment.
+  void set_hooks(ClusterHooks* hooks) { hooks_ = hooks; }
+  ClusterHooks* hooks() const { return hooks_; }
+
+  /// Copies the restorable state: map skeletons are copied, payload slabs
+  /// are shared — immutable, so later rounds cannot corrupt the capture.
+  ClusterState capture_state() const;
+
+  /// Restores a captured/deserialized state and arms fast-forward: the
+  /// next records.size() run_round calls are skipped (no steps, no hooks,
+  /// no new stats records) because their effects are already in the
+  /// restored stores. The driver then re-runs its pipeline from the top;
+  /// host-side code between rounds keys off fast_forwarding() to suppress
+  /// writes and to avoid decision-reads against fast-forwarded state.
+  void resume_from(ClusterState state);
+
+  /// Restores the pristine post-construction state — recovery when no
+  /// snapshot exists yet. Resilience counters are preserved.
+  void reset_to_start();
+
+  /// True while resume_from's skip budget is unconsumed.
+  bool fast_forwarding() const { return skip_rounds_ > 0; }
+
+  /// Driver-owned annotation included in every snapshot: pipelines record
+  /// host-side decisions (chosen delta, retry attempt) here so a resumed
+  /// run can bypass recomputing them from state it fast-forwards over.
+  void set_driver_note(Buffer note) { driver_note_ = std::move(note); }
+  const Buffer& driver_note() const { return driver_note_; }
+
  private:
   ClusterConfig config_;
   std::vector<Machine> machines_;
   RoundStats stats_;
+  ClusterHooks* hooks_ = nullptr;
+  std::size_t skip_rounds_ = 0;
+  Buffer driver_note_;
   /// Reusable per-machine outboxes: outboxes_[src].fragments[dst] holds the
   /// Buffers queued from src to dst this round. A member (not a run_round
   /// local) so the O(M²) vector skeleton is allocated once, not rebuilt

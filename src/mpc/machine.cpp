@@ -1,5 +1,7 @@
 #include "mpc/machine.hpp"
 
+#include <algorithm>
+
 namespace mpte::mpc {
 
 void LocalStore::set_blob(const std::string& key, Buffer blob) {
@@ -32,6 +34,14 @@ void LocalStore::erase(const std::string& key) {
     resident_bytes_ -= it->second.size();
     blobs_.erase(it);
   }
+}
+
+std::vector<std::pair<std::string, Buffer>> LocalStore::entries() const {
+  std::vector<std::pair<std::string, Buffer>> out(blobs_.begin(),
+                                                  blobs_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void LocalStore::clear() {

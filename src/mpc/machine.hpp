@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.hpp"
@@ -92,6 +93,11 @@ class LocalStore {
     Deserializer d(blob(key));
     return d.read<T>();
   }
+
+  /// Every (key, blob) pair, sorted by key. Blob Buffers share their slabs
+  /// with the store (no copy). Snapshots serialize through this: the sort
+  /// makes the encoded bytes independent of hash-map iteration order.
+  std::vector<std::pair<std::string, Buffer>> entries() const;
 
   /// Total bytes currently resident (payloads only; key names and map
   /// overhead are bookkeeping the model does not price).

@@ -41,6 +41,11 @@ template <typename T>
   requires std::is_trivially_copyable_v<T>
 void scatter_vector(Cluster& cluster, const std::string& key,
                     const std::vector<T>& items) {
+  // During fast-forward after a snapshot restore the scatter's effect is
+  // already part of the restored stores (or was consumed by rounds that
+  // will be skipped); writing would desynchronize residency from the
+  // original run. All host-side writes share this guard.
+  if (cluster.fast_forwarding()) return;
   const std::size_t m = cluster.num_machines();
   const std::size_t block = (items.size() + m - 1) / std::max<std::size_t>(m, 1);
   for (MachineId id = 0; id < m; ++id) {

@@ -17,6 +17,17 @@ void RoundStats::record(RoundRecord record) {
   records_.push_back(std::move(record));
 }
 
+void RoundStats::rollback(std::vector<RoundRecord> records) {
+  records_.clear();
+  peak_local_bytes_ = 0;
+  peak_total_bytes_ = 0;
+  peak_round_io_bytes_ = 0;
+  total_violations_ = 0;
+  channel_totals_.clear();
+  records_.reserve(records.size());
+  for (auto& r : records) record(std::move(r));
+}
+
 std::vector<std::pair<std::string, std::size_t>> RoundStats::channel_totals()
     const {
   std::vector<std::pair<std::string, std::size_t>> totals(
@@ -50,10 +61,22 @@ std::string RoundStats::summary() const {
     }
     out << "\n";
   }
+  if (resilience_.any()) {
+    out << "  ckpt: checkpoints=" << resilience_.checkpoints_written << " ("
+        << resilience_.checkpoint_bytes << "B, "
+        << resilience_.checkpoint_seconds * 1e3 << "ms)"
+        << " recoveries=" << resilience_.recoveries << " ("
+        << resilience_.recovery_seconds * 1e3 << "ms)"
+        << " replayed=" << resilience_.rounds_replayed
+        << " crashes=" << resilience_.crashes_injected
+        << " drops=" << resilience_.drops_retransmitted
+        << " dups=" << resilience_.duplicates_suppressed << "\n";
+  }
   return out.str();
 }
 
 void RoundStats::reset() {
+  resilience_ = ResilienceCounters{};
   records_.clear();
   peak_local_bytes_ = 0;
   peak_total_bytes_ = 0;

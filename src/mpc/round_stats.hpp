@@ -49,6 +49,35 @@ struct RoundRecord {
   std::map<std::string, std::size_t> channel_bytes;
 };
 
+/// Fault-tolerance cost accounting (see src/ckpt/). Kept separate from the
+/// per-round records because these events — checkpoint writes, injected
+/// faults, recoveries — happen *around* rounds, not inside them, and must
+/// survive a stats rollback (a restored run still remembers what recovery
+/// cost it).
+struct ResilienceCounters {
+  /// Snapshots written, their cumulative encoded size, and wall-clock cost.
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoint_bytes = 0;
+  double checkpoint_seconds = 0.0;
+  /// Times a crash was recovered by restoring a snapshot (or resetting to
+  /// the start when none existed), and the restore wall-clock cost.
+  std::size_t recoveries = 0;
+  double recovery_seconds = 0.0;
+  /// Rounds fast-forwarded after a restore instead of re-executed.
+  std::size_t rounds_replayed = 0;
+  /// Injected faults observed: rank crashes thrown, dropped messages that
+  /// the simulated substrate retransmitted, duplicate deliveries it
+  /// suppressed.
+  std::size_t crashes_injected = 0;
+  std::size_t drops_retransmitted = 0;
+  std::size_t duplicates_suppressed = 0;
+
+  bool any() const {
+    return checkpoints_written || recoveries || rounds_replayed ||
+           crashes_injected || drops_retransmitted || duplicates_suppressed;
+  }
+};
+
 /// Aggregate statistics over an execution.
 class RoundStats {
  public:
@@ -77,6 +106,17 @@ class RoundStats {
   /// bytes (ties broken by name) — ready for "top K channels" reports.
   std::vector<std::pair<std::string, std::size_t>> channel_totals() const;
 
+  /// Fault-tolerance counters (checkpoints, recoveries, injected faults).
+  ResilienceCounters& resilience() { return resilience_; }
+  const ResilienceCounters& resilience() const { return resilience_; }
+
+  /// Rolls the per-round history back to exactly `records` (peaks, totals,
+  /// and channel aggregates are recomputed from them), preserving the
+  /// resilience counters. Snapshot restore uses this so a recovered run's
+  /// round accounting matches the fault-free run while still reporting
+  /// what the recovery cost.
+  void rollback(std::vector<RoundRecord> records);
+
   /// Human-readable multi-line summary for examples and benches.
   std::string summary() const;
 
@@ -84,6 +124,7 @@ class RoundStats {
 
  private:
   std::vector<RoundRecord> records_;
+  ResilienceCounters resilience_;
   std::size_t peak_local_bytes_ = 0;
   std::size_t peak_total_bytes_ = 0;
   std::size_t peak_round_io_bytes_ = 0;

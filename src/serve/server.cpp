@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -237,9 +238,33 @@ Status LineClient::connect(const std::string& host, std::uint16_t port) {
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    const Status status = socket_error("connect");
-    close();
-    return status;
+    if (errno != EINTR) {
+      const Status status = socket_error("connect");
+      close();
+      return status;
+    }
+    // A signal interrupted connect() but the attempt proceeds
+    // asynchronously (POSIX); retrying connect() would yield EALREADY.
+    // Wait for the socket to become writable, then read the outcome.
+    pollfd pfd{fd_, POLLOUT, 0};
+    int polled;
+    do {
+      polled = ::poll(&pfd, 1, -1);
+    } while (polled < 0 && errno == EINTR);
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (polled < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      const Status status = socket_error("connect");
+      close();
+      return status;
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      const Status status = socket_error("connect");
+      close();
+      return status;
+    }
   }
   return Status::Ok();
 }

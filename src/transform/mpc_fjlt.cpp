@@ -55,18 +55,23 @@ PointSet run_local_mode(Cluster& cluster, const PointSet& points,
   const std::size_t n = points.size();
   const std::size_t chunk = ceil_div(n, m);
 
-  for (MachineId id = 0; id < m; ++id) {
-    const std::size_t begin = std::min(n, id * chunk);
-    const std::size_t end = std::min(n, begin + chunk);
-    std::vector<double> data;
-    data.reserve((end - begin) * points.dim());
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto p = points[i];
-      data.insert(data.end(), p.begin(), p.end());
+  // Host-side scatter: suppressed while fast-forwarding a restored run
+  // (its effect is already inside the restored stores).
+  if (!cluster.fast_forwarding()) {
+    for (MachineId id = 0; id < m; ++id) {
+      const std::size_t begin = std::min(n, id * chunk);
+      const std::size_t end = std::min(n, begin + chunk);
+      std::vector<double> data;
+      data.reserve((end - begin) * points.dim());
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto p = points[i];
+        data.insert(data.end(), p.begin(), p.end());
+      }
+      cluster.store(id).set_vector("fjlt/in", data);
+      cluster.store(id).set_value<std::uint64_t>("fjlt/in/first", begin);
+      cluster.store(id).set_value<std::uint64_t>("fjlt/in/count",
+                                                 end - begin);
     }
-    cluster.store(id).set_vector("fjlt/in", data);
-    cluster.store(id).set_value<std::uint64_t>("fjlt/in/first", begin);
-    cluster.store(id).set_value<std::uint64_t>("fjlt/in/count", end - begin);
   }
 
   cluster.run_round(
@@ -87,6 +92,13 @@ PointSet run_local_mode(Cluster& cluster, const PointSet& points,
         ctx.store().set_vector("fjlt/out", out);
       },
       "fjlt/local-transform");
+
+  // While still fast-forwarding past this point, the resumed run restored
+  // state from *after* this gather erased its keys; the coordinates it
+  // would return were already consumed by the snapshotted rounds, and the
+  // resuming driver takes its derived decisions (delta, scale) from the
+  // driver note instead. Return a placeholder with the correct shape.
+  if (cluster.fast_forwarding()) return PointSet(n, config.output_dim);
 
   PointSet out(n, config.output_dim);
   for (MachineId id = 0; id < m; ++id) {
@@ -127,8 +139,9 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
     return static_cast<MachineId>(point % m);
   };
 
-  // Host-side scatter of padded row blocks.
-  {
+  // Host-side scatter of padded row blocks (suppressed during
+  // fast-forward; see run_local_mode).
+  if (!cluster.fast_forwarding()) {
     std::vector<std::vector<KV>> idx(m);
     std::vector<std::vector<double>> data(m);
     for (std::size_t i = 0; i < n; ++i) {
@@ -295,7 +308,8 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
       },
       "fjlt/assemble");
 
-  // Host-side gather.
+  // Host-side gather (placeholder during fast-forward; see run_local_mode).
+  if (cluster.fast_forwarding()) return PointSet(n, k);
   PointSet out(n, k);
   for (MachineId id = 0; id < m; ++id) {
     const auto idx = cluster.store(id).get_vector<KV>("fjlt/out/idx");
@@ -345,6 +359,8 @@ void assemble_outputs_round(Cluster& cluster, std::size_t k) {
 
 /// Host-side gather of the assembled outputs.
 PointSet gather_outputs(Cluster& cluster, std::size_t n, std::size_t k) {
+  // Placeholder during fast-forward (see run_local_mode's gather).
+  if (cluster.fast_forwarding()) return PointSet(n, k);
   PointSet out(n, k);
   for (MachineId id = 0; id < cluster.num_machines(); ++id) {
     if (!cluster.store(id).contains("fjlt/out/idx")) continue;
@@ -404,8 +420,9 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
     return static_cast<MachineId>(point % m_machines);
   };
 
-  // Host scatter: every padded element routed to its stage-0 machine.
-  {
+  // Host scatter: every padded element routed to its stage-0 machine
+  // (suppressed during fast-forward; see run_local_mode).
+  if (!cluster.fast_forwarding()) {
     std::vector<std::vector<ElemRecord>> init(m_machines);
     for (std::size_t i = 0; i < n; ++i) {
       const auto p = points[i];

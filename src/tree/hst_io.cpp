@@ -1,6 +1,8 @@
 #include "tree/hst_io.hpp"
 
-#include <fstream>
+#include <utility>
+
+#include "common/checksum.hpp"
 
 namespace mpte {
 namespace {
@@ -81,24 +83,30 @@ Hst hst_from_bytes(const std::vector<std::uint8_t>& bytes) {
 }
 
 void save_hst(const Hst& tree, const std::string& path) {
-  const auto bytes = hst_to_bytes(tree);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw MpteError("save_hst: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw MpteError("save_hst: write failed for " + path);
+  const auto enveloped = wrap_checksummed(hst_to_bytes(tree));
+  const Status status = write_file_atomic(path, enveloped);
+  if (!status.ok()) throw MpteError("save_hst: " + status.to_string());
 }
 
 Hst load_hst(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw MpteError("load_hst: cannot open " + path);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<std::uint8_t> bytes(size);
-  in.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(size));
-  if (!in) throw MpteError("load_hst: read failed for " + path);
-  return hst_from_bytes(bytes);
+  auto tree = try_load_hst(path);
+  if (!tree.ok()) throw MpteError("load_hst: " + tree.status().to_string());
+  return std::move(*tree);
+}
+
+Result<Hst> try_load_hst(const std::string& path) {
+  auto file_bytes = read_file_bytes(path);
+  if (!file_bytes.ok()) return file_bytes.status();
+  // Pre-envelope files carried the raw payload; still accepted.
+  auto payload = unwrap_checksummed(std::move(*file_bytes),
+                                    /*allow_legacy=*/true, path);
+  if (!payload.ok()) return payload.status();
+  try {
+    return hst_from_bytes(*payload);
+  } catch (const MpteError& error) {
+    return Status(StatusCode::kInvalidArgument,
+                  path + ": " + error.what());
+  }
 }
 
 }  // namespace mpte

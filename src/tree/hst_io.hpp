@@ -6,11 +6,17 @@
 // original O(nd) data. These helpers give the byte format (versioned,
 // length-prefixed, using the common Serializer wire encoding) and
 // file-level convenience wrappers.
+// On disk the payload travels inside the checksummed file envelope
+// (common/checksum.hpp), so truncated or corrupted files are rejected
+// with a clear error instead of deserializing into garbage; files written
+// before the envelope existed (raw payload) still load. The in-memory
+// byte format (hst_to_bytes) is unchanged.
 #pragma once
 
 #include <string>
 
 #include "common/serialize.hpp"
+#include "common/status.hpp"
 #include "tree/hst.hpp"
 
 namespace mpte {
@@ -33,5 +39,10 @@ void save_hst(const Hst& tree, const std::string& path);
 
 /// Reads a tree written by save_hst.
 Hst load_hst(const std::string& path);
+
+/// Like load_hst but reports failure as a Status instead of throwing:
+/// kUnavailable when the file cannot be opened, kInvalidArgument when it
+/// is truncated, fails its checksum, or decodes to an invalid tree.
+Result<Hst> try_load_hst(const std::string& path);
 
 }  // namespace mpte

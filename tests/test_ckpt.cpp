@@ -1,0 +1,403 @@
+// mpte::ckpt — snapshots, deterministic fault injection, crash recovery.
+//
+// The load-bearing test is the crash sweep: inject a crash at EVERY round
+// of the golden-seed mpc_embed configuration (test_mpc_channels.cpp),
+// recover from the newest checkpoint, and require the recovered embedding
+// to match the golden fingerprint byte for byte — at 1 and 8 cluster
+// threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "ckpt/fault.hpp"
+#include "ckpt/manager.hpp"
+#include "ckpt/recovery.hpp"
+#include "ckpt/snapshot.hpp"
+#include "core/mpc_embedder.hpp"
+#include "geometry/generators.hpp"
+#include "mpc/primitives.hpp"
+#include "tree/hst_io.hpp"
+
+namespace mpte::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+using mpc::CheckpointPolicy;
+using mpc::Cluster;
+using mpc::ClusterConfig;
+using mpc::KV;
+using mpc::MachineContext;
+using mpc::RankCrashed;
+
+/// Fresh per-test scratch directory (removed up front, not after, so a
+/// failing test leaves its snapshots around for inspection).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("mpte_ckpt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The golden-seed configuration from test_mpc_channels.cpp.
+constexpr std::uint64_t kGoldenHash = 8852295253212578257ull;
+
+ClusterConfig golden_config(std::size_t threads) {
+  ClusterConfig config;
+  config.num_machines = 6;
+  config.local_memory_bytes = 1 << 22;
+  config.enforce_limits = true;
+  config.num_threads = threads;
+  return config;
+}
+
+MpcEmbedOptions golden_options() {
+  MpcEmbedOptions options;
+  options.seed = 99;
+  options.num_buckets = 2;
+  options.delta = 1024;
+  options.use_fjlt = false;
+  return options;
+}
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n, std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const MpcEmbedding& result) {
+  const auto tree_bytes = hst_to_bytes(result.tree);
+  std::uint64_t h =
+      fnv1a(tree_bytes.data(), tree_bytes.size(), 1469598103934665603ull);
+  const auto& raw = result.embedded_points.raw();
+  h = fnv1a(reinterpret_cast<const std::uint8_t*>(raw.data()),
+            raw.size() * sizeof(double), h);
+  return h;
+}
+
+/// Runs a few communication rounds so the cluster holds nontrivial state:
+/// scattered vectors, a shuffle, and a pending driver note.
+void run_sample_workload(Cluster& cluster) {
+  std::vector<KV> records;
+  for (std::uint64_t i = 0; i < 64; ++i) records.push_back(KV{i % 8, i});
+  mpc::scatter_vector(cluster, "in", records);
+  mpc::reduce_kv_sum(cluster, "in", "sums");
+  mpc::sum_u64(cluster, "missing", "total", 0);
+  cluster.set_driver_note(mpc::Buffer(std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Snapshot, RoundTripRestoresEveryRankByteIdentically) {
+  Cluster original(ClusterConfig{4, 1 << 20, true});
+  run_sample_workload(original);
+
+  const Snapshot snapshot = Snapshot::capture(original, {0, 1, 0});
+  EXPECT_EQ(snapshot.rounds, original.stats().rounds());
+
+  const auto bytes = snapshot.to_bytes();
+  const auto decoded = Snapshot::from_bytes(bytes, "test");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->rounds, snapshot.rounds);
+  EXPECT_EQ(decoded->fault_cursor, snapshot.fault_cursor);
+
+  Cluster restored(ClusterConfig{4, 1 << 20, true});
+  restored.resume_from(std::move(const_cast<Snapshot&>(*decoded).state));
+  ASSERT_EQ(restored.stats().rounds(), original.stats().rounds());
+  for (mpc::MachineId id = 0; id < original.num_machines(); ++id) {
+    const auto want = original.store(id).entries();
+    const auto got = restored.store(id).entries();
+    ASSERT_EQ(want.size(), got.size()) << "rank " << id;
+    for (std::size_t e = 0; e < want.size(); ++e) {
+      EXPECT_EQ(want[e].first, got[e].first) << "rank " << id;
+      const auto a = want[e].second.span();
+      const auto b = got[e].second.span();
+      ASSERT_EQ(a.size(), b.size()) << "rank " << id << " " << want[e].first;
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+          << "rank " << id << " " << want[e].first;
+    }
+  }
+  const auto note = restored.driver_note().span();
+  ASSERT_EQ(note.size(), 3u);
+  EXPECT_EQ(note[1], 2u);
+}
+
+TEST(Snapshot, FileRoundTripAndCorruptionRejection) {
+  const fs::path dir = scratch_dir("file_roundtrip");
+  Cluster cluster(ClusterConfig{3, 1 << 20, true});
+  run_sample_workload(cluster);
+
+  const Snapshot snapshot = Snapshot::capture(cluster);
+  const std::string path = (dir / "snap.mpck").string();
+  ASSERT_TRUE(snapshot.write(path).ok());
+  const auto loaded = Snapshot::read(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->rounds, snapshot.rounds);
+
+  // A flipped payload byte must be rejected with a Status, not decoded.
+  auto bytes = snapshot.to_bytes();
+  bytes[bytes.size() / 2] ^= 0x40;
+  const auto corrupt = Snapshot::from_bytes(bytes, "corrupt");
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncation likewise.
+  auto truncated = snapshot.to_bytes();
+  truncated.resize(truncated.size() / 2);
+  const auto trunc = Snapshot::from_bytes(truncated, "truncated");
+  ASSERT_FALSE(trunc.ok());
+  EXPECT_EQ(trunc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Coordinator, CorruptNewestSnapshotFallsBackToOlderOne) {
+  const fs::path dir = scratch_dir("fallback");
+  CheckpointPolicy policy;
+  policy.mode = CheckpointPolicy::Mode::kEveryK;
+  policy.directory = dir.string();
+  policy.every_k = 1;
+  policy.keep = 8;
+
+  Cluster cluster(ClusterConfig{3, 1 << 20, true});
+  Coordinator coordinator(policy);
+  cluster.set_hooks(&coordinator);
+  run_sample_workload(cluster);
+  const auto paths = Coordinator::snapshot_paths(dir.string());
+  ASSERT_GE(paths.size(), 2u);
+
+  // Corrupt the newest file; load_latest must fall back to the previous.
+  {
+    std::fstream f(paths.back(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(24);
+    const char byte = static_cast<char>(f.get());
+    f.seekp(24);
+    f.put(static_cast<char>(byte ^ 0x7f));
+  }
+  const auto latest = coordinator.load_latest();
+  ASSERT_TRUE(latest.ok()) << latest.status().to_string();
+  EXPECT_LT(latest->rounds, cluster.stats().rounds());
+
+  // With every file corrupted, restore_latest degrades to a full restart.
+  for (const auto& path : Coordinator::snapshot_paths(dir.string())) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  coordinator.restore_latest(cluster);
+  EXPECT_EQ(cluster.stats().rounds(), 0u);
+  EXPECT_EQ(cluster.stats().resilience().recoveries, 1u);
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  FaultPlan::Options options;
+  options.crashes = 3;
+  options.drops = 5;
+  options.duplicates = 4;
+  options.round_horizon = 16;
+  const FaultPlan a = FaultPlan::generate(42, 6, options);
+  const FaultPlan b = FaultPlan::generate(42, 6, options);
+  ASSERT_EQ(a.events().size(), 12u);
+  EXPECT_EQ(a.events(), b.events());
+  const FaultPlan c = FaultPlan::generate(43, 6, options);
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(FaultPlan, ScheduleIsIndependentOfClusterThreadCount) {
+  // The same seeded plan drives clusters at 1 and 8 threads; the events
+  // that actually fire (the consumption cursor) must match exactly.
+  std::vector<std::vector<std::uint8_t>> cursors;
+  for (const std::size_t threads : {1u, 8u}) {
+    FaultPlan::Options options;
+    options.drops = 6;
+    options.duplicates = 6;
+    options.round_horizon = 8;
+    FaultPlan plan = FaultPlan::generate(7, 4, options);
+    ClusterConfig config{4, 1 << 20, true};
+    config.num_threads = threads;
+    Cluster cluster(config);
+    Coordinator coordinator(CheckpointPolicy{}, std::move(plan));
+    cluster.set_hooks(&coordinator);
+    run_sample_workload(cluster);
+    cursors.push_back(coordinator.plan().consumed_flags());
+  }
+  EXPECT_EQ(cursors[0], cursors[1]);
+}
+
+TEST(FaultPlan, DropsAndDuplicatesPerturbCountersNotBytes) {
+  // Masked faults: delivered bytes (and therefore results) are identical
+  // with and without them; only the resilience counters move.
+  auto run = [](FaultPlan plan, std::uint64_t* out_sum) {
+    Cluster cluster(ClusterConfig{4, 1 << 20, true});
+    Coordinator coordinator(CheckpointPolicy{}, std::move(plan));
+    cluster.set_hooks(&coordinator);
+    std::vector<KV> records;
+    for (std::uint64_t i = 0; i < 64; ++i) records.push_back(KV{i % 4, i});
+    mpc::scatter_vector(cluster, "in", records);
+    mpc::reduce_kv_sum(cluster, "in", "sums");
+    std::uint64_t sum = 0;
+    for (const KV& kv : mpc::gather_vector<KV>(cluster, "sums")) {
+      sum += kv.key ^ kv.value;
+    }
+    *out_sum = sum;
+    return cluster.stats().resilience();
+  };
+
+  std::uint64_t clean_sum = 0, faulty_sum = 0;
+  const auto clean = run(FaultPlan{}, &clean_sum);
+  EXPECT_EQ(clean.drops_retransmitted, 0u);
+
+  FaultPlan::Options options;
+  options.drops = 4;
+  options.duplicates = 4;
+  options.round_horizon = 2;
+  const auto faulty =
+      run(FaultPlan::generate(3, 4, options), &faulty_sum);
+  EXPECT_EQ(clean_sum, faulty_sum);
+  EXPECT_GT(faulty.drops_retransmitted + faulty.duplicates_suppressed, 0u);
+}
+
+/// Fault-free golden run: returns the fingerprint (asserting it matches
+/// the pinned hash) and the total committed round count.
+std::pair<std::uint64_t, std::size_t> golden_run(std::size_t threads) {
+  Cluster cluster(golden_config(threads));
+  const PointSet points = generate_uniform_cube(150, 8, 30.0, 7);
+  const auto result = mpc_embed(cluster, points, golden_options());
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return {fingerprint(*result), cluster.stats().rounds()};
+}
+
+TEST(Recovery, CrashAtEveryRoundRecoversGoldenFingerprint) {
+  const PointSet points = generate_uniform_cube(150, 8, 30.0, 7);
+  for (const std::size_t threads : {1u, 8u}) {
+    const auto [golden, total_rounds] = golden_run(threads);
+    ASSERT_EQ(golden, kGoldenHash) << "threads=" << threads;
+    ASSERT_GT(total_rounds, 0u);
+
+    for (std::size_t crash_round = 0; crash_round < total_rounds;
+         ++crash_round) {
+      const fs::path dir = scratch_dir(
+          "sweep_t" + std::to_string(threads) + "_r" +
+          std::to_string(crash_round));
+      ClusterConfig config = golden_config(threads);
+      config.checkpoint.mode = CheckpointPolicy::Mode::kEveryK;
+      config.checkpoint.directory = dir.string();
+      config.checkpoint.every_k = 1;
+      Cluster cluster(config);
+
+      FaultPlan plan;
+      plan.add_crash(crash_round,
+                     crash_round % config.num_machines);
+      Coordinator coordinator = Coordinator::for_cluster(cluster,
+                                                         std::move(plan));
+      cluster.set_hooks(&coordinator);
+
+      const auto result = run_with_recovery(cluster, coordinator, [&] {
+        return mpc_embed(cluster, points, golden_options());
+      });
+      ASSERT_TRUE(result.ok())
+          << "threads=" << threads << " crash_round=" << crash_round << ": "
+          << result.status().to_string();
+      EXPECT_EQ(fingerprint(*result), kGoldenHash)
+          << "threads=" << threads << " crash_round=" << crash_round;
+
+      const auto& resilience = cluster.stats().resilience();
+      EXPECT_EQ(resilience.crashes_injected, 1u);
+      EXPECT_EQ(resilience.recoveries, 1u);
+      // A crash at round r restores the checkpoint of round r-1: exactly
+      // r rounds are fast-forwarded.
+      EXPECT_EQ(resilience.rounds_replayed, crash_round);
+      EXPECT_TRUE(coordinator.last_write_status().ok());
+      fs::remove_all(dir);
+    }
+  }
+}
+
+TEST(Recovery, ByteBudgetPolicyCheckpointsAndRecovers) {
+  const fs::path dir = scratch_dir("byte_budget");
+  const PointSet points = generate_uniform_cube(150, 8, 30.0, 7);
+  ClusterConfig config = golden_config(1);
+  config.checkpoint.mode = CheckpointPolicy::Mode::kByteBudget;
+  config.checkpoint.directory = dir.string();
+  config.checkpoint.byte_budget = 4096;
+  Cluster cluster(config);
+
+  FaultPlan plan;
+  plan.add_crash(11, 2);
+  Coordinator coordinator = Coordinator::for_cluster(cluster,
+                                                     std::move(plan));
+  cluster.set_hooks(&coordinator);
+  const auto result = run_with_recovery(cluster, coordinator, [&] {
+    return mpc_embed(cluster, points, golden_options());
+  });
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(fingerprint(*result), kGoldenHash);
+  EXPECT_GT(cluster.stats().resilience().checkpoints_written, 0u);
+  // Byte-budget snapshots are sparser than every-round ones, so recovery
+  // typically replays a non-checkpointed suffix; either way, counters add
+  // up in the summary.
+  EXPECT_NE(cluster.stats().summary().find("ckpt:"), std::string::npos);
+}
+
+TEST(Recovery, RestartModeRecoversWithoutAnySnapshots) {
+  // Policy off: the recovery loop's restart mode re-runs from round zero.
+  const PointSet points = generate_uniform_cube(150, 8, 30.0, 7);
+  Cluster cluster(golden_config(1));
+  FaultPlan plan;
+  plan.add_crash(7, 3);
+  Coordinator coordinator(CheckpointPolicy{}, std::move(plan));
+  cluster.set_hooks(&coordinator);
+
+  RecoveryOptions options;
+  options.mode = RecoveryOptions::Mode::kRestart;
+  const auto result = run_with_recovery(
+      cluster, coordinator,
+      [&] { return mpc_embed(cluster, points, golden_options()); }, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(fingerprint(*result), kGoldenHash);
+  EXPECT_EQ(cluster.stats().resilience().recoveries, 1u);
+}
+
+TEST(Recovery, ExhaustedRestoreBudgetIsAborted) {
+  const PointSet points = generate_uniform_cube(150, 8, 30.0, 7);
+  Cluster cluster(golden_config(1));
+  // More crashes at round 0 than the recovery budget allows.
+  FaultPlan plan;
+  for (std::size_t i = 0; i < 4; ++i) plan.add_crash(0, 1);
+  Coordinator coordinator(CheckpointPolicy{}, std::move(plan));
+  cluster.set_hooks(&coordinator);
+
+  RecoveryOptions options;
+  options.mode = RecoveryOptions::Mode::kRestart;
+  options.max_recoveries = 2;
+  const auto result = run_with_recovery(
+      cluster, coordinator,
+      [&] { return mpc_embed(cluster, points, golden_options()); }, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+TEST(RoundStats, ResilienceCountersSurviveRollbackAndPrintInSummary) {
+  const fs::path dir = scratch_dir("summary");
+  ClusterConfig config{4, 1 << 20, true};
+  config.checkpoint.mode = CheckpointPolicy::Mode::kEveryK;
+  config.checkpoint.directory = dir.string();
+  Cluster cluster(config);
+  Coordinator coordinator = Coordinator::for_cluster(cluster);
+  cluster.set_hooks(&coordinator);
+  run_sample_workload(cluster);
+
+  coordinator.restore_latest(cluster);  // rollback path
+  const auto& resilience = cluster.stats().resilience();
+  EXPECT_GT(resilience.checkpoints_written, 0u);
+  EXPECT_EQ(resilience.recoveries, 1u);
+  const std::string summary = cluster.stats().summary();
+  EXPECT_NE(summary.find("ckpt:"), std::string::npos);
+  EXPECT_NE(summary.find("recoveries=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpte::ckpt

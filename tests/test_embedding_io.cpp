@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "geometry/generators.hpp"
 
@@ -70,6 +71,32 @@ TEST(EmbeddingIo, FileRoundTrip) {
   EXPECT_EQ(restored.distance(3, 17), original.distance(3, 17));
   std::remove(path.c_str());
   EXPECT_THROW((void)load_embedding(path), MpteError);
+}
+
+TEST(EmbeddingIo, RejectsOnDiskCorruption) {
+  const Embedding original = sample_embedding(13);
+  const std::string path = "/tmp/mpte_embedding_io_corrupt.bin";
+  save_embedding(original, path);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(32);
+    const char byte = static_cast<char>(f.get());
+    f.seekp(32);
+    f.put(static_cast<char>(byte ^ 0x55));
+  }
+  const auto result = try_load_embedding(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().to_string().find("checksum"),
+            std::string::npos);
+  EXPECT_THROW((void)load_embedding(path), MpteError);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIo, TryLoadReportsMissingFileAsUnavailable) {
+  const auto result = try_load_embedding("/nonexistent/dir/e.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "core/embedder.hpp"
 #include "geometry/generators.hpp"
@@ -92,6 +94,54 @@ TEST(HstIo, FileRoundTrip) {
 
 TEST(HstIo, MissingFileThrows) {
   EXPECT_THROW((void)load_hst("/nonexistent/dir/tree.bin"), MpteError);
+  const auto result = try_load_hst("/nonexistent/dir/tree.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(HstIo, RejectsOnDiskCorruptionAndTruncation) {
+  const Hst tree = sample_tree(19);
+  const std::string path = "/tmp/mpte_hst_io_corrupt.bin";
+  save_hst(tree, path);
+
+  // Flip one payload byte: the checksum envelope must reject the file.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    const char byte = static_cast<char>(f.get());
+    f.seekp(40);
+    f.put(static_cast<char>(byte ^ 0x55));
+  }
+  auto result = try_load_hst(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().to_string().find("checksum"),
+            std::string::npos);
+  EXPECT_THROW((void)load_hst(path), MpteError);
+
+  // Truncate the file below its declared payload size.
+  save_hst(tree, path);
+  std::filesystem::resize_file(path, 24);
+  result = try_load_hst(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(HstIo, LoadsPreEnvelopeLegacyFiles) {
+  // Files written before the checksum envelope existed are the raw
+  // payload; they must still load.
+  const Hst tree = sample_tree(23);
+  const std::string path = "/tmp/mpte_hst_io_legacy.bin";
+  const auto bytes = hst_to_bytes(tree);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  const Hst restored = load_hst(path);
+  expect_same_metric(tree, restored);
+  std::remove(path.c_str());
 }
 
 TEST(HstIo, SizeIsCompact) {

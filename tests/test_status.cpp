@@ -28,6 +28,7 @@ TEST(Status, CodeNames) {
   EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded),
                "deadline-exceeded");
   EXPECT_STREQ(to_string(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(to_string(StatusCode::kAborted), "aborted");
   EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
 }
 

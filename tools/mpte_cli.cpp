@@ -3,10 +3,19 @@
 //   mpte_cli generate <n> <dim> <kind> <out.csv> [seed]
 //       kind: uniform | clusters | blobs | subspace
 //   mpte_cli embed <in.csv> <out.tree> [method] [seed]
+//       [--checkpoint-dir D] [--every K] [--crash-at R]
 //       method: hybrid (default) | grid | ball | mpc
 //       Writes the tree plus its input-unit scale; prints pipeline stats.
 //       `mpc` runs the distributed pipeline on a simulated cluster and
 //       also prints the per-channel communication breakdown (top 5).
+//       --checkpoint-dir (mpc only) snapshots the cluster every K rounds
+//       (default 1) into D, plus a manifest describing the run; --crash-at
+//       injects a deterministic rank crash at round R and exits 3, leaving
+//       D resumable.
+//   mpte_cli resume <checkpoint-dir>
+//       Restores the newest snapshot written by `embed ... mpc
+//       --checkpoint-dir` and finishes the run it describes: the output
+//       tree is byte-identical to the uninterrupted run's.
 //   mpte_cli stats <tree>
 //   mpte_cli query <tree> <i> <j>
 //   mpte_cli distortion <tree> <in.csv>
@@ -24,14 +33,22 @@
 //
 // Exit codes: 0 success, 1 usage (incl. unknown subcommands), 2 runtime
 // failure (including the Theorem-1 coverage-failure report and
-// bench-client runs that saw any error response).
+// bench-client runs that saw any error response), 3 injected crash
+// (`embed ... --crash-at`), leaving a resumable checkpoint directory.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ckpt/manager.hpp"
+#include "ckpt/recovery.hpp"
+#include "common/checksum.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/embedder.hpp"
@@ -58,6 +75,9 @@ int usage() {
                "<uniform|clusters|blobs|subspace> <out.csv> [seed]\n"
                "  mpte_cli embed <in.csv> <out.tree> [hybrid|grid|ball|mpc] "
                "[seed]\n"
+               "            [--checkpoint-dir D] [--every K] [--crash-at R] "
+               "(mpc only)\n"
+               "  mpte_cli resume <checkpoint-dir>\n"
                "  mpte_cli stats <tree>\n"
                "  mpte_cli query <tree> <i> <j>\n"
                "  mpte_cli distortion <tree> <in.csv>\n"
@@ -130,48 +150,102 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
-/// `embed ... mpc`: the distributed pipeline on a simulated cluster.
-/// Machine memory is sized so the run fits the model comfortably (this is
-/// a demo of the pipeline, not a scalability experiment — bench_mpc_*
-/// cover that); afterwards the per-channel byte breakdown shows where the
-/// communication went.
-int cmd_embed_mpc(const PointSet& points, const char* out_path,
-                  std::uint64_t seed) {
-  const std::size_t input_bytes =
-      points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
+/// The cluster geometry used by `embed ... mpc` and reproduced by
+/// `resume`: machine memory is sized so the run fits the model comfortably
+/// (this is a demo of the pipeline, not a scalability experiment —
+/// bench_mpc_* cover that).
+mpc::ClusterConfig mpc_cli_config(std::size_t input_bytes) {
   mpc::ClusterConfig config;
   config.num_machines = 8;
   config.local_memory_bytes = std::max<std::size_t>(1 << 22, 4 * input_bytes);
-  mpc::Cluster cluster(config);
+  return config;
+}
 
-  MpcEmbedOptions options;
-  options.seed = seed;
-  const auto result = mpc_embed(cluster, points, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "mpc embed failed: %s\n",
-                 result.status().to_string().c_str());
-    return 2;
+/// Stable fingerprint of the tree file's payload, printed by both the
+/// embed and resume paths so runs are easy to compare.
+std::uint64_t embedding_fingerprint(const Embedding& embedding) {
+  return fnv1a64(embedding_to_bytes(embedding, /*include_points=*/false));
+}
+
+/// The run description `resume` needs: one key=value line each.
+struct CkptManifest {
+  std::string input;
+  std::string output;
+  std::uint64_t seed = 1;
+  std::size_t every = 1;
+};
+
+Status write_manifest(const std::string& dir, const CkptManifest& manifest) {
+  std::ostringstream out;
+  out << "input=" << manifest.input << "\n"
+      << "output=" << manifest.output << "\n"
+      << "seed=" << manifest.seed << "\n"
+      << "every=" << manifest.every << "\n";
+  const std::string text = out.str();
+  return write_file_atomic(
+      dir + "/manifest.txt",
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Result<CkptManifest> read_manifest(const std::string& dir) {
+  std::ifstream in(dir + "/manifest.txt");
+  if (!in) {
+    return Status(StatusCode::kUnavailable,
+                  "resume: cannot open " + dir + "/manifest.txt");
   }
+  CkptManifest manifest;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "input") manifest.input = value;
+    if (key == "output") manifest.output = value;
+    if (key == "seed") {
+      manifest.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    }
+    if (key == "every") {
+      manifest.every = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(value.c_str())));
+    }
+  }
+  if (manifest.input.empty() || manifest.output.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "resume: manifest missing input/output paths");
+  }
+  return manifest;
+}
 
-  const Embedding embedding{result->tree,        result->embedded_points,
-                            result->scale_to_input, result->delta_used,
-                            result->buckets_used,   result->grids_used,
-                            result->dim_used,       result->fjlt_applied,
-                            result->retries_used};
+/// Shared tail of embed-mpc and resume: persist and describe the result.
+int report_mpc_embedding(const mpc::Cluster& cluster,
+                         const mpc::ClusterConfig& config,
+                         const PointSet& points,
+                         const MpcEmbedding& result,
+                         const std::string& out_path) {
+  const Embedding embedding{result.tree,           result.embedded_points,
+                            result.scale_to_input, result.delta_used,
+                            result.buckets_used,   result.grids_used,
+                            result.dim_used,       result.fjlt_applied,
+                            result.retries_used};
   save_embedding(embedding, out_path, /*include_points=*/false);
 
-  const HstShape shape = hst_shape(result->tree);
+  const HstShape shape = hst_shape(result.tree);
   std::printf("embedded %zu points (R^%zu -> dim %zu, fjlt=%s, delta=%llu, "
               "r=%u, U=%zu)\n",
-              points.size(), points.dim(), result->dim_used,
-              result->fjlt_applied ? "yes" : "no",
-              static_cast<unsigned long long>(result->delta_used),
-              result->buckets_used, result->grids_used);
+              points.size(), points.dim(), result.dim_used,
+              result.fjlt_applied ? "yes" : "no",
+              static_cast<unsigned long long>(result.delta_used),
+              result.buckets_used, result.grids_used);
   std::printf("tree: %zu nodes, depth %zu -> %s\n", shape.nodes, shape.depth,
-              out_path);
+              out_path.c_str());
   std::printf("cluster: %zu machines, %zu B local memory, %zu rounds\n",
               config.num_machines, config.local_memory_bytes,
-              result->rounds_used);
+              result.rounds_used);
+  std::printf("fingerprint: %llu\n",
+              static_cast<unsigned long long>(
+                  embedding_fingerprint(embedding)));
 
   const auto totals = cluster.stats().channel_totals();
   std::size_t all_bytes = 0;
@@ -182,19 +256,137 @@ int cmd_embed_mpc(const PointSet& points, const char* out_path,
     std::printf("  %-24s %12zu B\n", totals[i].first.c_str(),
                 totals[i].second);
   }
+  const auto& resilience = cluster.stats().resilience();
+  if (resilience.any()) {
+    std::printf("resilience: checkpoints=%zu (%zu B) recoveries=%zu "
+                "replayed=%zu\n",
+                resilience.checkpoints_written, resilience.checkpoint_bytes,
+                resilience.recoveries, resilience.rounds_replayed);
+  }
   return 0;
 }
 
+/// `embed ... mpc`: the distributed pipeline on a simulated cluster,
+/// optionally checkpointed (and deterministically crashed) via mpte::ckpt.
+int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
+                  const std::string& out_path, std::uint64_t seed,
+                  const std::string& checkpoint_dir, std::size_t every,
+                  long long crash_at) {
+  const std::size_t input_bytes =
+      points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
+  mpc::ClusterConfig config = mpc_cli_config(input_bytes);
+  if (!checkpoint_dir.empty()) {
+    config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
+    config.checkpoint.directory = checkpoint_dir;
+    config.checkpoint.every_k = every;
+  }
+  mpc::Cluster cluster(config);
+
+  ckpt::FaultPlan plan;
+  if (crash_at >= 0) {
+    plan.add_crash(static_cast<std::size_t>(crash_at), /*rank=*/1);
+  }
+  ckpt::Coordinator coordinator = ckpt::Coordinator::for_cluster(cluster,
+                                                                 plan);
+  if (!checkpoint_dir.empty() || crash_at >= 0) {
+    cluster.set_hooks(&coordinator);
+  }
+  if (!checkpoint_dir.empty()) {
+    // Written before the run so a killed process leaves a resumable dir.
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    CkptManifest manifest{in_path, out_path, seed, every};
+    const Status wrote = write_manifest(checkpoint_dir, manifest);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "mpc embed: %s\n", wrote.to_string().c_str());
+      return 2;
+    }
+  }
+
+  MpcEmbedOptions options;
+  options.seed = seed;
+  try {
+    const auto result = mpc_embed(cluster, points, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mpc embed failed: %s\n",
+                   result.status().to_string().c_str());
+      return 2;
+    }
+    return report_mpc_embedding(cluster, config, points, *result, out_path);
+  } catch (const mpc::RankCrashed& crash) {
+    std::fprintf(stderr,
+                 "mpc embed: %s; checkpoints in %s (finish with: mpte_cli "
+                 "resume %s)\n",
+                 crash.what(),
+                 checkpoint_dir.empty() ? "(none)" : checkpoint_dir.c_str(),
+                 checkpoint_dir.c_str());
+    return 3;
+  }
+}
+
+/// `resume <dir>`: restore the newest snapshot and finish the manifest's
+/// run. The re-driven pipeline fast-forwards the committed rounds, so the
+/// output tree is byte-identical to an uninterrupted run's.
+int cmd_resume(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string dir = argv[2];
+  const auto manifest = read_manifest(dir);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
+    return 2;
+  }
+  const PointSet points = read_csv_points_file(manifest->input);
+  const std::size_t input_bytes =
+      points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
+  mpc::ClusterConfig config = mpc_cli_config(input_bytes);
+  config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
+  config.checkpoint.directory = dir;
+  config.checkpoint.every_k = manifest->every;
+  mpc::Cluster cluster(config);
+
+  ckpt::Coordinator coordinator = ckpt::Coordinator::for_cluster(cluster);
+  cluster.set_hooks(&coordinator);
+  coordinator.restore_latest(cluster);
+  std::printf("restored %zu committed rounds from %s\n",
+              cluster.stats().rounds(), dir.c_str());
+
+  MpcEmbedOptions options;
+  options.seed = manifest->seed;
+  const auto result = ckpt::run_with_recovery(
+      cluster, coordinator,
+      [&] { return mpc_embed(cluster, points, options); });
+  if (!result.ok()) {
+    std::fprintf(stderr, "resume failed: %s\n",
+                 result.status().to_string().c_str());
+    return 2;
+  }
+  return report_mpc_embedding(cluster, config, points, *result,
+                              manifest->output);
+}
+
 int cmd_embed(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const PointSet points = read_csv_points_file(argv[2]);
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+  if (!parse_flags(argc, argv, 2, &positional, &flags)) return usage();
+  if (positional.size() < 2) return usage();
+  const PointSet points = read_csv_points_file(positional[0]);
   const std::uint64_t seed =
-      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
+      positional.size() > 3
+          ? static_cast<std::uint64_t>(std::atoll(positional[3].c_str()))
+          : 1;
+  const std::string checkpoint_dir =
+      flag_value(flags, "--checkpoint-dir", "");
   EmbedOptions options;
-  if (argc > 4) {
-    const std::string method = argv[4];
+  if (positional.size() > 2) {
+    const std::string method = positional[2];
     if (method == "mpc") {
-      return cmd_embed_mpc(points, argv[3], seed);
+      const auto every = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::atoll(flag_value(flags, "--every", "1").c_str())));
+      const long long crash_at =
+          std::atoll(flag_value(flags, "--crash-at", "-1").c_str());
+      return cmd_embed_mpc(points, positional[0], positional[1], seed,
+                           checkpoint_dir, every, crash_at);
     } else if (method == "grid") {
       options.method = PartitionMethod::kGrid;
     } else if (method == "ball") {
@@ -205,6 +397,8 @@ int cmd_embed(int argc, char** argv) {
       return usage();
     }
   }
+  // The checkpoint flags only mean something for the mpc pipeline.
+  if (!checkpoint_dir.empty()) return usage();
   options.seed = seed;
 
   const auto result = embed(points, options);
@@ -213,7 +407,7 @@ int cmd_embed(int argc, char** argv) {
                  result.status().to_string().c_str());
     return 2;
   }
-  save_embedding(*result, argv[3], /*include_points=*/false);
+  save_embedding(*result, positional[1], /*include_points=*/false);
   const HstShape shape = hst_shape(result->tree);
   std::printf("embedded %zu points (R^%zu -> dim %zu, fjlt=%s, delta=%llu, "
               "r=%u, U=%zu)\n",
@@ -222,7 +416,7 @@ int cmd_embed(int argc, char** argv) {
               static_cast<unsigned long long>(result->delta_used),
               result->buckets_used, result->grids_used);
   std::printf("tree: %zu nodes, depth %zu -> %s\n", shape.nodes, shape.depth,
-              argv[3]);
+              positional[1].c_str());
   return 0;
 }
 
@@ -373,11 +567,30 @@ int cmd_bench_client(int argc, char** argv) {
   const std::string kind = flag_value(flags, "--kind", "dist");
   const bool shutdown = flag_value(flags, "--shutdown", "") == "1";
 
+  // Transient connect failures (server still binding, accept backlog
+  // full under C concurrent dials) surface as kUnavailable; retry with
+  // capped exponential backoff. Anything else — and exhaustion — is
+  // terminal: kAborted, no retry.
+  const auto connect_with_backoff = [&](serve::LineClient& client) {
+    auto delay = std::chrono::milliseconds(10);
+    constexpr auto kMaxDelay = std::chrono::milliseconds(500);
+    constexpr int kAttempts = 8;
+    Status last = Status::Ok();
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      last = client.connect(host, port);
+      if (last.ok() || last.code() != StatusCode::kUnavailable) return last;
+      std::this_thread::sleep_for(delay);
+      delay = std::min(delay * 2, kMaxDelay);
+    }
+    return Status(StatusCode::kAborted,
+                  "connect retries exhausted: " + last.to_string());
+  };
+
   // One probe connection discovers the point count.
   std::size_t points = 0;
   {
     serve::LineClient probe;
-    const Status connected = probe.connect(host, port);
+    const Status connected = connect_with_backoff(probe);
     if (!connected.ok()) {
       std::fprintf(stderr, "bench-client: %s\n",
                    connected.to_string().c_str());
@@ -416,7 +629,7 @@ int cmd_bench_client(int argc, char** argv) {
   for (std::size_t c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
       serve::LineClient client;
-      if (!client.connect(host, port).ok()) {
+      if (!connect_with_backoff(client).ok()) {
         err_counts[c] = per_client;
         return;
       }
@@ -484,6 +697,7 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     if (command == "generate") return cmd_generate(argc, argv);
     if (command == "embed") return cmd_embed(argc, argv);
+    if (command == "resume") return cmd_resume(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "query") return cmd_query(argc, argv);
     if (command == "distortion") return cmd_distortion(argc, argv);
