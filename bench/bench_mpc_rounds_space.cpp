@@ -4,9 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 
+#include "common/checksum.hpp"
 #include "core/mpc_embedder.hpp"
 #include "geometry/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace mpte::bench {
 namespace {
@@ -124,6 +129,66 @@ void BM_MpcCommunicationVolume(benchmark::State& state) {
 BENCHMARK(BM_MpcCommunicationVolume)
     ->RangeMultiplier(4)
     ->Range(256, 4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpcProfiledRun(benchmark::State& state) {
+  // The observability layer in anger: a traced, hook-profiled pipeline run
+  // that leaves loadable artifacts next to the bench —
+  //   bench_mpc_rounds_space.trace.json   (Chrome-trace; open in Perfetto)
+  //   bench_mpc_rounds_space.metrics.prom (Prometheus text)
+  // and attributes wall-clock to the runtime's compute / audit / deliver
+  // phases via ClusterHooks::round_profile — no algorithm code changes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 6;
+  const PointSet points = generate_uniform_cube(n, d, 50.0, 17 + n);
+  obs::ProfilingHooks hooks;
+  for (auto _ : state) {
+    hooks.reset();
+    obs::Tracer::global().enable();
+    mpc::Cluster cluster(mpc::ClusterConfig{8, 1 << 22, true});
+    cluster.set_hooks(&hooks);
+    MpcEmbedOptions options;
+    options.use_fjlt = false;
+    options.delta = 1 << 12;
+    options.seed = 19;
+    const auto result = mpc_embed(cluster, points, options);
+    if (!result.ok()) {
+      obs::Tracer::global().disable();
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    obs::Tracer::global().disable();
+
+    obs::Registry registry;
+    cluster.stats().export_metrics(&registry);
+    hooks.export_metrics(&registry);
+    const std::string prom = registry.prometheus_text();
+    const std::string json = obs::Tracer::global().chrome_trace_json();
+    const auto bytes = [](const std::string& text) {
+      return std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    };
+    if (!write_file_atomic("bench_mpc_rounds_space.trace.json", bytes(json))
+             .ok() ||
+        !write_file_atomic("bench_mpc_rounds_space.metrics.prom",
+                           bytes(prom))
+             .ok()) {
+      state.SkipWithError("failed to write obs artifacts");
+      return;
+    }
+  }
+  const auto& totals = hooks.totals();
+  state.counters["rounds_profiled"] = static_cast<double>(totals.rounds);
+  state.counters["compute_ms"] = totals.compute_seconds * 1e3;
+  state.counters["audit_ms"] = totals.audit_seconds * 1e3;
+  state.counters["deliver_ms"] = totals.deliver_seconds * 1e3;
+  state.counters["spans"] =
+      static_cast<double>(obs::Tracer::global().size());
+  std::printf("%s", obs::Tracer::global().flame_summary().c_str());
+}
+BENCHMARK(BM_MpcProfiledRun)
+    ->Arg(1024)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

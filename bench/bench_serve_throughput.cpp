@@ -18,7 +18,9 @@
 // handoffs, so the ratio is reported, not asserted.
 //
 // Counters: baseline_qps, batched_qps, speedup, p50_ms, p99_ms (batched
-// run, submit-to-completion), hit_rate, mismatches, hw_threads.
+// run, submit-to-completion), hit_rate, mismatches, hw_threads, spans.
+// The batched run is traced (mpte::obs) and leaves
+// bench_serve_throughput.trace.json / .metrics.prom next to the binary.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -28,11 +30,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/ensemble.hpp"
 #include "geometry/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 
 namespace mpte::bench {
@@ -184,8 +189,36 @@ void BM_ServeThroughput(benchmark::State& state) {
       baseline.stop();
     }
     auto batched = make_service(points, /*batched=*/true);
+    // Trace only the batched run: each run_batch drain records one
+    // "serve/batch" span, so the exported timeline shows batch sizes and
+    // pacing under the pipelined client load.
+    obs::Tracer::global().enable();
     const RunResult run = run_clients(batched, /*pipelined=*/true);
+    obs::Tracer::global().disable();
     const std::uint64_t mismatches = verify_answers(batched) + run.errors;
+
+    // Loadable artifacts next to the bench binary:
+    //   bench_serve_throughput.trace.json   (Chrome-trace; open in Perfetto)
+    //   bench_serve_throughput.metrics.prom (Prometheus text)
+    obs::Registry registry;
+    batched.export_metrics(&registry);
+    const std::string prom = registry.prometheus_text();
+    const std::string json = obs::Tracer::global().chrome_trace_json();
+    const auto bytes = [](const std::string& text) {
+      return std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    };
+    if (!write_file_atomic("bench_serve_throughput.trace.json", bytes(json))
+             .ok() ||
+        !write_file_atomic("bench_serve_throughput.metrics.prom",
+                           bytes(prom))
+             .ok()) {
+      state.SkipWithError("failed to write obs artifacts");
+      return;  // ~EmbeddingService stops the batcher
+    }
+    state.counters["spans"] =
+        static_cast<double>(obs::Tracer::global().size());
+
     batched.stop();
     state.counters["baseline_qps"] = baseline_qps;
     state.counters["batched_qps"] = run.qps;

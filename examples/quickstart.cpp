@@ -47,7 +47,7 @@ int main() {
   // 3. Distances: dist_T always dominates the true distance; on average it
   //    overshoots by the (poly-logarithmic) distortion.
   std::printf("\n   pair      euclidean      tree(dist_T)   ratio\n");
-  for (const auto [p, q] : {std::pair<std::size_t, std::size_t>{0, 1},
+  for (const auto& [p, q] : {std::pair<std::size_t, std::size_t>{0, 1},
                             {0, 50},
                             {10, 150},
                             {42, 43},

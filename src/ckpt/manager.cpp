@@ -5,6 +5,7 @@
 
 #include "common/checksum.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace mpte::ckpt {
 
@@ -67,6 +68,8 @@ void Coordinator::round_committed(mpc::Cluster& cluster, std::size_t round) {
 }
 
 Status Coordinator::write_snapshot(mpc::Cluster& cluster) {
+  const obs::Span span("ckpt", "write-snapshot", "round",
+                       cluster.stats().rounds());
   Timer timer;
   std::error_code ec;
   fs::create_directories(policy_.directory, ec);
@@ -128,6 +131,7 @@ Result<Snapshot> Coordinator::load_latest() const {
 }
 
 void Coordinator::restore_latest(mpc::Cluster& cluster) {
+  const obs::Span span("ckpt", "restore");
   Timer timer;
   auto snap = load_latest();
   if (snap.ok()) {

@@ -11,6 +11,7 @@
 #include "geometry/bounding_box.hpp"
 #include "geometry/quantize.hpp"
 #include "mpc/primitives.hpp"
+#include "obs/trace.hpp"
 #include "partition/coverage.hpp"
 #include "transform/mpc_fjlt.hpp"
 #include "tree/embedding_builder.hpp"
@@ -73,6 +74,7 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
   }
   const std::size_t rounds_before = cluster.stats().rounds();
   const std::size_t n = points.size();
+  const obs::Span pipeline_span("emb", "mpc_embed", "points", n);
 
   // When the cluster was just restored from a snapshot it is
   // fast-forwarding: rounds up to the snapshot point are skipped, and
@@ -185,10 +187,14 @@ Result<MpcEmbedding> mpc_embed(Cluster& cluster, const PointSet& points,
 
   // Stage 5: the tree is the deduplicated union of paths.
   const mpc::Key<KV> dedup_key{detail::keys::kEdges.name + "/dedup"};
-  mpc::dedup_kv(cluster, detail::keys::kEdges.name, dedup_key.name);
+  {
+    const obs::Span span("emb", "dedup-edges");
+    mpc::dedup_kv(cluster, detail::keys::kEdges.name, dedup_key.name);
+  }
 
   // Host-side assembly (output readout): BFS from the root id over the
   // gathered edge set, then the shared pruning pass.
+  const obs::Span assemble_span("emb", "assemble");
   const auto edges = mpc::gather_vector<KV>(cluster, dedup_key.name);
   const auto leaves = mpc::gather_vector<KV>(cluster, detail::keys::kLeaf.name);
 

@@ -6,6 +6,7 @@
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "partition/ball_partition.hpp"
 
 namespace mpte::detail {
@@ -19,6 +20,7 @@ void scatter_points(Cluster& cluster, const PointSet& points) {
   // Host-side write: suppressed while fast-forwarding a restored run (the
   // restored stores already reflect it — see mpc::Cluster::resume_from).
   if (cluster.fast_forwarding()) return;
+  const obs::Span span("emb", "scatter", "points", points.size());
   const std::size_t m = cluster.num_machines();
   const std::size_t n = points.size();
   const std::size_t block = ceil_div(n, m);
@@ -41,6 +43,7 @@ void scatter_points(Cluster& cluster, const PointSet& points) {
 
 void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
                   std::size_t fanout) {
+  const obs::Span span("emb", "quantize", "delta", delta);
   cluster.run_round(
       [&](MachineContext& ctx) {
         const auto data = keys::kPts.get(ctx.store());
@@ -205,6 +208,7 @@ std::uint64_t total_failures(Cluster& cluster) {
 std::uint64_t run_partition_attempt(Cluster& cluster, std::size_t dim,
                                     const PartitionParams& params,
                                     std::size_t fanout) {
+  const obs::Span span("emb", "partition-attempt");
   broadcast_params(cluster, params, fanout);
 
   cluster.run_round(
@@ -240,6 +244,7 @@ std::uint64_t run_path_records_attempt(Cluster& cluster, std::size_t dim,
                                        const PartitionParams& params,
                                        std::size_t fanout,
                                        bool emit_links) {
+  const obs::Span span("emb", "path-records-attempt");
   broadcast_params(cluster, params, fanout);
 
   cluster.run_round(

@@ -1,10 +1,12 @@
 #include "mpc/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace mpte::mpc {
 
@@ -104,6 +106,19 @@ void Cluster::run_round(const Step& step, std::string label) {
       throw RankCrashed(*crashed, round);
     }
   }
+  // Observation only: the span reads the clock and appends to the trace
+  // ring; nothing here feeds back into the computation, so output stays
+  // byte-identical with tracing on or off.
+  const obs::Span span("mpc",
+                       label.empty() ? std::string("round")
+                                     : "round/" + label,
+                       "round", round);
+  // Phase timings for the round_profile hook; measured only when hooks are
+  // attached so the hook-free path never reads the clock.
+  using ProfileClock = std::chrono::steady_clock;
+  const bool profiling = hooks_ != nullptr;
+  ProfileClock::time_point t_start, t_stepped, t_audited, t_delivered;
+  if (profiling) t_start = ProfileClock::now();
   const std::size_t m = machines_.size();
   // Reset the reusable outbox matrix; clear() keeps capacity, so rounds
   // after the first only allocate for payloads that outgrow last round's.
@@ -127,6 +142,7 @@ void Cluster::run_round(const Step& step, std::string label) {
         }
       },
       config_.num_threads);
+  if (profiling) t_stepped = ProfileClock::now();
 
   RoundRecord record;
   record.label = std::move(label);
@@ -173,6 +189,7 @@ void Cluster::run_round(const Step& step, std::string label) {
       ++record.violations;
     }
   }
+  if (profiling) t_audited = ProfileClock::now();
 
   // Deliver: replace inboxes with this round's messages (previous inboxes
   // are consumed — machines that need old messages must store them). A
@@ -215,9 +232,22 @@ void Cluster::run_round(const Step& step, std::string label) {
   }
 
   stats_.record(std::move(record));
-  // The commit hook runs at the exact boundary resume_from re-enters:
-  // a snapshot taken here restores to "run_round(round) just returned".
-  if (hooks_ != nullptr) hooks_->round_committed(*this, round);
+  if (hooks_ != nullptr) {
+    if (profiling) t_delivered = ProfileClock::now();
+    const auto seconds = [](ProfileClock::time_point a,
+                            ProfileClock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    ClusterHooks::RoundProfile profile;
+    profile.label = stats_.records().back().label;
+    profile.compute_seconds = seconds(t_start, t_stepped);
+    profile.audit_seconds = seconds(t_stepped, t_audited);
+    profile.deliver_seconds = seconds(t_audited, t_delivered);
+    hooks_->round_profile(round, profile);
+    // The commit hook runs at the exact boundary resume_from re-enters:
+    // a snapshot taken here restores to "run_round(round) just returned".
+    hooks_->round_committed(*this, round);
+  }
 }
 
 }  // namespace mpte::mpc

@@ -209,6 +209,25 @@ class ClusterHooks {
     return {};
   }
 
+  /// Wall-clock attribution of one committed round to the runtime's three
+  /// phases: executing machine steps (compute), auditing send/recv quotas
+  /// and merging channel attributions (audit), and coalescing + delivering
+  /// messages + auditing residency (deliver). Purely observational — the
+  /// timings never feed back into execution.
+  struct RoundProfile {
+    std::string_view label;
+    double compute_seconds = 0.0;
+    double audit_seconds = 0.0;
+    double deliver_seconds = 0.0;
+  };
+
+  /// Called just before round_committed with the round's phase timings.
+  /// Benches attach an obs::ProfilingHooks (src/obs/profile.hpp) to
+  /// attribute time to compute vs. routing vs. audit without touching
+  /// algorithm code. Timings are only measured while hooks are attached,
+  /// so the hook-free hot path never reads the clock.
+  virtual void round_profile(std::size_t /*round*/, const RoundProfile&) {}
+
   /// Called after a round is audited, delivered, and recorded. The
   /// checkpoint coordinator snapshots here: the boundary "just after
   /// run_round(round) returned" is exactly where resume_from re-enters.

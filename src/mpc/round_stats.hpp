@@ -19,6 +19,10 @@
 #include <utility>
 #include <vector>
 
+namespace mpte::obs {
+class Registry;
+}  // namespace mpte::obs
+
 namespace mpte::mpc {
 
 /// Channel name under which MachineContext::send files payloads that were
@@ -117,7 +121,19 @@ class RoundStats {
   /// what the recovery cost.
   void rollback(std::vector<RoundRecord> records);
 
-  /// Human-readable multi-line summary for examples and benches.
+  /// Exports every aggregate this class tracks into `registry` under the
+  /// mpte_mpc_* / mpte_ckpt_* names (docs/observability.md): round count,
+  /// peak local/total/round-io bytes, violation and communication totals,
+  /// per-channel byte counters (label channel="..."), a log2 histogram of
+  /// per-round message volume, and the resilience counters. summary() and
+  /// the CLI's --metrics-out both render from this export, so the two
+  /// surfaces can never disagree about a count.
+  void export_metrics(obs::Registry* registry) const;
+
+  /// Human-readable multi-line summary for examples and benches. Aggregate
+  /// numbers are read back from an export_metrics() registry (single
+  /// source of truth); only the per-round lines come straight from the
+  /// records.
   std::string summary() const;
 
   void reset();

@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace mpte::obs {
+namespace {
+
+/// Formats a double the way Prometheus text expects: integers without a
+/// decimal point, everything else with enough digits to round-trip.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::merge_from(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > target) {
+      return i == 0
+                 ? 1.0
+                 : static_cast<double>(1ull << std::min<std::size_t>(i, 63));
+    }
+  }
+  return 0.0;
+}
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+Registry::Family& Registry::family_locked(const std::string& name,
+                                          const std::string& help,
+                                          Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kCounter);
+  Series& series = family.series[labels];
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kGauge);
+  Series& series = family.series[labels];
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Family& family = family_locked(name, help, Kind::kHistogram);
+  Series& series = family.series[labels];
+  if (!series.histogram) series.histogram = std::make_unique<Histogram>();
+  return *series.histogram;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name,
+                                      const Labels& labels) const {
+  std::lock_guard lock(mutex_);
+  auto fit = families_.find(name);
+  if (fit == families_.end()) return 0;
+  auto sit = fit->second.series.find(labels);
+  if (sit == fit->second.series.end() || !sit->second.counter) return 0;
+  return sit->second.counter->value();
+}
+
+double Registry::gauge_value(const std::string& name,
+                             const Labels& labels) const {
+  std::lock_guard lock(mutex_);
+  auto fit = families_.find(name);
+  if (fit == families_.end()) return 0.0;
+  auto sit = fit->second.series.find(labels);
+  if (sit == fit->second.series.end() || !sit->second.gauge) return 0.0;
+  return sit->second.gauge->value();
+}
+
+std::vector<Sample> Registry::samples() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Sample> out;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out.push_back({name, labels,
+                         static_cast<double>(series.counter->value())});
+          break;
+        case Kind::kGauge:
+          out.push_back({name, labels, series.gauge->value()});
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t n = h.bucket_count(i);
+            cumulative += n;
+            if (n == 0) continue;
+            Labels bucket_labels = labels;
+            bucket_labels["le"] =
+                std::to_string(Histogram::bucket_upper_edge(i));
+            out.push_back({name + "_bucket", bucket_labels,
+                           static_cast<double>(cumulative)});
+          }
+          out.push_back(
+              {name + "_sum", labels, static_cast<double>(h.sum())});
+          out.push_back(
+              {name + "_count", labels, static_cast<double>(h.count())});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                        series.counter->value());
+          out += name + format_labels(labels) + " " + buf + "\n";
+          break;
+        }
+        case Kind::kGauge:
+          out += name + format_labels(labels) + " " +
+                 format_value(series.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          // Cumulative le buckets; only edges up to the highest non-empty
+          // bucket are emitted (log2 edges are valid arbitrary Prometheus
+          // bucket boundaries), then the mandatory +Inf.
+          std::size_t highest = 0;
+          for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (h.bucket_count(i) != 0) highest = i;
+          }
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i <= highest; ++i) {
+            cumulative += h.bucket_count(i);
+            Labels bucket_labels = labels;
+            bucket_labels["le"] =
+                std::to_string(Histogram::bucket_upper_edge(i));
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+            out += name + "_bucket" + format_labels(bucket_labels) + " " +
+                   buf + "\n";
+          }
+          Labels inf_labels = labels;
+          inf_labels["le"] = "+Inf";
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+          out += name + "_bucket" + format_labels(inf_labels) + " " + buf +
+                 "\n";
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, h.sum());
+          out += name + "_sum" + format_labels(labels) + " " + buf + "\n";
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+          out += name + "_count" + format_labels(labels) + " " + buf + "\n";
+          break;
+        }
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace mpte::obs

@@ -1,0 +1,212 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace mpte::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local std::uint32_t tls_thread_id = ~0u;
+thread_local std::uint32_t tls_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = std::max<std::size_t>(capacity, 1);
+  ring_.clear();
+  ring_.reserve(std::min<std::size_t>(capacity_, 1 << 12));
+  next_ = 0;
+  recorded_ = 0;
+  overwritten_ = 0;
+  origin_ns_ = steady_ns();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now_us() const {
+  return (steady_ns() - origin_ns_) / 1000;
+}
+
+std::uint32_t Tracer::thread_id() {
+  if (tls_thread_id == ~0u) {
+    tls_thread_id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
+void Tracer::record(SpanEvent event) {
+  std::lock_guard lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    next_ = ring_.size() % capacity_;
+    recorded_ = ring_.size();
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: oldest event sits at next_.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::overwritten() const {
+  std::lock_guard lock(mutex_);
+  return overwritten_;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64,
+                  e.thread, e.start_us, e.duration_us);
+    out += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+           json_escape(e.category) + "\"," + buf;
+    if (e.arg_name != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"%s\":%" PRIu64 "}",
+                    e.arg_name, e.arg);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Tracer::flame_summary() const {
+  const std::vector<SpanEvent> events = snapshot();
+  struct Row {
+    std::uint64_t calls = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  // Key: (depth, category/name). Ordering by depth first gives the
+  // indented roots-before-children layout.
+  std::map<std::pair<std::uint32_t, std::string>, Row> rows;
+  for (const SpanEvent& e : events) {
+    Row& row = rows[{e.depth, e.category + "/" + e.name}];
+    ++row.calls;
+    row.total_us += e.duration_us;
+    row.max_us = std::max(row.max_us, e.duration_us);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "spans=%zu overwritten=%" PRIu64 "\n%-52s %8s %12s %10s %10s\n",
+                events.size(), overwritten(), "span", "calls", "total_ms",
+                "mean_ms", "max_ms");
+  std::string out = buf;
+  for (const auto& [key, row] : rows) {
+    const auto& [depth, name] = key;
+    std::string label(2 * static_cast<std::size_t>(depth), ' ');
+    label += name;
+    std::snprintf(buf, sizeof(buf), "%-52s %8" PRIu64 " %12.3f %10.3f %10.3f\n",
+                  label.c_str(), row.calls, row.total_us / 1000.0,
+                  row.calls == 0 ? 0.0 : row.total_us / 1000.0 / row.calls,
+                  row.max_us / 1000.0);
+    out += buf;
+  }
+  return out;
+}
+
+Span::Span(std::string_view category, std::string_view name)
+    : Span(category, name, nullptr, 0) {}
+
+Span::Span(std::string_view category, std::string_view name,
+           const char* arg_name, std::uint64_t arg) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  armed_ = true;
+  event_.category.assign(category);
+  event_.name.assign(name);
+  event_.arg_name = arg_name;
+  event_.arg = arg;
+  event_.thread = tracer.thread_id();
+  event_.depth = tls_depth++;
+  event_.start_us = tracer.now_us();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  --tls_depth;
+  Tracer& tracer = Tracer::global();
+  const std::uint64_t end_us = tracer.now_us();
+  event_.duration_us = end_us >= event_.start_us ? end_us - event_.start_us : 0;
+  tracer.record(std::move(event_));
+}
+
+}  // namespace mpte::obs

@@ -1,0 +1,111 @@
+// Span tracer: scoped wall-clock spans recorded into a thread-safe ring
+// buffer, exported as Chrome-trace JSON (loadable in Perfetto /
+// chrome://tracing) or a flame-style text summary.
+//
+// Design constraints (docs/observability.md):
+//  * Zero algorithmic impact. A span only reads the steady clock and
+//    appends to the ring; it never touches RNG state, message ordering,
+//    or any other input to the computation, so embeddings are
+//    byte-identical with tracing on or off.
+//  * Near-zero cost when disabled. `Span` checks one relaxed atomic and
+//    does nothing else — instrumentation can stay in hot paths
+//    unconditionally.
+//  * Bounded memory. The ring holds a fixed number of events; when it
+//    wraps, the oldest events are overwritten and counted in
+//    `overwritten()`.
+//
+// Usage:
+//   obs::Tracer::global().enable();
+//   { obs::Span span("mpc", "round/quantize"); ...work...; }
+//   write_file_atomic(path, obs::Tracer::global().chrome_trace_json());
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpte::obs {
+
+/// One completed span. Times are microseconds relative to `enable()`.
+struct SpanEvent {
+  std::string category;  // subsystem: "mpc", "emb", "fjlt", "ckpt", "serve"
+  std::string name;      // e.g. "round/quantize/extremes"
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t thread = 0;  // dense per-tracer thread id
+  std::uint32_t depth = 0;   // nesting depth on its thread at open time
+  const char* arg_name = nullptr;  // optional numeric argument (static str)
+  std::uint64_t arg = 0;
+};
+
+/// Process-global span recorder. All methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Starts recording into a fresh ring of `capacity` events. Resets the
+  /// clock origin and any previously recorded events.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(SpanEvent event);
+
+  /// Recorded events in chronological (recording) order.
+  std::vector<SpanEvent> snapshot() const;
+  std::size_t size() const;
+  /// Events lost to ring wrap-around since enable().
+  std::uint64_t overwritten() const;
+
+  /// Chrome trace JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  std::string chrome_trace_json() const;
+
+  /// Flat flame-style profile: per-(depth, name) call counts and total /
+  /// mean / max durations, indented by nesting depth.
+  std::string flame_summary() const;
+
+  /// Microseconds since enable() on the steady clock.
+  std::uint64_t now_us() const;
+  /// Dense id for the calling thread (assigned on first use).
+  std::uint32_t thread_id();
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;       // next write position in ring_
+  std::size_t recorded_ = 0;   // events currently held (<= capacity_)
+  std::uint64_t overwritten_ = 0;
+  std::uint64_t origin_ns_ = 0;
+  std::atomic<std::uint32_t> next_thread_id_{0};
+};
+
+/// RAII span. Arms itself only if the global tracer is enabled at
+/// construction; a disabled tracer makes construction and destruction a
+/// single relaxed atomic load each.
+class Span {
+ public:
+  Span(std::string_view category, std::string_view name);
+  Span(std::string_view category, std::string_view name,
+       const char* arg_name, std::uint64_t arg);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool armed_ = false;
+  SpanEvent event_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view text);
+
+}  // namespace mpte::obs

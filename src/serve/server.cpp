@@ -176,6 +176,12 @@ bool SocketServer::handle_line(const std::string& line, std::string* out,
     case ControlCommand::kStats:
       *out += format_stats(service_.stats()) + "\n";
       return true;
+    case ControlCommand::kMetrics:
+      // Multi-line Prometheus exposition; metrics_text() ends with the
+      // "# EOF\n" marker line, which doubles as the end-of-response
+      // sentinel for line-oriented clients.
+      *out += service_.metrics_text();
+      return true;
     case ControlCommand::kInfo:
       *out += format_info(service_.num_points(), service_.ensemble().size()) +
               "\n";

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace mpte::serve {
 
@@ -149,6 +150,7 @@ void EmbeddingService::batcher_loop() {
 
 void EmbeddingService::run_batch(std::vector<Pending>& batch) {
   const std::size_t n = batch.size();
+  const obs::Span span("serve", "batch", "size", n);
   // Evaluate concurrently, then fold counters, then fulfill promises — in
   // that order, so by the time a caller's future resolves the stats
   // already include its request.
@@ -301,9 +303,7 @@ Result<Response> EmbeddingService::evaluate(const Request& request) const {
 
 void EmbeddingService::record_latency(double ms) {
   const auto us = static_cast<std::uint64_t>(std::max(0.0, ms * 1000.0));
-  const std::size_t bucket =
-      std::min<std::size_t>(std::bit_width(us), kLatencyBuckets - 1);
-  ++latency_histogram_[bucket];
+  latency_us_.observe(us);
 }
 
 ServiceStats EmbeddingService::stats() const {
@@ -335,25 +335,72 @@ ServiceStats EmbeddingService::stats() const {
   }
   // Percentiles from the log2 histogram: report the upper edge of the
   // bucket holding the quantile (conservative, resolution one octave).
-  std::uint64_t total = 0;
-  for (const std::uint64_t count : latency_histogram_) total += count;
-  const auto percentile = [&](double quantile) {
-    if (total == 0) return 0.0;
-    const auto target = static_cast<std::uint64_t>(
-        quantile * static_cast<double>(total - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t bucket = 0; bucket < kLatencyBuckets; ++bucket) {
-      seen += latency_histogram_[bucket];
-      if (seen > target) {
-        return (bucket == 0 ? 1.0 : static_cast<double>(1ull << bucket)) /
-               1000.0;  // us -> ms
-      }
-    }
-    return 0.0;
-  };
-  out.p50_ms = percentile(0.50);
-  out.p99_ms = percentile(0.99);
+  out.p50_ms = latency_us_.quantile(0.50) / 1000.0;  // us -> ms
+  out.p99_ms = latency_us_.quantile(0.99) / 1000.0;
   return out;
+}
+
+void export_service_stats(const ServiceStats& stats,
+                          obs::Registry* registry) {
+  const auto count = [registry](const char* name, const char* help,
+                                std::uint64_t value) {
+    registry->counter(name, help).set(value);
+  };
+  const auto gauge = [registry](const char* name, const char* help,
+                                double value) {
+    registry->gauge(name, help).set(value);
+  };
+  count("mpte_serve_submitted_total", "Requests accepted by submit().",
+        stats.submitted);
+  count("mpte_serve_completed_total", "Requests answered successfully.",
+        stats.completed);
+  count("mpte_serve_rejected_queue_full_total",
+        "Requests rejected by admission control (queue full).",
+        stats.rejected_queue_full);
+  count("mpte_serve_rejected_deadline_total",
+        "Requests expired in queue past their deadline.",
+        stats.rejected_deadline);
+  count("mpte_serve_failed_total", "Requests that evaluated to an error.",
+        stats.failed);
+  count("mpte_serve_batches_total", "Batcher wakeups that drained work.",
+        stats.batches);
+  count("mpte_serve_cache_hits_total", "Scalar-answer cache hits.",
+        stats.cache_hits);
+  count("mpte_serve_cache_misses_total", "Scalar-answer cache misses.",
+        stats.cache_misses);
+  count("mpte_serve_cache_evictions_total", "Cache entries evicted (LRU).",
+        stats.cache_evictions);
+  gauge("mpte_serve_queue_depth", "Requests currently queued.",
+        static_cast<double>(stats.queue_depth));
+  gauge("mpte_serve_max_batch", "Largest batch drained so far.",
+        static_cast<double>(stats.max_batch_observed));
+  gauge("mpte_serve_cache_hit_rate", "hits / (hits + misses).",
+        stats.cache_hit_rate);
+  gauge("mpte_serve_qps", "Completed requests per second of uptime.",
+        stats.qps);
+  gauge("mpte_serve_latency_p50_ms",
+        "Median submit-to-completion latency (octave resolution).",
+        stats.p50_ms);
+  gauge("mpte_serve_latency_p99_ms",
+        "99th percentile submit-to-completion latency (octave resolution).",
+        stats.p99_ms);
+  gauge("mpte_serve_uptime_seconds", "Seconds since service start.",
+        stats.uptime_seconds);
+}
+
+void EmbeddingService::export_metrics(obs::Registry* registry) const {
+  export_service_stats(stats(), registry);
+  registry
+      ->histogram("mpte_serve_latency_us",
+                  "Submit-to-completion latency in microseconds "
+                  "(log2 buckets).")
+      .merge_from(latency_us_);
+}
+
+std::string EmbeddingService::metrics_text() const {
+  obs::Registry registry;
+  export_metrics(&registry);
+  return registry.prometheus_text();
 }
 
 void EmbeddingService::pause() {

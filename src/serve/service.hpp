@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/ensemble.hpp"
+#include "obs/metrics.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/types.hpp"
 
@@ -82,6 +83,15 @@ class EmbeddingService {
 
   /// Counters + latency percentiles snapshot.
   ServiceStats stats() const;
+
+  /// Exports the stats snapshot as mpte_serve_* metrics plus the full
+  /// latency histogram (mpte_serve_latency_us). The `stats` wire line and
+  /// the `metrics` exposition both derive from this registry content.
+  void export_metrics(obs::Registry* registry) const;
+
+  /// Prometheus text exposition of export_metrics(), terminated by the
+  /// "# EOF" marker line — the serve `metrics` verb's response body.
+  std::string metrics_text() const;
 
   /// Suspends / resumes batch draining. While paused, submits still
   /// enqueue (and admission control still applies) — used to exercise
@@ -136,9 +146,15 @@ class EmbeddingService {
   std::uint64_t batches_ = 0;
   std::size_t max_batch_observed_ = 0;
   /// Log2-bucketed submit-to-completion latency histogram (microseconds):
-  /// bucket i counts latencies in [2^(i-1), 2^i).
-  static constexpr std::size_t kLatencyBuckets = 40;
-  std::uint64_t latency_histogram_[kLatencyBuckets] = {};
+  /// bucket i counts latencies in [2^(i-1), 2^i). An obs::Histogram so the
+  /// same buckets back stats() percentiles and the metrics exposition.
+  obs::Histogram latency_us_;
 };
+
+/// Mirrors a stats snapshot into mpte_serve_* registry series. Both the
+/// one-line `stats` wire response (wire.cpp format_stats) and the service
+/// metrics exposition render from this single mapping, so the two outputs
+/// can never disagree about a count.
+void export_service_stats(const ServiceStats& stats, obs::Registry* registry);
 
 }  // namespace mpte::serve

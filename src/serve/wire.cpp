@@ -6,6 +6,9 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+
 namespace mpte::serve {
 
 namespace {
@@ -77,6 +80,7 @@ ControlCommand parse_control(const std::string& line) {
   const auto tokens = tokenize(line);
   if (tokens.size() != 1) return ControlCommand::kNone;
   if (tokens[0] == "stats") return ControlCommand::kStats;
+  if (tokens[0] == "metrics") return ControlCommand::kMetrics;
   if (tokens[0] == "info") return ControlCommand::kInfo;
   if (tokens[0] == "quit") return ControlCommand::kQuit;
   if (tokens[0] == "shutdown") return ControlCommand::kShutdown;
@@ -151,16 +155,25 @@ std::string format_info(std::size_t points, std::size_t trees) {
 }
 
 std::string format_stats(const ServiceStats& stats) {
+  // Route through the registry exporter: the line and the `metrics`
+  // exposition render the same series, so they cannot disagree.
+  obs::Registry registry;
+  export_service_stats(stats, &registry);
   char buffer[512];
   std::snprintf(
       buffer, sizeof(buffer),
       "ok stats qps=%.1f p50_ms=%.3f p99_ms=%.3f hit_rate=%.3f depth=%zu "
       "rejected=%llu completed=%llu",
-      stats.qps, stats.p50_ms, stats.p99_ms, stats.cache_hit_rate,
-      stats.queue_depth,
-      static_cast<unsigned long long>(stats.rejected_queue_full +
-                                      stats.rejected_deadline),
-      static_cast<unsigned long long>(stats.completed));
+      registry.gauge_value("mpte_serve_qps"),
+      registry.gauge_value("mpte_serve_latency_p50_ms"),
+      registry.gauge_value("mpte_serve_latency_p99_ms"),
+      registry.gauge_value("mpte_serve_cache_hit_rate"),
+      static_cast<std::size_t>(registry.gauge_value("mpte_serve_queue_depth")),
+      static_cast<unsigned long long>(
+          registry.counter_value("mpte_serve_rejected_queue_full_total") +
+          registry.counter_value("mpte_serve_rejected_deadline_total")),
+      static_cast<unsigned long long>(
+          registry.counter_value("mpte_serve_completed_total")));
   return buffer;
 }
 

@@ -7,7 +7,7 @@
 //   dist  <p> <q> [min|exp] [deadline_ms]
 //   knn   <p> <k> [min|exp] [deadline_ms]
 //   range <p> <radius> [min|exp] [deadline_ms]
-//   stats | info | quit | shutdown
+//   stats | metrics | info | quit | shutdown
 //
 // Responses:
 //
@@ -18,6 +18,11 @@
 //   ok stats qps=... p50_ms=... p99_ms=... hit_rate=... depth=...
 //            rejected=... completed=...
 //   err <code> <message>
+//
+// `metrics` is the one multi-line response: the full Prometheus text
+// exposition of the service registry (docs/observability.md), terminated
+// by a line reading "# EOF" so clients know where it ends. `quit` closes
+// the connection without a reply.
 #pragma once
 
 #include <string>
@@ -31,6 +36,7 @@ namespace mpte::serve {
 enum class ControlCommand {
   kNone,      // not a control line — parse as a request
   kStats,     // reply with a stats line
+  kMetrics,   // reply with the Prometheus exposition (multi-line, # EOF)
   kInfo,      // reply with ensemble shape
   kQuit,      // close this connection
   kShutdown,  // stop the whole server
@@ -46,6 +52,9 @@ Result<Request> parse_request(const std::string& line);
 std::string format_response(const Result<Response>& result);
 
 std::string format_info(std::size_t points, std::size_t trees);
+/// The one-line stats response. Values are read back from a registry
+/// filled by export_service_stats (service.hpp), the same numbers the
+/// `metrics` exposition reports.
 std::string format_stats(const ServiceStats& stats);
 
 /// True when the line is a success response.

@@ -10,6 +10,7 @@
 #include "common/serialize.hpp"
 #include "mpc/channel.hpp"
 #include "mpc/primitives.hpp"
+#include "obs/trace.hpp"
 #include "transform/walsh_hadamard.hpp"
 
 namespace mpte {
@@ -535,6 +536,7 @@ PointSet mpc_fjlt(mpc::Cluster& cluster, const PointSet& points,
     throw MpteError("mpc_fjlt: point dimension does not match config");
   }
   const std::size_t rounds_before = cluster.stats().rounds();
+  const obs::Span span("fjlt", "mpc_fjlt", "points", points.size());
   const std::size_t budget = cluster.config().local_memory_bytes;
   const std::size_t m = cluster.num_machines();
   const std::size_t d_pad = config.padded_dim;
@@ -555,6 +557,7 @@ PointSet mpc_fjlt(mpc::Cluster& cluster, const PointSet& points,
   std::size_t block = 0;
   std::size_t levels = 0;
   if (local_mode_bytes * 2 <= budget || d_pad < 4) {
+    const obs::Span mode_span("fjlt", "local-mode");
     out = run_local_mode(cluster, points, config);
   } else {
     // Largest power-of-two fiber a machine can hold with headroom.
@@ -572,10 +575,12 @@ PointSet mpc_fjlt(mpc::Cluster& cluster, const PointSet& points,
                        next_power_of_two(static_cast<std::size_t>(std::ceil(
                            std::sqrt(static_cast<double>(d_pad))))));
       levels = 2;
+      const obs::Span mode_span("fjlt", "sharded-mode", "block", block);
       out = run_sharded_mode(cluster, points, config, block);
     } else {
       // General m-stage pipeline for the eps < 1/2 regime.
       block = block_cap;
+      const obs::Span mode_span("fjlt", "multilevel-mode", "block", block);
       out = run_multilevel_mode(cluster, points, config, block, &levels);
     }
   }

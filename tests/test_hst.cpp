@@ -5,11 +5,11 @@
 namespace mpte {
 namespace {
 
-/// Hand-built tree:
+/// Hand-built tree (edges drawn with / and |):
 ///          root(0)
-///         /      \
+///         /       |
 ///     a(1,w=4)   b(2,w=4)
-///      /    \        \
+///      /    |        |
 ///  leaf0   leaf1    leaf2
 /// (w=0)    (w=2)    (w=0)
 Hst make_small_tree() {

@@ -192,7 +192,9 @@ TEST(GridHierarchy, StructureAndSingletons) {
   const auto& last = h->cluster_of_point.back();
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (std::size_t j = i + 1; j < points.size(); ++j) {
-      if (l2_distance(points[i], points[j]) > 0.0) EXPECT_NE(last[i], last[j]);
+      if (l2_distance(points[i], points[j]) > 0.0) {
+        EXPECT_NE(last[i], last[j]);
+      }
     }
   }
   // Cell diameter bound per level.

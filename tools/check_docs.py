@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Documentation lint for the mpte repo (CI `docs` job).
+
+Two checks, both fail-closed:
+
+1. Intra-repo markdown links. Every relative `[text](target)` in a
+   tracked .md file must point at a file or directory that exists.
+   External schemes (http/https/mailto) and pure fragments (#...) are
+   skipped; a `path#fragment` link is checked for `path` only.
+
+2. CLI usage drift. Every `--flag` mentioned in tools/mpte_cli.cpp
+   comments or usage() text, or in a markdown line that shows an
+   `mpte_cli` invocation, must actually be parsed by the CLI (appear in
+   a flag_value()/`arg == "--x"` site). Documenting a flag the binary
+   rejects is the docs bug this guards against.
+
+Usage: python3 tools/check_docs.py [repo-root]   (default: script's parent)
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".github"}
+# Generic placeholders in prose ("--flag value" pairs), not real flags.
+PLACEHOLDER_FLAGS = {"--flag"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]*)")
+IMPLEMENTED_RE = re.compile(
+    r'flag_value\(\s*flags\s*,\s*"(--[a-z0-9-]+)"|arg\s*==\s*"(--[a-z0-9-]+)"'
+)
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(root):
+    errors = []
+    for path in markdown_files(root):
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        in_code_block = False
+        for lineno, line in enumerate(lines, 1):
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path),
+                                 target.split("#", 1)[0])
+                )
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    errors.append(
+                        f"{rel}:{lineno}: broken link '{target}' "
+                        f"(resolved to {os.path.relpath(resolved, root)})"
+                    )
+    return errors
+
+
+def implemented_flags(cli_source):
+    flags = set()
+    for match in IMPLEMENTED_RE.finditer(cli_source):
+        flags.add(match.group(1) or match.group(2))
+    return flags
+
+
+def documented_flags(root, cli_source):
+    """(flag, where) pairs from CLI comments/usage text and from markdown
+    lines that show an mpte_cli invocation."""
+    mentions = []
+    for lineno, line in enumerate(cli_source.splitlines(), 1):
+        stripped = line.strip()
+        # Comments document the interface; string literals are usage()
+        # text. Either way a mentioned flag must exist.
+        if stripped.startswith("//") or '"' in stripped:
+            code = stripped
+            if not stripped.startswith("//"):
+                # Only look inside string literals on code lines, else the
+                # parser sites themselves would count as documentation.
+                code = " ".join(re.findall(r'"([^"]*)"', stripped))
+            for flag in FLAG_RE.findall(code):
+                mentions.append((flag, f"tools/mpte_cli.cpp:{lineno}"))
+    for path in markdown_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                if "mpte_cli" not in line:
+                    continue
+                for flag in FLAG_RE.findall(line):
+                    mentions.append((flag, f"{rel}:{lineno}"))
+    return mentions
+
+
+def check_flags(root):
+    cli_path = os.path.join(root, "tools", "mpte_cli.cpp")
+    with open(cli_path, encoding="utf-8") as handle:
+        cli_source = handle.read()
+    implemented = implemented_flags(cli_source)
+    if not implemented:
+        return [f"{cli_path}: found no implemented flags — parser changed?"]
+    errors = []
+    for flag, where in documented_flags(root, cli_source):
+        if flag not in implemented and flag not in PLACEHOLDER_FLAGS:
+            errors.append(
+                f"{where}: documents '{flag}' but mpte_cli does not parse it"
+            )
+    return errors
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir)
+    )
+    errors = check_links(root) + check_flags(root)
+    for error in errors:
+        print(f"check_docs: {error}")
+    if errors:
+        print(f"check_docs: {len(errors)} error(s)")
+        return 1
+    print("check_docs: all markdown links resolve and all documented "
+          "CLI flags are implemented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 //       kind: uniform | clusters | blobs | subspace
 //   mpte_cli embed <in.csv> <out.tree> [method] [seed]
 //       [--checkpoint-dir D] [--every K] [--crash-at R]
+//       [--trace-out FILE] [--metrics-out FILE]
 //       method: hybrid (default) | grid | ball | mpc
 //       Writes the tree plus its input-unit scale; prints pipeline stats.
 //       `mpc` runs the distributed pipeline on a simulated cluster and
@@ -11,8 +12,12 @@
 //       --checkpoint-dir (mpc only) snapshots the cluster every K rounds
 //       (default 1) into D, plus a manifest describing the run; --crash-at
 //       injects a deterministic rank crash at round R and exits 3, leaving
-//       D resumable.
-//   mpte_cli resume <checkpoint-dir>
+//       D resumable. --trace-out records a span trace of the run as
+//       Chrome-trace JSON (open in Perfetto); --metrics-out writes the
+//       run's metrics registry as Prometheus text (docs/observability.md).
+//       Neither flag changes the embedding — output is byte-identical
+//       with or without them.
+//   mpte_cli resume <checkpoint-dir> [--trace-out FILE] [--metrics-out FILE]
 //       Restores the newest snapshot written by `embed ... mpc
 //       --checkpoint-dir` and finishes the run it describes: the output
 //       tree is byte-identical to the uninterrupted run's.
@@ -21,6 +26,7 @@
 //   mpte_cli distortion <tree> <in.csv>
 //   mpte_cli serve <tree...> --port <p> [--batch N] [--wait-us N]
 //       [--queue N] [--cache-bytes N] [--threads N]
+//       [--trace-out FILE] [--metrics-out FILE]
 //       Long-lived query service over the newline protocol
 //       (docs/serving.md); multiple tree files form an ensemble. Runs
 //       until a client sends `shutdown`, then prints final stats.
@@ -57,6 +63,8 @@
 #include "core/mpc_embedder.hpp"
 #include "geometry/csv_io.hpp"
 #include "geometry/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/wire.hpp"
@@ -77,13 +85,16 @@ int usage() {
                "[seed]\n"
                "            [--checkpoint-dir D] [--every K] [--crash-at R] "
                "(mpc only)\n"
-               "  mpte_cli resume <checkpoint-dir>\n"
+               "            [--trace-out FILE] [--metrics-out FILE]\n"
+               "  mpte_cli resume <checkpoint-dir> [--trace-out FILE] "
+               "[--metrics-out FILE]\n"
                "  mpte_cli stats <tree>\n"
                "  mpte_cli query <tree> <i> <j>\n"
                "  mpte_cli distortion <tree> <in.csv>\n"
                "  mpte_cli serve <tree...> --port <p> [--batch N] "
                "[--wait-us N] [--queue N]\n"
-               "            [--cache-bytes N] [--threads N]\n"
+               "            [--cache-bytes N] [--threads N] "
+               "[--trace-out FILE] [--metrics-out FILE]\n"
                "  mpte_cli bench-client --port <p> [--host H] "
                "[--clients C] [--queries Q]\n"
                "            [--pipeline K] [--kind dist|knn|range|mix] "
@@ -120,6 +131,62 @@ std::string flag_value(
     if (flag == name) return value;
   }
   return fallback;
+}
+
+/// --trace-out / --metrics-out destinations shared by embed/serve/resume.
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+ObsOutputs obs_outputs(
+    const std::vector<std::pair<std::string, std::string>>& flags) {
+  return {flag_value(flags, "--trace-out", ""),
+          flag_value(flags, "--metrics-out", "")};
+}
+
+/// Starts span recording if a trace artifact was requested. Tracing is
+/// observation only: the traced run's output is byte-identical to an
+/// untraced one (the tracer never perturbs algorithm state).
+void arm_tracer(const ObsOutputs& outputs) {
+  if (!outputs.trace_path.empty()) obs::Tracer::global().enable();
+}
+
+Status write_text_file(const std::string& path, const std::string& text) {
+  return write_file_atomic(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()));
+}
+
+/// Writes the requested trace/metrics artifacts; `fill` populates the
+/// metrics registry (RoundStats::export_metrics for cluster runs,
+/// EmbeddingService::export_metrics for serve, ...). Returns 0 or 2.
+template <typename Fill>
+int write_obs_artifacts(const ObsOutputs& outputs, Fill&& fill) {
+  if (!outputs.trace_path.empty()) {
+    auto& tracer = obs::Tracer::global();
+    const Status wrote =
+        write_text_file(outputs.trace_path, tracer.chrome_trace_json());
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", wrote.to_string().c_str());
+      return 2;
+    }
+    std::printf("trace: %zu spans -> %s\n", tracer.size(),
+                outputs.trace_path.c_str());
+  }
+  if (!outputs.metrics_path.empty()) {
+    obs::Registry registry;
+    fill(&registry);
+    const Status wrote =
+        write_text_file(outputs.metrics_path, registry.prometheus_text());
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", wrote.to_string().c_str());
+      return 2;
+    }
+    std::printf("metrics: -> %s\n", outputs.metrics_path.c_str());
+  }
+  return 0;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -271,7 +338,8 @@ int report_mpc_embedding(const mpc::Cluster& cluster,
 int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
                   const std::string& out_path, std::uint64_t seed,
                   const std::string& checkpoint_dir, std::size_t every,
-                  long long crash_at) {
+                  long long crash_at, const ObsOutputs& outputs) {
+  arm_tracer(outputs);
   const std::size_t input_bytes =
       points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
   mpc::ClusterConfig config = mpc_cli_config(input_bytes);
@@ -312,7 +380,12 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
                    result.status().to_string().c_str());
       return 2;
     }
-    return report_mpc_embedding(cluster, config, points, *result, out_path);
+    const int rc =
+        report_mpc_embedding(cluster, config, points, *result, out_path);
+    if (rc != 0) return rc;
+    return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
+      cluster.stats().export_metrics(registry);
+    });
   } catch (const mpc::RankCrashed& crash) {
     std::fprintf(stderr,
                  "mpc embed: %s; checkpoints in %s (finish with: mpte_cli "
@@ -328,8 +401,13 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
 /// run. The re-driven pipeline fast-forwards the committed rounds, so the
 /// output tree is byte-identical to an uninterrupted run's.
 int cmd_resume(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string dir = argv[2];
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+  if (!parse_flags(argc, argv, 2, &positional, &flags)) return usage();
+  if (positional.empty()) return usage();
+  const ObsOutputs outputs = obs_outputs(flags);
+  arm_tracer(outputs);
+  const std::string dir = positional[0];
   const auto manifest = read_manifest(dir);
   if (!manifest.ok()) {
     std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
@@ -360,8 +438,12 @@ int cmd_resume(int argc, char** argv) {
                  result.status().to_string().c_str());
     return 2;
   }
-  return report_mpc_embedding(cluster, config, points, *result,
-                              manifest->output);
+  const int rc = report_mpc_embedding(cluster, config, points, *result,
+                                      manifest->output);
+  if (rc != 0) return rc;
+  return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
+    cluster.stats().export_metrics(registry);
+  });
 }
 
 int cmd_embed(int argc, char** argv) {
@@ -376,6 +458,7 @@ int cmd_embed(int argc, char** argv) {
           : 1;
   const std::string checkpoint_dir =
       flag_value(flags, "--checkpoint-dir", "");
+  const ObsOutputs outputs = obs_outputs(flags);
   EmbedOptions options;
   if (positional.size() > 2) {
     const std::string method = positional[2];
@@ -386,7 +469,7 @@ int cmd_embed(int argc, char** argv) {
       const long long crash_at =
           std::atoll(flag_value(flags, "--crash-at", "-1").c_str());
       return cmd_embed_mpc(points, positional[0], positional[1], seed,
-                           checkpoint_dir, every, crash_at);
+                           checkpoint_dir, every, crash_at, outputs);
     } else if (method == "grid") {
       options.method = PartitionMethod::kGrid;
     } else if (method == "ball") {
@@ -401,6 +484,7 @@ int cmd_embed(int argc, char** argv) {
   if (!checkpoint_dir.empty()) return usage();
   options.seed = seed;
 
+  arm_tracer(outputs);
   const auto result = embed(points, options);
   if (!result.ok()) {
     std::fprintf(stderr, "embed failed: %s\n",
@@ -417,7 +501,14 @@ int cmd_embed(int argc, char** argv) {
               result->buckets_used, result->grids_used);
   std::printf("tree: %zu nodes, depth %zu -> %s\n", shape.nodes, shape.depth,
               positional[1].c_str());
-  return 0;
+  return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
+    registry->gauge("mpte_embed_points", "Points embedded.")
+        .set(static_cast<double>(points.size()));
+    registry->gauge("mpte_embed_tree_nodes", "Nodes in the output HST.")
+        .set(static_cast<double>(shape.nodes));
+    registry->gauge("mpte_embed_tree_depth", "Depth of the output HST.")
+        .set(static_cast<double>(shape.depth));
+  });
 }
 
 int cmd_stats(int argc, char** argv) {
@@ -505,6 +596,9 @@ int cmd_serve(int argc, char** argv) {
     return 2;
   }
 
+  const ObsOutputs outputs = obs_outputs(flags);
+  arm_tracer(outputs);
+
   serve::ServiceOptions options;
   options.max_batch = static_cast<std::size_t>(
       std::atoll(flag_value(flags, "--batch", "64").c_str()));
@@ -543,7 +637,9 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rejected_queue_full +
                                               stats.rejected_deadline),
               stats.qps, stats.cache_hit_rate, stats.p50_ms, stats.p99_ms);
-  return 0;
+  return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
+    service.export_metrics(registry);
+  });
 }
 
 int cmd_bench_client(int argc, char** argv) {
