@@ -1,9 +1,14 @@
 // E12a: Fast Walsh–Hadamard throughput — the O(d log d) work bound that
 // makes the FJLT "fast". Reported as items (transformed vectors) per
 // second; the per-element time should grow only logarithmically with d.
+// BM_FwhtBackendSweep additionally times one row size under every
+// compiled-in SIMD backend and appends to the BENCH_simd.json artifact.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+
 #include "common/rng.hpp"
+#include "simd_bench_util.hpp"
 #include "transform/walsh_hadamard.hpp"
 
 namespace mpte::bench {
@@ -43,6 +48,31 @@ void BM_FwhtPointBatch(benchmark::State& state) {
 BENCHMARK(BM_FwhtPointBatch)
     ->RangeMultiplier(4)
     ->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FwhtBackendSweep(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const std::size_t reps = (1u << 22) / d;  // ~32 MB touched per call
+  Rng rng(3);
+  std::vector<double> data(d);
+  for (double& x : data) x = rng.normal();
+  const double bytes_per_call =
+      static_cast<double>(reps * d * sizeof(double)) * 2.0 *
+      static_cast<double>(std::bit_width(d - 1));
+  for (auto _ : state) {
+    simd_backend_sweep(state, "fwht_row_" + std::to_string(d),
+                       bytes_per_call, [&] {
+                         for (std::size_t r = 0; r < reps; ++r) {
+                           fwht(data);
+                           benchmark::DoNotOptimize(data.data());
+                         }
+                       });
+  }
+}
+BENCHMARK(BM_FwhtBackendSweep)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -12,6 +12,11 @@
 //   par_ms      best-of-reps wall-clock at `threads`
 //   speedup     serial_ms / par_ms
 //   hw_threads  hardware concurrency of this host, for reading the table
+//
+// The BM_Simd* benches at the bottom sweep the other axis — the
+// dispatched kernel backend at a fixed single thread — reporting per-
+// backend GB/s and speedup-vs-scalar, and writing the BENCH_simd.json /
+// BENCH_simd.metrics.prom artifacts (bench/simd_bench_util.hpp).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,6 +29,7 @@
 #include "mpc/cluster.hpp"
 #include "partition/ball_partition.hpp"
 #include "partition/grid_partition.hpp"
+#include "simd_bench_util.hpp"
 #include "transform/dense_jl.hpp"
 #include "transform/sparse_jl.hpp"
 #include "transform/walsh_hadamard.hpp"
@@ -217,6 +223,119 @@ BENCHMARK(BM_ExpectedDistortionScaling)
     ->Arg(8)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// SIMD backend sweeps: single thread, every compiled-in backend, per-kernel
+// GB/s and speedup over the scalar reference. The acceptance targets live
+// here: fwht_points and the batched squared-L2 path must beat scalar by
+// >= 2x on an AVX2 host.
+
+void BM_SimdFwhtPoints(benchmark::State& state) {
+  // Cache-resident batch, repeated: this host streams DRAM at ~23 GB/s,
+  // so a one-shot multi-MB batch measures the memory bus, not the
+  // butterflies. The batch is also kept under the glibc mmap threshold —
+  // fwht_points allocates its output per call, and a larger batch would
+  // spend backend-independent time in mmap/page faults every iteration.
+  constexpr std::size_t kN = 2, kD = 4096, kReps = 800;
+  const PointSet points = generate_uniform_cube(kN, kD, 10.0, 7);
+  // log2(d) butterfly passes, each touching every element twice (read +
+  // write), plus the normalization pass.
+  const double bytes_per_call =
+      static_cast<double>(kReps * kN * kD * sizeof(double)) *
+      (2.0 * 12.0 + 2.0);
+  par::set_default_threads(1);
+  for (auto _ : state) {
+    simd_backend_sweep(state, "fwht_points", bytes_per_call, [&] {
+      for (std::size_t r = 0; r < kReps; ++r) {
+        benchmark::DoNotOptimize(fwht_points(points));
+      }
+    });
+  }
+  par::set_default_threads(0);
+}
+BENCHMARK(BM_SimdFwhtPoints)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdL2Batch(benchmark::State& state) {
+  constexpr std::size_t kN = 1200, kD = 256;
+  const PointSet points = generate_uniform_cube(kN, kD, 10.0, 9);
+  const double bytes_per_call =
+      static_cast<double>(kN) * static_cast<double>(kN - 1) / 2.0 * 2.0 *
+      static_cast<double>(kD * sizeof(double));
+  par::set_default_threads(1);
+  for (auto _ : state) {
+    simd_backend_sweep(state, "l2sq_batch", bytes_per_call, [&] {
+      benchmark::DoNotOptimize(pairwise_distance_extremes(points));
+    });
+  }
+  par::set_default_threads(0);
+}
+BENCHMARK(BM_SimdL2Batch)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdDenseJl(benchmark::State& state) {
+  constexpr std::size_t kN = 2000, kIn = 512, kOut = 64;
+  const PointSet points = generate_uniform_cube(kN, kIn, 10.0, 11);
+  const DenseJl jl(kIn, kOut, 23);
+  const double bytes_per_call =
+      static_cast<double>(kN * kOut * kIn * sizeof(double));
+  par::set_default_threads(1);
+  for (auto _ : state) {
+    simd_backend_sweep(state, "dense_jl_gemv", bytes_per_call, [&] {
+      benchmark::DoNotOptimize(jl.transform(points));
+    });
+  }
+  par::set_default_threads(0);
+}
+BENCHMARK(BM_SimdDenseJl)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdSparseJl(benchmark::State& state) {
+  constexpr std::size_t kN = 8000, kIn = 512, kOut = 64;
+  const PointSet points = generate_uniform_cube(kN, kIn, 10.0, 13);
+  const SparseJl jl(kIn, kOut, 29);
+  // Per nonzero: the value plus the gathered coordinate.
+  const double bytes_per_call =
+      static_cast<double>(kN * jl.nonzeros()) * 2.0 * sizeof(double);
+  par::set_default_threads(1);
+  for (auto _ : state) {
+    simd_backend_sweep(state, "sparse_jl_csr", bytes_per_call, [&] {
+      benchmark::DoNotOptimize(jl.transform(points));
+    });
+  }
+  par::set_default_threads(0);
+}
+BENCHMARK(BM_SimdSparseJl)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdBallAssign(benchmark::State& state) {
+  constexpr std::size_t kN = 50000, kD = 12, kGrids = 64;
+  const PointSet points = generate_uniform_cube(kN, kD, 8.0, 17);
+  const BallGrids grids(kD, 2.0, kGrids, 31);
+  // Upper bound: every grid's shift row for every dimension.
+  const double bytes_per_call =
+      static_cast<double>(kN * kD * kGrids * sizeof(double));
+  par::set_default_threads(1);
+  for (auto _ : state) {
+    simd_backend_sweep(state, "ball_first_cover", bytes_per_call, [&] {
+      benchmark::DoNotOptimize(ball_partition(points, grids));
+    });
+  }
+  par::set_default_threads(0);
+}
+BENCHMARK(BM_SimdBallAssign)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdGridPartition(benchmark::State& state) {
+  constexpr std::size_t kN = 100000, kD = 16;
+  const PointSet points = generate_uniform_cube(kN, kD, 8.0, 19);
+  const ShiftedGrid grid(kD, 1.5, 37);
+  const double bytes_per_call =
+      static_cast<double>(kN * kD * sizeof(double)) * 3.0;
+  par::set_default_threads(1);
+  for (auto _ : state) {
+    simd_backend_sweep(state, "lattice_floor", bytes_per_call, [&] {
+      benchmark::DoNotOptimize(grid_partition(points, grid));
+    });
+  }
+  par::set_default_threads(0);
+}
+BENCHMARK(BM_SimdGridPartition)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mpte::bench

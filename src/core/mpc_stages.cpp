@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "obs/trace.hpp"
 #include "partition/ball_partition.hpp"
+#include "simd/arena.hpp"
 
 namespace mpte::detail {
 
@@ -150,7 +152,12 @@ std::uint64_t compute_paths(MachineContext& ctx, std::size_t dim,
   }
 
   std::uint64_t failures = 0;
-  std::vector<double> bucket_coords(p.bucket_dim);
+  // Per-attempt staging row from this thread's scratch arena rather than a
+  // heap vector: machine steps run inside a ScratchScope (mpc::Cluster),
+  // so the row is reclaimed when the step ends.
+  simd::ScratchScope scratch_scope;
+  const std::span<double> bucket_coords =
+      scratch_scope.arena().alloc<double>(p.bucket_dim);
   for (std::size_t local = 0; local < idx.size(); ++local) {
     const std::uint64_t point = idx[local];
     std::uint64_t id = hybrid_root_id(p.seed);

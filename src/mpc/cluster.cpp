@@ -7,6 +7,7 @@
 
 #include "common/parallel.hpp"
 #include "obs/trace.hpp"
+#include "simd/arena.hpp"
 
 namespace mpte::mpc {
 
@@ -131,18 +132,25 @@ void Cluster::run_round(const Step& step, std::string label) {
   // only its own Machine and outbox row, so chunking the rank range over
   // threads is race-free. An exception from a step (lowest rank wins, as
   // in serial order) propagates after all steps finish; the audit below
-  // never runs on a failed round.
+  // never runs on a failed round. Each step runs under a ScratchScope so
+  // kernel temporaries it bumped off the worker's scratch arena are
+  // reclaimed before the next machine's step reuses the thread.
   auto& outboxes = outboxes_;
   par::parallel_for(
       0, m,
       [&](std::size_t begin, std::size_t end) {
         for (MachineId id = begin; id < end; ++id) {
+          simd::ScratchScope scratch_scope;
           MachineContext ctx(id, m, machines_[id], outboxes[id]);
           step(ctx);
         }
       },
       config_.num_threads);
   if (profiling) t_stepped = ProfileClock::now();
+  // Round boundary: coalesce any spill the coordinator thread's arena
+  // accumulated (steps may have run inline here when the round was
+  // executed serially), so steady-state rounds bump within one block.
+  simd::scratch().reset();
 
   RoundRecord record;
   record.label = std::move(label);

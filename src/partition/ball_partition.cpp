@@ -7,12 +7,19 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mpte {
 
 BallGrids::BallGrids(std::size_t dim, double radius, std::size_t num_grids,
                      std::uint64_t seed)
-    : dim_(dim), radius_(radius), num_grids_(num_grids), seed_(seed) {
+    : dim_(dim),
+      radius_(radius),
+      num_grids_(num_grids),
+      seed_(seed),
+      cell_(4.0 * radius),
+      inv_cell_(1.0 / (4.0 * radius)),
+      radius_sq_(radius * radius) {
   if (dim == 0) throw MpteError("BallGrids: dim must be >= 1");
   if (radius <= 0.0) throw MpteError("BallGrids: radius must be positive");
   if (num_grids == 0) throw MpteError("BallGrids: need at least one grid");
@@ -21,16 +28,17 @@ BallGrids::BallGrids(std::size_t dim, double radius, std::size_t num_grids,
   // lookup dominated its inner loop. Each entry stays the same pure
   // function of (seed, u, t) it always was — this is a cache, and the
   // 32-byte (seed, radius, U, dim) description remains what travels
-  // between machines (Lemma 8 accounting is unchanged).
-  shifts_.resize(num_grids * dim);
-  const double cell = cell_width();
+  // between machines (Lemma 8 accounting is unchanged). The layout is
+  // grid-minor (entry (u, t) at t * num_grids + u) so the vectorized scan
+  // streams consecutive grids' shifts for one dimension.
+  shifts_by_dim_.resize(num_grids * dim);
   for (std::size_t u = 0; u < num_grids; ++u) {
     for (std::size_t t = 0; t < dim; ++t) {
       // 53 mixed bits of hash(seed, grid, t) scaled into [0, cell_width).
       const std::uint64_t h =
           hash_combine(hash_combine(mix64(seed_ ^ 0x5ba1ull), u), t);
       const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
-      shifts_[u * dim + t] = unit * cell;
+      shifts_by_dim_[t * num_grids + u] = unit * cell_;
     }
   }
 }
@@ -40,35 +48,29 @@ std::uint64_t BallGrids::assign_counted(std::span<const double> p,
   if (p.size() != dim_) {
     throw MpteError("BallGrids::assign: dimension mismatch");
   }
-  const double cell = cell_width();
-  const double radius_sq = radius_ * radius_;
-  for (std::size_t u = 0; u < num_grids_; ++u) {
-    // Nearest lattice ball center of grid u: per dimension, the closest
-    // point of cell * Z + shift.
-    double dist_sq = 0.0;
-    std::uint64_t id = mix64(seed_ ^ (0xba11ull + u));
-    bool inside = true;
-    const double* shifts = shifts_.data() + u * dim_;
-    for (std::size_t t = 0; t < dim_; ++t) {
-      const double s = shifts[t];
-      const double z = std::round((p[t] - s) / cell);
-      const double center = z * cell + s;
-      const double diff = p[t] - center;
-      dist_sq += diff * diff;
-      if (dist_sq > radius_sq) {
-        inside = false;
-        break;
-      }
-      id = hash_combine(
-          id, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(z)));
-    }
-    if (inside) {
-      if (grids_scanned != nullptr) *grids_scanned += u + 1;
-      return id == kUncovered ? mix64(id) : id;
-    }
+  // The dispatched kernel scans grids four per vector, accumulating each
+  // grid's squared distance to its nearest lattice ball center in
+  // dimension order, and reports the first covering grid.
+  const std::size_t u = simd::ops().ball_first_cover(
+      p.data(), dim_, shifts_by_dim_.data(), num_grids_, cell_, inv_cell_,
+      radius_sq_);
+  if (u == num_grids_) {
+    if (grids_scanned != nullptr) *grids_scanned += num_grids_;
+    return kUncovered;
   }
-  if (grids_scanned != nullptr) *grids_scanned += num_grids_;
-  return kUncovered;
+  if (grids_scanned != nullptr) *grids_scanned += u + 1;
+  // Hash the covering ball's id from the lattice coordinates. z repeats
+  // the kernel's sub → mul → round-half-even chain — three exactly-rounded
+  // ops with no contraction opportunity, so it is bit-identical to the
+  // z the kernel derived for grid u on every backend.
+  std::uint64_t id = mix64(seed_ ^ (0xba11ull + u));
+  for (std::size_t t = 0; t < dim_; ++t) {
+    const double s = shifts_by_dim_[t * num_grids_ + u];
+    const double z = simd::round_nearest_even((p[t] - s) * inv_cell_);
+    id = hash_combine(
+        id, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(z)));
+  }
+  return id == kUncovered ? mix64(id) : id;
 }
 
 std::uint64_t BallGrids::assign(std::span<const double> p) const {

@@ -43,7 +43,7 @@ class BallGrids {
 
   std::size_t dim() const { return dim_; }
   double radius() const { return radius_; }
-  double cell_width() const { return 4.0 * radius_; }
+  double cell_width() const { return cell_; }
   std::size_t num_grids() const { return num_grids_; }
   std::uint64_t seed() const { return seed_; }
 
@@ -51,7 +51,7 @@ class BallGrids {
   /// function of (seed, u, t), precomputed into a table at construction
   /// (assign() reads it per point per dimension).
   double shift(std::size_t grid, std::size_t t) const {
-    return shifts_[grid * dim_ + t];
+    return shifts_by_dim_[t * num_grids_ + grid];
   }
 
   /// The id of the first ball containing p (hash of grid index and lattice
@@ -75,10 +75,18 @@ class BallGrids {
   double radius_;
   std::size_t num_grids_;
   std::uint64_t seed_;
-  /// Precomputed shift table, shifts_[u * dim_ + t] = shift(u, t). A local
+  /// Cell width (4 * radius), its reciprocal, and radius^2, precomputed so
+  /// the assignment inner loop carries no per-call derivations.
+  double cell_;
+  double inv_cell_;
+  double radius_sq_;
+  /// Precomputed shift table in grid-minor (transposed) layout,
+  /// shifts_by_dim_[t * num_grids_ + u] = shift(u, t), so the vectorized
+  /// lattice scan — grids in the lanes — loads four consecutive grids'
+  /// shifts for one dimension with a single unit-stride load. A local
   /// cache only — the object's identity (and wire form) is still the
   /// 32-byte parameter tuple.
-  std::vector<double> shifts_;
+  std::vector<double> shifts_by_dim_;
 };
 
 /// Result of ball-partitioning a point set at one scale.

@@ -6,32 +6,44 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "simd/arena.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mpte {
 
 ShiftedGrid::ShiftedGrid(std::size_t dim, double cell_width,
                          std::uint64_t seed)
-    : dim_(dim), cell_width_(cell_width), seed_(seed) {
+    : dim_(dim),
+      cell_width_(cell_width),
+      inv_cell_(1.0 / cell_width),
+      seed_(seed) {
   if (dim == 0) throw MpteError("ShiftedGrid: dim must be >= 1");
   if (cell_width <= 0.0) {
     throw MpteError("ShiftedGrid: cell width must be positive");
   }
-}
-
-double ShiftedGrid::shift(std::size_t t) const {
-  const std::uint64_t h = hash_combine(mix64(seed_ ^ 0x961dull), t);
-  return static_cast<double>(h >> 11) * 0x1.0p-53 * cell_width_;
+  // Materialize the shift vector once (same pure function of (seed, t) as
+  // before; the hash chains dominated cell_id's inner loop).
+  shifts_.resize(dim);
+  for (std::size_t t = 0; t < dim; ++t) {
+    const std::uint64_t h = hash_combine(mix64(seed_ ^ 0x961dull), t);
+    shifts_[t] = static_cast<double>(h >> 11) * 0x1.0p-53 * cell_width_;
+  }
 }
 
 std::uint64_t ShiftedGrid::cell_id(std::span<const double> p) const {
   if (p.size() != dim_) {
     throw MpteError("ShiftedGrid::cell_id: dimension mismatch");
   }
+  // Vectorized lattice coordinates into thread-local scratch, then the
+  // sequential hash chain over them.
+  simd::ScratchScope scope;
+  auto z = simd::scratch().alloc<double>(dim_);
+  simd::ops().lattice_floor(p.data(), shifts_.data(), dim_, inv_cell_,
+                            z.data());
   std::uint64_t id = mix64(seed_ ^ 0xce11ull);
   for (std::size_t t = 0; t < dim_; ++t) {
-    const double z = std::floor((p[t] - shift(t)) / cell_width_);
     id = hash_combine(
-        id, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(z)));
+        id, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(z[t])));
   }
   return id;
 }

@@ -23,8 +23,9 @@ class ShiftedGrid {
   std::size_t dim() const { return dim_; }
   double cell_width() const { return cell_width_; }
 
-  /// Shift component t, uniform in [0, cell_width).
-  double shift(std::size_t t) const;
+  /// Shift component t, uniform in [0, cell_width); a pure function of
+  /// (seed, t), precomputed into a table at construction.
+  double shift(std::size_t t) const { return shifts_[t]; }
 
   /// Hash id of the cell containing p.
   std::uint64_t cell_id(std::span<const double> p) const;
@@ -32,7 +33,10 @@ class ShiftedGrid {
  private:
   std::size_t dim_;
   double cell_width_;
+  double inv_cell_;
   std::uint64_t seed_;
+  /// Precomputed shift vector (a cache; identity is still (seed, w, dim)).
+  std::vector<double> shifts_;
 };
 
 /// Assigns every point its cell id under one shifted grid.

@@ -1,0 +1,88 @@
+#include "simd/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mpte::simd {
+namespace {
+
+constexpr std::size_t kMinBlockBytes = std::size_t{1} << 16;  // 64 KiB
+
+std::size_t align_up(std::size_t n) {
+  return (n + Arena::kAlignment - 1) & ~(Arena::kAlignment - 1);
+}
+
+}  // namespace
+
+void* Arena::alloc_bytes(std::size_t bytes) {
+  bytes = align_up(bytes);
+  if (blocks_.empty() || offset_ + bytes > blocks_[active_].size) {
+    // Move to (or create) a block that fits. Existing later blocks are
+    // reused if large enough; otherwise grow geometrically.
+    std::size_t next = blocks_.empty() ? 0 : active_ + 1;
+    while (next < blocks_.size() && blocks_[next].size < bytes) ++next;
+    if (next == blocks_.size()) {
+      const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+      const std::size_t size =
+          std::max({kMinBlockBytes, prev * 2, bytes});
+      Block block;
+      // Over-allocate so the bump base can be 64-byte aligned regardless
+      // of what operator new[] returns.
+      block.data = std::make_unique<std::byte[]>(size + kAlignment);
+      block.size = size;
+      blocks_.push_back(std::move(block));
+    }
+    active_ = next;
+    offset_ = 0;
+  }
+  Block& block = blocks_[active_];
+  auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+  base = (base + kAlignment - 1) & ~(std::uintptr_t{kAlignment} - 1);
+  void* out = reinterpret_cast<void*>(base + offset_);
+  offset_ += bytes;
+  block.offset = offset_;
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  return out;
+}
+
+void Arena::release(const Mark& m) {
+  for (std::size_t b = m.block + 1; b < blocks_.size(); ++b) {
+    blocks_[b].offset = 0;
+  }
+  if (!blocks_.empty()) {
+    active_ = m.block;
+    offset_ = m.offset;
+    blocks_[active_].offset = m.offset;
+  }
+  used_ = m.used;
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    // Spilled: replace the chain with one block the whole round fits in.
+    const std::size_t size = std::max(kMinBlockBytes, align_up(high_water_));
+    blocks_.clear();
+    Block block;
+    block.data = std::make_unique<std::byte[]>(size + kAlignment);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+  }
+  for (Block& block : blocks_) block.offset = 0;
+  active_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+Arena& scratch() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace mpte::simd

@@ -1,0 +1,110 @@
+// Per-round scratch arena: a bump allocator for kernel-sized temporaries.
+//
+// The hot loops need short-lived buffers — a bucket's projected
+// coordinates per point in core/mpc_stages, a lattice-coordinate row in
+// grid_partition, staging rows in the transforms. Allocating a
+// std::vector per point (or per machine step) puts malloc/free on the
+// per-point path; the arena replaces that with a pointer bump into
+// thread-local storage that is reset at natural boundaries (an MPC round,
+// a parallel chunk) and reuses its high-water capacity forever after.
+//
+// Concurrency model ("par-friendly"): arenas are not thread-safe and are
+// not meant to be shared. scratch() returns a thread-local arena, so every
+// mpte::par worker bumps its own; Cluster::run_round wraps each machine
+// step in a ScratchScope so one step's spill never grows the next step's
+// footprint, and resets the coordinator's arena at round boundaries.
+//
+// Allocations are 64-byte aligned (cache line / any vector width) and
+// uninitialized; only trivially copyable, trivially destructible element
+// types are allowed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mpte::simd {
+
+class Arena {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized span of n elements, 64-byte aligned. n = 0 returns an
+  /// empty span without touching the arena.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena holds raw bytes: no constructors/destructors run");
+    if (n == 0) return {};
+    return {static_cast<T*>(alloc_bytes(n * sizeof(T))), n};
+  }
+
+  /// Position to rewind to; see release().
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const { return Mark{active_, offset_, used_}; }
+
+  /// Rewinds to a mark taken earlier on this arena. Later blocks keep
+  /// their capacity but their contents are dead.
+  void release(const Mark& m);
+
+  /// Releases everything. If allocation ever spilled into a second block,
+  /// the blocks are coalesced into one sized to the high-water mark, so a
+  /// steady-state round bumps within a single contiguous block.
+  void reset();
+
+  /// Live bytes (including alignment padding).
+  std::size_t used() const { return used_; }
+  /// Total bytes owned across blocks.
+  std::size_t capacity() const;
+  /// Largest value used() has reached.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t offset = 0;  // bump position within this block
+  };
+
+  void* alloc_bytes(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // block currently bumped
+  std::size_t offset_ = 0;  // == blocks_[active_].offset (cached)
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// This thread's scratch arena (lazily created, lives for the thread).
+Arena& scratch();
+
+/// RAII watermark over an arena (default: this thread's scratch()):
+/// everything allocated inside the scope is released at scope exit.
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(scratch()), mark_(arena_.mark()) {}
+  explicit ScratchScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ScratchScope() { arena_.release(mark_); }
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace mpte::simd

@@ -1,0 +1,150 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace mpte::simd {
+
+#if MPTE_SIMD_X86 && !defined(MPTE_SIMD_ENABLE_VECTOR)
+// The build compiled the scalar backend only (MPTE_SIMD=OFF): satisfy the
+// declarations with "not compiled in" stubs so dispatch stays uniform.
+const Ops* sse2_ops() { return nullptr; }
+const Ops* avx2_ops() { return nullptr; }
+#endif
+
+namespace {
+
+/// Table for a backend, or nullptr if compiled out / non-x86.
+const Ops* table_for(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return &scalar_ops();
+#if MPTE_SIMD_X86
+    case Backend::kSse2:
+      return sse2_ops();
+    case Backend::kAvx2:
+      return avx2_ops();
+#else
+    case Backend::kSse2:
+    case Backend::kAvx2:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// CPU support for a backend (compile-time availability checked separately).
+bool cpu_supports(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+#if MPTE_SIMD_X86
+    case Backend::kSse2:
+      return true;  // SSE2 is the x86-64 baseline.
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#else
+    case Backend::kSse2:
+    case Backend::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool is_available(Backend backend) {
+  return table_for(backend) != nullptr && cpu_supports(backend);
+}
+
+std::atomic<const Ops*> g_active{nullptr};
+std::mutex g_init_mutex;
+
+/// Resolves the initial backend: MPTE_SIMD if set to an available backend,
+/// else the best available. An MPTE_SIMD value that names an unavailable
+/// or unknown backend falls back to auto (the env override is a tuning
+/// knob; refusing to start would turn a perf setting into an outage).
+const Ops* resolve_initial() {
+  Backend choice = best_backend();
+  if (const char* env = std::getenv("MPTE_SIMD")) {
+    Backend forced;
+    if (backend_from_name(env, &forced) && is_available(forced)) {
+      choice = forced;
+    }
+  }
+  return table_for(choice);
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool backend_from_name(const std::string& name, Backend* backend) {
+  if (name == "scalar") {
+    *backend = Backend::kScalar;
+    return true;
+  }
+  if (name == "sse2") {
+    *backend = Backend::kSse2;
+    return true;
+  }
+  if (name == "avx2") {
+    *backend = Backend::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (const Backend b :
+       {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+    if (is_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+Backend best_backend() {
+  if (is_available(Backend::kAvx2)) return Backend::kAvx2;
+  if (is_available(Backend::kSse2)) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+Backend active_backend() {
+  const Ops& active = ops();
+  for (const Backend b :
+       {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+    if (table_for(b) == &active) return b;
+  }
+  return Backend::kScalar;
+}
+
+bool set_backend(Backend backend) {
+  if (!is_available(backend)) return false;
+  g_active.store(table_for(backend), std::memory_order_release);
+  return true;
+}
+
+const Ops& ops() {
+  const Ops* active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) return *active;
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) {
+    active = resolve_initial();
+    g_active.store(active, std::memory_order_release);
+  }
+  return *active;
+}
+
+}  // namespace mpte::simd

@@ -1,0 +1,55 @@
+// Runtime backend selection for the mpte::simd kernels.
+//
+// The build compiles up to three instantiations of the kernel table
+// (scalar always; SSE2 and AVX2 on x86 builds with the MPTE_SIMD CMake
+// option ON, the default). At first use the process picks the best backend
+// the CPU supports — overridable by the MPTE_SIMD environment variable
+// ("scalar", "sse2", "avx2", or "auto") — and every kernel call site reads
+// the active table through ops(). Because the backends are byte-identical
+// (simd/kernels.hpp), the choice affects throughput only, never results;
+// the golden-fingerprint tests assert exactly that.
+//
+// set_backend() overrides the selection at runtime (tests sweep the
+// backend matrix with it); an override naming a backend that is not
+// compiled in or not supported by this CPU is refused.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simd/kernels.hpp"
+
+namespace mpte::simd {
+
+enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// "scalar" / "sse2" / "avx2".
+const char* backend_name(Backend backend);
+
+/// Parses a backend name as accepted by the MPTE_SIMD environment
+/// variable. Returns true and sets *backend for "scalar"/"sse2"/"avx2";
+/// returns false for anything else (including "auto" and "").
+bool backend_from_name(const std::string& name, Backend* backend);
+
+/// Backends compiled into this binary AND supported by this CPU, in
+/// ascending preference order (scalar first).
+std::vector<Backend> available_backends();
+
+/// The best available backend (the dispatch default when MPTE_SIMD is
+/// unset or "auto").
+Backend best_backend();
+
+/// The backend ops() currently resolves to.
+Backend active_backend();
+
+/// Forces the active backend. Returns false (and changes nothing) if the
+/// requested backend is not available in this binary/CPU. Not intended for
+/// concurrent use with running kernels: callers (tests, benches) switch
+/// backends between, not during, parallel regions.
+bool set_backend(Backend backend);
+
+/// The active kernel table. First call resolves MPTE_SIMD; subsequent
+/// calls are a single atomic load.
+const Ops& ops();
+
+}  // namespace mpte::simd

@@ -1,0 +1,296 @@
+// Shared kernel templates over a 4-lane VecD type. This header is included
+// by exactly three TUs — kernels_scalar.cpp, kernels_sse2.cpp,
+// kernels_avx2.cpp — each of which instantiates make_ops<V>() with its
+// backend's vector type. The template is the determinism contract: because
+// every backend runs this same code, with VecD operations that are all
+// exactly-rounded IEEE-754 double ops, the three instantiations are
+// byte-identical on every input (see simd/kernels.hpp and
+// docs/simd-kernels.md). Those TUs are compiled with -ffp-contract=off so
+// no backend fuses a multiply-add the others round twice.
+//
+// Reduction scheme: sixteen virtual accumulator lanes, laid out as four
+// vectors of four — element k of a (block-aligned) stream feeds vector
+// k/4 mod 4, lane k mod 4. Four independent accumulator vectors matter
+// for throughput, not just width: a single accumulator serializes on
+// floating-point add latency, which is exactly the ILP the pre-SIMD
+// scalar code got for free from its four independent double chains.
+// Merging is pinned: vectors combine as (v0 + v1) + (v2 + v3) (lanewise),
+// then the surviving vector's lanes as (l0 + l1) + (l2 + l3). Tails
+// shorter than a block are padded with +0.0 operands
+// (load_partial/gather_partial) rather than handled by a differently-
+// shaped scalar loop, so the merge tree never depends on n mod 16.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.hpp"
+
+namespace mpte::simd {
+
+template <class V>
+void fwht_row_impl(double* data, std::size_t n) {
+  if (n < 4) {
+    if (n == 2) {
+      const double a = data[0];
+      const double b = data[1];
+      data[0] = a + b;
+      data[1] = a - b;
+    }
+    return;
+  }
+  // Levels half = 1 and half = 2 fused into one in-register pass: each
+  // 4-element block is loaded once, butterflied twice with lane shuffles,
+  // and stored once. Same IEEE adds/subs as the generic level loop, at a
+  // quarter of its memory traffic — without this the two sub-vector levels
+  // run scalar and cap the whole transform (Amdahl) at ~2x.
+  for (std::size_t i = 0; i < n; i += V::kLanes) {
+    V::butterfly2(V::butterfly1(V::load(data + i))).store(data + i);
+  }
+  std::size_t half = V::kLanes;
+  // Radix-4 passes: two consecutive levels per sweep. The intermediates
+  // u = (a±b, c±d) are exactly what level `half` would have stored, and
+  // the outputs u0±u2, u1±u3 are exactly what level `2*half` would then
+  // have computed — same IEEE ops, same association, half the loads and
+  // stores. Butterfly kernels here are store-throughput-bound, so the
+  // traffic, not the adds, is what the fusion buys back.
+  for (; (half << 1) < n; half <<= 2) {
+    for (std::size_t base = 0; base < n; base += half << 2) {
+      for (std::size_t i = base; i < base + half; i += V::kLanes) {
+        const V a = V::load(data + i);
+        const V b = V::load(data + i + half);
+        const V c = V::load(data + i + 2 * half);
+        const V d = V::load(data + i + 3 * half);
+        const V u0 = a + b;
+        const V u1 = a - b;
+        const V u2 = c + d;
+        const V u3 = c - d;
+        (u0 + u2).store(data + i);
+        (u1 + u3).store(data + i + half);
+        (u0 - u2).store(data + i + 2 * half);
+        (u1 - u3).store(data + i + 3 * half);
+      }
+    }
+  }
+  // One radix-2 level remains when log2(n) - 2 is odd.
+  if (half < n) {
+    for (std::size_t base = 0; base < n; base += half << 1) {
+      for (std::size_t i = base; i < base + half; i += V::kLanes) {
+        const V a = V::load(data + i);
+        const V b = V::load(data + i + half);
+        (a + b).store(data + i);
+        (a - b).store(data + i + half);
+      }
+    }
+  }
+}
+
+template <class V>
+void scale_impl(double* data, std::size_t n, double s) {
+  const V vs = V::broadcast(s);
+  std::size_t i = 0;
+  for (; i + V::kLanes <= n; i += V::kLanes) {
+    (V::load(data + i) * vs).store(data + i);
+  }
+  for (; i < n; ++i) data[i] *= s;
+}
+
+/// Pinned-order merge of one accumulator vector's four lanes.
+template <class V>
+double merge_lanes(const V& acc) {
+  return (acc.lane(0) + acc.lane(1)) + (acc.lane(2) + acc.lane(3));
+}
+
+/// The four accumulator vectors of the sixteen-virtual-lane reduction.
+/// Named members (not an array) so compilers keep each in a register
+/// instead of spilling an indexed aggregate; add_tail routes a tail
+/// sub-block to the right chain without indexing.
+template <class V>
+struct Acc4 {
+  V v0 = V::zero();
+  V v1 = V::zero();
+  V v2 = V::zero();
+  V v3 = V::zero();
+
+  void add_tail(std::size_t j, const V& term) {
+    if (j == 0) {
+      v0 = v0 + term;
+    } else if (j == 1) {
+      v1 = v1 + term;
+    } else if (j == 2) {
+      v2 = v2 + term;
+    } else {
+      v3 = v3 + term;
+    }
+  }
+
+  /// Pinned merge: vectors as (v0 + v1) + (v2 + v3), then lanes.
+  double merge() const { return merge_lanes((v0 + v1) + (v2 + v3)); }
+};
+
+template <class V>
+double l2sq_impl(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t kSub = V::kLanes;
+  constexpr std::size_t kBlock = 4 * kSub;
+  Acc4<V> acc;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    const V d0 = V::load(a + i) - V::load(b + i);
+    const V d1 = V::load(a + i + kSub) - V::load(b + i + kSub);
+    const V d2 = V::load(a + i + 2 * kSub) - V::load(b + i + 2 * kSub);
+    const V d3 = V::load(a + i + 3 * kSub) - V::load(b + i + 3 * kSub);
+    acc.v0 = acc.v0 + d0 * d0;
+    acc.v1 = acc.v1 + d1 * d1;
+    acc.v2 = acc.v2 + d2 * d2;
+    acc.v3 = acc.v3 + d3 * d3;
+  }
+  for (std::size_t j = 0; i < n; i += kSub, ++j) {
+    const std::size_t m = std::min(kSub, n - i);
+    const V d = V::load_partial(a + i, m) - V::load_partial(b + i, m);
+    acc.add_tail(j, d * d);
+  }
+  return acc.merge();
+}
+
+template <class V>
+double sumsq_impl(const double* a, std::size_t n) {
+  constexpr std::size_t kSub = V::kLanes;
+  constexpr std::size_t kBlock = 4 * kSub;
+  Acc4<V> acc;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    const V x0 = V::load(a + i);
+    const V x1 = V::load(a + i + kSub);
+    const V x2 = V::load(a + i + 2 * kSub);
+    const V x3 = V::load(a + i + 3 * kSub);
+    acc.v0 = acc.v0 + x0 * x0;
+    acc.v1 = acc.v1 + x1 * x1;
+    acc.v2 = acc.v2 + x2 * x2;
+    acc.v3 = acc.v3 + x3 * x3;
+  }
+  for (std::size_t j = 0; i < n; i += kSub, ++j) {
+    const std::size_t m = std::min(kSub, n - i);
+    const V x = V::load_partial(a + i, m);
+    acc.add_tail(j, x * x);
+  }
+  return acc.merge();
+}
+
+template <class V>
+double dot_impl(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t kSub = V::kLanes;
+  constexpr std::size_t kBlock = 4 * kSub;
+  Acc4<V> acc;
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    acc.v0 = acc.v0 + V::load(a + i) * V::load(b + i);
+    acc.v1 = acc.v1 + V::load(a + i + kSub) * V::load(b + i + kSub);
+    acc.v2 = acc.v2 + V::load(a + i + 2 * kSub) * V::load(b + i + 2 * kSub);
+    acc.v3 = acc.v3 + V::load(a + i + 3 * kSub) * V::load(b + i + 3 * kSub);
+  }
+  for (std::size_t j = 0; i < n; i += kSub, ++j) {
+    const std::size_t m = std::min(kSub, n - i);
+    acc.add_tail(j, V::load_partial(a + i, m) * V::load_partial(b + i, m));
+  }
+  return acc.merge();
+}
+
+template <class V>
+void gemv_impl(const double* m, std::size_t rows, std::size_t cols,
+               const double* p, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = dot_impl<V>(m + r * cols, p, cols);
+  }
+}
+
+template <class V>
+double csr_row_dot_impl(const double* vals, const std::uint32_t* cols,
+                        std::size_t nnz, const double* x) {
+  constexpr std::size_t kSub = V::kLanes;
+  constexpr std::size_t kBlock = 4 * kSub;
+  Acc4<V> acc;
+  std::size_t k = 0;
+  for (; k + kBlock <= nnz; k += kBlock) {
+    acc.v0 = acc.v0 + V::load(vals + k) * V::gather(x, cols + k);
+    acc.v1 = acc.v1 + V::load(vals + k + kSub) * V::gather(x, cols + k + kSub);
+    acc.v2 = acc.v2 +
+             V::load(vals + k + 2 * kSub) * V::gather(x, cols + k + 2 * kSub);
+    acc.v3 = acc.v3 +
+             V::load(vals + k + 3 * kSub) * V::gather(x, cols + k + 3 * kSub);
+  }
+  for (std::size_t j = 0; k < nnz; k += kSub, ++j) {
+    const std::size_t m = std::min(kSub, nnz - k);
+    acc.add_tail(j,
+                 V::load_partial(vals + k, m) * V::gather_partial(x, cols + k, m));
+  }
+  return acc.merge();
+}
+
+template <class V>
+void lattice_floor_impl(const double* p, const double* shifts, std::size_t n,
+                        double inv_cell, double* z) {
+  const V vinv = V::broadcast(inv_cell);
+  std::size_t t = 0;
+  for (; t + V::kLanes <= n; t += V::kLanes) {
+    V::floor((V::load(p + t) - V::load(shifts + t)) * vinv).store(z + t);
+  }
+  for (; t < n; ++t) {
+    z[t] = std::floor((p[t] - shifts[t]) * inv_cell);
+  }
+}
+
+template <class V>
+std::size_t ball_first_cover_impl(const double* p, std::size_t dim,
+                                  const double* shifts_by_dim,
+                                  std::size_t num_grids, double cell,
+                                  double inv_cell, double radius_sq) {
+  const V vcell = V::broadcast(cell);
+  const V vinv = V::broadcast(inv_cell);
+  for (std::size_t u0 = 0; u0 < num_grids; u0 += V::kLanes) {
+    const std::size_t lanes =
+        num_grids - u0 < V::kLanes ? num_grids - u0 : V::kLanes;
+    // Lanes are grids u0..u0+lanes-1; each lane accumulates its grid's
+    // squared distance to the nearest lattice ball center in dimension
+    // order, the same order the pre-SIMD per-grid loop used. (That loop
+    // broke out early once the partial sum exceeded radius_sq; since the
+    // summands are squares the full sum exceeds iff some prefix does, so
+    // the cover decision is unchanged.)
+    V dist = V::zero();
+    for (std::size_t t = 0; t < dim; ++t) {
+      const double* row = shifts_by_dim + t * num_grids + u0;
+      const V s = lanes == V::kLanes ? V::load(row)
+                                     : V::load_partial(row, lanes);
+      const V pt = V::broadcast(p[t]);
+      const V z = V::round_even((pt - s) * vinv);
+      const V diff = pt - (z * vcell + s);
+      dist = dist + diff * diff;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      // "Covers" is !(dist > r^2) rather than dist <= r^2 so that a NaN
+      // coordinate keeps the legacy scalar behavior (its prefix sums never
+      // exceeded the radius, so the first grid claimed the point).
+      if (!(dist.lane(l) > radius_sq)) return u0 + l;
+    }
+  }
+  return num_grids;
+}
+
+template <class V>
+constexpr Ops make_ops(const char* name) {
+  return Ops{
+      name,
+      &fwht_row_impl<V>,
+      &scale_impl<V>,
+      &l2sq_impl<V>,
+      &sumsq_impl<V>,
+      &dot_impl<V>,
+      &gemv_impl<V>,
+      &csr_row_dot_impl<V>,
+      &lattice_floor_impl<V>,
+      &ball_first_cover_impl<V>,
+  };
+}
+
+}  // namespace mpte::simd

@@ -1,0 +1,13 @@
+// Compiled only on x86 builds with MPTE_SIMD=ON, with -mavx2 (see
+// src/CMakeLists.txt); dispatch.cpp guards calls behind a CPUID check.
+#include "simd/kernels-inl.hpp"
+#include "simd/vecd_avx2.hpp"
+
+namespace mpte::simd {
+
+const Ops* avx2_ops() {
+  static constexpr Ops kOps = make_ops<VecAvx2>("avx2");
+  return &kOps;
+}
+
+}  // namespace mpte::simd

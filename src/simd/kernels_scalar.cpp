@@ -1,0 +1,11 @@
+#include "simd/kernels-inl.hpp"
+#include "simd/vecd_scalar.hpp"
+
+namespace mpte::simd {
+
+const Ops& scalar_ops() {
+  static constexpr Ops kOps = make_ops<VecScalar>("scalar");
+  return kOps;
+}
+
+}  // namespace mpte::simd

@@ -1,0 +1,12 @@
+// Compiled only on x86 builds with MPTE_SIMD=ON (see src/CMakeLists.txt).
+#include "simd/kernels-inl.hpp"
+#include "simd/vecd_sse2.hpp"
+
+namespace mpte::simd {
+
+const Ops* sse2_ops() {
+  static constexpr Ops kOps = make_ops<VecSse2>("sse2");
+  return &kOps;
+}
+
+}  // namespace mpte::simd

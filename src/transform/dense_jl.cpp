@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mpte {
 
@@ -25,25 +26,23 @@ DenseJl::DenseJl(std::size_t input_dim, std::size_t output_dim,
 std::vector<double> DenseJl::apply(std::span<const double> p) const {
   assert(p.size() == input_dim_);
   std::vector<double> out(output_dim_, 0.0);
-  for (std::size_t row = 0; row < output_dim_; ++row) {
-    const double* m = matrix_.data() + row * input_dim_;
-    double sum = 0.0;
-    for (std::size_t j = 0; j < input_dim_; ++j) sum += m[j] * p[j];
-    out[row] = sum;
-  }
+  simd::ops().gemv(matrix_.data(), output_dim_, input_dim_, p.data(),
+                   out.data());
   return out;
 }
 
 PointSet DenseJl::transform(const PointSet& points) const {
   PointSet out(points.size(), output_dim_);
   // Each point's projection reads the shared matrix and writes its own
-  // output row — embarrassingly parallel over points.
+  // output row — embarrassingly parallel over points. The gemv kernel
+  // writes straight into the destination row, so the batch path does no
+  // per-point allocation.
   par::parallel_for(
       0, points.size(), [&](std::size_t begin, std::size_t end) {
+        const simd::Ops& ops = simd::ops();
         for (std::size_t i = begin; i < end; ++i) {
-          const auto mapped = apply(points[i]);
-          auto dst = out[i];
-          for (std::size_t j = 0; j < output_dim_; ++j) dst[j] = mapped[j];
+          ops.gemv(matrix_.data(), output_dim_, input_dim_, points[i].data(),
+                   out[i].data());
         }
       });
   return out;

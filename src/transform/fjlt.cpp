@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "transform/walsh_hadamard.hpp"
@@ -90,11 +91,19 @@ std::vector<double> Fjlt::apply(std::span<const double> p) const {
 
 PointSet Fjlt::transform(const PointSet& points) const {
   PointSet out(points.size(), config_.output_dim);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto mapped = apply(points[i]);
-    auto dst = out[i];
-    for (std::size_t j = 0; j < config_.output_dim; ++j) dst[j] = mapped[j];
-  }
+  // Points are independent (shared read-only P matrix, disjoint output
+  // rows), so this parallelizes like the other transforms; inside MPC
+  // machine steps the nested call runs serial, matching apply() exactly.
+  par::parallel_for(
+      0, points.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto mapped = apply(points[i]);
+          auto dst = out[i];
+          for (std::size_t j = 0; j < config_.output_dim; ++j) {
+            dst[j] = mapped[j];
+          }
+        }
+      });
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mpte {
 
@@ -32,7 +33,7 @@ SparseJl::SparseJl(std::size_t input_dim, std::size_t output_dim,
       const int sign = sparse_jl_sign(seed, row, col);
       if (sign != 0) {
         cols_.push_back(static_cast<std::uint32_t>(col));
-        signs_.push_back(static_cast<std::int8_t>(sign));
+        values_.push_back(static_cast<double>(sign));
       }
     }
     row_begin_.push_back(cols_.size());
@@ -44,12 +45,12 @@ std::vector<double> SparseJl::apply(std::span<const double> p) const {
   const double scale =
       std::sqrt(3.0 / static_cast<double>(output_dim_));
   std::vector<double> out(output_dim_, 0.0);
+  const simd::Ops& ops = simd::ops();
   for (std::size_t row = 0; row < output_dim_; ++row) {
-    double sum = 0.0;
-    for (std::size_t idx = row_begin_[row]; idx < row_begin_[row + 1];
-         ++idx) {
-      sum += static_cast<double>(signs_[idx]) * p[cols_[idx]];
-    }
+    const std::size_t begin = row_begin_[row];
+    const double sum = ops.csr_row_dot(values_.data() + begin,
+                                       cols_.data() + begin,
+                                       row_begin_[row + 1] - begin, p.data());
     out[row] = sum * scale;
   }
   return out;
@@ -57,14 +58,24 @@ std::vector<double> SparseJl::apply(std::span<const double> p) const {
 
 PointSet SparseJl::transform(const PointSet& points) const {
   PointSet out(points.size(), output_dim_);
+  const double scale =
+      std::sqrt(3.0 / static_cast<double>(output_dim_));
   // Shared read-only CSR matrix, disjoint output rows: parallel over
-  // points, identical results at any thread count.
+  // points, identical results at any thread count. Rows are gathered and
+  // scaled straight into the destination — no per-point allocation.
   par::parallel_for(
       0, points.size(), [&](std::size_t begin, std::size_t end) {
+        const simd::Ops& ops = simd::ops();
         for (std::size_t i = begin; i < end; ++i) {
-          const auto mapped = apply(points[i]);
+          const auto src = points[i];
           auto dst = out[i];
-          for (std::size_t j = 0; j < output_dim_; ++j) dst[j] = mapped[j];
+          for (std::size_t row = 0; row < output_dim_; ++row) {
+            const std::size_t rb = row_begin_[row];
+            const double sum =
+                ops.csr_row_dot(values_.data() + rb, cols_.data() + rb,
+                                row_begin_[row + 1] - rb, src.data());
+            dst[row] = sum * scale;
+          }
         }
       });
   return out;

@@ -42,11 +42,12 @@ class SparseJl {
   std::size_t input_dim_;
   std::size_t output_dim_;
   std::uint64_t seed_;
-  // CSR of the +-1 pattern (values are signs; the sqrt(3/k) scale is
-  // applied at the end of apply()).
+  // CSR of the +-1 pattern. Values are the signs stored as doubles so the
+  // dispatched gather kernel reads them without a widening pass; the
+  // sqrt(3/k) scale is applied at the end of apply().
   std::vector<std::size_t> row_begin_;
   std::vector<std::uint32_t> cols_;
-  std::vector<std::int8_t> signs_;
+  std::vector<double> values_;
 };
 
 }  // namespace mpte

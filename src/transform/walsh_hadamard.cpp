@@ -6,6 +6,7 @@
 #include "common/math_util.hpp"
 #include "common/parallel.hpp"
 #include "common/status.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mpte {
 
@@ -14,22 +15,15 @@ void fwht(std::span<double> data) {
   if (!is_power_of_two(n)) {
     throw MpteError("fwht: length must be a power of two");
   }
-  for (std::size_t half = 1; half < n; half <<= 1) {
-    for (std::size_t base = 0; base < n; base += half << 1) {
-      for (std::size_t i = base; i < base + half; ++i) {
-        const double a = data[i];
-        const double b = data[i + half];
-        data[i] = a + b;
-        data[i + half] = a - b;
-      }
-    }
-  }
+  // Butterflies are elementwise adds/subs, so the dispatched vector
+  // backends are bit-identical to the scalar loop by construction.
+  simd::ops().fwht_row(data.data(), n);
 }
 
 void fwht_normalized(std::span<double> data) {
   fwht(data);
   const double scale = 1.0 / std::sqrt(static_cast<double>(data.size()));
-  for (double& x : data) x *= scale;
+  simd::ops().scale(data.data(), data.size(), scale);
 }
 
 double hadamard_entry(std::size_t dim, std::size_t i, std::size_t j) {
