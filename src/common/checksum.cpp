@@ -21,6 +21,9 @@ constexpr std::size_t kHeaderBytes =
     sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
 constexpr std::size_t kTrailerBytes = sizeof(std::uint64_t);
 
+static_assert(kHeaderBytes == kEnvelopeHeaderBytes);
+static_assert(kTrailerBytes == kEnvelopeTrailerBytes);
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
@@ -41,6 +44,26 @@ std::vector<std::uint8_t> wrap_checksummed(
   s.write_raw(payload);
   s.write(fnv1a64(payload));
   return s.take();
+}
+
+Result<std::uint64_t> envelope_payload_size(
+    std::span<const std::uint8_t> header, const std::string& context) {
+  if (header.size() < kHeaderBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": envelope header truncated");
+  }
+  Deserializer d(header.data(), header.size());
+  if (d.read<std::uint32_t>() != kEnvelopeMagic) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": not a checksummed envelope (bad magic)");
+  }
+  const auto version = d.read<std::uint32_t>();
+  if (version != kEnvelopeVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  context + ": unsupported envelope version " +
+                      std::to_string(version));
+  }
+  return d.read<std::uint64_t>();
 }
 
 bool looks_checksummed(std::span<const std::uint8_t> bytes) {

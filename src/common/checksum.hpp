@@ -32,6 +32,18 @@ std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
 std::vector<std::uint8_t> wrap_checksummed(
     std::span<const std::uint8_t> payload);
 
+/// Envelope geometry, exposed for streaming readers (the ipc frame
+/// transport) that must learn the payload size from the fixed-size prefix
+/// before the rest of the envelope has arrived.
+inline constexpr std::size_t kEnvelopeHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+inline constexpr std::size_t kEnvelopeTrailerBytes = sizeof(std::uint64_t);
+
+/// Validates a kEnvelopeHeaderBytes-long prefix (magic + version) and
+/// returns the declared payload size; kInvalidArgument mentions `context`.
+Result<std::uint64_t> envelope_payload_size(
+    std::span<const std::uint8_t> header, const std::string& context);
+
 /// True if `bytes` begin with the envelope magic.
 bool looks_checksummed(std::span<const std::uint8_t> bytes);
 

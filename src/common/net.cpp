@@ -1,0 +1,118 @@
+#include "common/net.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace mpte::net {
+
+Status socket_error(const std::string& what) {
+  return Status(StatusCode::kUnavailable,
+                what + ": " + std::strerror(errno));
+}
+
+Status send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return socket_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status send_all(int fd, std::string_view text) {
+  return send_all(fd, std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(text.data()),
+                          text.size()));
+}
+
+Result<std::size_t> recv_some(int fd, std::span<std::uint8_t> buf) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return socket_error("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+Result<bool> wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  while (true) {
+    const int polled = ::poll(&pfd, 1, timeout_ms);
+    if (polled < 0) {
+      if (errno == EINTR) continue;  // conservatively restart the budget
+      return socket_error("poll");
+    }
+    return polled > 0;
+  }
+}
+
+Status recv_exact(int fd, std::span<std::uint8_t> buf, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                              : timeout_ms);
+  std::size_t filled = 0;
+  while (filled < buf.size()) {
+    if (timeout_ms >= 0) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - Clock::now());
+      if (remaining.count() <= 0) {
+        return Status(StatusCode::kDeadlineExceeded,
+                      "recv: deadline expired with " +
+                          std::to_string(buf.size() - filled) +
+                          "B outstanding");
+      }
+      const auto readable =
+          wait_readable(fd, static_cast<int>(remaining.count()));
+      if (!readable.ok()) return readable.status();
+      if (!*readable) {
+        return Status(StatusCode::kDeadlineExceeded,
+                      "recv: deadline expired with " +
+                          std::to_string(buf.size() - filled) +
+                          "B outstanding");
+      }
+    }
+    const auto n = recv_some(fd, buf.subspan(filled));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      return Status(StatusCode::kUnavailable,
+                    "recv: connection closed with " +
+                        std::to_string(buf.size() - filled) +
+                        "B outstanding");
+    }
+    filled += *n;
+  }
+  return Status::Ok();
+}
+
+Status finish_connect(int fd) {
+  pollfd pfd{fd, POLLOUT, 0};
+  int polled;
+  do {
+    polled = ::poll(&pfd, 1, -1);
+  } while (polled < 0 && errno == EINTR);
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (polled < 0 ||
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    return socket_error("connect");
+  }
+  if (so_error != 0) {
+    errno = so_error;
+    return socket_error("connect");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mpte::net

@@ -1,0 +1,165 @@
+#include "ipc/frames.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "common/net.hpp"
+#include "common/serialize.hpp"
+
+namespace mpte::ipc {
+
+namespace {
+
+mpc::Buffer envelope(const Serializer& payload) {
+  return mpc::Buffer(wrap_checksummed(payload.bytes()));
+}
+
+// A blob on the wire is a u64 length prefix + raw bytes — exactly the
+// Serializer span format, so the codec is two one-liners.
+void write_buffer(Serializer& s, const mpc::Buffer& buffer) {
+  s.write_span(buffer.span());
+}
+
+mpc::Buffer read_buffer(Deserializer& d) {
+  return mpc::Buffer(d.read_vector<std::uint8_t>());
+}
+
+Frame decode(std::span<const std::uint8_t> payload) {
+  Deserializer d(payload);
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(d.read<std::uint32_t>());
+  switch (frame.kind) {
+    case FrameKind::kCommit:
+      frame.round = d.read<std::uint64_t>();
+      return frame;
+    case FrameKind::kError:
+      frame.error.rank = d.read<mpc::MachineId>();
+      frame.error.round = d.read<std::uint64_t>();
+      frame.error.message = d.read_string();
+      frame.round = frame.error.round;
+      return frame;
+    case FrameKind::kResult: {
+      auto& result = frame.result;
+      result.rank = d.read<mpc::MachineId>();
+      result.round = d.read<std::uint64_t>();
+      frame.round = result.round;
+      const auto num_deltas = d.read<std::uint64_t>();
+      result.store_delta.reserve(num_deltas);
+      for (std::uint64_t i = 0; i < num_deltas; ++i) {
+        StoreDelta delta;
+        delta.key = d.read_string();
+        delta.present = d.read<std::uint8_t>() != 0;
+        if (delta.present) delta.blob = read_buffer(d);
+        result.store_delta.push_back(std::move(delta));
+      }
+      const auto num_dst = d.read<std::uint64_t>();
+      result.fragments.resize(num_dst);
+      for (std::uint64_t dst = 0; dst < num_dst; ++dst) {
+        const auto num_fragments = d.read<std::uint64_t>();
+        result.fragments[dst].reserve(num_fragments);
+        for (std::uint64_t f = 0; f < num_fragments; ++f) {
+          result.fragments[dst].push_back(read_buffer(d));
+        }
+      }
+      const auto num_channels = d.read<std::uint64_t>();
+      for (std::uint64_t c = 0; c < num_channels; ++c) {
+        std::string channel = d.read_string();
+        result.channel_bytes[std::move(channel)] = d.read<std::uint64_t>();
+      }
+      return frame;
+    }
+  }
+  throw MpteError("ipc frame: unknown kind " +
+                  std::to_string(static_cast<std::uint32_t>(frame.kind)));
+}
+
+}  // namespace
+
+mpc::Buffer encode_result(const ResultFrame& frame) {
+  Serializer s;
+  s.write(static_cast<std::uint32_t>(FrameKind::kResult));
+  s.write(frame.rank);
+  s.write(frame.round);
+  s.write(static_cast<std::uint64_t>(frame.store_delta.size()));
+  for (const auto& delta : frame.store_delta) {
+    s.write_string(delta.key);
+    s.write(static_cast<std::uint8_t>(delta.present ? 1 : 0));
+    if (delta.present) write_buffer(s, delta.blob);
+  }
+  s.write(static_cast<std::uint64_t>(frame.fragments.size()));
+  for (const auto& cell : frame.fragments) {
+    s.write(static_cast<std::uint64_t>(cell.size()));
+    for (const auto& fragment : cell) write_buffer(s, fragment);
+  }
+  s.write(static_cast<std::uint64_t>(frame.channel_bytes.size()));
+  for (const auto& [channel, bytes] : frame.channel_bytes) {
+    s.write_string(channel);
+    s.write(static_cast<std::uint64_t>(bytes));
+  }
+  return envelope(s);
+}
+
+mpc::Buffer encode_error(const ErrorFrame& frame) {
+  Serializer s;
+  s.write(static_cast<std::uint32_t>(FrameKind::kError));
+  s.write(frame.rank);
+  s.write(frame.round);
+  s.write_string(frame.message);
+  return envelope(s);
+}
+
+mpc::Buffer encode_commit(std::uint64_t round) {
+  Serializer s;
+  s.write(static_cast<std::uint32_t>(FrameKind::kCommit));
+  s.write(round);
+  return envelope(s);
+}
+
+Status write_frame(int fd, const mpc::Buffer& encoded) {
+  return encoded.write_fd(fd);
+}
+
+Result<Frame> read_frame(int fd, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
+                                                              : timeout_ms);
+  const auto remaining_ms = [&]() -> int {
+    if (timeout_ms < 0) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return static_cast<int>(std::max<std::int64_t>(0, left.count()));
+  };
+
+  std::array<std::uint8_t, kEnvelopeHeaderBytes> header;
+  const Status got_header = net::recv_exact(fd, header, remaining_ms());
+  if (!got_header.ok()) return got_header;
+  const auto payload_size =
+      envelope_payload_size(header, "ipc frame header");
+  if (!payload_size.ok()) return payload_size.status();
+
+  // Payload + trailing digest land in one slab — the single allocation
+  // per frame that Buffer::from_fd exists for.
+  const std::size_t body_size = *payload_size + kEnvelopeTrailerBytes;
+  auto body = mpc::Buffer::from_fd(fd, body_size, remaining_ms());
+  if (!body.ok()) return body.status();
+  const std::span<const std::uint8_t> payload(body->data(), *payload_size);
+  std::uint64_t stored;
+  std::memcpy(&stored, body->data() + *payload_size, sizeof(stored));
+  if (stored != fnv1a64(payload)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ipc frame: checksum mismatch");
+  }
+  try {
+    Frame frame = decode(payload);
+    frame.wire_bytes = kEnvelopeHeaderBytes + body_size;
+    return frame;
+  } catch (const MpteError& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+}  // namespace mpte::ipc

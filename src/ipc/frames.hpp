@@ -1,0 +1,90 @@
+// Wire frames for the multi-process MPC backend.
+//
+// Every frame on a coordinator<->worker socketpair is the common/checksum
+// envelope applied to a Serializer payload:
+//
+//   u32 magic "FVMP" | u32 version | u64 payload_size
+//   payload (starts with a u32 FrameKind)
+//   u64 FNV-1a(payload)
+//
+// — the exact byte layout snapshots and trees use on disk, so one
+// integrity path covers files and sockets. A reader pulls the fixed
+// 16-byte prefix, learns the payload size, then receives payload+digest
+// in a single Buffer::from_fd allocation and verifies the digest.
+//
+// Three frame kinds make up the whole protocol. The worker sends exactly
+// one kResult (its store delta + outbox) or one kError (its step threw),
+// then blocks until the coordinator's kCommit releases it — that reply is
+// the round barrier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpc/buffer.hpp"
+#include "mpc/machine.hpp"
+
+namespace mpte::ipc {
+
+enum class FrameKind : std::uint32_t {
+  /// Worker -> coordinator: the rank's post-step store delta + outbox.
+  kResult = 1,
+  /// Coordinator -> worker: the round is committed; the worker may exit.
+  kCommit = 2,
+  /// Worker -> coordinator: the step threw; the payload is the message.
+  kError = 3,
+};
+
+/// One store mutation observed during a step: `key` now maps to `blob`
+/// (present) or was erased (!present).
+struct StoreDelta {
+  std::string key;
+  bool present = false;
+  mpc::Buffer blob;
+};
+
+/// Everything the coordinator needs from one worker to finish the round.
+struct ResultFrame {
+  mpc::MachineId rank = 0;
+  std::uint64_t round = 0;
+  /// Sorted by key (LocalStore::dirty_keys order) — deterministic bytes.
+  std::vector<StoreDelta> store_delta;
+  /// fragments[dst] = payloads queued to dst, in send order.
+  std::vector<std::vector<mpc::Buffer>> fragments;
+  std::map<std::string, std::size_t> channel_bytes;
+};
+
+struct ErrorFrame {
+  mpc::MachineId rank = 0;
+  std::uint64_t round = 0;
+  std::string message;
+};
+
+/// A decoded frame; `kind` selects which member is meaningful.
+struct Frame {
+  FrameKind kind = FrameKind::kCommit;
+  std::uint64_t round = 0;
+  ResultFrame result;
+  ErrorFrame error;
+  /// Total envelope bytes this frame occupied on the wire.
+  std::size_t wire_bytes = 0;
+};
+
+mpc::Buffer encode_result(const ResultFrame& frame);
+mpc::Buffer encode_error(const ErrorFrame& frame);
+mpc::Buffer encode_commit(std::uint64_t round);
+
+/// Writes one encoded frame to `fd`.
+Status write_frame(int fd, const mpc::Buffer& encoded);
+
+/// Reads and validates one frame. `timeout_ms` bounds the whole read
+/// (prefix + payload + digest); < 0 blocks indefinitely. Codes:
+/// kDeadlineExceeded past the budget, kUnavailable when the peer closed,
+/// kInvalidArgument for bytes that are not a well-formed frame.
+Result<Frame> read_frame(int fd, int timeout_ms);
+
+}  // namespace mpte::ipc

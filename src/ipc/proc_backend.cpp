@@ -1,0 +1,279 @@
+#include "ipc/proc_backend.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "ipc/frames.hpp"
+#include "ipc/process_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simd/arena.hpp"
+
+namespace mpte::ipc {
+
+namespace {
+
+const char* cause_name(WorkerLost::Cause cause) {
+  switch (cause) {
+    case WorkerLost::Cause::kDied:
+      return "died";
+    case WorkerLost::Cause::kDeadline:
+      return "deadline";
+    case WorkerLost::Cause::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Rank-side body of one round. Never returns: the child ships its result
+/// (or the step's error), waits for the coordinator's commit — the round
+/// barrier — and _exits without running static destructors or flushing
+/// stdio inherited from the coordinator.
+[[noreturn]] void worker_main(std::vector<mpc::Machine>& machines,
+                              std::vector<mpc::Outbox>& outboxes,
+                              const mpc::Step& step, std::size_t round,
+                              bool inject_kill, mpc::MachineId rank,
+                              int fd) {
+  // The fork copied the coordinator's thread-pool bookkeeping but none of
+  // its threads; force the serial path so parallel_for never touches the
+  // pool (degree-1 dispatch runs inline).
+  par::set_default_threads(1);
+  if (inject_kill) _exit(9);  // IpcOptions kill: vanish without a frame
+  try {
+    const std::size_t m = machines.size();
+    machines[rank].store.clear_dirty();
+    {
+      simd::ScratchScope scratch_scope;
+      mpc::MachineContext ctx(rank, m, machines[rank], outboxes[rank]);
+      step(ctx);
+    }
+    ResultFrame frame;
+    frame.rank = rank;
+    frame.round = round;
+    const mpc::LocalStore& store = machines[rank].store;
+    for (const std::string& key : store.dirty_keys()) {
+      StoreDelta delta;
+      delta.key = key;
+      delta.present = store.contains(key);
+      if (delta.present) delta.blob = store.blob(key);
+      frame.store_delta.push_back(std::move(delta));
+    }
+    frame.fragments = std::move(outboxes[rank].fragments);
+    frame.channel_bytes = std::move(outboxes[rank].channel_bytes);
+    if (!write_frame(fd, encode_result(frame)).ok()) _exit(2);
+    // Barrier: hold until the coordinator commits the round (or dies —
+    // either way the reply read ends) so it can still reach us if the
+    // round has to be aborted.
+    (void)read_frame(fd, -1);
+    _exit(0);
+  } catch (const std::exception& e) {
+    ErrorFrame error;
+    error.rank = rank;
+    error.round = round;
+    error.message = e.what();
+    (void)write_frame(fd, encode_error(error));
+    _exit(1);
+  } catch (...) {
+    _exit(3);
+  }
+}
+
+/// Human-readable waitpid status for WorkerLost details.
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "stopped (waitpid status " + std::to_string(status) + ")";
+}
+
+}  // namespace
+
+WorkerLost::WorkerLost(mpc::MachineId rank, std::size_t round, Cause cause,
+                       const std::string& detail)
+    : RankCrashed(rank, round,
+                  "worker " + std::to_string(rank) + " lost in round " +
+                      std::to_string(round) + " (" + cause_name(cause) +
+                      "): " + detail),
+      cause_(cause) {}
+
+void ProcBackend::run_steps(const mpc::ClusterConfig& config,
+                            std::vector<mpc::Machine>& machines,
+                            std::vector<mpc::Outbox>& outboxes,
+                            const mpc::Step& step, std::size_t round) {
+  const std::size_t m = machines.size();
+  const obs::Span span("ipc", "round/steps", "round", round);
+  // Per-round deltas: only keys this round's step touches cross the wire.
+  for (auto& machine : machines) machine.store.clear_dirty();
+
+  const bool inject_kill =
+      !kill_fired_ && config.ipc.kill_at_round >= 0 &&
+      static_cast<std::uint64_t>(config.ipc.kill_at_round) == round;
+  if (inject_kill) kill_fired_ = true;
+
+  auto spawned = ProcessPool::spawn(
+      m, [&](mpc::MachineId rank, int fd) {
+        worker_main(machines, outboxes, step, round,
+                    inject_kill && rank == config.ipc.kill_rank, rank, fd);
+      });
+  if (!spawned.ok()) {
+    throw MpteError("ipc: " + spawned.status().to_string());
+  }
+  ProcessPool pool = std::move(*spawned);
+  ++stats_.rounds;
+  stats_.workers_forked += m;
+
+  // Barrier: one result (or error) frame per rank, bounded by the round
+  // deadline. Any failure kills the remaining workers (the pool reaps
+  // them — no zombies) and surfaces as a typed WorkerLost *before* any
+  // state was mutated, so a checkpointed run can retry the round.
+  const Clock::time_point barrier_start = Clock::now();
+  const Clock::time_point deadline =
+      barrier_start + std::chrono::milliseconds(config.ipc.round_deadline_ms);
+  std::vector<Frame> frames;
+  frames.reserve(m);
+  {
+    const obs::Span barrier_span("ipc", "round/barrier", "round", round);
+    for (mpc::MachineId rank = 0; rank < m; ++rank) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now());
+      auto frame = read_frame(
+          pool.fd(rank),
+          static_cast<int>(std::max<std::int64_t>(0, remaining.count())));
+      if (!frame.ok()) {
+        ++stats_.workers_lost;
+        WorkerLost::Cause cause = WorkerLost::Cause::kDied;
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+          cause = WorkerLost::Cause::kDeadline;
+        } else if (frame.status().code() == StatusCode::kInvalidArgument) {
+          cause = WorkerLost::Cause::kProtocol;
+        }
+        std::string detail = frame.status().message();
+        if (pool.try_reap(rank)) {
+          detail += "; worker " + describe_exit(pool.exit_status(rank));
+        }
+        pool.kill_all();
+        throw WorkerLost(rank, round, cause, detail);
+      }
+      ++stats_.frames_received;
+      stats_.result_wire_bytes += frame->wire_bytes;
+      frames.push_back(std::move(*frame));
+    }
+  }
+  stats_.barrier_seconds += seconds_since(barrier_start);
+
+  // Validate before mutating anything. A step exception propagates like
+  // the in-process backend's: the lowest rank's error wins (serial order).
+  for (mpc::MachineId rank = 0; rank < m; ++rank) {
+    const Frame& frame = frames[rank];
+    if (frame.kind == FrameKind::kError) {
+      pool.kill_all();
+      throw MpteError(frames[rank].error.message);
+    }
+    if (frame.kind != FrameKind::kResult || frame.result.rank != rank ||
+        frame.result.round != round ||
+        frame.result.fragments.size() != m) {
+      ++stats_.workers_lost;
+      pool.kill_all();
+      throw WorkerLost(rank, round, WorkerLost::Cause::kProtocol,
+                       "result frame does not match (rank, round, M)");
+    }
+  }
+
+  // Apply: the coordinator's state becomes the post-step state. From here
+  // run_round's shared audit/delivery path takes over.
+  const Clock::time_point apply_start = Clock::now();
+  {
+    const obs::Span apply_span("ipc", "round/apply", "round", round);
+    for (mpc::MachineId rank = 0; rank < m; ++rank) {
+      ResultFrame& result = frames[rank].result;
+      for (StoreDelta& delta : result.store_delta) {
+        stats_.store_delta_bytes += delta.blob.size();
+        if (delta.present) {
+          machines[rank].store.set_blob(delta.key, std::move(delta.blob));
+        } else {
+          machines[rank].store.erase(delta.key);
+        }
+      }
+      for (const auto& cell : result.fragments) {
+        for (const auto& fragment : cell) {
+          stats_.fragment_bytes += fragment.size();
+        }
+      }
+      outboxes[rank].fragments = std::move(result.fragments);
+      outboxes[rank].channel_bytes = std::move(result.channel_bytes);
+    }
+  }
+  stats_.apply_seconds += seconds_since(apply_start);
+
+  // Release the barrier and reap. A worker that died *after* its result
+  // frame cannot hurt the round (its data is already applied); join_all
+  // reaps it regardless, so no path leaks a child.
+  const mpc::Buffer commit = encode_commit(round);
+  for (mpc::MachineId rank = 0; rank < m; ++rank) {
+    if (write_frame(pool.fd(rank), commit).ok()) {
+      stats_.commit_wire_bytes += commit.size();
+    }
+  }
+  (void)pool.join_all(config.ipc.round_deadline_ms);
+}
+
+void ProcBackend::export_metrics(obs::Registry& registry) const {
+  const auto c = [&](const std::string& name, const std::string& help,
+                     std::uint64_t value) {
+    registry.counter(name, help).set(value);
+  };
+  c("mpte_ipc_rounds_total", "Rounds executed by the multi-process backend.",
+    stats_.rounds);
+  c("mpte_ipc_workers_forked_total", "Worker processes forked.",
+    stats_.workers_forked);
+  c("mpte_ipc_workers_lost_total",
+    "Workers lost mid-round (died, deadline, or protocol).",
+    stats_.workers_lost);
+  c("mpte_ipc_frames_received_total", "Result frames received.",
+    stats_.frames_received);
+  c("mpte_ipc_result_wire_bytes_total",
+    "Worker-to-coordinator result frame bytes on the wire.",
+    stats_.result_wire_bytes);
+  c("mpte_ipc_commit_wire_bytes_total",
+    "Coordinator-to-worker commit frame bytes on the wire.",
+    stats_.commit_wire_bytes);
+  c("mpte_ipc_store_delta_bytes_total",
+    "Store-delta payload bytes shipped inside result frames.",
+    stats_.store_delta_bytes);
+  c("mpte_ipc_fragment_bytes_total",
+    "Outbox fragment payload bytes shipped inside result frames.",
+    stats_.fragment_bytes);
+  registry
+      .gauge("mpte_ipc_barrier_seconds",
+             "Cumulative fork-to-last-frame barrier time.")
+      .set(stats_.barrier_seconds);
+  registry
+      .gauge("mpte_ipc_apply_seconds",
+             "Cumulative time applying store deltas and outboxes.")
+      .set(stats_.apply_seconds);
+}
+
+}  // namespace mpte::ipc
+
+namespace mpte::mpc {
+
+std::unique_ptr<RoundExecutor> make_multiprocess_executor() {
+  return std::make_unique<ipc::ProcBackend>();
+}
+
+}  // namespace mpte::mpc

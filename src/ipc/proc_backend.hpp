@@ -1,0 +1,93 @@
+// The multi-process round executor behind ClusterConfig::backend =
+// Backend::kMultiProcess.
+//
+// Steps are host std::function closures — they cannot cross a process
+// boundary by serialization. Instead the coordinator forks one worker per
+// rank *per round*: the child inherits the closure and the entire
+// pre-round cluster state copy-on-write, executes its own rank's step
+// serially, and ships back only what changed — the rank's store delta
+// (LocalStore dirty keys) plus its outbox — as one checksummed result
+// frame. The coordinator applies all M frames to its authoritative state
+// and then falls through to the same audit/delivery/stats code the
+// in-process backend uses, which is why RoundStats, channel byte totals,
+// and the golden fingerprints are byte-identical between backends.
+//
+// Failure semantics: a worker that dies (EOF/EPIPE, observed exit),
+// misses the round deadline, or sends garbage surfaces as WorkerLost —
+// a RankCrashed subclass, so ckpt::run_with_recovery restores the latest
+// snapshot (or restarts) exactly as for a simulated rank crash. The
+// coordinator's state is untouched on failure: deltas are applied only
+// after every frame arrived intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpc/cluster.hpp"
+
+namespace mpte::obs {
+class Registry;
+}  // namespace mpte::obs
+
+namespace mpte::ipc {
+
+/// Thrown by the multi-process backend when a worker process is lost
+/// mid-round. Caught by recovery drivers via the RankCrashed base.
+class WorkerLost : public mpc::RankCrashed {
+ public:
+  enum class Cause : std::uint8_t {
+    kDied = 0,      ///< EOF/EPIPE, or waitpid observed the exit
+    kDeadline = 1,  ///< missed the round barrier deadline
+    kProtocol = 2,  ///< sent bytes that do not parse as a valid frame
+  };
+
+  WorkerLost(mpc::MachineId rank, std::size_t round, Cause cause,
+             const std::string& detail);
+
+  Cause cause() const { return cause_; }
+
+ private:
+  Cause cause_;
+};
+
+/// Transport counters, exported as mpte_ipc_* metrics. Wall-clock buckets
+/// are coordinator-side: serialize covers commit-frame encoding + result
+/// decoding/apply, barrier covers fork-to-last-frame.
+struct IpcStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t workers_forked = 0;
+  std::uint64_t workers_lost = 0;
+  std::uint64_t frames_received = 0;
+  /// Worker -> coordinator result-frame envelope bytes.
+  std::uint64_t result_wire_bytes = 0;
+  /// Coordinator -> worker commit-frame envelope bytes.
+  std::uint64_t commit_wire_bytes = 0;
+  /// Store-delta payload bytes carried inside result frames.
+  std::uint64_t store_delta_bytes = 0;
+  /// Outbox fragment payload bytes carried inside result frames.
+  std::uint64_t fragment_bytes = 0;
+  double barrier_seconds = 0.0;
+  double apply_seconds = 0.0;
+};
+
+class ProcBackend final : public mpc::RoundExecutor {
+ public:
+  void run_steps(const mpc::ClusterConfig& config,
+                 std::vector<mpc::Machine>& machines,
+                 std::vector<mpc::Outbox>& outboxes, const mpc::Step& step,
+                 std::size_t round) override;
+
+  void export_metrics(obs::Registry& registry) const override;
+
+  const IpcStats& stats() const { return stats_; }
+
+ private:
+  IpcStats stats_;
+  /// IpcOptions::kill_at_round fires once per executor (like a FaultPlan
+  /// event), so a recovered run passes the previously-killed round.
+  bool kill_fired_ = false;
+};
+
+}  // namespace mpte::ipc

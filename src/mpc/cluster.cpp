@@ -128,24 +128,32 @@ void Cluster::run_round(const Step& step, std::string label) {
     row.channel_bytes.clear();
   }
 
-  // Execute the machine steps, possibly concurrently: each step touches
-  // only its own Machine and outbox row, so chunking the rank range over
-  // threads is race-free. An exception from a step (lowest rank wins, as
-  // in serial order) propagates after all steps finish; the audit below
-  // never runs on a failed round. Each step runs under a ScratchScope so
-  // kernel temporaries it bumped off the worker's scratch arena are
-  // reclaimed before the next machine's step reuses the thread.
+  // Execute the machine steps. In-process: possibly concurrently — each
+  // step touches only its own Machine and outbox row, so chunking the
+  // rank range over threads is race-free. An exception from a step
+  // (lowest rank wins, as in serial order) propagates after all steps
+  // finish; the audit below never runs on a failed round. Each step runs
+  // under a ScratchScope so kernel temporaries it bumped off the worker's
+  // scratch arena are reclaimed before the next machine's step reuses the
+  // thread. Multi-process: the executor forks one worker per rank and
+  // leaves machines_/outboxes_ in the identical post-step state, so
+  // everything below this block is backend-independent.
   auto& outboxes = outboxes_;
-  par::parallel_for(
-      0, m,
-      [&](std::size_t begin, std::size_t end) {
-        for (MachineId id = begin; id < end; ++id) {
-          simd::ScratchScope scratch_scope;
-          MachineContext ctx(id, m, machines_[id], outboxes[id]);
-          step(ctx);
-        }
-      },
-      config_.num_threads);
+  if (config_.backend == Backend::kMultiProcess) {
+    if (!executor_) executor_ = make_multiprocess_executor();
+    executor_->run_steps(config_, machines_, outboxes_, step, round);
+  } else {
+    par::parallel_for(
+        0, m,
+        [&](std::size_t begin, std::size_t end) {
+          for (MachineId id = begin; id < end; ++id) {
+            simd::ScratchScope scratch_scope;
+            MachineContext ctx(id, m, machines_[id], outboxes[id]);
+            step(ctx);
+          }
+        },
+        config_.num_threads);
+  }
   if (profiling) t_stepped = ProfileClock::now();
   // Round boundary: coalesce any spill the coordinator thread's arena
   // accumulated (steps may have run inline here when the round was

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,6 +40,10 @@
 #include "common/status.hpp"
 #include "mpc/machine.hpp"
 #include "mpc/round_stats.hpp"
+
+namespace mpte::obs {
+class Registry;
+}  // namespace mpte::obs
 
 namespace mpte::mpc {
 
@@ -54,13 +59,18 @@ class MpcViolation : public MpteError {
 class RankCrashed : public MpteError {
  public:
   RankCrashed(MachineId rank, std::size_t round)
-      : MpteError("machine " + std::to_string(rank) +
-                  " crashed entering round " + std::to_string(round)),
-        rank_(rank),
-        round_(round) {}
+      : RankCrashed(rank, round,
+                    "machine " + std::to_string(rank) +
+                        " crashed entering round " + std::to_string(round)) {}
 
   MachineId rank() const { return rank_; }
   std::size_t round() const { return round_; }
+
+ protected:
+  /// For derived crash kinds (ipc::WorkerLost) that carry their own
+  /// message but must still be caught by the same recovery drivers.
+  RankCrashed(MachineId rank, std::size_t round, const std::string& what)
+      : MpteError(what), rank_(rank), round_(round) {}
 
  private:
   MachineId rank_;
@@ -90,6 +100,28 @@ struct CheckpointPolicy {
   bool enabled() const { return mode != Mode::kOff; }
 };
 
+/// Which substrate executes machine steps. kInProcess simulates every
+/// machine inside this process (threaded over ranks); kMultiProcess forks
+/// one OS worker process per rank per round (src/ipc/) and ships results
+/// back over sockets. The backends are byte-identical: audits, delivery,
+/// and stats all run on the same coordinator-side code path, so the
+/// golden fingerprints and per-channel byte totals never depend on the
+/// choice. See docs/mpc-model.md "The process backend".
+enum class Backend : std::uint8_t { kInProcess = 0, kMultiProcess = 1 };
+
+/// Knobs for the multi-process backend; ignored under kInProcess.
+struct IpcOptions {
+  /// Wall-clock budget for one round barrier (fork every worker, execute
+  /// the step, collect every result frame). A worker that misses it is
+  /// lost: run_round throws ipc::WorkerLost (Cause::kDeadline).
+  int round_deadline_ms = 60'000;
+  /// Test-only fault injection: worker `kill_rank` _exits without sending
+  /// its result frame when executing round `kill_at_round` (< 0 = off).
+  /// Fires once per executor, so a recovered run passes the round.
+  std::int64_t kill_at_round = -1;
+  MachineId kill_rank = 0;
+};
+
 /// Static description of the simulated cluster.
 struct ClusterConfig {
   /// Number of machines M.
@@ -109,6 +141,10 @@ struct ClusterConfig {
   /// Round-level checkpointing policy, interpreted by an attached
   /// ckpt::Coordinator (off by default; the Cluster alone never snapshots).
   CheckpointPolicy checkpoint{};
+  /// Execution substrate for machine steps (see Backend above).
+  Backend backend = Backend::kInProcess;
+  /// Multi-process transport knobs (used only when backend selects it).
+  IpcOptions ipc{};
 };
 
 /// Suggested local memory (bytes) for an input of `input_bytes` at exponent
@@ -177,6 +213,37 @@ class MachineContext {
 using Step = std::function<void(MachineContext&)>;
 
 class Cluster;
+
+/// Strategy that executes the machine steps of one round, leaving each
+/// rank's post-step store in machines[rank] and its queued sends in
+/// outboxes[rank]. The in-process path is inlined in run_round; the
+/// multi-process backend (src/ipc/) implements this interface. Everything
+/// *after* step execution — quota audits, channel merging, delivery,
+/// stats — is shared coordinator-side code, which is what makes the two
+/// backends byte-identical by construction.
+class RoundExecutor {
+ public:
+  virtual ~RoundExecutor() = default;
+
+  /// Executes `step` for every rank of round `round`. Must either leave
+  /// machines/outboxes in the exact post-step state the in-process path
+  /// would produce, or throw without mutating them (so a failed round can
+  /// be retried from a checkpoint).
+  virtual void run_steps(const ClusterConfig& config,
+                         std::vector<Machine>& machines,
+                         std::vector<Outbox>& outboxes, const Step& step,
+                         std::size_t round) = 0;
+
+  /// Mirrors the executor's transport counters into `registry` under the
+  /// mpte_ipc_* names (docs/observability.md).
+  virtual void export_metrics(obs::Registry& registry) const = 0;
+};
+
+/// Builds the multi-process executor. Declared here, defined in
+/// src/ipc/proc_backend.cpp: the mpc layer stays free of fork/socket
+/// code, and the two static libraries link cyclically (mpte_mpc needs
+/// this factory, mpte_ipc needs the cluster machinery).
+std::unique_ptr<RoundExecutor> make_multiprocess_executor();
 
 /// Fault-injection + checkpointing interface consulted by run_round on
 /// live (non-fast-forwarded) rounds only. The mpc layer defines the
@@ -299,6 +366,11 @@ class Cluster {
   void set_driver_note(Buffer note) { driver_note_ = std::move(note); }
   const Buffer& driver_note() const { return driver_note_; }
 
+  /// The backend executor, created lazily on the first multi-process
+  /// round (nullptr until then, and always under kInProcess). Tests and
+  /// the CLI reach through this for transport stats and metrics.
+  RoundExecutor* round_executor() const { return executor_.get(); }
+
  private:
   ClusterConfig config_;
   std::vector<Machine> machines_;
@@ -311,6 +383,7 @@ class Cluster {
   /// local) so the O(M²) vector skeleton is allocated once, not rebuilt
   /// every round; cells are cleared (capacity kept) between rounds.
   std::vector<Outbox> outboxes_;
+  std::unique_ptr<RoundExecutor> executor_;
 };
 
 }  // namespace mpte::mpc

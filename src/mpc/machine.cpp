@@ -5,6 +5,7 @@
 namespace mpte::mpc {
 
 void LocalStore::set_blob(const std::string& key, Buffer blob) {
+  dirty_.insert(key);
   auto it = blobs_.find(key);
   if (it != blobs_.end()) {
     resident_bytes_ -= it->second.size();
@@ -31,6 +32,7 @@ bool LocalStore::contains(const std::string& key) const {
 void LocalStore::erase(const std::string& key) {
   auto it = blobs_.find(key);
   if (it != blobs_.end()) {
+    dirty_.insert(key);
     resident_bytes_ -= it->second.size();
     blobs_.erase(it);
   }
@@ -45,6 +47,7 @@ std::vector<std::pair<std::string, Buffer>> LocalStore::entries() const {
 }
 
 void LocalStore::clear() {
+  for (const auto& [key, blob] : blobs_) dirty_.insert(key);
   blobs_.clear();
   resident_bytes_ = 0;
 }

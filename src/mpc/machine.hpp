@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -103,9 +104,17 @@ class LocalStore {
   /// overhead are bookkeeping the model does not price).
   std::size_t resident_bytes() const { return resident_bytes_; }
 
+  /// Keys whose mapping changed (set, erased, or cleared away) since the
+  /// last clear_dirty(), in sorted order. The multi-process backend ships
+  /// exactly these keys back to the coordinator after a step, so a round
+  /// that touches one blob does not re-serialize the whole store.
+  const std::set<std::string>& dirty_keys() const { return dirty_; }
+  void clear_dirty() { dirty_.clear(); }
+
  private:
   std::unordered_map<std::string, Buffer> blobs_;
   std::size_t resident_bytes_ = 0;
+  std::set<std::string> dirty_;
 };
 
 /// Full per-machine state: RAM plus the inbox delivered at the last round

@@ -2,43 +2,22 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <future>
 #include <utility>
 
+#include "common/net.hpp"
 #include "serve/wire.hpp"
 
 namespace mpte::serve {
 
-namespace {
-
-Status socket_error(const std::string& what) {
-  return Status(StatusCode::kUnavailable,
-                what + ": " + std::strerror(errno));
-}
-
-/// Sends the whole buffer, retrying short writes. MSG_NOSIGNAL: a peer
-/// that vanished mid-write surfaces as an error, not SIGPIPE.
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
+// Blocking I/O (EINTR-safe send/recv, interrupted-connect completion)
+// lives in common/net so the ipc frame transport shares the exact same
+// helpers; this file keeps only the line protocol.
+using net::socket_error;
 
 SocketServer::SocketServer(EmbeddingService& service, ServerOptions options)
     : service_(service), options_(options) {}
@@ -128,10 +107,11 @@ void SocketServer::handle_connection(int fd) {
   };
   bool want_shutdown = false;
   while (open && !stopping_.load(std::memory_order_acquire)) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    const auto n = net::recv_some(
+        fd, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(chunk),
+                                    sizeof(chunk)));
+    if (!n.ok() || *n == 0) break;
+    buffer.append(chunk, *n);
     std::string responses;
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start);
@@ -155,7 +135,7 @@ void SocketServer::handle_connection(int fd) {
     }
     buffer.erase(0, start);
     flush(&responses);
-    if (!responses.empty() && !send_all(fd, responses)) break;
+    if (!responses.empty() && !net::send_all(fd, responses).ok()) break;
     if (want_shutdown) break;
   }
   ::close(fd);
@@ -250,26 +230,11 @@ Status LineClient::connect(const std::string& host, std::uint16_t port) {
       return status;
     }
     // A signal interrupted connect() but the attempt proceeds
-    // asynchronously (POSIX); retrying connect() would yield EALREADY.
-    // Wait for the socket to become writable, then read the outcome.
-    pollfd pfd{fd_, POLLOUT, 0};
-    int polled;
-    do {
-      polled = ::poll(&pfd, 1, -1);
-    } while (polled < 0 && errno == EINTR);
-    int so_error = 0;
-    socklen_t len = sizeof(so_error);
-    if (polled < 0 ||
-        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
-      const Status status = socket_error("connect");
+    // asynchronously; net::finish_connect waits it out.
+    const Status finished = net::finish_connect(fd_);
+    if (!finished.ok()) {
       close();
-      return status;
-    }
-    if (so_error != 0) {
-      errno = so_error;
-      const Status status = socket_error("connect");
-      close();
-      return status;
+      return finished;
     }
   }
   return Status::Ok();
@@ -285,8 +250,7 @@ void LineClient::close() {
 
 Status LineClient::send_line(const std::string& line) {
   if (fd_ < 0) return Status(StatusCode::kUnavailable, "not connected");
-  if (!send_all(fd_, line + "\n")) return socket_error("send");
-  return Status::Ok();
+  return net::send_all(fd_, line + "\n");
 }
 
 Result<std::string> LineClient::read_line() {
@@ -300,12 +264,14 @@ Result<std::string> LineClient::read_line() {
       return line;
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
+    const auto n = net::recv_some(
+        fd_, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(chunk),
+                                     sizeof(chunk)));
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
       return Status(StatusCode::kUnavailable, "connection closed by peer");
     }
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    buffer_.append(chunk, *n);
   }
 }
 

@@ -1,0 +1,398 @@
+// Tests for the multi-process MPC backend (src/ipc/).
+//
+// The contract under test is byte-identity: Backend::kMultiProcess must
+// produce exactly the stores, messages, RoundStats, and golden
+// fingerprints of the in-process simulator, because everything after step
+// execution runs on the shared coordinator-side code path. Plus the
+// failure half: a worker that dies mid-round surfaces as a typed
+// WorkerLost with no leaked child process, and a checkpointed run
+// recovers from it byte-identically.
+#include "ipc/proc_backend.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <thread>
+
+#include "ckpt/manager.hpp"
+#include "ckpt/recovery.hpp"
+#include "core/mpc_embedder.hpp"
+#include "geometry/generators.hpp"
+#include "ipc/frames.hpp"
+#include "mpc/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "tree/hst_io.hpp"
+
+namespace mpte {
+namespace {
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n, std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The pinned configuration behind the repo-wide golden fingerprint
+/// (test_mpc_channels.cpp GoldenSeed), parameterized by backend.
+mpc::ClusterConfig golden_config(mpc::Backend backend, std::size_t threads) {
+  mpc::ClusterConfig config;
+  config.num_machines = 6;
+  config.local_memory_bytes = 1 << 22;
+  config.enforce_limits = true;
+  config.num_threads = threads;
+  config.backend = backend;
+  return config;
+}
+
+Result<MpcEmbedding> golden_embed(mpc::Cluster& cluster) {
+  const PointSet points = generate_uniform_cube(150, 8, 30.0, 7);
+  MpcEmbedOptions options;
+  options.seed = 99;
+  options.num_buckets = 2;
+  options.delta = 1024;
+  options.use_fjlt = false;
+  return mpc_embed(cluster, points, options);
+}
+
+std::uint64_t embedding_hash(const MpcEmbedding& result) {
+  const auto tree_bytes = hst_to_bytes(result.tree);
+  std::uint64_t h =
+      fnv1a(tree_bytes.data(), tree_bytes.size(), 1469598103934665603ull);
+  const auto& raw = result.embedded_points.raw();
+  return fnv1a(reinterpret_cast<const std::uint8_t*>(raw.data()),
+               raw.size() * sizeof(double), h);
+}
+
+/// True once every child of this process has been reaped — the "no
+/// zombies" assertion.
+bool no_children_remain() {
+  const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+  return r == -1 && errno == ECHILD;
+}
+
+/// A small 3-round pipeline exercising every delta kind: fresh keys,
+/// overwrites, erases, and inbox-dependent writes.
+void run_delta_pipeline(mpc::Cluster& cluster) {
+  const std::size_t m = cluster.num_machines();
+  cluster.run_round(
+      [m](mpc::MachineContext& ctx) {
+        ctx.store().set_vector<std::uint32_t>("val", {ctx.id(), 100});
+        Serializer s;
+        s.write(static_cast<std::uint64_t>(ctx.id() * 7));
+        ctx.send((ctx.id() + 1) % m, std::move(s), "test/ring");
+      },
+      "seed");
+  cluster.run_round(
+      [](mpc::MachineContext& ctx) {
+        // Throw (not gtest-assert): under the proc backend this body runs
+        // in a forked child, where only exceptions surface.
+        if (ctx.inbox().size() != 1) throw MpteError("expected 1 message");
+        ctx.store().set_blob("got", ctx.inbox()[0].payload);
+        if (ctx.id() % 2 == 0) {
+          ctx.store().erase("val");
+        } else {
+          ctx.store().set_vector<std::uint32_t>("val", {ctx.id(), 200});
+        }
+        ctx.store().set_value<std::uint64_t>("extra", ctx.id() + 40);
+      },
+      "mix");
+  cluster.run_round(
+      [](mpc::MachineContext& ctx) { ctx.store().erase("extra"); },
+      "cleanup");
+}
+
+void expect_records_equal(const mpc::RoundStats& a, const mpc::RoundStats& b) {
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (std::size_t r = 0; r < a.records().size(); ++r) {
+    const auto& ra = a.records()[r];
+    const auto& rb = b.records()[r];
+    EXPECT_EQ(ra.label, rb.label) << "round " << r;
+    EXPECT_EQ(ra.max_sent_bytes, rb.max_sent_bytes) << "round " << r;
+    EXPECT_EQ(ra.max_recv_bytes, rb.max_recv_bytes) << "round " << r;
+    EXPECT_EQ(ra.total_message_bytes, rb.total_message_bytes)
+        << "round " << r;
+    EXPECT_EQ(ra.max_resident_bytes, rb.max_resident_bytes) << "round " << r;
+    EXPECT_EQ(ra.total_resident_bytes, rb.total_resident_bytes)
+        << "round " << r;
+    EXPECT_EQ(ra.violations, rb.violations) << "round " << r;
+    EXPECT_EQ(ra.channel_bytes, rb.channel_bytes) << "round " << r;
+  }
+}
+
+void expect_stores_equal(const mpc::Cluster& a, const mpc::Cluster& b) {
+  ASSERT_EQ(a.num_machines(), b.num_machines());
+  for (mpc::MachineId id = 0; id < a.num_machines(); ++id) {
+    const auto ea = a.store(id).entries();
+    const auto eb = b.store(id).entries();
+    ASSERT_EQ(ea.size(), eb.size()) << "machine " << id;
+    for (std::size_t k = 0; k < ea.size(); ++k) {
+      EXPECT_EQ(ea[k].first, eb[k].first) << "machine " << id;
+      EXPECT_TRUE(ea[k].second == eb[k].second)
+          << "machine " << id << " key " << ea[k].first;
+    }
+  }
+}
+
+TEST(BackendEquivalence, GoldenFingerprintAcrossBackendsAndThreads) {
+  constexpr std::uint64_t kExpectedHash = 8852295253212578257ull;
+  for (const mpc::Backend backend :
+       {mpc::Backend::kInProcess, mpc::Backend::kMultiProcess}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      mpc::Cluster cluster(golden_config(backend, threads));
+      const auto result = golden_embed(cluster);
+      ASSERT_TRUE(result.ok()) << result.status().to_string();
+      EXPECT_EQ(embedding_hash(*result), kExpectedHash)
+          << "backend="
+          << (backend == mpc::Backend::kInProcess ? "inproc" : "proc")
+          << " threads=" << threads;
+    }
+  }
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(BackendEquivalence, RoundStatsAndChannelBytesIdentical) {
+  mpc::Cluster inproc(golden_config(mpc::Backend::kInProcess, 1));
+  mpc::Cluster proc(golden_config(mpc::Backend::kMultiProcess, 8));
+  ASSERT_TRUE(golden_embed(inproc).ok());
+  ASSERT_TRUE(golden_embed(proc).ok());
+  expect_records_equal(inproc.stats(), proc.stats());
+  EXPECT_EQ(inproc.stats().channel_totals(), proc.stats().channel_totals());
+  expect_stores_equal(inproc, proc);
+}
+
+TEST(BackendEquivalence, StoreDeltasCoverEraseOverwriteAndFreshKeys) {
+  mpc::ClusterConfig config;
+  config.num_machines = 5;
+  config.local_memory_bytes = 1 << 20;
+  mpc::Cluster inproc(config);
+  config.backend = mpc::Backend::kMultiProcess;
+  mpc::Cluster proc(config);
+  run_delta_pipeline(inproc);
+  run_delta_pipeline(proc);
+  expect_stores_equal(inproc, proc);
+  expect_records_equal(inproc.stats(), proc.stats());
+  // Spot-check the deltas actually shrank the wire: round 3 ("cleanup")
+  // erased one key, so its result frames must not re-ship "got"/"val".
+  const auto* backend =
+      dynamic_cast<const ipc::ProcBackend*>(proc.round_executor());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->stats().rounds, 3u);
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(Frames, ResultRoundTripAndCorruptionDetection) {
+  ipc::ResultFrame frame;
+  frame.rank = 3;
+  frame.round = 17;
+  frame.store_delta.push_back(
+      {"alpha", true, mpc::Buffer({1, 2, 3, 4, 5})});
+  frame.store_delta.push_back({"beta", false, mpc::Buffer()});
+  frame.fragments.resize(2);
+  frame.fragments[1].push_back(mpc::Buffer({9, 9}));
+  frame.channel_bytes["test/chan"] = 2;
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const mpc::Buffer encoded = ipc::encode_result(frame);
+  ASSERT_TRUE(ipc::write_frame(sv[0], encoded).ok());
+  auto decoded = ipc::read_frame(sv[1], 1000);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->kind, ipc::FrameKind::kResult);
+  EXPECT_EQ(decoded->wire_bytes, encoded.size());
+  EXPECT_EQ(decoded->result.rank, 3u);
+  EXPECT_EQ(decoded->result.round, 17u);
+  ASSERT_EQ(decoded->result.store_delta.size(), 2u);
+  EXPECT_EQ(decoded->result.store_delta[0].key, "alpha");
+  EXPECT_TRUE(decoded->result.store_delta[0].present);
+  EXPECT_TRUE(decoded->result.store_delta[0].blob == frame.store_delta[0].blob);
+  EXPECT_FALSE(decoded->result.store_delta[1].present);
+  ASSERT_EQ(decoded->result.fragments.size(), 2u);
+  EXPECT_TRUE(decoded->result.fragments[1][0] == frame.fragments[1][0]);
+  EXPECT_EQ(decoded->result.channel_bytes, frame.channel_bytes);
+
+  // Flip one payload byte: the envelope digest must reject the frame.
+  std::vector<std::uint8_t> corrupt(encoded.data(),
+                                    encoded.data() + encoded.size());
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  ASSERT_TRUE(mpc::Buffer(corrupt).write_fd(sv[0]).ok());
+  const auto rejected = ipc::read_frame(sv[1], 1000);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(WorkerLoss, KillMidRoundThrowsTypedErrorAndLeavesNoZombies) {
+  mpc::ClusterConfig config;
+  config.num_machines = 4;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  config.ipc.kill_at_round = 1;
+  config.ipc.kill_rank = 2;
+  mpc::Cluster cluster(config);
+
+  const auto step = [](mpc::MachineContext& ctx) {
+    ctx.store().set_value<std::uint64_t>("tick", ctx.id());
+  };
+  cluster.run_round(step, "warmup");  // round 0: all workers survive
+  try {
+    cluster.run_round(step, "doomed");
+    FAIL() << "expected WorkerLost";
+  } catch (const ipc::WorkerLost& lost) {
+    EXPECT_EQ(lost.rank(), 2u);
+    EXPECT_EQ(lost.round(), 1u);
+    EXPECT_EQ(lost.cause(), ipc::WorkerLost::Cause::kDied);
+  }
+  // Clean coordinator shutdown: every forked child was reaped.
+  EXPECT_TRUE(no_children_remain());
+  // The failed round mutated nothing and recorded nothing.
+  EXPECT_EQ(cluster.stats().rounds(), 1u);
+}
+
+TEST(WorkerLoss, DeadlineMissSurfacesAsWorkerLost) {
+  mpc::ClusterConfig config;
+  config.num_machines = 2;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  config.ipc.round_deadline_ms = 150;
+  mpc::Cluster cluster(config);
+  try {
+    cluster.run_round(
+        [](mpc::MachineContext& ctx) {
+          if (ctx.id() == 1) {
+            std::this_thread::sleep_for(std::chrono::seconds(10));
+          }
+        },
+        "stall");
+    FAIL() << "expected WorkerLost";
+  } catch (const ipc::WorkerLost& lost) {
+    EXPECT_EQ(lost.rank(), 1u);
+    EXPECT_EQ(lost.cause(), ipc::WorkerLost::Cause::kDeadline);
+  }
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(WorkerLoss, StepExceptionPropagatesLikeInProcess) {
+  mpc::ClusterConfig config;
+  config.num_machines = 3;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  mpc::Cluster cluster(config);
+  try {
+    cluster.run_round(
+        [](mpc::MachineContext& ctx) {
+          if (ctx.id() >= 1) {
+            throw MpteError("boom from rank " + std::to_string(ctx.id()));
+          }
+        },
+        "throwing");
+    FAIL() << "expected MpteError";
+  } catch (const MpteError& e) {
+    // Lowest failing rank wins, matching serial in-process order.
+    EXPECT_STREQ(e.what(), "boom from rank 1");
+  }
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(Recovery, WorkerLostRestoresFromLatestSnapshot) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mpte_ipc_recovery_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  mpc::ClusterConfig config;
+  config.num_machines = 4;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
+  config.checkpoint.directory = dir;
+  config.checkpoint.every_k = 1;
+  config.ipc.kill_at_round = 2;
+  config.ipc.kill_rank = 1;
+  mpc::Cluster cluster(config);
+  ckpt::Coordinator coordinator = ckpt::Coordinator::for_cluster(cluster);
+  cluster.set_hooks(&coordinator);
+
+  const auto pipeline = [](mpc::Cluster& c) {
+    const std::size_t m = c.num_machines();
+    for (std::size_t r = 0; r < 5; ++r) {
+      c.run_round(
+          [r, m](mpc::MachineContext& ctx) {
+            std::uint64_t acc = r;
+            for (const auto& msg : ctx.inbox()) acc += msg.payload.size();
+            ctx.store().set_value<std::uint64_t>(
+                "acc/" + std::to_string(r), acc + ctx.id());
+            Serializer s;
+            for (std::size_t i = 0; i <= r; ++i) {
+              s.write(static_cast<std::uint64_t>(ctx.id() + i));
+            }
+            ctx.send((ctx.id() + 1) % m, std::move(s), "test/ring");
+          },
+          "ring/" + std::to_string(r));
+    }
+    return Status::Ok();
+  };
+
+  const Status done = ckpt::run_with_recovery(cluster, coordinator,
+                                              [&] { return pipeline(cluster); });
+  ASSERT_TRUE(done.ok()) << done.to_string();
+  EXPECT_GE(cluster.stats().resilience().recoveries, 1u);
+  EXPECT_GE(cluster.stats().resilience().rounds_replayed, 1u);
+  EXPECT_TRUE(no_children_remain());
+
+  // The recovered run must match an uninterrupted in-process reference.
+  mpc::ClusterConfig reference_config;
+  reference_config.num_machines = 4;
+  reference_config.local_memory_bytes = 1 << 20;
+  mpc::Cluster reference(reference_config);
+  ASSERT_TRUE(pipeline(reference).ok());
+  expect_stores_equal(reference, cluster);
+  EXPECT_EQ(reference.stats().channel_totals(),
+            cluster.stats().channel_totals());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metrics, TransportCountersExportUnderIpcNames) {
+  mpc::ClusterConfig config;
+  config.num_machines = 3;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  mpc::Cluster cluster(config);
+  run_delta_pipeline(cluster);
+
+  const auto* backend =
+      dynamic_cast<const ipc::ProcBackend*>(cluster.round_executor());
+  ASSERT_NE(backend, nullptr);
+  const ipc::IpcStats& stats = backend->stats();
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.workers_forked, 9u);
+  EXPECT_EQ(stats.frames_received, 9u);
+  EXPECT_EQ(stats.workers_lost, 0u);
+  EXPECT_GT(stats.result_wire_bytes, 0u);
+  EXPECT_GT(stats.commit_wire_bytes, 0u);
+  EXPECT_GT(stats.store_delta_bytes, 0u);
+  EXPECT_GT(stats.fragment_bytes, 0u);
+
+  obs::Registry registry;
+  backend->export_metrics(registry);
+  EXPECT_EQ(registry.counter_value("mpte_ipc_rounds_total"), stats.rounds);
+  EXPECT_EQ(registry.counter_value("mpte_ipc_workers_forked_total"),
+            stats.workers_forked);
+  EXPECT_EQ(registry.counter_value("mpte_ipc_result_wire_bytes_total"),
+            stats.result_wire_bytes);
+  const std::string prom = registry.prometheus_text();
+  EXPECT_NE(prom.find("mpte_ipc_barrier_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpte

@@ -85,6 +85,7 @@ int usage() {
                "[seed]\n"
                "            [--checkpoint-dir D] [--every K] [--crash-at R] "
                "(mpc only)\n"
+               "            [--backend inproc|proc] [--ranks M] (mpc only)\n"
                "            [--trace-out FILE] [--metrics-out FILE]\n"
                "  mpte_cli resume <checkpoint-dir> [--trace-out FILE] "
                "[--metrics-out FILE]\n"
@@ -102,9 +103,9 @@ int usage() {
   return 1;
 }
 
-/// Parses "--flag value" pairs after `from`; returns false (usage error)
-/// on an unknown flag or missing value. Positional arguments (no leading
-/// --) are collected into `positional`.
+/// Parses "--flag value" and "--flag=value" forms after `from`; returns
+/// false (usage error) on an unknown flag or missing value. Positional
+/// arguments (no leading --) are collected into `positional`.
 bool parse_flags(int argc, char** argv, int from,
                  std::vector<std::string>* positional,
                  std::vector<std::pair<std::string, std::string>>* flags) {
@@ -112,6 +113,11 @@ bool parse_flags(int argc, char** argv, int from,
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
       positional->push_back(arg);
+      continue;
+    }
+    if (const std::size_t eq = arg.find('=');
+        eq != std::string::npos && eq > 2) {
+      flags->emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
     if (arg == "--shutdown") {  // the only value-less flag
@@ -221,11 +227,25 @@ int cmd_generate(int argc, char** argv) {
 /// `resume`: machine memory is sized so the run fits the model comfortably
 /// (this is a demo of the pipeline, not a scalability experiment —
 /// bench_mpc_* cover that).
-mpc::ClusterConfig mpc_cli_config(std::size_t input_bytes) {
+mpc::ClusterConfig mpc_cli_config(std::size_t input_bytes,
+                                  mpc::Backend backend, std::size_t ranks) {
   mpc::ClusterConfig config;
-  config.num_machines = 8;
+  config.num_machines = std::max<std::size_t>(1, ranks);
   config.local_memory_bytes = std::max<std::size_t>(1 << 22, 4 * input_bytes);
+  config.backend = backend;
   return config;
+}
+
+const char* backend_name(mpc::Backend backend) {
+  return backend == mpc::Backend::kMultiProcess ? "proc" : "inproc";
+}
+
+/// Parses --backend; empty Result on an unknown name (usage error).
+Result<mpc::Backend> parse_backend(const std::string& name) {
+  if (name == "inproc") return mpc::Backend::kInProcess;
+  if (name == "proc") return mpc::Backend::kMultiProcess;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown --backend '" + name + "' (want inproc|proc)");
 }
 
 /// Stable fingerprint of the tree file's payload, printed by both the
@@ -240,6 +260,10 @@ struct CkptManifest {
   std::string output;
   std::uint64_t seed = 1;
   std::size_t every = 1;
+  /// Cluster geometry + substrate, recorded so resume rebuilds the same
+  /// cluster (the fingerprint depends on the rank count).
+  mpc::Backend backend = mpc::Backend::kInProcess;
+  std::size_t ranks = 8;
 };
 
 Status write_manifest(const std::string& dir, const CkptManifest& manifest) {
@@ -247,7 +271,9 @@ Status write_manifest(const std::string& dir, const CkptManifest& manifest) {
   out << "input=" << manifest.input << "\n"
       << "output=" << manifest.output << "\n"
       << "seed=" << manifest.seed << "\n"
-      << "every=" << manifest.every << "\n";
+      << "every=" << manifest.every << "\n"
+      << "backend=" << backend_name(manifest.backend) << "\n"
+      << "ranks=" << manifest.ranks << "\n";
   const std::string text = out.str();
   return write_file_atomic(
       dir + "/manifest.txt",
@@ -275,6 +301,14 @@ Result<CkptManifest> read_manifest(const std::string& dir) {
     }
     if (key == "every") {
       manifest.every = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoll(value.c_str())));
+    }
+    if (key == "backend") {
+      const auto backend = parse_backend(value);
+      if (backend.ok()) manifest.backend = *backend;
+    }
+    if (key == "ranks") {
+      manifest.ranks = std::max<std::size_t>(
           1, static_cast<std::size_t>(std::atoll(value.c_str())));
     }
   }
@@ -307,9 +341,10 @@ int report_mpc_embedding(const mpc::Cluster& cluster,
               result.buckets_used, result.grids_used);
   std::printf("tree: %zu nodes, depth %zu -> %s\n", shape.nodes, shape.depth,
               out_path.c_str());
-  std::printf("cluster: %zu machines, %zu B local memory, %zu rounds\n",
+  std::printf("cluster: %zu machines, %zu B local memory, %zu rounds, "
+              "%s backend\n",
               config.num_machines, config.local_memory_bytes,
-              result.rounds_used);
+              result.rounds_used, backend_name(config.backend));
   std::printf("fingerprint: %llu\n",
               static_cast<unsigned long long>(
                   embedding_fingerprint(embedding)));
@@ -338,11 +373,12 @@ int report_mpc_embedding(const mpc::Cluster& cluster,
 int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
                   const std::string& out_path, std::uint64_t seed,
                   const std::string& checkpoint_dir, std::size_t every,
-                  long long crash_at, const ObsOutputs& outputs) {
+                  long long crash_at, mpc::Backend backend,
+                  std::size_t ranks, const ObsOutputs& outputs) {
   arm_tracer(outputs);
   const std::size_t input_bytes =
       points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
-  mpc::ClusterConfig config = mpc_cli_config(input_bytes);
+  mpc::ClusterConfig config = mpc_cli_config(input_bytes, backend, ranks);
   if (!checkpoint_dir.empty()) {
     config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
     config.checkpoint.directory = checkpoint_dir;
@@ -363,7 +399,7 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
     // Written before the run so a killed process leaves a resumable dir.
     std::error_code ec;
     std::filesystem::create_directories(checkpoint_dir, ec);
-    CkptManifest manifest{in_path, out_path, seed, every};
+    CkptManifest manifest{in_path, out_path, seed, every, backend, ranks};
     const Status wrote = write_manifest(checkpoint_dir, manifest);
     if (!wrote.ok()) {
       std::fprintf(stderr, "mpc embed: %s\n", wrote.to_string().c_str());
@@ -385,6 +421,10 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
     if (rc != 0) return rc;
     return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
       cluster.stats().export_metrics(registry);
+      // Transport counters exist only after a multi-process round ran.
+      if (const auto* executor = cluster.round_executor()) {
+        executor->export_metrics(*registry);
+      }
     });
   } catch (const mpc::RankCrashed& crash) {
     std::fprintf(stderr,
@@ -416,7 +456,8 @@ int cmd_resume(int argc, char** argv) {
   const PointSet points = read_csv_points_file(manifest->input);
   const std::size_t input_bytes =
       points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
-  mpc::ClusterConfig config = mpc_cli_config(input_bytes);
+  mpc::ClusterConfig config =
+      mpc_cli_config(input_bytes, manifest->backend, manifest->ranks);
   config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
   config.checkpoint.directory = dir;
   config.checkpoint.every_k = manifest->every;
@@ -443,6 +484,9 @@ int cmd_resume(int argc, char** argv) {
   if (rc != 0) return rc;
   return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
     cluster.stats().export_metrics(registry);
+    if (const auto* executor = cluster.round_executor()) {
+      executor->export_metrics(*registry);
+    }
   });
 }
 
@@ -468,8 +512,18 @@ int cmd_embed(int argc, char** argv) {
                  std::atoll(flag_value(flags, "--every", "1").c_str())));
       const long long crash_at =
           std::atoll(flag_value(flags, "--crash-at", "-1").c_str());
+      const auto backend =
+          parse_backend(flag_value(flags, "--backend", "inproc"));
+      if (!backend.ok()) {
+        std::fprintf(stderr, "%s\n", backend.status().to_string().c_str());
+        return usage();
+      }
+      const auto ranks = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::atoll(flag_value(flags, "--ranks", "8").c_str())));
       return cmd_embed_mpc(points, positional[0], positional[1], seed,
-                           checkpoint_dir, every, crash_at, outputs);
+                           checkpoint_dir, every, crash_at, *backend, ranks,
+                           outputs);
     } else if (method == "grid") {
       options.method = PartitionMethod::kGrid;
     } else if (method == "ball") {
