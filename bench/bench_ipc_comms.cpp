@@ -4,8 +4,11 @@
 // rewrites one store blob and sends a fixed payload to every peer
 // (all-to-all), so a round moves M*M*payload message bytes plus M store
 // deltas. The in-process rows price the simulator's refcounted delivery;
-// the proc rows add the real costs the ipc layer introduces — fork,
-// serialize, socket hop, barrier — at M in {4, 8, 16}.
+// the proc-fork rows add the pre-persistent per-round costs — fork,
+// serialize, socket hop, barrier — and the proc-persistent rows price the
+// kStep protocol (resident workers, dirty-key patches) against them, at
+// M in {4, 8, 16}. Every row runs the same registered named step so the
+// comparison isolates the substrate, not the step body.
 //
 // Artifacts, following the BENCH_simd convention:
 //   BENCH_ipc.json          rows of {backend, machines, round_ms,
@@ -21,14 +24,42 @@
 #include <vector>
 
 #include "common/checksum.hpp"
+#include "common/serialize.hpp"
 #include "common/timer.hpp"
 #include "mpc/cluster.hpp"
+#include "mpc/step.hpp"
 #include "obs/metrics.hpp"
 
 namespace mpte::bench {
 namespace {
 
 constexpr std::size_t kPayloadBytes = 4096;
+
+/// The all-to-all round as a registered step: persistent workers resolve
+/// it by name; fork and inproc rows host the identical factory product.
+mpc::Step make_all_to_all(mpc::StepParams params) {
+  Deserializer d(params);
+  const auto payload_bytes = d.read<std::uint64_t>();
+  const auto round = d.read<std::uint64_t>();
+  return [payload_bytes, round](mpc::MachineContext& ctx) {
+    ctx.store().set_blob("state",
+                         std::vector<std::uint8_t>(
+                             payload_bytes, static_cast<std::uint8_t>(round)));
+    const std::vector<std::uint8_t> payload(payload_bytes, 0x5a);
+    for (mpc::MachineId to = 0; to < ctx.num_machines(); ++to) {
+      ctx.send(to, payload, "bench/all-to-all");
+    }
+  };
+}
+
+const mpc::RegisterStep kRegAllToAll{"bench/all-to-all", make_all_to_all};
+
+mpc::StepSpec all_to_all_spec(std::uint64_t round) {
+  Serializer s;
+  s.write(static_cast<std::uint64_t>(kPayloadBytes));
+  s.write(round);
+  return mpc::StepSpec("bench/all-to-all", std::move(s));
+}
 
 struct IpcRow {
   std::string backend;
@@ -100,16 +131,19 @@ class IpcBenchRecorder {
 
 void BM_AllToAllRound(benchmark::State& state) {
   const auto machines = static_cast<std::size_t>(state.range(0));
-  const bool proc = state.range(1) != 0;
+  // 0 = inproc, 1 = proc-fork, 2 = proc-persistent.
+  const auto mode = state.range(1);
 
   mpc::ClusterConfig config;
   config.num_machines = machines;
   config.local_memory_bytes = 1 << 22;
   config.backend =
-      proc ? mpc::Backend::kMultiProcess : mpc::Backend::kInProcess;
+      mode != 0 ? mpc::Backend::kMultiProcess : mpc::Backend::kInProcess;
+  config.ipc.workers = mode == 1
+                           ? mpc::IpcOptions::WorkerMode::kForkPerRound
+                           : mpc::IpcOptions::WorkerMode::kPersistent;
   mpc::Cluster cluster(config);
 
-  const std::vector<std::uint8_t> payload(kPayloadBytes, 0x5a);
   const double bytes_per_round =
       static_cast<double>(machines * machines * kPayloadBytes);
 
@@ -117,17 +151,7 @@ void BM_AllToAllRound(benchmark::State& state) {
   std::uint64_t round = 0;
   for (auto _ : state) {
     const Timer timer;
-    cluster.run_round(
-        [&](mpc::MachineContext& ctx) {
-          ctx.store().set_blob("state",
-                               std::vector<std::uint8_t>(
-                                   kPayloadBytes,
-                                   static_cast<std::uint8_t>(round)));
-          for (mpc::MachineId to = 0; to < machines; ++to) {
-            ctx.send(to, payload, "bench/all-to-all");
-          }
-        },
-        "bench");
+    cluster.run_round(all_to_all_spec(round), "bench");
     total_ms += timer.milliseconds();
     ++round;
   }
@@ -135,7 +159,8 @@ void BM_AllToAllRound(benchmark::State& state) {
       bytes_per_round * static_cast<double>(state.iterations())));
 
   IpcRow row;
-  row.backend = proc ? "proc" : "inproc";
+  row.backend =
+      mode == 0 ? "inproc" : (mode == 1 ? "proc-fork" : "proc-persistent");
   row.machines = machines;
   row.round_ms =
       state.iterations() > 0
@@ -153,8 +178,8 @@ void BM_AllToAllRound(benchmark::State& state) {
 }
 
 BENCHMARK(BM_AllToAllRound)
-    ->ArgNames({"machines", "proc"})
-    ->ArgsProduct({{4, 8, 16}, {0, 1}})
+    ->ArgNames({"machines", "mode"})
+    ->ArgsProduct({{4, 8, 16}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

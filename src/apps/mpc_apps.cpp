@@ -11,18 +11,23 @@
 #include "geometry/bounding_box.hpp"
 #include "geometry/quantize.hpp"
 #include "mpc/primitives.hpp"
+#include "mpc/step.hpp"
 #include "partition/coverage.hpp"
 #include "transform/mpc_fjlt.hpp"
 
 namespace mpte {
 namespace {
 
+using mpc::StepParams;
 using mpc::Channel;
 using mpc::Cluster;
 using mpc::Key;
 using mpc::KV;
 using mpc::MachineContext;
 using mpc::MachineId;
+using mpc::RegisterStep;
+using mpc::Step;
+using mpc::StepSpec;
 using mpc::ValueKey;
 using detail::keys::kFail;
 using detail::keys::kFailTotal;
@@ -50,6 +55,166 @@ struct BallBest {
   std::uint64_t count;
   double bound;
 };
+
+const Channel<BallBest> kBestCh{"db/best"};
+const ValueKey<BallBest> kBestKey{"db/best"};
+
+// --- registered steps -------------------------------------------------------
+// Level weights and diameter bounds are recomputed worker-side from the
+// ladder's defining triple (dim, num_buckets, delta) — the same
+// counter-based-randomness discipline the partition stages use.
+
+Step make_emd_label(StepParams params) {
+  Deserializer d(params);
+  const auto a_count = d.read<std::uint64_t>();
+  return [a_count](MachineContext& ctx) {
+    auto records = kNodes.get(ctx.store());
+    kNodes.erase(ctx.store());
+    for (KV& kv : records) {
+      const std::int64_t side = kv.value < a_count ? 1 : -1;
+      kv.value = static_cast<std::uint64_t>(side);
+    }
+    kEmdIn.set(ctx.store(), records);
+  };
+}
+
+Step make_emd_label_weighted(StepParams /*params*/) {
+  return [](MachineContext& ctx) {
+    const auto idx = kIdx.get(ctx.store());
+    const auto mass = kMass.get(ctx.store());
+    std::unordered_map<std::uint64_t, std::int64_t> mass_of;
+    mass_of.reserve(idx.size());
+    for (std::size_t local = 0; local < idx.size(); ++local) {
+      mass_of.emplace(idx[local], mass[local]);
+    }
+    auto records = kNodes.get(ctx.store());
+    kNodes.erase(ctx.store());
+    for (KV& kv : records) {
+      kv.value = static_cast<std::uint64_t>(mass_of.at(kv.value));
+    }
+    kEmdIn.set(ctx.store(), records);
+  };
+}
+
+Step make_emd_weight(StepParams params) {
+  Deserializer d(params);
+  const auto dim = static_cast<std::size_t>(d.read<std::uint64_t>());
+  const auto num_buckets = d.read<std::uint32_t>();
+  const auto delta = d.read<std::uint64_t>();
+  return [dim, num_buckets, delta](MachineContext& ctx) {
+    const ScaleLadder ladder = hybrid_scale_ladder(dim, num_buckets, delta);
+    double partial = 0.0;
+    for (const KV& kv : kEmdImbalance.get(ctx.store())) {
+      const std::size_t level = detail::packed_level(kv.key);
+      const auto imbalance = static_cast<std::int64_t>(kv.value);
+      partial += ladder.edge_weight[level] *
+                 static_cast<double>(std::llabs(imbalance));
+    }
+    kEmdImbalance.erase(ctx.store());
+    kEmdPartial.set(ctx.store(), partial);
+  };
+}
+
+Step make_densest_count_prep(StepParams /*params*/) {
+  return [](MachineContext& ctx) {
+    auto records = kNodes.get(ctx.store());
+    kNodes.erase(ctx.store());
+    for (KV& kv : records) kv.value = 1;
+    kDbIn.set(ctx.store(), records);
+  };
+}
+
+Step make_densest_local_best(StepParams params) {
+  Deserializer d(params);
+  const auto dim = static_cast<std::size_t>(d.read<std::uint64_t>());
+  const auto num_buckets = d.read<std::uint32_t>();
+  const auto delta = d.read<std::uint64_t>();
+  const auto max_diameter_q = d.read<double>();
+  return [dim, num_buckets, delta, max_diameter_q](MachineContext& ctx) {
+    const ScaleLadder ladder = hybrid_scale_ladder(dim, num_buckets, delta);
+    const double sqrt_r = std::sqrt(static_cast<double>(num_buckets));
+    BallBest best{0, 0.0};
+    for (const KV& kv : kDbCounts.get(ctx.store())) {
+      const std::size_t level = detail::packed_level(kv.key);
+      const double bound = 2.0 * sqrt_r * ladder.scales[level];
+      if (bound > max_diameter_q) continue;
+      if (kv.value > best.count) best = BallBest{kv.value, bound};
+    }
+    kDbCounts.erase(ctx.store());
+    kBestCh.send_one(ctx, 0, best);
+  };
+}
+
+Step make_densest_global_best(StepParams /*params*/) {
+  return [](MachineContext& ctx) {
+    if (ctx.id() != 0) return;
+    BallBest best{1, 0.0};  // a singleton always qualifies
+    for (const BallBest& candidate : kBestCh.receive_raw(ctx)) {
+      if (candidate.count > best.count) best = candidate;
+    }
+    kBestKey.set(ctx.store(), best);
+  };
+}
+
+Step make_mst_route_child_reps(StepParams /*params*/) {
+  return [](MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    const Channel<KV> reps_ch{kMstLinks.name};
+    std::unordered_map<std::uint64_t, std::uint64_t> rep;
+    for (const KV& kv : kMstRep.get(ctx.store())) {
+      rep.emplace(kv.key, kv.value);
+    }
+    std::vector<std::vector<KV>> out(m);
+    for (const KV& link : kMstLinks.get(ctx.store())) {
+      const std::uint64_t child_rep = rep.at(link.key);
+      out[mix64(link.value) % m].push_back(KV{link.value, child_rep});
+    }
+    kMstLinks.erase(ctx.store());
+    for (MachineId dst = 0; dst < m; ++dst) {
+      if (!out[dst].empty()) reps_ch.send(ctx, dst, out[dst]);
+    }
+  };
+}
+
+Step make_mst_emit_edges(StepParams /*params*/) {
+  return [](MachineContext& ctx) {
+    const Channel<KV> reps_ch{kMstLinks.name};
+    std::unordered_map<std::uint64_t, std::uint64_t> rep;
+    for (const KV& kv : kMstRep.get(ctx.store())) {
+      rep.emplace(kv.key, kv.value);
+    }
+    kMstRep.erase(ctx.store());
+    std::vector<KV> edges;
+    for (const KV& record : reps_ch.receive(ctx)) {
+      // record = {parent node, child rep}.
+      const auto it = rep.find(record.key);
+      // The root (level 0) never appears under kNodes — its
+      // representative is the global min index, 0.
+      const std::uint64_t parent_rep = it != rep.end() ? it->second : 0;
+      if (parent_rep != record.value) {
+        edges.push_back(KV{std::min(parent_rep, record.value),
+                           std::max(parent_rep, record.value)});
+      }
+    }
+    std::sort(edges.begin(), edges.end(), mpc::kv_less);
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    kMstEdges.set(ctx.store(), edges);
+  };
+}
+
+const RegisterStep kRegEmdLabel{"emd/label", make_emd_label};
+const RegisterStep kRegEmdLabelWeighted{"emd/label-weighted",
+                                        make_emd_label_weighted};
+const RegisterStep kRegEmdWeight{"emd/weight", make_emd_weight};
+const RegisterStep kRegDensestCountPrep{"densest/count-prep",
+                                        make_densest_count_prep};
+const RegisterStep kRegDensestLocalBest{"densest/local-best",
+                                        make_densest_local_best};
+const RegisterStep kRegDensestGlobalBest{"densest/global-best",
+                                         make_densest_global_best};
+const RegisterStep kRegMstRouteChildReps{"mst/route-child-reps",
+                                         make_mst_route_child_reps};
+const RegisterStep kRegMstEmitEdges{"mst/emit-edges", make_mst_emit_edges};
 
 /// Everything the shared pipeline prologue produces.
 struct Prep {
@@ -172,20 +337,11 @@ void scatter_point_values(Cluster& cluster, const Key<std::int64_t>& key,
 MpcEmdResult finish_emd(Cluster& cluster, const Prep& prep) {
   mpc::reduce_kv_sum(cluster, kEmdIn.name, kEmdImbalance.name);
 
-  const ScaleLadder ladder = prep.ladder;
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        double partial = 0.0;
-        for (const KV& kv : kEmdImbalance.get(ctx.store())) {
-          const std::size_t level = detail::packed_level(kv.key);
-          const auto imbalance = static_cast<std::int64_t>(kv.value);
-          partial += ladder.edge_weight[level] *
-                     static_cast<double>(std::llabs(imbalance));
-        }
-        kEmdImbalance.erase(ctx.store());
-        kEmdPartial.set(ctx.store(), partial);
-      },
-      "emd/weight");
+  Serializer weight;
+  weight.write(static_cast<std::uint64_t>(prep.dim));
+  weight.write(prep.params.num_buckets);
+  weight.write(prep.delta);
+  cluster.run_round(StepSpec("emd/weight", std::move(weight)));
 
   mpc::sum_double(cluster, kEmdPartial.name, kEmdTotal.name, 0);
 
@@ -216,21 +372,12 @@ Result<MpcEmdResult> mpc_tree_emd(Cluster& cluster, const PointSet& a,
 
   auto prep = prepare_paths(cluster, all, options, /*emit_links=*/false);
   if (!prep.ok()) return prep.status();
-  const std::size_t a_count = a.size();
 
   // Side-label the path records: +1 for points of a, -1 for points of b
   // (two's-complement u64 so the KV sum reduction computes signed sums).
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        auto records = kNodes.get(ctx.store());
-        kNodes.erase(ctx.store());
-        for (KV& kv : records) {
-          const std::int64_t side = kv.value < a_count ? 1 : -1;
-          kv.value = static_cast<std::uint64_t>(side);
-        }
-        kEmdIn.set(ctx.store(), records);
-      },
-      "emd/label");
+  Serializer label;
+  label.write(static_cast<std::uint64_t>(a.size()));
+  cluster.run_round(StepSpec("emd/label", std::move(label)));
 
   return finish_emd(cluster, *prep);
 }
@@ -281,23 +428,7 @@ Result<MpcEmdResult> mpc_tree_emd_weighted(
   // Distribute the masses with the points' block layout (they are part of
   // the distributed input), then label each record with its point's mass.
   scatter_point_values(cluster, kMass, signed_mass);
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto idx = kIdx.get(ctx.store());
-        const auto mass = kMass.get(ctx.store());
-        std::unordered_map<std::uint64_t, std::int64_t> mass_of;
-        mass_of.reserve(idx.size());
-        for (std::size_t local = 0; local < idx.size(); ++local) {
-          mass_of.emplace(idx[local], mass[local]);
-        }
-        auto records = kNodes.get(ctx.store());
-        kNodes.erase(ctx.store());
-        for (KV& kv : records) {
-          kv.value = static_cast<std::uint64_t>(mass_of.at(kv.value));
-        }
-        kEmdIn.set(ctx.store(), records);
-      },
-      "emd/label-weighted");
+  cluster.run_round(StepSpec("emd/label-weighted"));
 
   return finish_emd(cluster, *prep);
 }
@@ -314,55 +445,29 @@ Result<MpcDensestBallResult> mpc_densest_ball(
   const double max_diameter_q = max_diameter / prep->scale_to_input;
 
   // Per-cluster point counts.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        auto records = kNodes.get(ctx.store());
-        kNodes.erase(ctx.store());
-        for (KV& kv : records) kv.value = 1;
-        kDbIn.set(ctx.store(), records);
-      },
-      "densest/count-prep");
+  cluster.run_round(StepSpec("densest/count-prep"));
   mpc::reduce_kv_sum(cluster, kDbIn.name, kDbCounts.name);
 
   // Local best among qualifying levels, converge-cast to rank 0.
-  const ScaleLadder ladder = prep->ladder;
-  const double sqrt_r =
-      std::sqrt(static_cast<double>(prep->params.num_buckets));
-  const Channel<BallBest> best_ch{"db/best"};
-  const ValueKey<BallBest> best_key{"db/best"};
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        BallBest best{0, 0.0};
-        for (const KV& kv : kDbCounts.get(ctx.store())) {
-          const std::size_t level = detail::packed_level(kv.key);
-          const double bound = 2.0 * sqrt_r * ladder.scales[level];
-          if (bound > max_diameter_q) continue;
-          if (kv.value > best.count) best = BallBest{kv.value, bound};
-        }
-        kDbCounts.erase(ctx.store());
-        best_ch.send_one(ctx, 0, best);
-      },
-      "densest/local-best");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != 0) return;
-        BallBest best{1, 0.0};  // a singleton always qualifies
-        for (const BallBest& candidate : best_ch.receive_raw(ctx)) {
-          if (candidate.count > best.count) best = candidate;
-        }
-        best_key.set(ctx.store(), best);
-      },
-      "densest/global-best");
+  Serializer local_best;
+  local_best.write(static_cast<std::uint64_t>(prep->dim));
+  local_best.write(prep->params.num_buckets);
+  local_best.write(prep->delta);
+  local_best.write(max_diameter_q);
+  cluster.run_round(StepSpec("densest/local-best", std::move(local_best)));
+  cluster.run_round(StepSpec("densest/global-best"));
 
   MpcDensestBallResult result;
   {
-    const BallBest best = best_key.get(cluster.store(0));
+    const BallBest best = kBestKey.get(cluster.store(0));
     result.count = best.count;
     result.diameter = best.bound * prep->scale_to_input;
   }
   // The root cluster (level 0, all n points) is not in the path records;
   // it qualifies whenever its diameter bound fits.
-  const double root_bound = 2.0 * sqrt_r * ladder.scales[0];
+  const double sqrt_r =
+      std::sqrt(static_cast<double>(prep->params.num_buckets));
+  const double root_bound = 2.0 * sqrt_r * prep->ladder.scales[0];
   if (root_bound <= max_diameter_q && points.size() > result.count) {
     result.count = points.size();
     result.diameter = root_bound * prep->scale_to_input;
@@ -370,7 +475,7 @@ Result<MpcDensestBallResult> mpc_densest_ball(
   result.retries_used = prep->retries;
   result.rounds_used = cluster.stats().rounds() - prep->rounds_before;
   cleanup(cluster, {kIdx.name, kPts.name, kFail.name, kFailTotal.name,
-                    best_key.name});
+                    kBestKey.name});
   return result;
 }
 
@@ -378,7 +483,6 @@ Result<MpcMstResult> mpc_tree_mst(Cluster& cluster, const PointSet& points,
                                   const MpcEmbedOptions& options) {
   auto prep = prepare_paths(cluster, points, options, /*emit_links=*/true);
   if (!prep.ok()) return prep.status();
-  const std::size_t m = cluster.num_machines();
 
   // Representative (min point index) per cluster; child->parent links
   // land on the same machines (same key hashing).
@@ -386,50 +490,10 @@ Result<MpcMstResult> mpc_tree_mst(Cluster& cluster, const PointSet& points,
   mpc::dedup_kv(cluster, kLinks.name, kMstLinks.name);
 
   // Route each link's child-representative to the parent's machine.
-  const Channel<KV> reps_ch{kMstLinks.name};
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::unordered_map<std::uint64_t, std::uint64_t> rep;
-        for (const KV& kv : kMstRep.get(ctx.store())) {
-          rep.emplace(kv.key, kv.value);
-        }
-        std::vector<std::vector<KV>> out(m);
-        for (const KV& link : kMstLinks.get(ctx.store())) {
-          const std::uint64_t child_rep = rep.at(link.key);
-          out[mix64(link.value) % m].push_back(KV{link.value, child_rep});
-        }
-        kMstLinks.erase(ctx.store());
-        for (MachineId dst = 0; dst < m; ++dst) {
-          if (!out[dst].empty()) reps_ch.send(ctx, dst, out[dst]);
-        }
-      },
-      "mst/route-child-reps");
+  cluster.run_round(StepSpec("mst/route-child-reps"));
 
   // Pair child reps with the parent's rep; emit connecting edges.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::unordered_map<std::uint64_t, std::uint64_t> rep;
-        for (const KV& kv : kMstRep.get(ctx.store())) {
-          rep.emplace(kv.key, kv.value);
-        }
-        kMstRep.erase(ctx.store());
-        std::vector<KV> edges;
-        for (const KV& record : reps_ch.receive(ctx)) {
-          // record = {parent node, child rep}.
-          const auto it = rep.find(record.key);
-          // The root (level 0) never appears under kNodes — its
-          // representative is the global min index, 0.
-          const std::uint64_t parent_rep = it != rep.end() ? it->second : 0;
-          if (parent_rep != record.value) {
-            edges.push_back(KV{std::min(parent_rep, record.value),
-                               std::max(parent_rep, record.value)});
-          }
-        }
-        std::sort(edges.begin(), edges.end(), mpc::kv_less);
-        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-        kMstEdges.set(ctx.store(), edges);
-      },
-      "mst/emit-edges");
+  cluster.run_round(StepSpec("mst/emit-edges"));
 
   mpc::dedup_kv(cluster, kMstEdges.name, kMstEdgesDedup.name);
 

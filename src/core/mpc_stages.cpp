@@ -7,16 +7,21 @@
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
+#include "mpc/step.hpp"
 #include "obs/trace.hpp"
 #include "partition/ball_partition.hpp"
 #include "simd/arena.hpp"
 
 namespace mpte::detail {
 
+using mpc::StepParams;
 using mpc::Cluster;
 using mpc::KV;
 using mpc::MachineContext;
 using mpc::MachineId;
+using mpc::RegisterStep;
+using mpc::Step;
+using mpc::StepSpec;
 
 void scatter_points(Cluster& cluster, const PointSet& points) {
   // Host-side write: suppressed while fast-forwarding a restored run (the
@@ -43,79 +48,6 @@ void scatter_points(Cluster& cluster, const PointSet& points) {
   }
 }
 
-void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
-                  std::size_t fanout) {
-  const obs::Span span("emb", "quantize", "delta", delta);
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto data = keys::kPts.get(ctx.store());
-        std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
-        std::vector<double> hi(dim,
-                               -std::numeric_limits<double>::infinity());
-        for (std::size_t i = 0; i * dim < data.size(); ++i) {
-          for (std::size_t j = 0; j < dim; ++j) {
-            lo[j] = std::min(lo[j], data[i * dim + j]);
-            hi[j] = std::max(hi[j], data[i * dim + j]);
-          }
-        }
-        // One message carrying both extreme vectors (mixed content, so a
-        // raw Serializer rather than a Channel batch).
-        Serializer s(2 * wire_size<double>(dim));
-        s.write_vector(lo);
-        s.write_vector(hi);
-        ctx.send(0, std::move(s), keys::kBox);
-      },
-      "quantize/extremes");
-
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != 0) return;
-        std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
-        std::vector<double> hi(dim,
-                               -std::numeric_limits<double>::infinity());
-        for (const auto& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          const auto part_lo = d.read_vector<double>();
-          const auto part_hi = d.read_vector<double>();
-          for (std::size_t j = 0; j < dim; ++j) {
-            lo[j] = std::min(lo[j], part_lo[j]);
-            hi[j] = std::max(hi[j], part_hi[j]);
-          }
-        }
-        double width = 0.0;
-        for (std::size_t j = 0; j < dim; ++j) {
-          width = std::max(width, hi[j] - lo[j]);
-        }
-        const double cell =
-            width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
-        Serializer s(sizeof(double) + wire_size<double>(dim));
-        s.write(cell);
-        s.write_vector(lo);
-        ctx.store().set_blob(keys::kBox, s.take());
-      },
-      "quantize/combine");
-
-  mpc::broadcast_blob(cluster, 0, keys::kBox, fanout);
-
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        Deserializer d(ctx.store().blob(keys::kBox));
-        const auto cell = d.read<double>();
-        const auto lo = d.read_vector<double>();
-        ctx.store().erase(keys::kBox);
-        auto data = keys::kPts.get(ctx.store());
-        for (std::size_t e = 0; e < data.size(); ++e) {
-          const std::size_t j = e % dim;
-          const double offset = (data[e] - lo[j]) / cell;
-          const double snapped = std::clamp(
-              std::round(offset), 0.0, static_cast<double>(delta - 1));
-          data[e] = snapped + 1.0;
-        }
-        keys::kPts.set(ctx.store(), data);
-      },
-      "quantize/snap");
-}
-
 std::uint64_t pack_level_node(std::size_t level, std::uint64_t cluster_id) {
   return (static_cast<std::uint64_t>(level) << 56) | (cluster_id >> 8);
 }
@@ -125,6 +57,88 @@ std::size_t packed_level(std::uint64_t key) {
 }
 
 namespace {
+
+Step make_quantize_extremes(StepParams params) {
+  Deserializer d(params);
+  const auto dim = static_cast<std::size_t>(d.read<std::uint64_t>());
+  return [dim](MachineContext& ctx) {
+    const auto data = keys::kPts.get(ctx.store());
+    std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i * dim < data.size(); ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        lo[j] = std::min(lo[j], data[i * dim + j]);
+        hi[j] = std::max(hi[j], data[i * dim + j]);
+      }
+    }
+    // One message carrying both extreme vectors (mixed content, so a
+    // raw Serializer rather than a Channel batch).
+    Serializer s(2 * wire_size<double>(dim));
+    s.write_vector(lo);
+    s.write_vector(hi);
+    ctx.send(0, std::move(s), keys::kBox);
+  };
+}
+
+Step make_quantize_combine(StepParams params) {
+  Deserializer pd(params);
+  const auto dim = static_cast<std::size_t>(pd.read<std::uint64_t>());
+  const auto delta = pd.read<std::uint64_t>();
+  return [dim, delta](MachineContext& ctx) {
+    if (ctx.id() != 0) return;
+    std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+    for (const auto& msg : ctx.inbox()) {
+      Deserializer d(msg.payload);
+      const auto part_lo = d.read_vector<double>();
+      const auto part_hi = d.read_vector<double>();
+      for (std::size_t j = 0; j < dim; ++j) {
+        lo[j] = std::min(lo[j], part_lo[j]);
+        hi[j] = std::max(hi[j], part_hi[j]);
+      }
+    }
+    double width = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      width = std::max(width, hi[j] - lo[j]);
+    }
+    const double cell =
+        width > 0.0 ? width / static_cast<double>(delta - 1) : 1.0;
+    Serializer s(sizeof(double) + wire_size<double>(dim));
+    s.write(cell);
+    s.write_vector(lo);
+    ctx.store().set_blob(keys::kBox, s.take());
+  };
+}
+
+Step make_quantize_snap(StepParams params) {
+  Deserializer pd(params);
+  const auto dim = static_cast<std::size_t>(pd.read<std::uint64_t>());
+  const auto delta = pd.read<std::uint64_t>();
+  return [dim, delta](MachineContext& ctx) {
+    Deserializer d(ctx.store().blob(keys::kBox));
+    const auto cell = d.read<double>();
+    const auto lo = d.read_vector<double>();
+    ctx.store().erase(keys::kBox);
+    auto data = keys::kPts.get(ctx.store());
+    for (std::size_t e = 0; e < data.size(); ++e) {
+      const std::size_t j = e % dim;
+      const double offset = (data[e] - lo[j]) / cell;
+      const double snapped =
+          std::clamp(std::round(offset), 0.0, static_cast<double>(delta - 1));
+      data[e] = snapped + 1.0;
+    }
+    keys::kPts.set(ctx.store(), data);
+  };
+}
+
+Step make_grids_build(StepParams params) {
+  Deserializer d(params);
+  const auto p = d.read<PartitionParams>();
+  return [p](MachineContext& ctx) {
+    if (ctx.id() != 0) return;
+    keys::kGrids.set(ctx.store(), p);
+  };
+}
 
 /// Common body of the two stage-4 variants: computes each local point's
 /// id chain and calls `emit(point, level, parent_id, child_id)` per level.
@@ -190,15 +204,74 @@ std::uint64_t compute_paths(MachineContext& ctx, std::size_t dim,
   return failures;
 }
 
+Step make_paths_compute(StepParams params) {
+  Deserializer pd(params);
+  const auto dim = static_cast<std::size_t>(pd.read<std::uint64_t>());
+  return [dim](MachineContext& ctx) {
+    const auto p = keys::kGrids.get(ctx.store());
+    keys::kGrids.erase(ctx.store());
+    std::vector<KV> edges;
+    std::vector<KV> leaves;
+    std::uint64_t last_point = ~0ull;
+    const std::uint64_t failures = compute_paths(
+        ctx, dim, p,
+        [&](std::uint64_t point, std::size_t level, std::uint64_t parent,
+            std::uint64_t child) {
+          edges.push_back(KV{child, parent});
+          if (point != last_point) {
+            leaves.push_back(KV{point, child});
+            last_point = point;
+          } else {
+            leaves.back().value = child;
+          }
+          (void)level;
+        });
+    keys::kEdges.set(ctx.store(), edges);
+    keys::kLeaf.set(ctx.store(), leaves);
+    keys::kFail.set(ctx.store(), failures);
+  };
+}
+
+Step make_paths_records(StepParams params) {
+  Deserializer pd(params);
+  const auto dim = static_cast<std::size_t>(pd.read<std::uint64_t>());
+  const bool emit_links = pd.read<std::uint8_t>() != 0;
+  return [dim, emit_links](MachineContext& ctx) {
+    const auto p = keys::kGrids.get(ctx.store());
+    keys::kGrids.erase(ctx.store());
+    std::vector<KV> records;
+    std::vector<KV> links;
+    const std::uint64_t failures = compute_paths(
+        ctx, dim, p,
+        [&](std::uint64_t point, std::size_t level, std::uint64_t parent,
+            std::uint64_t child) {
+          records.push_back(KV{pack_level_node(level, child), point});
+          if (emit_links) {
+            links.push_back(KV{pack_level_node(level, child),
+                               pack_level_node(level - 1, parent)});
+          }
+        });
+    keys::kNodes.set(ctx.store(), records);
+    if (emit_links) keys::kLinks.set(ctx.store(), links);
+    keys::kFail.set(ctx.store(), failures);
+  };
+}
+
+const RegisterStep kRegQuantizeExtremes{"quantize/extremes",
+                                        make_quantize_extremes};
+const RegisterStep kRegQuantizeCombine{"quantize/combine",
+                                       make_quantize_combine};
+const RegisterStep kRegQuantizeSnap{"quantize/snap", make_quantize_snap};
+const RegisterStep kRegGridsBuild{"grids/build", make_grids_build};
+const RegisterStep kRegPathsCompute{"paths/compute", make_paths_compute};
+const RegisterStep kRegPathsRecords{"paths/records", make_paths_records};
+
 /// Broadcast of the partition parameters (stage 3).
 void broadcast_params(Cluster& cluster, const PartitionParams& params,
                       std::size_t fanout) {
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != 0) return;
-        keys::kGrids.set(ctx.store(), params);
-      },
-      "grids/build");
+  Serializer build;
+  build.write(params);
+  cluster.run_round(StepSpec("grids/build", std::move(build)));
   mpc::broadcast_blob(cluster, 0, keys::kGrids.name, fanout);
 }
 
@@ -212,37 +285,35 @@ std::uint64_t total_failures(Cluster& cluster) {
 
 }  // namespace
 
+void mpc_quantize(Cluster& cluster, std::size_t dim, std::uint64_t delta,
+                  std::size_t fanout) {
+  const obs::Span span("emb", "quantize", "delta", delta);
+  Serializer extremes;
+  extremes.write(static_cast<std::uint64_t>(dim));
+  cluster.run_round(StepSpec("quantize/extremes", std::move(extremes)));
+
+  Serializer combine;
+  combine.write(static_cast<std::uint64_t>(dim));
+  combine.write(delta);
+  cluster.run_round(StepSpec("quantize/combine", std::move(combine)));
+
+  mpc::broadcast_blob(cluster, 0, keys::kBox, fanout);
+
+  Serializer snap;
+  snap.write(static_cast<std::uint64_t>(dim));
+  snap.write(delta);
+  cluster.run_round(StepSpec("quantize/snap", std::move(snap)));
+}
+
 std::uint64_t run_partition_attempt(Cluster& cluster, std::size_t dim,
                                     const PartitionParams& params,
                                     std::size_t fanout) {
   const obs::Span span("emb", "partition-attempt");
   broadcast_params(cluster, params, fanout);
 
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto p = keys::kGrids.get(ctx.store());
-        keys::kGrids.erase(ctx.store());
-        std::vector<KV> edges;
-        std::vector<KV> leaves;
-        std::uint64_t last_point = ~0ull;
-        const std::uint64_t failures = compute_paths(
-            ctx, dim, p,
-            [&](std::uint64_t point, std::size_t level,
-                std::uint64_t parent, std::uint64_t child) {
-              edges.push_back(KV{child, parent});
-              if (point != last_point) {
-                leaves.push_back(KV{point, child});
-                last_point = point;
-              } else {
-                leaves.back().value = child;
-              }
-              (void)level;
-            });
-        keys::kEdges.set(ctx.store(), edges);
-        keys::kLeaf.set(ctx.store(), leaves);
-        keys::kFail.set(ctx.store(), failures);
-      },
-      "paths/compute");
+  Serializer compute;
+  compute.write(static_cast<std::uint64_t>(dim));
+  cluster.run_round(StepSpec("paths/compute", std::move(compute)));
 
   return total_failures(cluster);
 }
@@ -254,27 +325,10 @@ std::uint64_t run_path_records_attempt(Cluster& cluster, std::size_t dim,
   const obs::Span span("emb", "path-records-attempt");
   broadcast_params(cluster, params, fanout);
 
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto p = keys::kGrids.get(ctx.store());
-        keys::kGrids.erase(ctx.store());
-        std::vector<KV> records;
-        std::vector<KV> links;
-        const std::uint64_t failures = compute_paths(
-            ctx, dim, p,
-            [&](std::uint64_t point, std::size_t level,
-                std::uint64_t parent, std::uint64_t child) {
-              records.push_back(KV{pack_level_node(level, child), point});
-              if (emit_links) {
-                links.push_back(KV{pack_level_node(level, child),
-                                   pack_level_node(level - 1, parent)});
-              }
-            });
-        keys::kNodes.set(ctx.store(), records);
-        if (emit_links) keys::kLinks.set(ctx.store(), links);
-        keys::kFail.set(ctx.store(), failures);
-      },
-      "paths/records");
+  Serializer records;
+  records.write(static_cast<std::uint64_t>(dim));
+  records.write(static_cast<std::uint8_t>(emit_links ? 1 : 0));
+  cluster.run_round(StepSpec("paths/records", std::move(records)));
 
   return total_failures(cluster);
 }

@@ -71,6 +71,36 @@ Frame decode(std::span<const std::uint8_t> payload) {
       }
       return frame;
     }
+    case FrameKind::kStep: {
+      auto& step = frame.step;
+      step.rank = d.read<mpc::MachineId>();
+      step.round = d.read<std::uint64_t>();
+      frame.round = step.round;
+      step.step_name = d.read_string();
+      step.step_params = read_buffer(d);
+      step.reset_store = d.read<std::uint8_t>() != 0;
+      step.inject_kill = d.read<std::uint8_t>() != 0;
+      const auto num_patch = d.read<std::uint64_t>();
+      step.store_patch.reserve(num_patch);
+      for (std::uint64_t i = 0; i < num_patch; ++i) {
+        StoreDelta delta;
+        delta.key = d.read_string();
+        delta.present = d.read<std::uint8_t>() != 0;
+        if (delta.present) delta.blob = read_buffer(d);
+        step.store_patch.push_back(std::move(delta));
+      }
+      const auto num_messages = d.read<std::uint64_t>();
+      step.inbox.reserve(num_messages);
+      for (std::uint64_t i = 0; i < num_messages; ++i) {
+        mpc::Message message;
+        message.from = d.read<mpc::MachineId>();
+        message.payload = read_buffer(d);
+        step.inbox.push_back(std::move(message));
+      }
+      return frame;
+    }
+    case FrameKind::kShutdown:
+      return frame;
   }
   throw MpteError("ipc frame: unknown kind " +
                   std::to_string(static_cast<std::uint32_t>(frame.kind)));
@@ -115,6 +145,44 @@ mpc::Buffer encode_commit(std::uint64_t round) {
   Serializer s;
   s.write(static_cast<std::uint32_t>(FrameKind::kCommit));
   s.write(round);
+  return envelope(s);
+}
+
+mpc::Buffer encode_step(const StepFrame& frame) {
+  // Payload-size hint: sized up front so the hot path (one kStep per rank
+  // per round) reallocates at most once even for large patches.
+  std::size_t hint = 64 + frame.step_name.size() + frame.step_params.size();
+  for (const auto& delta : frame.store_patch) {
+    hint += 32 + delta.key.size() + delta.blob.size();
+  }
+  for (const auto& message : frame.inbox) {
+    hint += 16 + message.payload.size();
+  }
+  Serializer s(hint);
+  s.write(static_cast<std::uint32_t>(FrameKind::kStep));
+  s.write(frame.rank);
+  s.write(frame.round);
+  s.write_string(frame.step_name);
+  write_buffer(s, frame.step_params);
+  s.write(static_cast<std::uint8_t>(frame.reset_store ? 1 : 0));
+  s.write(static_cast<std::uint8_t>(frame.inject_kill ? 1 : 0));
+  s.write(static_cast<std::uint64_t>(frame.store_patch.size()));
+  for (const auto& delta : frame.store_patch) {
+    s.write_string(delta.key);
+    s.write(static_cast<std::uint8_t>(delta.present ? 1 : 0));
+    if (delta.present) write_buffer(s, delta.blob);
+  }
+  s.write(static_cast<std::uint64_t>(frame.inbox.size()));
+  for (const auto& message : frame.inbox) {
+    s.write(message.from);
+    write_buffer(s, message.payload);
+  }
+  return envelope(s);
+}
+
+mpc::Buffer encode_shutdown() {
+  Serializer s;
+  s.write(static_cast<std::uint32_t>(FrameKind::kShutdown));
   return envelope(s);
 }
 

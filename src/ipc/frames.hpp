@@ -12,10 +12,14 @@
 // 16-byte prefix, learns the payload size, then receives payload+digest
 // in a single Buffer::from_fd allocation and verifies the digest.
 //
-// Three frame kinds make up the whole protocol. The worker sends exactly
+// Frame kinds, by worker mode. Fork-per-round: the worker sends exactly
 // one kResult (its store delta + outbox) or one kError (its step threw),
 // then blocks until the coordinator's kCommit releases it — that reply is
-// the round barrier.
+// the round barrier. Persistent: the coordinator sends one kStep per
+// round (the named StepSpec, a store patch, and the rank's delivered
+// inbox); the worker answers kResult/kError and loops straight back into
+// a blocking read — the *next* kStep is the implicit commit, and a
+// kShutdown (or plain EOF when the pool dies) ends the worker.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +41,11 @@ enum class FrameKind : std::uint32_t {
   kCommit = 2,
   /// Worker -> coordinator: the step threw; the payload is the message.
   kError = 3,
+  /// Coordinator -> persistent worker: execute one round (named step +
+  /// store patch + delivered inbox).
+  kStep = 4,
+  /// Coordinator -> persistent worker: exit cleanly.
+  kShutdown = 5,
 };
 
 /// One store mutation observed during a step: `key` now maps to `blob`
@@ -64,12 +73,36 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// Coordinator -> persistent worker: everything one rank needs to run one
+/// round. The worker's store survives between rounds, so `store_patch`
+/// carries only what changed coordinator-side since the last kStep this
+/// worker saw (host-side writes, fork-fallback rounds) — or, with
+/// `reset_store`, a full resync after (re)spawn.
+struct StepFrame {
+  mpc::MachineId rank = 0;
+  std::uint64_t round = 0;
+  /// Registered step name; resolved in the worker via StepRegistry.
+  std::string step_name;
+  /// Serialized parameters for the registered factory.
+  mpc::Buffer step_params;
+  /// Clear the worker's resident store before applying `store_patch`
+  /// (the patch is then the coordinator's full authoritative store).
+  bool reset_store = false;
+  /// Test-only fault injection: _exit before executing the step.
+  bool inject_kill = false;
+  /// Sorted by key — deterministic bytes.
+  std::vector<StoreDelta> store_patch;
+  /// The rank's delivered inbox for this round, in source-rank order.
+  std::vector<mpc::Message> inbox;
+};
+
 /// A decoded frame; `kind` selects which member is meaningful.
 struct Frame {
   FrameKind kind = FrameKind::kCommit;
   std::uint64_t round = 0;
   ResultFrame result;
   ErrorFrame error;
+  StepFrame step;
   /// Total envelope bytes this frame occupied on the wire.
   std::size_t wire_bytes = 0;
 };
@@ -77,6 +110,8 @@ struct Frame {
 mpc::Buffer encode_result(const ResultFrame& frame);
 mpc::Buffer encode_error(const ErrorFrame& frame);
 mpc::Buffer encode_commit(std::uint64_t round);
+mpc::Buffer encode_step(const StepFrame& frame);
+mpc::Buffer encode_shutdown();
 
 /// Writes one encoded frame to `fd`.
 Status write_frame(int fd, const mpc::Buffer& encoded);

@@ -5,14 +5,14 @@
 
 #include <chrono>
 #include <exception>
+#include <functional>
 #include <utility>
 
 #include "common/parallel.hpp"
 #include "ipc/frames.hpp"
-#include "ipc/process_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "simd/arena.hpp"
+#include "mpc/step.hpp"
 
 namespace mpte::ipc {
 
@@ -36,10 +36,31 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Rank-side body of one round. Never returns: the child ships its result
-/// (or the step's error), waits for the coordinator's commit — the round
-/// barrier — and _exits without running static destructors or flushing
-/// stdio inherited from the coordinator.
+/// The rank's post-step result: its store delta (dirty keys, sorted) plus
+/// its captured outbox. Shared by both worker modes, so the delta a
+/// persistent worker ships is byte-identical to a forked worker's.
+ResultFrame build_result(mpc::MachineId rank, std::size_t round,
+                         const mpc::Machine& machine, mpc::Outbox& outbox) {
+  ResultFrame frame;
+  frame.rank = rank;
+  frame.round = round;
+  const mpc::LocalStore& store = machine.store;
+  for (const std::string& key : store.dirty_keys()) {
+    StoreDelta delta;
+    delta.key = key;
+    delta.present = store.contains(key);
+    if (delta.present) delta.blob = store.blob(key);
+    frame.store_delta.push_back(std::move(delta));
+  }
+  frame.fragments = std::move(outbox.fragments);
+  frame.channel_bytes = std::move(outbox.channel_bytes);
+  return frame;
+}
+
+/// Rank-side body of one fork-per-round worker. Never returns: the child
+/// ships its result (or the step's error), waits for the coordinator's
+/// commit — the round barrier — and _exits without running static
+/// destructors or flushing stdio inherited from the coordinator.
 [[noreturn]] void worker_main(std::vector<mpc::Machine>& machines,
                               std::vector<mpc::Outbox>& outboxes,
                               const mpc::Step& step, std::size_t round,
@@ -53,24 +74,9 @@ double seconds_since(Clock::time_point start) {
   try {
     const std::size_t m = machines.size();
     machines[rank].store.clear_dirty();
-    {
-      simd::ScratchScope scratch_scope;
-      mpc::MachineContext ctx(rank, m, machines[rank], outboxes[rank]);
-      step(ctx);
-    }
-    ResultFrame frame;
-    frame.rank = rank;
-    frame.round = round;
-    const mpc::LocalStore& store = machines[rank].store;
-    for (const std::string& key : store.dirty_keys()) {
-      StoreDelta delta;
-      delta.key = key;
-      delta.present = store.contains(key);
-      if (delta.present) delta.blob = store.blob(key);
-      frame.store_delta.push_back(std::move(delta));
-    }
-    frame.fragments = std::move(outboxes[rank].fragments);
-    frame.channel_bytes = std::move(outboxes[rank].channel_bytes);
+    mpc::execute_rank_step(rank, m, machines[rank], outboxes[rank], step);
+    const ResultFrame frame =
+        build_result(rank, round, machines[rank], outboxes[rank]);
     if (!write_frame(fd, encode_result(frame)).ok()) _exit(2);
     // Barrier: hold until the coordinator commits the round (or dies —
     // either way the reply read ends) so it can still reach us if the
@@ -86,6 +92,59 @@ double seconds_since(Clock::time_point start) {
     _exit(1);
   } catch (...) {
     _exit(3);
+  }
+}
+
+/// Rank-side loop of one persistent worker. The Machine (store + inbox)
+/// lives here across rounds; each kStep patches it, runs the registered
+/// step, and answers with the dirty-key result delta. The next kStep is
+/// the implicit commit; EOF (coordinator teardown or exit) or kShutdown
+/// ends the loop. A step exception answers kError and keeps looping —
+/// the coordinator decides whether the pool lives on.
+[[noreturn]] void persistent_worker_main(std::size_t m, mpc::MachineId rank,
+                                         int fd) {
+  par::set_default_threads(1);
+  mpc::Machine machine;
+  mpc::Outbox outbox;
+  outbox.fragments.resize(m);
+  for (;;) {
+    auto frame = read_frame(fd, -1);
+    if (!frame.ok()) _exit(0);  // coordinator closed our socket: clean end
+    if (frame->kind == FrameKind::kShutdown) _exit(0);
+    if (frame->kind != FrameKind::kStep) _exit(4);
+    StepFrame& step = frame->step;
+    if (step.inject_kill) _exit(9);  // IpcOptions kill: vanish mid-round
+    try {
+      if (step.reset_store) machine.store.clear();
+      for (StoreDelta& delta : step.store_patch) {
+        if (delta.present) {
+          machine.store.set_blob(delta.key, std::move(delta.blob));
+        } else {
+          machine.store.erase(delta.key);
+        }
+      }
+      machine.inbox = std::move(step.inbox);
+      // Per-round deltas: only keys this step touches go back up.
+      machine.store.clear_dirty();
+      for (auto& cell : outbox.fragments) cell.clear();
+      outbox.channel_bytes.clear();
+      const mpc::Step body = mpc::StepRegistry::global().instantiate(
+          step.step_name, step.step_params.span());
+      mpc::execute_rank_step(rank, m, machine, outbox, body);
+      ResultFrame result = build_result(rank, step.round, machine, outbox);
+      if (!write_frame(fd, encode_result(result)).ok()) _exit(2);
+      outbox.fragments.assign(m, {});  // moved out by build_result
+    } catch (const std::exception& e) {
+      ErrorFrame error;
+      error.rank = rank;
+      error.round = step.round;
+      error.message = e.what();
+      if (!write_frame(fd, encode_error(error)).ok()) _exit(1);
+      // Our resident store may hold a half-executed step now; the
+      // coordinator tears the pool down on kError, so the next read EOFs.
+    } catch (...) {
+      _exit(3);
+    }
   }
 }
 
@@ -110,14 +169,59 @@ WorkerLost::WorkerLost(mpc::MachineId rank, std::size_t round, Cause cause,
                       "): " + detail),
       cause_(cause) {}
 
+ProcBackend::~ProcBackend() {
+  if (!pool_) return;
+  // Graceful end-of-life: ask every live worker to _exit(0), then join.
+  // Workers blocked in read_frame see either the kShutdown or the EOF
+  // when the pool closes fds; the pool destructor SIGKILLs stragglers.
+  const mpc::Buffer shutdown = encode_shutdown();
+  for (mpc::MachineId rank = 0; rank < pool_->size(); ++rank) {
+    (void)write_frame(pool_->fd(rank), shutdown);
+  }
+  (void)pool_->join_all(1000);
+  pool_.reset();
+}
+
+void ProcBackend::teardown_pool() {
+  if (pool_) {
+    pool_->kill_all();
+    pool_.reset();
+  }
+  synced_.assign(synced_.size(), false);
+}
+
+void ProcBackend::invalidate_workers() { teardown_pool(); }
+
 void ProcBackend::run_steps(const mpc::ClusterConfig& config,
                             std::vector<mpc::Machine>& machines,
                             std::vector<mpc::Outbox>& outboxes,
-                            const mpc::Step& step, std::size_t round) {
+                            const mpc::StepSpec& spec, std::size_t round) {
+  const bool persistent =
+      config.ipc.workers == mpc::IpcOptions::WorkerMode::kPersistent;
+  if (persistent && spec.named()) {
+    run_persistent_round(config, machines, outboxes, spec, round);
+    return;
+  }
+  // A hosted closure cannot be shipped to a long-lived worker; execute it
+  // the pre-persistent way (fork inherits the closure copy-on-write). A
+  // live persistent pool just stays blocked in its frame read meanwhile —
+  // the coordinator's dirty keys accumulate this round's results, so the
+  // next kStep patches them across.
+  if (persistent) ++stats_.fallback_rounds;
+  run_fork_round(config, machines, outboxes, spec, round);
+}
+
+void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
+                                 std::vector<mpc::Machine>& machines,
+                                 std::vector<mpc::Outbox>& outboxes,
+                                 const mpc::StepSpec& spec,
+                                 std::size_t round) {
   const std::size_t m = machines.size();
-  const obs::Span span("ipc", "round/steps", "round", round);
-  // Per-round deltas: only keys this round's step touches cross the wire.
-  for (auto& machine : machines) machine.store.clear_dirty();
+  const obs::Span span("ipc",
+                       spec.named() ? "round/steps/" + spec.name
+                                    : std::string("round/steps"),
+                       "round", round);
+  const mpc::Step step = mpc::resolve_step(spec);
 
   const bool inject_kill =
       !kill_fired_ && config.ipc.kill_at_round >= 0 &&
@@ -134,6 +238,7 @@ void ProcBackend::run_steps(const mpc::ClusterConfig& config,
   }
   ProcessPool pool = std::move(*spawned);
   ++stats_.rounds;
+  if (spec.named()) ++stats_.step_rounds[spec.name];
   stats_.workers_forked += m;
 
   // Barrier: one result (or error) frame per rank, bounded by the round
@@ -195,7 +300,9 @@ void ProcBackend::run_steps(const mpc::ClusterConfig& config,
   }
 
   // Apply: the coordinator's state becomes the post-step state. From here
-  // run_round's shared audit/delivery path takes over.
+  // run_round's shared audit/delivery path takes over. The applied keys
+  // stay dirty coordinator-side — a resident persistent pool (fallback
+  // round) has not seen them yet and needs them in its next patch.
   const Clock::time_point apply_start = Clock::now();
   {
     const obs::Span apply_span("ipc", "round/apply", "round", round);
@@ -232,6 +339,177 @@ void ProcBackend::run_steps(const mpc::ClusterConfig& config,
   (void)pool.join_all(config.ipc.round_deadline_ms);
 }
 
+void ProcBackend::run_persistent_round(const mpc::ClusterConfig& config,
+                                       std::vector<mpc::Machine>& machines,
+                                       std::vector<mpc::Outbox>& outboxes,
+                                       const mpc::StepSpec& spec,
+                                       std::size_t round) {
+  const std::size_t m = machines.size();
+  const obs::Span span("ipc", "round/steps/" + spec.name, "round", round);
+
+  if (!pool_) {
+    auto spawned = ProcessPool::spawn(
+        m, [m](mpc::MachineId rank, int fd) {
+          persistent_worker_main(m, rank, fd);
+        });
+    if (!spawned.ok()) {
+      throw MpteError("ipc: " + spawned.status().to_string());
+    }
+    pool_.emplace(std::move(*spawned));
+    stats_.workers_forked += m;
+    if (ever_spawned_) stats_.workers_respawned += m;
+    ever_spawned_ = true;
+    synced_.assign(m, false);
+  }
+  ++stats_.rounds;
+  ++stats_.step_rounds[spec.name];
+
+  const bool inject_kill =
+      !kill_fired_ && config.ipc.kill_at_round >= 0 &&
+      static_cast<std::uint64_t>(config.ipc.kill_at_round) == round;
+  if (inject_kill) kill_fired_ = true;
+
+  const Clock::time_point barrier_start = Clock::now();
+  const Clock::time_point deadline =
+      barrier_start + std::chrono::milliseconds(config.ipc.round_deadline_ms);
+
+  // Ship one kStep per rank: the spec, the store patch (full resync for
+  // an unsynced worker; dirty keys — host writes since the last kStep,
+  // fallback-round results — otherwise), and the delivered inbox. Inbox
+  // Buffers are slab-shared with the coordinator's machines; only the
+  // wire serialization copies.
+  const mpc::Buffer params_wire(spec.params);
+  for (mpc::MachineId rank = 0; rank < m; ++rank) {
+    StepFrame step;
+    step.rank = rank;
+    step.round = round;
+    step.step_name = spec.name;
+    step.step_params = params_wire;
+    step.inject_kill = inject_kill && rank == config.ipc.kill_rank;
+    mpc::LocalStore& store = machines[rank].store;
+    if (!synced_[rank]) {
+      step.reset_store = true;
+      ++stats_.store_resyncs;
+      for (const auto& [key, blob] : store.entries()) {
+        step.store_patch.push_back(StoreDelta{key, true, blob});
+      }
+    } else {
+      for (const std::string& key : store.dirty_keys()) {
+        StoreDelta delta;
+        delta.key = key;
+        delta.present = store.contains(key);
+        if (delta.present) delta.blob = store.blob(key);
+        step.store_patch.push_back(std::move(delta));
+      }
+    }
+    for (const auto& delta : step.store_patch) {
+      stats_.store_patch_bytes += delta.blob.size();
+    }
+    step.inbox = machines[rank].inbox;
+    const mpc::Buffer encoded = encode_step(step);
+    if (!write_frame(pool_->fd(rank), encoded).ok()) {
+      ++stats_.workers_lost;
+      std::string detail = "step frame write failed";
+      if (pool_->try_reap(rank)) {
+        detail += "; worker " + describe_exit(pool_->exit_status(rank));
+      }
+      teardown_pool();
+      throw WorkerLost(rank, round, WorkerLost::Cause::kDied, detail);
+    }
+    ++stats_.step_frames_sent;
+    stats_.step_wire_bytes += encoded.size();
+    // The worker now holds everything the coordinator does for this rank.
+    // (If the round fails below, teardown_pool marks it unsynced again.)
+    store.clear_dirty();
+    synced_[rank] = true;
+  }
+
+  // Barrier: one result (or error) frame per rank, bounded by the round
+  // deadline — identical failure taxonomy to fork mode, plus whole-pool
+  // teardown so the next round respawns + resyncs.
+  std::vector<Frame> frames;
+  frames.reserve(m);
+  {
+    const obs::Span barrier_span("ipc", "round/barrier", "round", round);
+    for (mpc::MachineId rank = 0; rank < m; ++rank) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - Clock::now());
+      auto frame = read_frame(
+          pool_->fd(rank),
+          static_cast<int>(std::max<std::int64_t>(0, remaining.count())));
+      if (!frame.ok()) {
+        ++stats_.workers_lost;
+        WorkerLost::Cause cause = WorkerLost::Cause::kDied;
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+          cause = WorkerLost::Cause::kDeadline;
+        } else if (frame.status().code() == StatusCode::kInvalidArgument) {
+          cause = WorkerLost::Cause::kProtocol;
+        }
+        std::string detail = frame.status().message();
+        if (pool_->try_reap(rank)) {
+          detail += "; worker " + describe_exit(pool_->exit_status(rank));
+        }
+        teardown_pool();
+        throw WorkerLost(rank, round, cause, detail);
+      }
+      ++stats_.frames_received;
+      stats_.result_wire_bytes += frame->wire_bytes;
+      frames.push_back(std::move(*frame));
+    }
+  }
+  stats_.barrier_seconds += seconds_since(barrier_start);
+
+  // Validate before mutating anything. On kError the worker's resident
+  // store may hold a half-executed step, so the pool goes down with the
+  // round; the coordinator's own state is untouched either way.
+  for (mpc::MachineId rank = 0; rank < m; ++rank) {
+    const Frame& frame = frames[rank];
+    if (frame.kind == FrameKind::kError) {
+      teardown_pool();
+      throw MpteError(frames[rank].error.message);
+    }
+    if (frame.kind != FrameKind::kResult || frame.result.rank != rank ||
+        frame.result.round != round ||
+        frame.result.fragments.size() != m) {
+      ++stats_.workers_lost;
+      teardown_pool();
+      throw WorkerLost(rank, round, WorkerLost::Cause::kProtocol,
+                       "result frame does not match (rank, round, M)");
+    }
+  }
+
+  // Apply, then clear the applied keys' dirty marks: the worker computed
+  // these values itself, so its resident store already agrees — the next
+  // patch need not echo them back.
+  const Clock::time_point apply_start = Clock::now();
+  {
+    const obs::Span apply_span("ipc", "round/apply", "round", round);
+    for (mpc::MachineId rank = 0; rank < m; ++rank) {
+      ResultFrame& result = frames[rank].result;
+      for (StoreDelta& delta : result.store_delta) {
+        stats_.store_delta_bytes += delta.blob.size();
+        if (delta.present) {
+          machines[rank].store.set_blob(delta.key, std::move(delta.blob));
+        } else {
+          machines[rank].store.erase(delta.key);
+        }
+      }
+      for (const auto& cell : result.fragments) {
+        for (const auto& fragment : cell) {
+          stats_.fragment_bytes += fragment.size();
+        }
+      }
+      outboxes[rank].fragments = std::move(result.fragments);
+      outboxes[rank].channel_bytes = std::move(result.channel_bytes);
+      machines[rank].store.clear_dirty();
+    }
+  }
+  stats_.apply_seconds += seconds_since(apply_start);
+  // No commit frame: each worker is already blocked reading its next
+  // kStep, which is the implicit commit of this one.
+}
+
 void ProcBackend::export_metrics(obs::Registry& registry) const {
   const auto c = [&](const std::string& name, const std::string& help,
                      std::uint64_t value) {
@@ -250,7 +528,7 @@ void ProcBackend::export_metrics(obs::Registry& registry) const {
     "Worker-to-coordinator result frame bytes on the wire.",
     stats_.result_wire_bytes);
   c("mpte_ipc_commit_wire_bytes_total",
-    "Coordinator-to-worker commit frame bytes on the wire.",
+    "Coordinator-to-worker commit frame bytes on the wire (fork mode).",
     stats_.commit_wire_bytes);
   c("mpte_ipc_store_delta_bytes_total",
     "Store-delta payload bytes shipped inside result frames.",
@@ -258,9 +536,33 @@ void ProcBackend::export_metrics(obs::Registry& registry) const {
   c("mpte_ipc_fragment_bytes_total",
     "Outbox fragment payload bytes shipped inside result frames.",
     stats_.fragment_bytes);
+  c("mpte_ipc_step_frames_sent_total",
+    "kStep frames shipped to persistent workers.", stats_.step_frames_sent);
+  c("mpte_ipc_step_wire_bytes_total",
+    "Coordinator-to-worker kStep frame bytes on the wire.",
+    stats_.step_wire_bytes);
+  c("mpte_ipc_store_patch_bytes_total",
+    "Store-patch payload bytes shipped inside kStep frames.",
+    stats_.store_patch_bytes);
+  c("mpte_ipc_workers_respawned_total",
+    "Persistent workers forked again after a pool teardown.",
+    stats_.workers_respawned);
+  c("mpte_ipc_store_resyncs_total",
+    "Full store resyncs shipped to (re)spawned persistent workers.",
+    stats_.store_resyncs);
+  c("mpte_ipc_fallback_rounds_total",
+    "Rounds that fell back to fork-per-round (hosted closure spec).",
+    stats_.fallback_rounds);
+  for (const auto& [step, rounds] : stats_.step_rounds) {
+    registry
+        .counter("mpte_ipc_step_rounds_total",
+                 "Rounds executed per registered step name.",
+                 {{"step", step}})
+        .set(rounds);
+  }
   registry
       .gauge("mpte_ipc_barrier_seconds",
-             "Cumulative fork-to-last-frame barrier time.")
+             "Cumulative provision-to-last-frame barrier time.")
       .set(stats_.barrier_seconds);
   registry
       .gauge("mpte_ipc_apply_seconds",

@@ -79,6 +79,7 @@ void Cluster::resume_from(ClusterState state) {
   skip_rounds_ = state.records.size();
   stats_.rollback(std::move(state.records));
   driver_note_ = std::move(state.driver_note);
+  if (executor_) executor_->invalidate_workers();
 }
 
 void Cluster::reset_to_start() {
@@ -89,9 +90,11 @@ void Cluster::reset_to_start() {
   skip_rounds_ = 0;
   stats_.rollback({});
   driver_note_ = Buffer();
+  if (executor_) executor_->invalidate_workers();
 }
 
-void Cluster::run_round(const Step& step, std::string label) {
+void Cluster::run_round(const StepSpec& spec, std::string label) {
+  if (label.empty()) label = spec.name;
   if (skip_rounds_ > 0) {
     // Fast-forward after resume_from: the restored state already contains
     // this round's effects, and its restored RoundRecord stands in for the
@@ -141,15 +144,16 @@ void Cluster::run_round(const Step& step, std::string label) {
   auto& outboxes = outboxes_;
   if (config_.backend == Backend::kMultiProcess) {
     if (!executor_) executor_ = make_multiprocess_executor();
-    executor_->run_steps(config_, machines_, outboxes_, step, round);
+    executor_->run_steps(config_, machines_, outboxes_, spec, round);
   } else {
+    // Resolve once (registry lookup or hosted closure) and share the Step
+    // across threads — std::function invocation is const and race-free.
+    const Step step = resolve_step(spec);
     par::parallel_for(
         0, m,
         [&](std::size_t begin, std::size_t end) {
           for (MachineId id = begin; id < end; ++id) {
-            simd::ScratchScope scratch_scope;
-            MachineContext ctx(id, m, machines_[id], outboxes[id]);
-            step(ctx);
+            execute_rank_step(id, m, machines_[id], outboxes[id], step);
           }
         },
         config_.num_threads);

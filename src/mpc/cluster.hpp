@@ -40,6 +40,7 @@
 #include "common/status.hpp"
 #include "mpc/machine.hpp"
 #include "mpc/round_stats.hpp"
+#include "mpc/step.hpp"
 
 namespace mpte::obs {
 class Registry;
@@ -111,9 +112,17 @@ enum class Backend : std::uint8_t { kInProcess = 0, kMultiProcess = 1 };
 
 /// Knobs for the multi-process backend; ignored under kInProcess.
 struct IpcOptions {
-  /// Wall-clock budget for one round barrier (fork every worker, execute
-  /// the step, collect every result frame). A worker that misses it is
-  /// lost: run_round throws ipc::WorkerLost (Cause::kDeadline).
+  /// How workers are provisioned. kPersistent (the default) forks each
+  /// rank once, keeps its LocalStore resident, and ships a kStep frame
+  /// (StepSpec + delivered inbox) down each round — rounds that run a
+  /// hosted closure fall back to fork-per-round transparently.
+  /// kForkPerRound forks every rank every round (the pre-persistent
+  /// behavior; closures and named steps alike inherit state copy-on-write).
+  enum class WorkerMode : std::uint8_t { kForkPerRound = 0, kPersistent = 1 };
+  WorkerMode workers = WorkerMode::kPersistent;
+  /// Wall-clock budget for one round barrier (provision every worker,
+  /// execute the step, collect every result frame). A worker that misses
+  /// it is lost: run_round throws ipc::WorkerLost (Cause::kDeadline).
   int round_deadline_ms = 60'000;
   /// Test-only fault injection: worker `kill_rank` _exits without sending
   /// its result frame when executing round `kill_at_round` (< 0 = off).
@@ -209,9 +218,6 @@ class MachineContext {
   Outbox& outbox_;
 };
 
-/// Step function executed by every machine in a round.
-using Step = std::function<void(MachineContext&)>;
-
 class Cluster;
 
 /// Strategy that executes the machine steps of one round, leaving each
@@ -225,18 +231,24 @@ class RoundExecutor {
  public:
   virtual ~RoundExecutor() = default;
 
-  /// Executes `step` for every rank of round `round`. Must either leave
+  /// Executes `spec` for every rank of round `round`. Must either leave
   /// machines/outboxes in the exact post-step state the in-process path
   /// would produce, or throw without mutating them (so a failed round can
   /// be retried from a checkpoint).
   virtual void run_steps(const ClusterConfig& config,
                          std::vector<Machine>& machines,
-                         std::vector<Outbox>& outboxes, const Step& step,
+                         std::vector<Outbox>& outboxes, const StepSpec& spec,
                          std::size_t round) = 0;
 
   /// Mirrors the executor's transport counters into `registry` under the
   /// mpte_ipc_* names (docs/observability.md).
   virtual void export_metrics(obs::Registry& registry) const = 0;
+
+  /// Any state workers hold resident (stores shipped across rounds) is no
+  /// longer authoritative — the coordinator rewrote its machines out of
+  /// band (resume_from, reset_to_start). Persistent backends must tear
+  /// down or resync; the default (and the fork path) has nothing to do.
+  virtual void invalidate_workers() {}
 };
 
 /// Builds the multi-process executor. Declared here, defined in
@@ -318,9 +330,20 @@ class Cluster {
   std::size_t num_machines() const { return machines_.size(); }
   const ClusterConfig& config() const { return config_; }
 
-  /// Executes one MPC round: run `step` on every machine, audit the model
-  /// constraints, deliver messages. `label` tags the round in the stats.
-  void run_round(const Step& step, std::string label = "");
+  /// Executes one MPC round: run the spec's step on every machine, audit
+  /// the model constraints, deliver messages. `label` tags the round in
+  /// the stats; empty defaults to the spec's step name.
+  void run_round(const StepSpec& spec, std::string label = "");
+
+  /// Closure adapter: wraps `step` into a hosted (unnamed) StepSpec. Fine
+  /// for tests and one-off drivers; under the multi-process backend a
+  /// hosted step always executes via fork-per-round, since a closure
+  /// cannot be shipped to a persistent worker.
+  void run_round(const Step& step, std::string label = "") {
+    StepSpec spec;
+    spec.hosted = step;
+    run_round(spec, std::move(label));
+  }
 
   /// Host-side access to a machine's store. Loading the initial input and
   /// reading the final output happen through this (the model assumes input

@@ -1,10 +1,10 @@
 #include "mpc/primitives.hpp"
 
 #include <algorithm>
-#include <functional>
 
 #include "common/rng.hpp"
 #include "mpc/channel.hpp"
+#include "mpc/step.hpp"
 
 namespace mpte::mpc {
 
@@ -13,190 +13,172 @@ bool kv_less(const KV& a, const KV& b) {
   return a.value < b.value;
 }
 
-void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
-                    std::size_t fanout) {
-  if (fanout == 0) throw MpteError("broadcast_blob: fanout must be >= 1");
-  const std::size_t m = cluster.num_machines();
-  // Virtual ranks place the root at 0; holders are virtual ranks < holders.
-  const auto to_virtual = [&](MachineId real) {
-    return (real + m - root) % m;
-  };
-  const auto to_real = [&](std::size_t virt) {
-    return static_cast<MachineId>((virt + root) % m);
-  };
-
-  std::size_t holders = 1;
-  while (holders < m) {
-    const std::size_t holders_before = holders;
-    cluster.run_round(
-        [&](MachineContext& ctx) {
-          // A machine that received the blob last round persists it first —
-          // it may already be a sender this round. Persisting shares the
-          // delivered slab; forwarding shares it again: the blob is
-          // materialized once, cluster-wide, no matter how many receivers.
-          if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
-            ctx.store().set_blob(key, ctx.inbox().front().payload);
-          }
-          const std::size_t virt = to_virtual(ctx.id());
-          if (virt < holders_before) {
-            // Holder #virt feeds virtual ranks holders_before + virt*fanout
-            // + j for j < fanout.
-            for (std::size_t j = 0; j < fanout; ++j) {
-              const std::size_t dest_virt =
-                  holders_before + virt * fanout + j;
-              if (dest_virt >= m) break;
-              ctx.send(to_real(dest_virt), ctx.store().blob(key), key);
-            }
-          }
-        },
-        "broadcast/" + key);
-    holders = std::min(m, holders_before * (fanout + 1));
-  }
-  // Final delivery round: ranks that received in the last exchange still
-  // hold the blob only in their inbox; persist it.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
-          ctx.store().set_blob(key, ctx.inbox().front().payload);
-        }
-      },
-      "broadcast/" + key + "/persist");
-}
-
+// Every round body below is a *registered named step*: the factory
+// deserializes the round's parameters from the spec's Buffer and returns
+// the step closure. Nothing data-dependent is captured host-side — that
+// is what lets the multi-process backend ship the (name, params) pair to
+// a persistent worker and rebuild the identical step there.
 namespace {
 
-/// Routes each machine's `in` records to hash(key) % M, storing sorted
-/// arrivals under `out`. Bytes are attributed to channel `in.name`.
-void shuffle_round(Cluster& cluster, const Key<KV>& in, const Key<KV>& out,
-                   const std::string& label) {
-  const std::size_t m = cluster.num_machines();
-  const Channel<KV> ch{in.name};
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::vector<std::vector<KV>> buckets(m);
-        if (in.in(ctx.store())) {
-          for (const KV& kv : in.get(ctx.store())) {
-            buckets[mix64(kv.key) % m].push_back(kv);
-          }
-          in.erase(ctx.store());
-        }
-        for (MachineId dst = 0; dst < m; ++dst) {
-          if (buckets[dst].empty()) continue;
-          ch.send(ctx, dst, buckets[dst]);
-        }
-      },
-      label + "/route");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        auto arrived = ch.receive(ctx);
-        std::sort(arrived.begin(), arrived.end(), kv_less);
-        out.set(ctx.store(), arrived);
-      },
-      label + "/collect");
+Step make_broadcast_forward(StepParams params) {
+  Deserializer d(params);
+  std::string key = d.read_string();
+  const auto holders_before = d.read<std::uint64_t>();
+  const auto fanout = d.read<std::uint64_t>();
+  const auto root = d.read<MachineId>();
+  return [key = std::move(key), holders_before, fanout,
+          root](MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    // Virtual ranks place the root at 0; holders are virtual ranks <
+    // holders_before. A machine that received the blob last round
+    // persists it first — it may already be a sender this round.
+    // Persisting shares the delivered slab; forwarding shares it again:
+    // the blob is materialized once, cluster-wide, no matter how many
+    // receivers.
+    if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
+      ctx.store().set_blob(key, ctx.inbox().front().payload);
+    }
+    const std::size_t virt = (ctx.id() + m - root) % m;
+    if (virt < holders_before) {
+      // Holder #virt feeds virtual ranks holders_before + virt*fanout + j
+      // for j < fanout.
+      for (std::size_t j = 0; j < fanout; ++j) {
+        const std::size_t dest_virt = holders_before + virt * fanout + j;
+        if (dest_virt >= m) break;
+        const auto dest = static_cast<MachineId>((dest_virt + root) % m);
+        ctx.send(dest, ctx.store().blob(key), key);
+      }
+    }
+  };
 }
 
-/// Shared body of the key-wise reductions: shuffle, then fold runs of equal
-/// keys with `combine` (records arrive sorted by kv_less, so equal keys are
-/// adjacent). The sum and min reductions differ only in the fold.
-void reduce_kv(Cluster& cluster, const std::string& in_key,
-               const std::string& out_key, const std::string& label,
-               const std::function<std::uint64_t(std::uint64_t,
-                                                 std::uint64_t)>& combine) {
-  const Key<KV> out{out_key};
-  shuffle_round(cluster, Key<KV>{in_key}, out, label);
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto records = out.get(ctx.store());
-        std::vector<KV> reduced;
-        for (const KV& kv : records) {
-          if (!reduced.empty() && reduced.back().key == kv.key) {
-            reduced.back().value = combine(reduced.back().value, kv.value);
-          } else {
-            reduced.push_back(kv);
-          }
-        }
-        out.set(ctx.store(), reduced);
-      },
-      label + "/combine");
+Step make_broadcast_persist(StepParams params) {
+  Deserializer d(params);
+  std::string key = d.read_string();
+  return [key = std::move(key)](MachineContext& ctx) {
+    if (!ctx.store().contains(key) && !ctx.inbox().empty()) {
+      ctx.store().set_blob(key, ctx.inbox().front().payload);
+    }
+  };
 }
 
-}  // namespace
-
-void shuffle_kv_by_key(Cluster& cluster, const std::string& in_key,
-                       const std::string& out_key) {
-  shuffle_round(cluster, Key<KV>{in_key}, Key<KV>{out_key}, "shuffle");
+Step make_shuffle_route(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  return [in = Key<KV>{in_key}, ch = Channel<KV>{in_key}](
+             MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    std::vector<std::vector<KV>> buckets(m);
+    if (in.in(ctx.store())) {
+      for (const KV& kv : in.get(ctx.store())) {
+        buckets[mix64(kv.key) % m].push_back(kv);
+      }
+      in.erase(ctx.store());
+    }
+    for (MachineId dst = 0; dst < m; ++dst) {
+      if (buckets[dst].empty()) continue;
+      ch.send(ctx, dst, buckets[dst]);
+    }
+  };
 }
 
-void dedup_kv(Cluster& cluster, const std::string& in_key,
-              const std::string& out_key) {
-  const Key<KV> out{out_key};
-  shuffle_round(cluster, Key<KV>{in_key}, out, "dedup");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        auto records = out.get(ctx.store());
-        records.erase(std::unique(records.begin(), records.end()),
-                      records.end());
-        out.set(ctx.store(), records);
-      },
-      "dedup/unique");
+Step make_shuffle_collect(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  return [ch = Channel<KV>{in_key}, out = Key<KV>{out_key}](
+             MachineContext& ctx) {
+    auto arrived = ch.receive(ctx);
+    std::sort(arrived.begin(), arrived.end(), kv_less);
+    out.set(ctx.store(), arrived);
+  };
 }
 
-void reduce_kv_sum(Cluster& cluster, const std::string& in_key,
-                   const std::string& out_key) {
-  reduce_kv(cluster, in_key, out_key, "reduce",
-            [](std::uint64_t acc, std::uint64_t v) { return acc + v; });
+/// Combiner selector for "reduce/combine" — an enum on the wire instead
+/// of a host std::function, so the fold crosses the process boundary.
+enum class Combiner : std::uint8_t { kSum = 0, kMin = 1 };
+
+Step make_reduce_combine(StepParams params) {
+  Deserializer d(params);
+  std::string out_key = d.read_string();
+  const auto combiner = static_cast<Combiner>(d.read<std::uint8_t>());
+  return [out = Key<KV>{out_key}, combiner](MachineContext& ctx) {
+    const auto records = out.get(ctx.store());
+    std::vector<KV> reduced;
+    for (const KV& kv : records) {
+      if (!reduced.empty() && reduced.back().key == kv.key) {
+        reduced.back().value =
+            combiner == Combiner::kMin
+                ? std::min(reduced.back().value, kv.value)
+                : reduced.back().value + kv.value;
+      } else {
+        reduced.push_back(kv);
+      }
+    }
+    out.set(ctx.store(), reduced);
+  };
 }
 
-void reduce_kv_min(Cluster& cluster, const std::string& in_key,
-                   const std::string& out_key) {
-  reduce_kv(cluster, in_key, out_key, "reduce-min",
-            [](std::uint64_t acc, std::uint64_t v) {
-              return std::min(acc, v);
-            });
+Step make_dedup_unique(StepParams params) {
+  Deserializer d(params);
+  std::string out_key = d.read_string();
+  return [out = Key<KV>{out_key}](MachineContext& ctx) {
+    auto records = out.get(ctx.store());
+    records.erase(std::unique(records.begin(), records.end()),
+                  records.end());
+    out.set(ctx.store(), records);
+  };
 }
 
-void sum_u64(Cluster& cluster, const std::string& in_key,
-             const std::string& out_key, MachineId root) {
-  const ValueKey<std::uint64_t> in{in_key};
-  const Channel<std::uint64_t> ch{in_key};
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const std::uint64_t value =
-            in.in(ctx.store()) ? in.get(ctx.store()) : 0;
-        ch.send_one(ctx, root, value);
-      },
-      "sum_u64/send");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != root) return;
-        std::uint64_t total = 0;
-        for (const std::uint64_t v : ch.receive_raw(ctx)) total += v;
-        ctx.store().set_value(out_key, total);
-      },
-      "sum_u64/combine");
+Step make_sum_u64_send(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  const auto root = d.read<MachineId>();
+  return [in = ValueKey<std::uint64_t>{in_key},
+          ch = Channel<std::uint64_t>{in_key}, root](MachineContext& ctx) {
+    const std::uint64_t value = in.in(ctx.store()) ? in.get(ctx.store()) : 0;
+    ch.send_one(ctx, root, value);
+  };
 }
 
-void sum_double(Cluster& cluster, const std::string& in_key,
-                const std::string& out_key, MachineId root) {
-  const ValueKey<double> in{in_key};
-  const Channel<double> ch{in_key};
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const double value = in.in(ctx.store()) ? in.get(ctx.store()) : 0.0;
-        ch.send_one(ctx, root, value);
-      },
-      "sum_double/send");
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != root) return;
-        double total = 0.0;
-        for (const double v : ch.receive_raw(ctx)) total += v;
-        ctx.store().set_value(out_key, total);
-      },
-      "sum_double/combine");
+Step make_sum_u64_combine(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  const auto root = d.read<MachineId>();
+  return [ch = Channel<std::uint64_t>{in_key},
+          out_key = std::move(out_key), root](MachineContext& ctx) {
+    if (ctx.id() != root) return;
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : ch.receive_raw(ctx)) total += v;
+    ctx.store().set_value(out_key, total);
+  };
 }
 
-namespace {
+Step make_sum_double_send(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  const auto root = d.read<MachineId>();
+  return [in = ValueKey<double>{in_key}, ch = Channel<double>{in_key},
+          root](MachineContext& ctx) {
+    const double value = in.in(ctx.store()) ? in.get(ctx.store()) : 0.0;
+    ch.send_one(ctx, root, value);
+  };
+}
+
+Step make_sum_double_combine(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  const auto root = d.read<MachineId>();
+  return [ch = Channel<double>{in_key}, out_key = std::move(out_key),
+          root](MachineContext& ctx) {
+    if (ctx.id() != root) return;
+    double total = 0.0;
+    for (const double v : ch.receive_raw(ctx)) total += v;
+    ctx.store().set_value(out_key, total);
+  };
+}
 
 /// Wire record of prefix_sum's converge-cast: which rank is reporting and
 /// its local sum.
@@ -205,59 +187,204 @@ struct RankSum {
   std::uint64_t sum;
 };
 
+Step make_prefix_local_sums(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  return [in = Key<std::uint64_t>{in_key},
+          ch = Channel<RankSum>{in_key}](MachineContext& ctx) {
+    std::uint64_t local = 0;
+    if (in.in(ctx.store())) {
+      for (const std::uint64_t v : in.get(ctx.store())) local += v;
+    }
+    ch.send_one(ctx, 0, RankSum{ctx.id(), local});
+  };
+}
+
+Step make_prefix_offsets(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string offsets_key = d.read_string();
+  return [ch = Channel<RankSum>{in_key},
+          offsets = Key<std::uint64_t>{offsets_key}](MachineContext& ctx) {
+    if (ctx.id() != 0) return;
+    std::vector<std::uint64_t> sums(ctx.num_machines(), 0);
+    for (const RankSum& rs : ch.receive_raw(ctx)) {
+      sums.at(rs.rank) = rs.sum;
+    }
+    std::vector<std::uint64_t> out(ctx.num_machines(), 0);
+    for (std::size_t r = 1; r < out.size(); ++r) {
+      out[r] = out[r - 1] + sums[r - 1];
+    }
+    offsets.set(ctx.store(), out);
+  };
+}
+
+Step make_prefix_scan(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  return [in = Key<std::uint64_t>{in_key},
+          offsets = Key<std::uint64_t>{out_key + "/__offsets"},
+          out_key = std::move(out_key)](MachineContext& ctx) {
+    const auto machine_offsets = offsets.get(ctx.store());
+    offsets.erase(ctx.store());
+    std::vector<std::uint64_t> out;
+    if (in.in(ctx.store())) {
+      std::uint64_t running = machine_offsets[ctx.id()];
+      for (const std::uint64_t v : in.get(ctx.store())) {
+        out.push_back(running);
+        running += v;
+      }
+    }
+    ctx.store().set_vector(out_key, out);
+  };
+}
+
+const RegisterStep kRegBroadcastForward{"broadcast/forward",
+                                        make_broadcast_forward};
+const RegisterStep kRegBroadcastPersist{"broadcast/persist",
+                                        make_broadcast_persist};
+const RegisterStep kRegShuffleRoute{"shuffle/route", make_shuffle_route};
+const RegisterStep kRegShuffleCollect{"shuffle/collect", make_shuffle_collect};
+const RegisterStep kRegReduceCombine{"reduce/combine", make_reduce_combine};
+const RegisterStep kRegDedupUnique{"dedup/unique", make_dedup_unique};
+const RegisterStep kRegSumU64Send{"sum_u64/send", make_sum_u64_send};
+const RegisterStep kRegSumU64Combine{"sum_u64/combine", make_sum_u64_combine};
+const RegisterStep kRegSumDoubleSend{"sum_double/send", make_sum_double_send};
+const RegisterStep kRegSumDoubleCombine{"sum_double/combine",
+                                        make_sum_double_combine};
+const RegisterStep kRegPrefixLocalSums{"prefix/local-sums",
+                                       make_prefix_local_sums};
+const RegisterStep kRegPrefixOffsets{"prefix/offsets", make_prefix_offsets};
+const RegisterStep kRegPrefixScan{"prefix/scan", make_prefix_scan};
+
+/// Routes each machine's `in_key` records to hash(key) % M, storing
+/// sorted arrivals under `out_key`. Bytes are attributed to channel
+/// `in_key`; `label` prefixes the round labels in the stats.
+void shuffle_round(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key, const std::string& label) {
+  Serializer route;
+  route.write_string(in_key);
+  cluster.run_round(StepSpec("shuffle/route", std::move(route)),
+                    label + "/route");
+  Serializer collect;
+  collect.write_string(in_key);
+  collect.write_string(out_key);
+  cluster.run_round(StepSpec("shuffle/collect", std::move(collect)),
+                    label + "/collect");
+}
+
+/// Shared body of the key-wise reductions: shuffle, then fold runs of
+/// equal keys (records arrive sorted by kv_less, so equal keys are
+/// adjacent). The sum and min reductions differ only in the fold enum.
+void reduce_kv(Cluster& cluster, const std::string& in_key,
+               const std::string& out_key, const std::string& label,
+               Combiner combiner) {
+  shuffle_round(cluster, in_key, out_key, label);
+  Serializer combine;
+  combine.write_string(out_key);
+  combine.write(static_cast<std::uint8_t>(combiner));
+  cluster.run_round(StepSpec("reduce/combine", std::move(combine)),
+                    label + "/combine");
+}
+
 }  // namespace
+
+void broadcast_blob(Cluster& cluster, MachineId root, const std::string& key,
+                    std::size_t fanout) {
+  if (fanout == 0) throw MpteError("broadcast_blob: fanout must be >= 1");
+  const std::size_t m = cluster.num_machines();
+  std::size_t holders = 1;
+  while (holders < m) {
+    const std::size_t holders_before = holders;
+    Serializer p;
+    p.write_string(key);
+    p.write(static_cast<std::uint64_t>(holders_before));
+    p.write(static_cast<std::uint64_t>(fanout));
+    p.write(root);
+    cluster.run_round(StepSpec("broadcast/forward", std::move(p)),
+                      "broadcast/" + key);
+    holders = std::min(m, holders_before * (fanout + 1));
+  }
+  // Final delivery round: ranks that received in the last exchange still
+  // hold the blob only in their inbox; persist it.
+  Serializer p;
+  p.write_string(key);
+  cluster.run_round(StepSpec("broadcast/persist", std::move(p)),
+                    "broadcast/" + key + "/persist");
+}
+
+void shuffle_kv_by_key(Cluster& cluster, const std::string& in_key,
+                       const std::string& out_key) {
+  shuffle_round(cluster, in_key, out_key, "shuffle");
+}
+
+void dedup_kv(Cluster& cluster, const std::string& in_key,
+              const std::string& out_key) {
+  shuffle_round(cluster, in_key, out_key, "dedup");
+  Serializer p;
+  p.write_string(out_key);
+  cluster.run_round(StepSpec("dedup/unique", std::move(p)));
+}
+
+void reduce_kv_sum(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key) {
+  reduce_kv(cluster, in_key, out_key, "reduce", Combiner::kSum);
+}
+
+void reduce_kv_min(Cluster& cluster, const std::string& in_key,
+                   const std::string& out_key) {
+  reduce_kv(cluster, in_key, out_key, "reduce-min", Combiner::kMin);
+}
+
+void sum_u64(Cluster& cluster, const std::string& in_key,
+             const std::string& out_key, MachineId root) {
+  Serializer send;
+  send.write_string(in_key);
+  send.write(root);
+  cluster.run_round(StepSpec("sum_u64/send", std::move(send)));
+  Serializer combine;
+  combine.write_string(in_key);
+  combine.write_string(out_key);
+  combine.write(root);
+  cluster.run_round(StepSpec("sum_u64/combine", std::move(combine)));
+}
+
+void sum_double(Cluster& cluster, const std::string& in_key,
+                const std::string& out_key, MachineId root) {
+  Serializer send;
+  send.write_string(in_key);
+  send.write(root);
+  cluster.run_round(StepSpec("sum_double/send", std::move(send)));
+  Serializer combine;
+  combine.write_string(in_key);
+  combine.write_string(out_key);
+  combine.write(root);
+  cluster.run_round(StepSpec("sum_double/combine", std::move(combine)));
+}
 
 void prefix_sum_u64(Cluster& cluster, const std::string& in_key,
                     const std::string& out_key, std::size_t fanout) {
-  const Key<std::uint64_t> in{in_key};
-  const Key<std::uint64_t> offsets{out_key + "/__offsets"};
-  const Channel<RankSum> ch{in_key};
+  const std::string offsets_key = out_key + "/__offsets";
 
   // Local sums to rank 0.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::uint64_t local = 0;
-        if (in.in(ctx.store())) {
-          for (const std::uint64_t v : in.get(ctx.store())) local += v;
-        }
-        ch.send_one(ctx, 0, RankSum{ctx.id(), local});
-      },
-      "prefix/local-sums");
+  Serializer local;
+  local.write_string(in_key);
+  cluster.run_round(StepSpec("prefix/local-sums", std::move(local)));
 
   // Rank 0 computes per-machine exclusive offsets.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != 0) return;
-        std::vector<std::uint64_t> sums(ctx.num_machines(), 0);
-        for (const RankSum& rs : ch.receive_raw(ctx)) {
-          sums.at(rs.rank) = rs.sum;
-        }
-        std::vector<std::uint64_t> out(ctx.num_machines(), 0);
-        for (std::size_t r = 1; r < out.size(); ++r) {
-          out[r] = out[r - 1] + sums[r - 1];
-        }
-        offsets.set(ctx.store(), out);
-      },
-      "prefix/offsets");
+  Serializer offsets;
+  offsets.write_string(in_key);
+  offsets.write_string(offsets_key);
+  cluster.run_round(StepSpec("prefix/offsets", std::move(offsets)));
 
-  mpc::broadcast_blob(cluster, 0, offsets.name, fanout);
+  mpc::broadcast_blob(cluster, 0, offsets_key, fanout);
 
   // Local exclusive scan shifted by the machine's offset.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto machine_offsets = offsets.get(ctx.store());
-        offsets.erase(ctx.store());
-        std::vector<std::uint64_t> out;
-        if (in.in(ctx.store())) {
-          std::uint64_t running = machine_offsets[ctx.id()];
-          for (const std::uint64_t v : in.get(ctx.store())) {
-            out.push_back(running);
-            running += v;
-          }
-        }
-        ctx.store().set_vector(out_key, out);
-      },
-      "prefix/scan");
+  Serializer scan;
+  scan.write_string(in_key);
+  scan.write_string(out_key);
+  cluster.run_round(StepSpec("prefix/scan", std::move(scan)));
 }
 
 }  // namespace mpte::mpc

@@ -4,88 +4,135 @@
 
 #include "common/rng.hpp"
 #include "mpc/channel.hpp"
+#include "mpc/step.hpp"
 
 namespace mpte::mpc {
 
+namespace {
+
+Step make_sort_sample(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  const auto seed = d.read<std::uint64_t>();
+  const auto samples_per_machine = d.read<std::uint64_t>();
+  return [in = Key<KV>{in_key}, samples_ch = Channel<KV>{out_key + "/__samples"},
+          seed, samples_per_machine](MachineContext& ctx) {
+    std::vector<KV> sample;
+    if (in.in(ctx.store())) {
+      const auto records = in.get(ctx.store());
+      Rng rng = Rng(seed).split(ctx.id());
+      if (records.size() <= samples_per_machine) {
+        sample = records;
+      } else {
+        sample.reserve(samples_per_machine);
+        for (std::size_t i = 0; i < samples_per_machine; ++i) {
+          sample.push_back(records[rng.uniform_u64(records.size())]);
+        }
+      }
+    }
+    samples_ch.send(ctx, 0, sample);
+  };
+}
+
+Step make_sort_select_splitters(StepParams params) {
+  Deserializer d(params);
+  std::string out_key = d.read_string();
+  return [samples_ch = Channel<KV>{out_key + "/__samples"},
+          splitters_key = Key<KV>{out_key + "/__splitters"}](
+             MachineContext& ctx) {
+    if (ctx.id() != 0) return;
+    const std::size_t m = ctx.num_machines();
+    auto samples = samples_ch.receive(ctx);
+    std::sort(samples.begin(), samples.end(), kv_less);
+    std::vector<KV> splitters;
+    if (!samples.empty()) {
+      for (std::size_t i = 1; i < m; ++i) {
+        splitters.push_back(samples[i * samples.size() / m]);
+      }
+    }
+    splitters_key.set(ctx.store(), splitters);
+  };
+}
+
+Step make_sort_route(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  return [in = Key<KV>{in_key}, route_ch = Channel<KV>{in_key},
+          splitters_key = Key<KV>{out_key + "/__splitters"}](
+             MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    const auto splitters = splitters_key.get(ctx.store());
+    splitters_key.erase(ctx.store());
+    std::vector<std::vector<KV>> buckets(m);
+    if (in.in(ctx.store())) {
+      for (const KV& kv : in.get(ctx.store())) {
+        // Bucket = number of splitters strictly less than kv.
+        const auto it = std::upper_bound(splitters.begin(), splitters.end(),
+                                         kv, kv_less);
+        const auto bucket = static_cast<std::size_t>(it - splitters.begin());
+        buckets[bucket].push_back(kv);
+      }
+      in.erase(ctx.store());
+    }
+    for (MachineId dst = 0; dst < m; ++dst) {
+      if (buckets[dst].empty()) continue;
+      route_ch.send(ctx, dst, buckets[dst]);
+    }
+  };
+}
+
+Step make_sort_local_sort(StepParams params) {
+  Deserializer d(params);
+  std::string in_key = d.read_string();
+  std::string out_key = d.read_string();
+  return [route_ch = Channel<KV>{in_key}, out = Key<KV>{out_key}](
+             MachineContext& ctx) {
+    auto arrived = route_ch.receive(ctx);
+    std::sort(arrived.begin(), arrived.end(), kv_less);
+    out.set(ctx.store(), arrived);
+  };
+}
+
+const RegisterStep kRegSortSample{"sort/sample", make_sort_sample};
+const RegisterStep kRegSortSelectSplitters{"sort/select-splitters",
+                                           make_sort_select_splitters};
+const RegisterStep kRegSortRoute{"sort/route", make_sort_route};
+const RegisterStep kRegSortLocalSort{"sort/local-sort", make_sort_local_sort};
+
+}  // namespace
+
 void sample_sort_kv(Cluster& cluster, const std::string& in_key,
                     const std::string& out_key, const SortOptions& options) {
-  const std::size_t m = cluster.num_machines();
-  const Key<KV> in{in_key};
-  const Key<KV> out{out_key};
   const Key<KV> splitters_key{out_key + "/__splitters"};
-  const Channel<KV> samples_ch{out_key + "/__samples"};
-  const Channel<KV> route_ch{in_key};
 
   // Round 1: every machine sends a random sample of its records to rank 0.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::vector<KV> sample;
-        if (in.in(ctx.store())) {
-          const auto records = in.get(ctx.store());
-          Rng rng = Rng(options.seed).split(ctx.id());
-          if (records.size() <= options.samples_per_machine) {
-            sample = records;
-          } else {
-            sample.reserve(options.samples_per_machine);
-            for (std::size_t i = 0; i < options.samples_per_machine; ++i) {
-              sample.push_back(records[rng.uniform_u64(records.size())]);
-            }
-          }
-        }
-        samples_ch.send(ctx, 0, sample);
-      },
-      "sort/sample");
+  Serializer sample;
+  sample.write_string(in_key);
+  sample.write_string(out_key);
+  sample.write(static_cast<std::uint64_t>(options.seed));
+  sample.write(static_cast<std::uint64_t>(options.samples_per_machine));
+  cluster.run_round(StepSpec("sort/sample", std::move(sample)));
 
   // Round 2: rank 0 selects M-1 splitters at even quantiles.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        if (ctx.id() != 0) return;
-        auto samples = samples_ch.receive(ctx);
-        std::sort(samples.begin(), samples.end(), kv_less);
-        std::vector<KV> splitters;
-        if (!samples.empty()) {
-          for (std::size_t i = 1; i < m; ++i) {
-            splitters.push_back(samples[i * samples.size() / m]);
-          }
-        }
-        splitters_key.set(ctx.store(), splitters);
-      },
-      "sort/select-splitters");
+  Serializer select;
+  select.write_string(out_key);
+  cluster.run_round(StepSpec("sort/select-splitters", std::move(select)));
 
   broadcast_blob(cluster, 0, splitters_key.name, options.broadcast_fanout);
 
   // Route every record to its splitter bucket.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto splitters = splitters_key.get(ctx.store());
-        splitters_key.erase(ctx.store());
-        std::vector<std::vector<KV>> buckets(m);
-        if (in.in(ctx.store())) {
-          for (const KV& kv : in.get(ctx.store())) {
-            // Bucket = number of splitters strictly less than kv.
-            const auto it = std::upper_bound(splitters.begin(),
-                                             splitters.end(), kv, kv_less);
-            const auto bucket =
-                static_cast<std::size_t>(it - splitters.begin());
-            buckets[bucket].push_back(kv);
-          }
-          in.erase(ctx.store());
-        }
-        for (MachineId dst = 0; dst < m; ++dst) {
-          if (buckets[dst].empty()) continue;
-          route_ch.send(ctx, dst, buckets[dst]);
-        }
-      },
-      "sort/route");
+  Serializer route;
+  route.write_string(in_key);
+  route.write_string(out_key);
+  cluster.run_round(StepSpec("sort/route", std::move(route)));
 
   // Collect and sort locally: blocks are now ordered across ranks.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        auto arrived = route_ch.receive(ctx);
-        std::sort(arrived.begin(), arrived.end(), kv_less);
-        out.set(ctx.store(), arrived);
-      },
-      "sort/local-sort");
+  Serializer local;
+  local.write_string(in_key);
+  local.write_string(out_key);
+  cluster.run_round(StepSpec("sort/local-sort", std::move(local)));
 }
 
 }  // namespace mpte::mpc

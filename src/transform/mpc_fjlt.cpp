@@ -10,17 +10,22 @@
 #include "common/serialize.hpp"
 #include "mpc/channel.hpp"
 #include "mpc/primitives.hpp"
+#include "mpc/step.hpp"
 #include "obs/trace.hpp"
 #include "transform/walsh_hadamard.hpp"
 
 namespace mpte {
 namespace {
 
+using mpc::StepParams;
 using mpc::Channel;
 using mpc::Cluster;
 using mpc::KV;
 using mpc::MachineContext;
 using mpc::MachineId;
+using mpc::RegisterStep;
+using mpc::Step;
+using mpc::StepSpec;
 
 /// Channel names for the FJLT message streams (see RoundStats
 /// channel_bytes).
@@ -47,6 +52,330 @@ struct ElemRecord {
   std::uint32_t pad = 0;
   double value;
 };
+
+// --- registered steps -------------------------------------------------------
+// The sharded-mode geometry (g row blocks of size `block`, chunk_len
+// offsets per column block, round-robin machine assignment) is a pure
+// function of (config, block, M), so every step recomputes it from its
+// serialized params rather than capturing host state.
+
+Step make_local_transform(StepParams params) {
+  Deserializer d(params);
+  const auto config = d.read<FjltConfig>();
+  return [config](MachineContext& ctx) {
+    const auto count = ctx.store().get_value<std::uint64_t>("fjlt/in/count");
+    const auto data = ctx.store().get_vector<double>("fjlt/in");
+    ctx.store().erase("fjlt/in");
+    const Fjlt fjlt(config);
+    std::vector<double> out;
+    out.reserve(count * config.output_dim);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::span<const double> p(data.data() + i * config.input_dim,
+                                      config.input_dim);
+      const auto mapped = fjlt.apply(p);
+      out.insert(out.end(), mapped.begin(), mapped.end());
+    }
+    ctx.store().set_vector("fjlt/out", out);
+  };
+}
+
+Step make_transpose(StepParams params) {
+  Deserializer d(params);
+  const auto config = d.read<FjltConfig>();
+  const auto block = static_cast<std::size_t>(d.read<std::uint64_t>());
+  return [config, block](MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    const std::size_t g = config.padded_dim / block;
+    const std::size_t chunk_len = block / g;
+    const auto col_machine = [&](std::size_t point, std::size_t c) {
+      return static_cast<MachineId>((point * g + c) % m);
+    };
+    const auto idx = ctx.store().get_vector<KV>("fjlt/rows/idx");
+    auto data = ctx.store().get_vector<double>("fjlt/rows/data");
+    ctx.store().erase("fjlt/rows/idx");
+    ctx.store().erase("fjlt/rows/data");
+    std::vector<Serializer> out(m);
+    for (std::size_t rec = 0; rec < idx.size(); ++rec) {
+      const std::size_t point = idx[rec].key;
+      const std::size_t j = idx[rec].value;
+      const std::span<double> row(data.data() + rec * block, block);
+      for (std::size_t o = 0; o < block; ++o) {
+        row[o] *= fjlt_d_sign(config.seed, j * block + o);
+      }
+      fwht(row);
+      for (std::size_t c = 0; c < g; ++c) {
+        Serializer& s = out[col_machine(point, c)];
+        s.write(ChunkHeader{point, static_cast<std::uint32_t>(j),
+                            static_cast<std::uint32_t>(c)});
+        s.write_span(
+            std::span<const double>(row.data() + c * chunk_len, chunk_len));
+      }
+    }
+    for (MachineId dst = 0; dst < m; ++dst) {
+      if (out[dst].size() > 0) {
+        ctx.send(dst, std::move(out[dst]), kChunkChannel);
+      }
+    }
+  };
+}
+
+Step make_collect_columns(StepParams params) {
+  Deserializer d(params);
+  const auto config = d.read<FjltConfig>();
+  const auto block = static_cast<std::size_t>(d.read<std::uint64_t>());
+  return [config, block](MachineContext& ctx) {
+    const std::size_t g = config.padded_dim / block;
+    const std::size_t chunk_len = block / g;
+    std::map<std::pair<std::uint64_t, std::uint32_t>, std::vector<double>>
+        blocks;
+    for (const auto& msg : ctx.inbox()) {
+      Deserializer in(msg.payload);
+      while (!in.exhausted()) {
+        const auto header = in.read<ChunkHeader>();
+        const auto chunk = in.read_vector<double>();
+        auto& blk = blocks[{header.point, header.column_block}];
+        if (blk.empty()) blk.assign(g * chunk_len, 0.0);
+        std::copy(chunk.begin(), chunk.end(),
+                  blk.begin() + header.row_block * chunk_len);
+      }
+    }
+    std::vector<KV> idx;
+    std::vector<double> data;
+    for (auto& [key, blk] : blocks) {
+      idx.push_back(KV{key.first, key.second});
+      data.insert(data.end(), blk.begin(), blk.end());
+    }
+    ctx.store().set_vector("fjlt/cols/idx", idx);
+    ctx.store().set_vector("fjlt/cols/data", data);
+  };
+}
+
+Step make_fwht_g_partials(StepParams params) {
+  Deserializer d(params);
+  const auto config = d.read<FjltConfig>();
+  const auto block = static_cast<std::size_t>(d.read<std::uint64_t>());
+  return [config, block](MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    const std::size_t g = config.padded_dim / block;
+    const std::size_t chunk_len = block / g;
+    const std::size_t k = config.output_dim;
+    const double h_scale =
+        1.0 / std::sqrt(static_cast<double>(config.padded_dim));
+    const auto owner = [&](std::size_t point) {
+      return static_cast<MachineId>(point % m);
+    };
+    const auto idx = ctx.store().get_vector<KV>("fjlt/cols/idx");
+    auto data = ctx.store().get_vector<double>("fjlt/cols/data");
+    ctx.store().erase("fjlt/cols/idx");
+    ctx.store().erase("fjlt/cols/data");
+
+    // Pre-aggregate partials per point across this machine's blocks.
+    std::map<std::uint64_t, std::vector<double>> partials;
+    std::vector<double> column(g);
+    for (std::size_t rec = 0; rec < idx.size(); ++rec) {
+      const std::uint64_t point = idx[rec].key;
+      const std::size_t c = idx[rec].value;
+      const std::span<double> blk(data.data() + rec * g * chunk_len,
+                                  g * chunk_len);
+      for (std::size_t o = 0; o < chunk_len; ++o) {
+        for (std::size_t j = 0; j < g; ++j) {
+          column[j] = blk[j * chunk_len + o];
+        }
+        fwht(column);
+        for (std::size_t j = 0; j < g; ++j) {
+          blk[j * chunk_len + o] = column[j] * h_scale;
+        }
+      }
+      auto& acc = partials[point];
+      if (acc.empty()) acc.assign(k, 0.0);
+      for (std::size_t j = 0; j < g; ++j) {
+        for (std::size_t o = 0; o < chunk_len; ++o) {
+          const std::size_t coord = j * block + c * chunk_len + o;
+          const double value = blk[j * chunk_len + o];
+          if (value == 0.0) continue;
+          for (std::size_t row = 0; row < k; ++row) {
+            const double p_entry =
+                fjlt_p_entry(config.seed, config.q, row, coord);
+            if (p_entry != 0.0) acc[row] += p_entry * value;
+          }
+        }
+      }
+    }
+    std::vector<Serializer> out(m);
+    for (const auto& [point, acc] : partials) {
+      Serializer& s = out[owner(point)];
+      s.write(PartialHeader{point});
+      s.write_vector(acc);
+    }
+    for (MachineId dst = 0; dst < m; ++dst) {
+      if (out[dst].size() > 0) {
+        ctx.send(dst, std::move(out[dst]), kPartialChannel);
+      }
+    }
+  };
+}
+
+Step make_assemble(StepParams params) {
+  Deserializer d(params);
+  const auto k = static_cast<std::size_t>(d.read<std::uint64_t>());
+  return [k](MachineContext& ctx) {
+    const double out_scale = 1.0 / std::sqrt(static_cast<double>(k));
+    std::map<std::uint64_t, std::vector<double>> totals;
+    for (const auto& msg : ctx.inbox()) {
+      Deserializer in(msg.payload);
+      while (!in.exhausted()) {
+        const auto header = in.read<PartialHeader>();
+        const auto part = in.read_vector<double>();
+        auto& acc = totals[header.point];
+        if (acc.empty()) acc.assign(k, 0.0);
+        for (std::size_t row = 0; row < k; ++row) acc[row] += part[row];
+      }
+    }
+    std::vector<KV> idx;
+    std::vector<double> data;
+    for (auto& [point, acc] : totals) {
+      idx.push_back(KV{point, 0});
+      for (std::size_t row = 0; row < k; ++row) {
+        data.push_back(acc[row] * out_scale);
+      }
+    }
+    ctx.store().set_vector("fjlt/out/idx", idx);
+    ctx.store().set_vector("fjlt/out/data", data);
+  };
+}
+
+Step make_kron_stage(StepParams params) {
+  Deserializer d(params);
+  const auto config = d.read<FjltConfig>();
+  const auto block = static_cast<std::size_t>(d.read<std::uint64_t>());
+  const auto t = static_cast<std::size_t>(d.read<std::uint64_t>());
+  return [config, block, t](MachineContext& ctx) {
+    const std::size_t m_machines = ctx.num_machines();
+    const std::size_t d_pad = config.padded_dim;
+    const std::size_t k = config.output_dim;
+    const auto total_bits = static_cast<std::size_t>(floor_log2(d_pad));
+    const auto chunk_bits = static_cast<std::size_t>(floor_log2(block));
+    const std::size_t stages =
+        std::max<std::size_t>(1, ceil_div(total_bits, chunk_bits));
+    const auto stage_offset = [&](std::size_t s) { return s * chunk_bits; };
+    const auto stage_bits = [&](std::size_t s) {
+      return std::min(chunk_bits, total_bits - stage_offset(s));
+    };
+    const auto group_of = [&](std::size_t s, std::uint64_t point,
+                              std::uint32_t e) {
+      const std::size_t offset = stage_offset(s);
+      const std::uint32_t low = e & ((1u << offset) - 1u);
+      const std::uint32_t high =
+          static_cast<std::uint32_t>(e >> (offset + stage_bits(s)));
+      const std::uint32_t group = (high << offset) | low;
+      return hash_combine(mix64(point ^ 0x9e0417ull), group);
+    };
+    const auto machine_of = [&](std::size_t s, std::uint64_t point,
+                                std::uint32_t e) {
+      return static_cast<MachineId>(group_of(s, point, e) % m_machines);
+    };
+    const auto owner = [&](std::uint64_t point) {
+      return static_cast<MachineId>(point % m_machines);
+    };
+    const double h_scale = 1.0 / std::sqrt(static_cast<double>(d_pad));
+
+    // Collect this stage's records (store for stage 0, inbox after).
+    std::vector<ElemRecord> records;
+    if (t == 0) {
+      records = ctx.store().get_vector<ElemRecord>("fjlt/elems");
+      ctx.store().erase("fjlt/elems");
+      for (ElemRecord& rec : records) {
+        rec.value *= fjlt_d_sign(config.seed, rec.index);
+      }
+    } else {
+      records = Channel<ElemRecord>{kElemChannel}.receive(ctx);
+    }
+
+    // Group into axis-t fibers and butterfly each.
+    const std::size_t offset = stage_offset(t);
+    const std::size_t bits = stage_bits(t);
+    const std::size_t fiber = 1u << bits;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<ElemRecord>>
+        fibers;
+    for (const ElemRecord& rec : records) {
+      fibers[std::make_pair(rec.point, group_of(t, rec.point, rec.index))]
+          .push_back(rec);
+    }
+    std::vector<double> buffer(fiber);
+    const bool last = t + 1 == stages;
+    const Channel<ElemRecord> elems{kElemChannel};
+    std::vector<std::vector<ElemRecord>> route(m_machines);
+    std::map<std::uint64_t, std::vector<double>> partials;
+    for (auto& [key, recs] : fibers) {
+      buffer.assign(fiber, 0.0);
+      for (const ElemRecord& rec : recs) {
+        buffer[(rec.index >> offset) & (fiber - 1)] = rec.value;
+      }
+      fwht(buffer);
+      // Reconstruct indices: all fiber digits exist even if the
+      // arriving records were sparse (they never are — every digit
+      // was scattered — but zero padding keeps this exact anyway).
+      const std::uint32_t base_index =
+          recs.front().index &
+          ~static_cast<std::uint32_t>((fiber - 1) << offset);
+      for (std::size_t digit = 0; digit < fiber; ++digit) {
+        const std::uint32_t e =
+            base_index | static_cast<std::uint32_t>(digit << offset);
+        const double value = buffer[digit];
+        if (last) {
+          if (value == 0.0) continue;
+          auto& acc = partials[key.first];
+          if (acc.empty()) acc.assign(k, 0.0);
+          const double scaled = value * h_scale;
+          for (std::size_t row = 0; row < k; ++row) {
+            const double p_entry =
+                fjlt_p_entry(config.seed, config.q, row, e);
+            if (p_entry != 0.0) acc[row] += p_entry * scaled;
+          }
+        } else {
+          // Route for the next stage. Batched per destination below.
+          route[machine_of(t + 1, key.first, e)].push_back(
+              ElemRecord{key.first, e, 0, value});
+        }
+      }
+    }
+    if (last) {
+      std::vector<Serializer> out(m_machines);
+      for (const auto& [point, acc] : partials) {
+        Serializer& s = out[owner(point)];
+        s.write(PartialHeader{point});
+        s.write_vector(acc);
+      }
+      for (MachineId dst = 0; dst < m_machines; ++dst) {
+        if (out[dst].size() > 0) {
+          ctx.send(dst, std::move(out[dst]), kPartialChannel);
+        }
+      }
+    } else {
+      for (MachineId dst = 0; dst < m_machines; ++dst) {
+        if (!route[dst].empty()) elems.send(ctx, dst, route[dst]);
+      }
+    }
+  };
+}
+
+const RegisterStep kRegLocalTransform{"fjlt/local-transform",
+                                      make_local_transform};
+const RegisterStep kRegTranspose{"fjlt/D+fwht_b+transpose", make_transpose};
+const RegisterStep kRegCollectColumns{"fjlt/collect-columns",
+                                      make_collect_columns};
+const RegisterStep kRegFwhtGPartials{"fjlt/fwht_g+P-partials",
+                                     make_fwht_g_partials};
+const RegisterStep kRegAssemble{"fjlt/assemble", make_assemble};
+const RegisterStep kRegKronStage{"fjlt/kron-stage", make_kron_stage};
+
+StepSpec config_block_spec(const char* name, const FjltConfig& config,
+                           std::size_t block) {
+  Serializer s;
+  s.write(config);
+  s.write(static_cast<std::uint64_t>(block));
+  return StepSpec(name, std::move(s));
+}
 
 /// Local mode: every machine holds whole points and applies the sequential
 /// transform — zero communication, one (empty-message) round.
@@ -75,24 +404,9 @@ PointSet run_local_mode(Cluster& cluster, const PointSet& points,
     }
   }
 
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto count =
-            ctx.store().get_value<std::uint64_t>("fjlt/in/count");
-        const auto data = ctx.store().get_vector<double>("fjlt/in");
-        ctx.store().erase("fjlt/in");
-        const Fjlt fjlt(config);
-        std::vector<double> out;
-        out.reserve(count * config.output_dim);
-        for (std::uint64_t i = 0; i < count; ++i) {
-          const std::span<const double> p(data.data() + i * points.dim(),
-                                          points.dim());
-          const auto mapped = fjlt.apply(p);
-          out.insert(out.end(), mapped.begin(), mapped.end());
-        }
-        ctx.store().set_vector("fjlt/out", out);
-      },
-      "fjlt/local-transform");
+  Serializer local;
+  local.write(config);
+  cluster.run_round(StepSpec("fjlt/local-transform", std::move(local)));
 
   // While still fast-forwarding past this point, the resumed run restored
   // state from *after* this gather erased its keys; the coordinates it
@@ -126,18 +440,11 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
   const std::size_t m = cluster.num_machines();
   const std::size_t n = points.size();
   const std::size_t d_pad = config.padded_dim;
-  const std::size_t g = d_pad / block;       // row blocks per point
-  const std::size_t chunk_len = block / g;   // offsets per column block (cb)
+  const std::size_t g = d_pad / block;  // row blocks per point
   const std::size_t k = config.output_dim;
 
   const auto row_machine = [&](std::size_t point, std::size_t j) {
     return static_cast<MachineId>((point * g + j) % m);
-  };
-  const auto col_machine = [&](std::size_t point, std::size_t c) {
-    return static_cast<MachineId>((point * g + c) % m);
-  };
-  const auto owner = [&](std::size_t point) {
-    return static_cast<MachineId>(point % m);
   };
 
   // Host-side scatter of padded row blocks (suppressed during
@@ -166,148 +473,21 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
   // applied after the cross-block stage so the arithmetic matches the
   // sequential transform), then transpose-route chunks to column blocks.
   cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto idx = ctx.store().get_vector<KV>("fjlt/rows/idx");
-        auto data = ctx.store().get_vector<double>("fjlt/rows/data");
-        ctx.store().erase("fjlt/rows/idx");
-        ctx.store().erase("fjlt/rows/data");
-        std::vector<Serializer> out(m);
-        for (std::size_t rec = 0; rec < idx.size(); ++rec) {
-          const std::size_t point = idx[rec].key;
-          const std::size_t j = idx[rec].value;
-          const std::span<double> row(data.data() + rec * block, block);
-          for (std::size_t o = 0; o < block; ++o) {
-            row[o] *= fjlt_d_sign(config.seed, j * block + o);
-          }
-          fwht(row);
-          for (std::size_t c = 0; c < g; ++c) {
-            Serializer& s = out[col_machine(point, c)];
-            s.write(ChunkHeader{point, static_cast<std::uint32_t>(j),
-                                static_cast<std::uint32_t>(c)});
-            s.write_span(std::span<const double>(
-                row.data() + c * chunk_len, chunk_len));
-          }
-        }
-        for (MachineId dst = 0; dst < m; ++dst) {
-          if (out[dst].size() > 0) {
-            ctx.send(dst, std::move(out[dst]), kChunkChannel);
-          }
-        }
-      },
-      "fjlt/D+fwht_b+transpose");
+      config_block_spec("fjlt/D+fwht_b+transpose", config, block));
 
   // Round 2: assemble column blocks (point, c) holding a g x chunk_len
   // matrix in row-block-major order.
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::map<std::pair<std::uint64_t, std::uint32_t>,
-                 std::vector<double>>
-            blocks;
-        for (const auto& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          while (!d.exhausted()) {
-            const auto header = d.read<ChunkHeader>();
-            const auto chunk = d.read_vector<double>();
-            auto& blk = blocks[{header.point, header.column_block}];
-            if (blk.empty()) blk.assign(g * chunk_len, 0.0);
-            std::copy(chunk.begin(), chunk.end(),
-                      blk.begin() + header.row_block * chunk_len);
-          }
-        }
-        std::vector<KV> idx;
-        std::vector<double> data;
-        for (auto& [key, blk] : blocks) {
-          idx.push_back(KV{key.first, key.second});
-          data.insert(data.end(), blk.begin(), blk.end());
-        }
-        ctx.store().set_vector("fjlt/cols/idx", idx);
-        ctx.store().set_vector("fjlt/cols/data", data);
-      },
-      "fjlt/collect-columns");
+  cluster.run_round(config_block_spec("fjlt/collect-columns", config, block));
 
   // Round 3: cross-block FWHT_g per offset, global 1/sqrt(d) scale, then
   // local P partial sums routed to each point's owner.
-  const double h_scale = 1.0 / std::sqrt(static_cast<double>(d_pad));
   cluster.run_round(
-      [&](MachineContext& ctx) {
-        const auto idx = ctx.store().get_vector<KV>("fjlt/cols/idx");
-        auto data = ctx.store().get_vector<double>("fjlt/cols/data");
-        ctx.store().erase("fjlt/cols/idx");
-        ctx.store().erase("fjlt/cols/data");
-
-        // Pre-aggregate partials per point across this machine's blocks.
-        std::map<std::uint64_t, std::vector<double>> partials;
-        std::vector<double> column(g);
-        for (std::size_t rec = 0; rec < idx.size(); ++rec) {
-          const std::uint64_t point = idx[rec].key;
-          const std::size_t c = idx[rec].value;
-          const std::span<double> blk(data.data() + rec * g * chunk_len,
-                                      g * chunk_len);
-          for (std::size_t o = 0; o < chunk_len; ++o) {
-            for (std::size_t j = 0; j < g; ++j) {
-              column[j] = blk[j * chunk_len + o];
-            }
-            fwht(column);
-            for (std::size_t j = 0; j < g; ++j) {
-              blk[j * chunk_len + o] = column[j] * h_scale;
-            }
-          }
-          auto& acc = partials[point];
-          if (acc.empty()) acc.assign(k, 0.0);
-          for (std::size_t j = 0; j < g; ++j) {
-            for (std::size_t o = 0; o < chunk_len; ++o) {
-              const std::size_t coord = j * block + c * chunk_len + o;
-              const double value = blk[j * chunk_len + o];
-              if (value == 0.0) continue;
-              for (std::size_t row = 0; row < k; ++row) {
-                const double p_entry =
-                    fjlt_p_entry(config.seed, config.q, row, coord);
-                if (p_entry != 0.0) acc[row] += p_entry * value;
-              }
-            }
-          }
-        }
-        std::vector<Serializer> out(m);
-        for (const auto& [point, acc] : partials) {
-          Serializer& s = out[owner(point)];
-          s.write(PartialHeader{point});
-          s.write_vector(acc);
-        }
-        for (MachineId dst = 0; dst < m; ++dst) {
-          if (out[dst].size() > 0) {
-            ctx.send(dst, std::move(out[dst]), kPartialChannel);
-          }
-        }
-      },
-      "fjlt/fwht_g+P-partials");
+      config_block_spec("fjlt/fwht_g+P-partials", config, block));
 
   // Round 4: owners accumulate partials and apply the k^{-1/2} scale.
-  const double out_scale = 1.0 / std::sqrt(static_cast<double>(k));
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::map<std::uint64_t, std::vector<double>> totals;
-        for (const auto& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          while (!d.exhausted()) {
-            const auto header = d.read<PartialHeader>();
-            const auto part = d.read_vector<double>();
-            auto& acc = totals[header.point];
-            if (acc.empty()) acc.assign(k, 0.0);
-            for (std::size_t row = 0; row < k; ++row) acc[row] += part[row];
-          }
-        }
-        std::vector<KV> idx;
-        std::vector<double> data;
-        for (auto& [point, acc] : totals) {
-          idx.push_back(KV{point, 0});
-          for (std::size_t row = 0; row < k; ++row) {
-            data.push_back(acc[row] * out_scale);
-          }
-        }
-        ctx.store().set_vector("fjlt/out/idx", idx);
-        ctx.store().set_vector("fjlt/out/data", data);
-      },
-      "fjlt/assemble");
+  Serializer assemble;
+  assemble.write(static_cast<std::uint64_t>(k));
+  cluster.run_round(StepSpec("fjlt/assemble", std::move(assemble)));
 
   // Host-side gather (placeholder during fast-forward; see run_local_mode).
   if (cluster.fast_forwarding()) return PointSet(n, k);
@@ -330,32 +510,9 @@ PointSet run_sharded_mode(Cluster& cluster, const PointSet& points,
 /// Owner-side accumulation of P partials into the final k-dim outputs
 /// (shared by the sharded paths' last round).
 void assemble_outputs_round(Cluster& cluster, std::size_t k) {
-  const double out_scale = 1.0 / std::sqrt(static_cast<double>(k));
-  cluster.run_round(
-      [&](MachineContext& ctx) {
-        std::map<std::uint64_t, std::vector<double>> totals;
-        for (const auto& msg : ctx.inbox()) {
-          Deserializer d(msg.payload);
-          while (!d.exhausted()) {
-            const auto header = d.read<PartialHeader>();
-            const auto part = d.read_vector<double>();
-            auto& acc = totals[header.point];
-            if (acc.empty()) acc.assign(k, 0.0);
-            for (std::size_t row = 0; row < k; ++row) acc[row] += part[row];
-          }
-        }
-        std::vector<KV> idx;
-        std::vector<double> data;
-        for (auto& [point, acc] : totals) {
-          idx.push_back(KV{point, 0});
-          for (std::size_t row = 0; row < k; ++row) {
-            data.push_back(acc[row] * out_scale);
-          }
-        }
-        ctx.store().set_vector("fjlt/out/idx", idx);
-        ctx.store().set_vector("fjlt/out/data", data);
-      },
-      "fjlt/assemble");
+  Serializer assemble;
+  assemble.write(static_cast<std::uint64_t>(k));
+  cluster.run_round(StepSpec("fjlt/assemble", std::move(assemble)));
 }
 
 /// Host-side gather of the assembled outputs.
@@ -397,7 +554,8 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
       1, ceil_div(total_bits, chunk_bits));
   if (levels_out != nullptr) *levels_out = stages;
 
-  // Bit ranges per stage.
+  // Bit ranges per stage (stage-0 routing only; the step bodies recompute
+  // the same geometry from their params).
   const auto stage_offset = [&](std::size_t t) { return t * chunk_bits; };
   const auto stage_bits = [&](std::size_t t) {
     return std::min(chunk_bits, total_bits - stage_offset(t));
@@ -409,16 +567,12 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
     const std::uint32_t low = e & ((1u << offset) - 1u);
     const std::uint32_t high =
         static_cast<std::uint32_t>(e >> (offset + stage_bits(t)));
-    const std::uint32_t group =
-        (high << offset) | low;
+    const std::uint32_t group = (high << offset) | low;
     return hash_combine(mix64(point ^ 0x9e0417ull), group);
   };
   const auto machine_of = [&](std::size_t t, std::uint64_t point,
                               std::uint32_t e) {
     return static_cast<MachineId>(group_of(t, point, e) % m_machines);
-  };
-  const auto owner = [&](std::uint64_t point) {
-    return static_cast<MachineId>(point % m_machines);
   };
 
   // Host scatter: every padded element routed to its stage-0 machine
@@ -437,91 +591,13 @@ PointSet run_multilevel_mode(Cluster& cluster, const PointSet& points,
     }
   }
 
-  const double h_scale = 1.0 / std::sqrt(static_cast<double>(d_pad));
   for (std::size_t t = 0; t < stages; ++t) {
-    cluster.run_round(
-        [&, t](MachineContext& ctx) {
-          // Collect this stage's records (store for stage 0, inbox after).
-          std::vector<ElemRecord> records;
-          if (t == 0) {
-            records = ctx.store().get_vector<ElemRecord>("fjlt/elems");
-            ctx.store().erase("fjlt/elems");
-            for (ElemRecord& rec : records) {
-              rec.value *= fjlt_d_sign(config.seed, rec.index);
-            }
-          } else {
-            records = Channel<ElemRecord>{kElemChannel}.receive(ctx);
-          }
-
-          // Group into axis-t fibers and butterfly each.
-          const std::size_t offset = stage_offset(t);
-          const std::size_t bits = stage_bits(t);
-          const std::size_t fiber = 1u << bits;
-          std::map<std::pair<std::uint64_t, std::uint64_t>,
-                   std::vector<ElemRecord>>
-              fibers;
-          for (const ElemRecord& rec : records) {
-            fibers[std::make_pair(rec.point,
-                                  group_of(t, rec.point, rec.index))]
-                .push_back(rec);
-          }
-          std::vector<double> buffer(fiber);
-          const bool last = t + 1 == stages;
-          const Channel<ElemRecord> elems{kElemChannel};
-          std::vector<std::vector<ElemRecord>> route(m_machines);
-          std::map<std::uint64_t, std::vector<double>> partials;
-          for (auto& [key, recs] : fibers) {
-            buffer.assign(fiber, 0.0);
-            for (const ElemRecord& rec : recs) {
-              buffer[(rec.index >> offset) & (fiber - 1)] = rec.value;
-            }
-            fwht(buffer);
-            // Reconstruct indices: all fiber digits exist even if the
-            // arriving records were sparse (they never are — every digit
-            // was scattered — but zero padding keeps this exact anyway).
-            const std::uint32_t base_index =
-                recs.front().index & ~static_cast<std::uint32_t>(
-                                         (fiber - 1) << offset);
-            for (std::size_t digit = 0; digit < fiber; ++digit) {
-              const std::uint32_t e = base_index | static_cast<std::uint32_t>(
-                                                       digit << offset);
-              const double value = buffer[digit];
-              if (last) {
-                if (value == 0.0) continue;
-                auto& acc = partials[key.first];
-                if (acc.empty()) acc.assign(k, 0.0);
-                const double scaled = value * h_scale;
-                for (std::size_t row = 0; row < k; ++row) {
-                  const double p_entry =
-                      fjlt_p_entry(config.seed, config.q, row, e);
-                  if (p_entry != 0.0) acc[row] += p_entry * scaled;
-                }
-              } else {
-                // Route for the next stage. Batched per destination below.
-                route[machine_of(t + 1, key.first, e)].push_back(
-                    ElemRecord{key.first, e, 0, value});
-              }
-            }
-          }
-          if (last) {
-            std::vector<Serializer> out(m_machines);
-            for (const auto& [point, acc] : partials) {
-              Serializer& s = out[owner(point)];
-              s.write(PartialHeader{point});
-              s.write_vector(acc);
-            }
-            for (MachineId dst = 0; dst < m_machines; ++dst) {
-              if (out[dst].size() > 0) {
-                ctx.send(dst, std::move(out[dst]), kPartialChannel);
-              }
-            }
-          } else {
-            for (MachineId dst = 0; dst < m_machines; ++dst) {
-              if (!route[dst].empty()) elems.send(ctx, dst, route[dst]);
-            }
-          }
-        },
-        "fjlt/kron-stage-" + std::to_string(t));
+    Serializer stage;
+    stage.write(config);
+    stage.write(static_cast<std::uint64_t>(block));
+    stage.write(static_cast<std::uint64_t>(t));
+    cluster.run_round(StepSpec("fjlt/kron-stage", std::move(stage)),
+                      "fjlt/kron-stage-" + std::to_string(t));
   }
 
   assemble_outputs_round(cluster, k);

@@ -26,6 +26,7 @@
 #include "geometry/generators.hpp"
 #include "ipc/frames.hpp"
 #include "mpc/cluster.hpp"
+#include "mpc/step.hpp"
 #include "obs/metrics.hpp"
 #include "tree/hst_io.hpp"
 
@@ -40,15 +41,35 @@ std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n, std::uint64_t h) {
   return h;
 }
 
+/// The three execution substrates under test. kInProcess ignores the
+/// worker mode; the two proc variants must both match it byte-for-byte.
+struct BackendVariant {
+  const char* name;
+  mpc::Backend backend;
+  mpc::IpcOptions::WorkerMode workers;
+};
+
+constexpr BackendVariant kInprocVariant{
+    "inproc", mpc::Backend::kInProcess,
+    mpc::IpcOptions::WorkerMode::kPersistent};
+constexpr BackendVariant kForkVariant{
+    "proc-fork", mpc::Backend::kMultiProcess,
+    mpc::IpcOptions::WorkerMode::kForkPerRound};
+constexpr BackendVariant kPersistentVariant{
+    "proc-persistent", mpc::Backend::kMultiProcess,
+    mpc::IpcOptions::WorkerMode::kPersistent};
+
 /// The pinned configuration behind the repo-wide golden fingerprint
-/// (test_mpc_channels.cpp GoldenSeed), parameterized by backend.
-mpc::ClusterConfig golden_config(mpc::Backend backend, std::size_t threads) {
+/// (test_mpc_channels.cpp GoldenSeed), parameterized by substrate.
+mpc::ClusterConfig golden_config(const BackendVariant& variant,
+                                 std::size_t threads) {
   mpc::ClusterConfig config;
   config.num_machines = 6;
   config.local_memory_bytes = 1 << 22;
   config.enforce_limits = true;
   config.num_threads = threads;
-  config.backend = backend;
+  config.backend = variant.backend;
+  config.ipc.workers = variant.workers;
   return config;
 }
 
@@ -109,6 +130,78 @@ void run_delta_pipeline(mpc::Cluster& cluster) {
       "cleanup");
 }
 
+// Named twins of the delta pipeline plus a parameterized ring step,
+// registered once per process: persistent workers resolve these by name
+// from their own StepRegistry instead of inheriting a forked closure.
+mpc::Step make_test_seed(mpc::StepParams /*params*/) {
+  return [](mpc::MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    ctx.store().set_vector<std::uint32_t>("val", {ctx.id(), 100});
+    Serializer s;
+    s.write(static_cast<std::uint64_t>(ctx.id() * 7));
+    ctx.send((ctx.id() + 1) % m, std::move(s), "test/ring");
+  };
+}
+
+mpc::Step make_test_mix(mpc::StepParams /*params*/) {
+  return [](mpc::MachineContext& ctx) {
+    if (ctx.inbox().size() != 1) throw MpteError("expected 1 message");
+    ctx.store().set_blob("got", ctx.inbox()[0].payload);
+    if (ctx.id() % 2 == 0) {
+      ctx.store().erase("val");
+    } else {
+      ctx.store().set_vector<std::uint32_t>("val", {ctx.id(), 200});
+    }
+    ctx.store().set_value<std::uint64_t>("extra", ctx.id() + 40);
+  };
+}
+
+mpc::Step make_test_cleanup(mpc::StepParams /*params*/) {
+  return [](mpc::MachineContext& ctx) { ctx.store().erase("extra"); };
+}
+
+mpc::Step make_test_ring(mpc::StepParams params) {
+  Deserializer d(params);
+  const auto r = d.read<std::uint64_t>();
+  return [r](mpc::MachineContext& ctx) {
+    const std::size_t m = ctx.num_machines();
+    std::uint64_t acc = r;
+    for (const auto& msg : ctx.inbox()) acc += msg.payload.size();
+    ctx.store().set_value<std::uint64_t>("acc/" + std::to_string(r),
+                                         acc + ctx.id());
+    Serializer s;
+    for (std::uint64_t i = 0; i <= r; ++i) {
+      s.write(static_cast<std::uint64_t>(ctx.id() + i));
+    }
+    ctx.send((ctx.id() + 1) % m, std::move(s), "test/ring");
+  };
+}
+
+const mpc::RegisterStep kRegTestSeed{"test/seed", make_test_seed};
+const mpc::RegisterStep kRegTestMix{"test/mix", make_test_mix};
+const mpc::RegisterStep kRegTestCleanup{"test/cleanup", make_test_cleanup};
+const mpc::RegisterStep kRegTestRing{"test/ring", make_test_ring};
+
+/// The delta pipeline as registered named steps — runnable without fork
+/// fallback on the persistent substrate.
+void run_named_delta_pipeline(mpc::Cluster& cluster) {
+  cluster.run_round(mpc::StepSpec("test/seed"), "seed");
+  cluster.run_round(mpc::StepSpec("test/mix"), "mix");
+  cluster.run_round(mpc::StepSpec("test/cleanup"), "cleanup");
+}
+
+mpc::StepSpec ring_spec(std::uint64_t r) {
+  Serializer s;
+  s.write(r);
+  return mpc::StepSpec("test/ring", std::move(s));
+}
+
+void run_ring_pipeline(mpc::Cluster& cluster, std::size_t rounds) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    cluster.run_round(ring_spec(r), "ring/" + std::to_string(r));
+  }
+}
+
 void expect_records_equal(const mpc::RoundStats& a, const mpc::RoundStats& b) {
   ASSERT_EQ(a.records().size(), b.records().size());
   for (std::size_t r = 0; r < a.records().size(); ++r) {
@@ -143,29 +236,43 @@ void expect_stores_equal(const mpc::Cluster& a, const mpc::Cluster& b) {
 
 TEST(BackendEquivalence, GoldenFingerprintAcrossBackendsAndThreads) {
   constexpr std::uint64_t kExpectedHash = 8852295253212578257ull;
-  for (const mpc::Backend backend :
-       {mpc::Backend::kInProcess, mpc::Backend::kMultiProcess}) {
+  for (const BackendVariant& variant :
+       {kInprocVariant, kForkVariant, kPersistentVariant}) {
     for (const std::size_t threads : {1u, 8u}) {
-      mpc::Cluster cluster(golden_config(backend, threads));
+      mpc::Cluster cluster(golden_config(variant, threads));
       const auto result = golden_embed(cluster);
       ASSERT_TRUE(result.ok()) << result.status().to_string();
       EXPECT_EQ(embedding_hash(*result), kExpectedHash)
-          << "backend="
-          << (backend == mpc::Backend::kInProcess ? "inproc" : "proc")
-          << " threads=" << threads;
+          << "backend=" << variant.name << " threads=" << threads;
     }
   }
   EXPECT_TRUE(no_children_remain());
 }
 
 TEST(BackendEquivalence, RoundStatsAndChannelBytesIdentical) {
-  mpc::Cluster inproc(golden_config(mpc::Backend::kInProcess, 1));
-  mpc::Cluster proc(golden_config(mpc::Backend::kMultiProcess, 8));
+  mpc::Cluster inproc(golden_config(kInprocVariant, 1));
+  mpc::Cluster fork_mode(golden_config(kForkVariant, 8));
+  mpc::Cluster persistent(golden_config(kPersistentVariant, 8));
   ASSERT_TRUE(golden_embed(inproc).ok());
-  ASSERT_TRUE(golden_embed(proc).ok());
-  expect_records_equal(inproc.stats(), proc.stats());
-  EXPECT_EQ(inproc.stats().channel_totals(), proc.stats().channel_totals());
-  expect_stores_equal(inproc, proc);
+  ASSERT_TRUE(golden_embed(fork_mode).ok());
+  ASSERT_TRUE(golden_embed(persistent).ok());
+  expect_records_equal(inproc.stats(), fork_mode.stats());
+  expect_records_equal(inproc.stats(), persistent.stats());
+  EXPECT_EQ(inproc.stats().channel_totals(),
+            fork_mode.stats().channel_totals());
+  EXPECT_EQ(inproc.stats().channel_totals(),
+            persistent.stats().channel_totals());
+  expect_stores_equal(inproc, fork_mode);
+  expect_stores_equal(inproc, persistent);
+
+  // The whole embedding pipeline runs as registered named steps: the
+  // persistent pool never fell back to fork-per-round.
+  const auto* backend =
+      dynamic_cast<const ipc::ProcBackend*>(persistent.round_executor());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->stats().fallback_rounds, 0u);
+  EXPECT_EQ(backend->stats().workers_forked, persistent.num_machines());
+  EXPECT_GT(backend->stats().step_frames_sent, 0u);
 }
 
 TEST(BackendEquivalence, StoreDeltasCoverEraseOverwriteAndFreshKeys) {
@@ -186,6 +293,219 @@ TEST(BackendEquivalence, StoreDeltasCoverEraseOverwriteAndFreshKeys) {
   ASSERT_NE(backend, nullptr);
   EXPECT_EQ(backend->stats().rounds, 3u);
   EXPECT_TRUE(no_children_remain());
+}
+
+TEST(PersistentWorkers, NamedPipelineRunsWithoutForkFallback) {
+  mpc::ClusterConfig config;
+  config.num_machines = 5;
+  config.local_memory_bytes = 1 << 20;
+  mpc::Cluster inproc(config);
+  config.backend = mpc::Backend::kMultiProcess;
+  {
+    mpc::Cluster proc(config);
+    run_named_delta_pipeline(inproc);
+    run_named_delta_pipeline(proc);
+    expect_stores_equal(inproc, proc);
+    expect_records_equal(inproc.stats(), proc.stats());
+
+    const auto* backend =
+        dynamic_cast<const ipc::ProcBackend*>(proc.round_executor());
+    ASSERT_NE(backend, nullptr);
+    const ipc::IpcStats& stats = backend->stats();
+    EXPECT_EQ(stats.rounds, 3u);
+    EXPECT_EQ(stats.fallback_rounds, 0u);
+    // One pool spawn, not one fork per rank per round.
+    EXPECT_EQ(stats.workers_forked, 5u);
+    EXPECT_EQ(stats.workers_respawned, 0u);
+    EXPECT_EQ(stats.step_frames_sent, 15u);
+    EXPECT_GT(stats.step_wire_bytes, 0u);
+    // Full resync once per worker at spawn, then dirty-key deltas only.
+    EXPECT_EQ(stats.store_resyncs, 5u);
+    ASSERT_EQ(stats.step_rounds.size(), 3u);
+    EXPECT_EQ(stats.step_rounds.at("test/seed"), 1u);
+    EXPECT_EQ(stats.step_rounds.at("test/mix"), 1u);
+    EXPECT_EQ(stats.step_rounds.at("test/cleanup"), 1u);
+  }
+  // ~Cluster shut the pool down (kShutdown + reap): no zombies.
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(PersistentWorkers, KillMidRunRespawnsPoolAndResyncsStores) {
+  mpc::ClusterConfig config;
+  config.num_machines = 4;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  config.ipc.kill_at_round = 1;
+  config.ipc.kill_rank = 2;
+  {
+    mpc::Cluster cluster(config);
+    cluster.run_round(ring_spec(0), "ring/0");
+    try {
+      cluster.run_round(ring_spec(1), "ring/1");
+      FAIL() << "expected WorkerLost";
+    } catch (const ipc::WorkerLost& lost) {
+      EXPECT_EQ(lost.rank(), 2u);
+      EXPECT_EQ(lost.round(), 1u);
+      EXPECT_EQ(lost.cause(), ipc::WorkerLost::Cause::kDied);
+    }
+    // The failed round mutated nothing: retry it and run to completion.
+    // The backend respawns the whole pool and re-seeds every worker's
+    // store from the coordinator's authoritative copy.
+    EXPECT_EQ(cluster.stats().rounds(), 1u);
+    for (std::uint64_t r = 1; r < 5; ++r) {
+      cluster.run_round(ring_spec(r), "ring/" + std::to_string(r));
+    }
+
+    const auto* backend =
+        dynamic_cast<const ipc::ProcBackend*>(cluster.round_executor());
+    ASSERT_NE(backend, nullptr);
+    const ipc::IpcStats& stats = backend->stats();
+    EXPECT_EQ(stats.workers_lost, 1u);
+    EXPECT_EQ(stats.workers_respawned, 4u);
+    // Initial spawn + post-kill respawn: two full resyncs per rank.
+    EXPECT_EQ(stats.store_resyncs, 8u);
+    EXPECT_EQ(stats.fallback_rounds, 0u);
+
+    // Byte-identity with an uninterrupted in-process run.
+    mpc::ClusterConfig reference_config;
+    reference_config.num_machines = 4;
+    reference_config.local_memory_bytes = 1 << 20;
+    mpc::Cluster reference(reference_config);
+    run_ring_pipeline(reference, 5);
+    expect_stores_equal(reference, cluster);
+    expect_records_equal(reference.stats(), cluster.stats());
+    EXPECT_EQ(reference.stats().channel_totals(),
+              cluster.stats().channel_totals());
+  }
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(PersistentWorkers, CheckpointRecoveryIsByteIdentical) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mpte_ipc_persistent_recovery_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  mpc::ClusterConfig config;
+  config.num_machines = 4;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
+  config.checkpoint.directory = dir;
+  config.checkpoint.every_k = 1;
+  config.ipc.kill_at_round = 2;
+  config.ipc.kill_rank = 1;
+  {
+    mpc::Cluster cluster(config);
+    ckpt::Coordinator coordinator = ckpt::Coordinator::for_cluster(cluster);
+    cluster.set_hooks(&coordinator);
+
+    const Status done = ckpt::run_with_recovery(cluster, coordinator, [&] {
+      run_ring_pipeline(cluster, 5);
+      return Status::Ok();
+    });
+    ASSERT_TRUE(done.ok()) << done.to_string();
+    EXPECT_GE(cluster.stats().resilience().recoveries, 1u);
+
+    const auto* backend =
+        dynamic_cast<const ipc::ProcBackend*>(cluster.round_executor());
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->stats().workers_lost, 1u);
+    EXPECT_GE(backend->stats().workers_respawned, 4u);
+    EXPECT_GE(backend->stats().store_resyncs, 8u);
+
+    mpc::ClusterConfig reference_config;
+    reference_config.num_machines = 4;
+    reference_config.local_memory_bytes = 1 << 20;
+    mpc::Cluster reference(reference_config);
+    run_ring_pipeline(reference, 5);
+    expect_stores_equal(reference, cluster);
+    EXPECT_EQ(reference.stats().channel_totals(),
+              cluster.stats().channel_totals());
+  }
+  EXPECT_TRUE(no_children_remain());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistentWorkers, GoldenEmbedRecoversFromKilledWorker) {
+  constexpr std::uint64_t kExpectedHash = 8852295253212578257ull;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mpte_ipc_persistent_golden_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  mpc::ClusterConfig config = golden_config(kPersistentVariant, 8);
+  config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
+  config.checkpoint.directory = dir;
+  config.checkpoint.every_k = 2;
+  config.ipc.kill_at_round = 5;
+  config.ipc.kill_rank = 3;
+  {
+    mpc::Cluster cluster(config);
+    ckpt::Coordinator coordinator = ckpt::Coordinator::for_cluster(cluster);
+    cluster.set_hooks(&coordinator);
+
+    std::optional<MpcEmbedding> result;
+    const Status done = ckpt::run_with_recovery(cluster, coordinator, [&] {
+      auto embedded = golden_embed(cluster);
+      if (!embedded.ok()) return embedded.status();
+      result = std::move(*embedded);
+      return Status::Ok();
+    });
+    ASSERT_TRUE(done.ok()) << done.to_string();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(embedding_hash(*result), kExpectedHash);
+    EXPECT_GE(cluster.stats().resilience().recoveries, 1u);
+  }
+  EXPECT_TRUE(no_children_remain());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Frames, StepAndShutdownRoundTrip) {
+  ipc::StepFrame frame;
+  frame.rank = 2;
+  frame.round = 41;
+  frame.step_name = "test/ring";
+  frame.step_params = mpc::Buffer({7, 0, 0, 0, 0, 0, 0, 0});
+  frame.reset_store = true;
+  frame.inject_kill = false;
+  frame.store_patch.push_back({"alpha", true, mpc::Buffer({1, 2, 3})});
+  frame.store_patch.push_back({"beta", false, mpc::Buffer()});
+  mpc::Message message;
+  message.from = 1;
+  message.payload = mpc::Buffer({9, 8, 7});
+  frame.inbox.push_back(message);
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const mpc::Buffer encoded = ipc::encode_step(frame);
+  ASSERT_TRUE(ipc::write_frame(sv[0], encoded).ok());
+  auto decoded = ipc::read_frame(sv[1], 1000);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->kind, ipc::FrameKind::kStep);
+  EXPECT_EQ(decoded->step.rank, 2u);
+  EXPECT_EQ(decoded->step.round, 41u);
+  EXPECT_EQ(decoded->step.step_name, "test/ring");
+  EXPECT_TRUE(decoded->step.step_params == frame.step_params);
+  EXPECT_TRUE(decoded->step.reset_store);
+  EXPECT_FALSE(decoded->step.inject_kill);
+  ASSERT_EQ(decoded->step.store_patch.size(), 2u);
+  EXPECT_EQ(decoded->step.store_patch[0].key, "alpha");
+  EXPECT_TRUE(decoded->step.store_patch[0].present);
+  EXPECT_TRUE(decoded->step.store_patch[0].blob == frame.store_patch[0].blob);
+  EXPECT_FALSE(decoded->step.store_patch[1].present);
+  ASSERT_EQ(decoded->step.inbox.size(), 1u);
+  EXPECT_EQ(decoded->step.inbox[0].from, 1u);
+  EXPECT_TRUE(decoded->step.inbox[0].payload == message.payload);
+
+  ASSERT_TRUE(ipc::write_frame(sv[0], ipc::encode_shutdown()).ok());
+  const auto shutdown = ipc::read_frame(sv[1], 1000);
+  ASSERT_TRUE(shutdown.ok()) << shutdown.status().to_string();
+  EXPECT_EQ(shutdown->kind, ipc::FrameKind::kShutdown);
+  ::close(sv[0]);
+  ::close(sv[1]);
 }
 
 TEST(Frames, ResultRoundTripAndCorruptionDetection) {
@@ -382,6 +702,12 @@ TEST(Metrics, TransportCountersExportUnderIpcNames) {
   EXPECT_GT(stats.commit_wire_bytes, 0u);
   EXPECT_GT(stats.store_delta_bytes, 0u);
   EXPECT_GT(stats.fragment_bytes, 0u);
+  // Hosted closures cannot ship to a persistent worker: every round fell
+  // back to fork-per-round, and the pool was never spawned.
+  EXPECT_EQ(stats.fallback_rounds, 3u);
+  EXPECT_EQ(stats.step_frames_sent, 0u);
+  EXPECT_EQ(stats.workers_respawned, 0u);
+  EXPECT_EQ(stats.store_resyncs, 0u);
 
   obs::Registry registry;
   backend->export_metrics(registry);
@@ -390,8 +716,37 @@ TEST(Metrics, TransportCountersExportUnderIpcNames) {
             stats.workers_forked);
   EXPECT_EQ(registry.counter_value("mpte_ipc_result_wire_bytes_total"),
             stats.result_wire_bytes);
+  EXPECT_EQ(registry.counter_value("mpte_ipc_fallback_rounds_total"),
+            stats.fallback_rounds);
   const std::string prom = registry.prometheus_text();
   EXPECT_NE(prom.find("mpte_ipc_barrier_seconds"), std::string::npos);
+}
+
+TEST(Metrics, StepRoundsExportWithStepNameLabels) {
+  mpc::ClusterConfig config;
+  config.num_machines = 3;
+  config.local_memory_bytes = 1 << 20;
+  config.backend = mpc::Backend::kMultiProcess;
+  {
+    mpc::Cluster cluster(config);
+    run_named_delta_pipeline(cluster);
+    const auto* backend =
+        dynamic_cast<const ipc::ProcBackend*>(cluster.round_executor());
+    ASSERT_NE(backend, nullptr);
+    obs::Registry registry;
+    backend->export_metrics(registry);
+    const std::string prom = registry.prometheus_text();
+    EXPECT_NE(prom.find("mpte_ipc_step_frames_sent_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("mpte_ipc_workers_respawned_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("mpte_ipc_store_resyncs_total"), std::string::npos);
+    EXPECT_NE(
+        prom.find("mpte_ipc_step_rounds_total{step=\"test/seed\"} 1"),
+        std::string::npos)
+        << prom;
+  }
+  EXPECT_TRUE(no_children_remain());
 }
 
 }  // namespace

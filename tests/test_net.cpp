@@ -1,0 +1,257 @@
+// Tests for common/net: the EINTR-safe blocking socket helpers under
+// every frame and wire byte in serve/ and ipc/. The deadline semantics
+// ("whole-operation budget") and the EINTR retry loops are exercised
+// directly here — the transports above only see their composed effect.
+#include "common/net.hpp"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mpte {
+namespace {
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int a() const { return fds[0]; }
+  int b() const { return fds[1]; }
+  void close_a() {
+    ::close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+TEST(Net, SendAllThenRecvExactRoundTrips) {
+  SocketPair pair;
+  std::vector<std::uint8_t> sent(4096);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(net::send_all(pair.a(), std::span<const std::uint8_t>(sent))
+                  .ok());
+  std::vector<std::uint8_t> got(sent.size());
+  ASSERT_TRUE(
+      net::recv_exact(pair.b(), std::span<std::uint8_t>(got), 1000).ok());
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Net, RecvExactAssemblesAcrossPartialWrites) {
+  SocketPair pair;
+  std::vector<std::uint8_t> sent(257);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<std::uint8_t>(i);
+  }
+  // Dribble the payload in four chunks with gaps: each recv returns a
+  // short fill, and recv_exact must keep pulling until complete.
+  std::thread writer([&] {
+    std::size_t offset = 0;
+    for (const std::size_t chunk : {1u, 64u, 100u, 92u}) {
+      ASSERT_TRUE(net::send_all(pair.a(),
+                                std::span<const std::uint8_t>(
+                                    sent.data() + offset, chunk))
+                      .ok());
+      offset += chunk;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  std::vector<std::uint8_t> got(sent.size());
+  EXPECT_TRUE(
+      net::recv_exact(pair.b(), std::span<std::uint8_t>(got), 5000).ok());
+  writer.join();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Net, RecvExactDeadlineExpiresWhenPeerStaysSilent) {
+  SocketPair pair;
+  std::vector<std::uint8_t> buf(16);
+  const auto start = std::chrono::steady_clock::now();
+  const Status status =
+      net::recv_exact(pair.b(), std::span<std::uint8_t>(buf), 100);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed.count(), 90);
+}
+
+TEST(Net, RecvExactDeadlineIsWholeOperationNotPerChunk) {
+  SocketPair pair;
+  // One byte arrives every ~60 ms; a per-chunk budget of 150 ms would
+  // pass, but the whole-fill budget of 150 ms must expire mid-assembly.
+  std::thread writer([&] {
+    for (int i = 0; i < 5; ++i) {
+      const std::uint8_t byte = static_cast<std::uint8_t>(i);
+      if (!net::send_all(pair.a(), std::span<const std::uint8_t>(&byte, 1))
+               .ok()) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+  });
+  std::vector<std::uint8_t> buf(5);
+  const Status status =
+      net::recv_exact(pair.b(), std::span<std::uint8_t>(buf), 150);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  writer.join();
+}
+
+TEST(Net, RecvExactReportsEofAsUnavailable) {
+  SocketPair pair;
+  const std::uint8_t byte = 42;
+  ASSERT_TRUE(
+      net::send_all(pair.a(), std::span<const std::uint8_t>(&byte, 1)).ok());
+  pair.close_a();  // partial payload, then orderly shutdown
+  std::vector<std::uint8_t> buf(8);
+  const Status status =
+      net::recv_exact(pair.b(), std::span<std::uint8_t>(buf), 1000);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("7B outstanding"), std::string::npos)
+      << status.to_string();
+}
+
+TEST(Net, WaitReadableTimesOutThenSeesData) {
+  SocketPair pair;
+  const auto quiet = net::wait_readable(pair.b(), 50);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_FALSE(*quiet);
+
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(
+      net::send_all(pair.a(), std::span<const std::uint8_t>(&byte, 1)).ok());
+  const auto ready = net::wait_readable(pair.b(), 1000);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_TRUE(*ready);
+
+  // Peer close also reports readable (recv then returns 0 = EOF).
+  pair.close_a();
+  std::uint8_t drain;
+  ASSERT_TRUE(net::recv_some(pair.b(), std::span<std::uint8_t>(&drain, 1))
+                  .ok());
+  const auto closed = net::wait_readable(pair.b(), 1000);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(*closed);
+}
+
+TEST(Net, RecvExactSurvivesEintrFromSignals) {
+  // Install a no-op SIGUSR1 handler WITHOUT SA_RESTART, so every delivery
+  // interrupts the blocking poll/recv with EINTR instead of auto-resuming.
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  SocketPair pair;
+  std::vector<std::uint8_t> sent(64);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const pthread_t reader_thread = ::pthread_self();
+  std::thread pinger([&] {
+    // Pepper the blocked reader with signals, then deliver the payload.
+    for (int i = 0; i < 20; ++i) {
+      ::pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(
+        net::send_all(pair.a(), std::span<const std::uint8_t>(sent)).ok());
+  });
+  std::vector<std::uint8_t> got(sent.size());
+  const Status status =
+      net::recv_exact(pair.b(), std::span<std::uint8_t>(got), 10'000);
+  pinger.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Net, SendAllReportsPeerDeathAsStatusNotSigpipe) {
+  SocketPair pair;
+  pair.close_a();
+  // Big enough to outrun any kernel buffer once the reader is gone; the
+  // MSG_NOSIGNAL send must fail with a Status, not kill the process.
+  std::vector<std::uint8_t> payload(1 << 20, 0xAB);
+  const Status status =
+      net::send_all(pair.b(), std::span<const std::uint8_t>(payload));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(Net, FinishConnectSucceedsOnListeningSocket) {
+  // Loopback listener on an ephemeral port.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Already connected: finish_connect is a no-op success (SO_ERROR == 0).
+  EXPECT_TRUE(net::finish_connect(client).ok());
+  ::close(client);
+  ::close(listener);
+}
+
+TEST(Net, FinishConnectSurfacesConnectionRefused) {
+  // Bind-then-close pins down a port with no listener behind it.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ::close(probe);
+
+  // A non-blocking connect puts the attempt in flight (EINPROGRESS) — the
+  // same "outcome must be read from SO_ERROR" state an EINTR-interrupted
+  // blocking connect leaves behind. finish_connect must surface the
+  // refusal as a Status.
+  const int client = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  ASSERT_GE(client, 0);
+  const int rc =
+      ::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    // Extremely unlikely port reuse; nothing to assert against.
+    ::close(client);
+    GTEST_SKIP() << "port was re-bound between close and connect";
+  }
+  ASSERT_TRUE(errno == EINPROGRESS || errno == ECONNREFUSED);
+  const Status status = net::finish_connect(client);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("connect"), std::string::npos);
+  ::close(client);
+}
+
+}  // namespace
+}  // namespace mpte

@@ -85,7 +85,8 @@ int usage() {
                "[seed]\n"
                "            [--checkpoint-dir D] [--every K] [--crash-at R] "
                "(mpc only)\n"
-               "            [--backend inproc|proc] [--ranks M] (mpc only)\n"
+               "            [--backend inproc|proc] [--ranks M] "
+               "[--workers persistent|fork] (mpc only)\n"
                "            [--trace-out FILE] [--metrics-out FILE]\n"
                "  mpte_cli resume <checkpoint-dir> [--trace-out FILE] "
                "[--metrics-out FILE]\n"
@@ -248,6 +249,20 @@ Result<mpc::Backend> parse_backend(const std::string& name) {
                 "unknown --backend '" + name + "' (want inproc|proc)");
 }
 
+const char* workers_name(mpc::IpcOptions::WorkerMode workers) {
+  return workers == mpc::IpcOptions::WorkerMode::kForkPerRound ? "fork"
+                                                               : "persistent";
+}
+
+/// Parses --workers; only meaningful with --backend proc but always
+/// accepted (ignored under inproc, like the rest of IpcOptions).
+Result<mpc::IpcOptions::WorkerMode> parse_workers(const std::string& name) {
+  if (name == "persistent") return mpc::IpcOptions::WorkerMode::kPersistent;
+  if (name == "fork") return mpc::IpcOptions::WorkerMode::kForkPerRound;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown --workers '" + name + "' (want persistent|fork)");
+}
+
 /// Stable fingerprint of the tree file's payload, printed by both the
 /// embed and resume paths so runs are easy to compare.
 std::uint64_t embedding_fingerprint(const Embedding& embedding) {
@@ -264,6 +279,12 @@ struct CkptManifest {
   /// cluster (the fingerprint depends on the rank count).
   mpc::Backend backend = mpc::Backend::kInProcess;
   std::size_t ranks = 8;
+  mpc::IpcOptions::WorkerMode workers =
+      mpc::IpcOptions::WorkerMode::kPersistent;
+  /// Comma-joined round labels committed before a crash. Written when an
+  /// embed run dies so resume can check that the re-driven pipeline
+  /// replays the same program; empty until then.
+  std::string program;
 };
 
 Status write_manifest(const std::string& dir, const CkptManifest& manifest) {
@@ -273,7 +294,11 @@ Status write_manifest(const std::string& dir, const CkptManifest& manifest) {
       << "seed=" << manifest.seed << "\n"
       << "every=" << manifest.every << "\n"
       << "backend=" << backend_name(manifest.backend) << "\n"
-      << "ranks=" << manifest.ranks << "\n";
+      << "ranks=" << manifest.ranks << "\n"
+      << "workers=" << workers_name(manifest.workers) << "\n";
+  if (!manifest.program.empty()) {
+    out << "program=" << manifest.program << "\n";
+  }
   const std::string text = out.str();
   return write_file_atomic(
       dir + "/manifest.txt",
@@ -311,6 +336,11 @@ Result<CkptManifest> read_manifest(const std::string& dir) {
       manifest.ranks = std::max<std::size_t>(
           1, static_cast<std::size_t>(std::atoll(value.c_str())));
     }
+    if (key == "workers") {
+      const auto workers = parse_workers(value);
+      if (workers.ok()) manifest.workers = *workers;
+    }
+    if (key == "program") manifest.program = value;
   }
   if (manifest.input.empty() || manifest.output.empty()) {
     return Status(StatusCode::kInvalidArgument,
@@ -374,11 +404,13 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
                   const std::string& out_path, std::uint64_t seed,
                   const std::string& checkpoint_dir, std::size_t every,
                   long long crash_at, mpc::Backend backend,
-                  std::size_t ranks, const ObsOutputs& outputs) {
+                  std::size_t ranks, mpc::IpcOptions::WorkerMode workers,
+                  const ObsOutputs& outputs) {
   arm_tracer(outputs);
   const std::size_t input_bytes =
       points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
   mpc::ClusterConfig config = mpc_cli_config(input_bytes, backend, ranks);
+  config.ipc.workers = workers;
   if (!checkpoint_dir.empty()) {
     config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
     config.checkpoint.directory = checkpoint_dir;
@@ -399,7 +431,9 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
     // Written before the run so a killed process leaves a resumable dir.
     std::error_code ec;
     std::filesystem::create_directories(checkpoint_dir, ec);
-    CkptManifest manifest{in_path, out_path, seed, every, backend, ranks};
+    CkptManifest manifest{in_path, out_path, seed,
+                          every,   backend,  ranks,
+                          workers, /*program=*/""};
     const Status wrote = write_manifest(checkpoint_dir, manifest);
     if (!wrote.ok()) {
       std::fprintf(stderr, "mpc embed: %s\n", wrote.to_string().c_str());
@@ -427,6 +461,21 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
       }
     });
   } catch (const mpc::RankCrashed& crash) {
+    if (!checkpoint_dir.empty()) {
+      // Record the program (the committed round-label sequence) so resume
+      // can validate that the restored snapshot replays the same steps.
+      std::string program;
+      for (const auto& record : cluster.stats().records()) {
+        if (!program.empty()) program += ',';
+        program += record.label;
+      }
+      CkptManifest manifest{in_path, out_path, seed,  every,
+                            backend, ranks,    workers, program};
+      const Status wrote = write_manifest(checkpoint_dir, manifest);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "mpc embed: %s\n", wrote.to_string().c_str());
+      }
+    }
     std::fprintf(stderr,
                  "mpc embed: %s; checkpoints in %s (finish with: mpte_cli "
                  "resume %s)\n",
@@ -458,6 +507,7 @@ int cmd_resume(int argc, char** argv) {
       points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
   mpc::ClusterConfig config =
       mpc_cli_config(input_bytes, manifest->backend, manifest->ranks);
+  config.ipc.workers = manifest->workers;
   config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
   config.checkpoint.directory = dir;
   config.checkpoint.every_k = manifest->every;
@@ -468,6 +518,40 @@ int cmd_resume(int argc, char** argv) {
   coordinator.restore_latest(cluster);
   std::printf("restored %zu committed rounds from %s\n",
               cluster.stats().rounds(), dir.c_str());
+
+  // If the crashed run recorded its program, check the restored snapshot
+  // replays a prefix of it: a label mismatch means the checkpoint came
+  // from a different pipeline (or build) and the resumed tree would
+  // silently diverge from the original run's.
+  if (!manifest->program.empty()) {
+    std::vector<std::string> program;
+    std::size_t start = 0;
+    while (start <= manifest->program.size()) {
+      const std::size_t comma = manifest->program.find(',', start);
+      program.push_back(manifest->program.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    const auto& records = cluster.stats().records();
+    if (records.size() > program.size()) {
+      std::fprintf(stderr,
+                   "resume: snapshot has %zu rounds but manifest program "
+                   "lists %zu\n",
+                   records.size(), program.size());
+      return 2;
+    }
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (records[i].label != program[i]) {
+        std::fprintf(stderr,
+                     "resume: round %zu label '%s' != manifest program "
+                     "step '%s'\n",
+                     i, records[i].label.c_str(), program[i].c_str());
+        return 2;
+      }
+    }
+  }
 
   MpcEmbedOptions options;
   options.seed = manifest->seed;
@@ -521,9 +605,15 @@ int cmd_embed(int argc, char** argv) {
       const auto ranks = std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::atoll(flag_value(flags, "--ranks", "8").c_str())));
+      const auto workers =
+          parse_workers(flag_value(flags, "--workers", "persistent"));
+      if (!workers.ok()) {
+        std::fprintf(stderr, "%s\n", workers.status().to_string().c_str());
+        return usage();
+      }
       return cmd_embed_mpc(points, positional[0], positional[1], seed,
                            checkpoint_dir, every, crash_at, *backend, ranks,
-                           outputs);
+                           *workers, outputs);
     } else if (method == "grid") {
       options.method = PartitionMethod::kGrid;
     } else if (method == "ball") {
