@@ -1,0 +1,229 @@
+// Dynamic-update economics (ISSUE 9 acceptance experiment): what a
+// single insert costs against what it replaces — a full static rebuild —
+// plus the two costs the serving story adds on top: epoch publish
+// amortization across batch sizes, and query throughput while updates
+// are being applied and published.
+//
+//   BM_DynUpdateVsRebuild/n   one DynamicEmbedder insert (O(depth * r)
+//       partition probes) vs embed() over the same n points. The paper's
+//       point is the asymptotic gap, so the counter to watch is
+//       `speedup` = rebuild_ms / update_ms; acceptance wants >= 10x at
+//       n = 1e5 (it lands orders of magnitude higher).
+//   BM_DynBatchPublish/b      b inserts + one publish() on a 2-member
+//       DynamicEnsemble (n = 10^4). publish() materializes every member
+//       (O(n * depth * T)), so per-update cost falls ~linearly with b —
+//       the measured argument for batching updates, which the serve
+//       batcher does per drained batch.
+//   BM_DynServeDuringUpdates  8 reader threads query an EmbeddingService
+//       in dynamic mode while upsert/remove pairs stream through the
+//       batcher. `query_errors` must be 0 (readers never block on, or
+//       observe a torn, epoch swap); `epochs` counts versions published
+//       while the readers ran.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/embedder.hpp"
+#include "dyn/dynamic_embedder.hpp"
+#include "dyn/dynamic_ensemble.hpp"
+#include "geometry/generators.hpp"
+#include "serve/service.hpp"
+
+namespace mpte::bench {
+namespace {
+
+constexpr std::size_t kDim = 8;
+constexpr double kBox = 30.0;
+
+/// Initial set plus a tail of extra points (same box, so they snap
+/// inside the pinned quantization frame) used as insert fodder.
+PointSet points_with_pool(std::size_t n, std::size_t pool,
+                          std::uint64_t seed) {
+  return generate_uniform_cube(n + pool, kDim, kBox, seed);
+}
+
+void BM_DynUpdateVsRebuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kInserts = 64;
+  const PointSet all = points_with_pool(n, kInserts, 83);
+  std::vector<std::size_t> head(n);
+  for (std::size_t i = 0; i < n; ++i) head[i] = i;
+  const PointSet initial = all.select(head);
+
+  dyn::DynOptions options;
+  options.seed = 83;
+  for (auto _ : state) {
+    auto dynamic = dyn::DynamicEmbedder::create(initial, options);
+    if (!dynamic.ok()) {
+      state.SkipWithError(dynamic.status().to_string().c_str());
+      return;
+    }
+    Timer update_timer;
+    for (std::size_t k = 0; k < kInserts; ++k) {
+      if (!dynamic->insert(all[n + k]).ok()) {
+        state.SkipWithError("insert failed");
+        return;
+      }
+    }
+    const double update_ms =
+        update_timer.milliseconds() / static_cast<double>(kInserts);
+
+    EmbedOptions static_options = dynamic->static_equivalent_options();
+    static_options.seed = 83;
+    Timer rebuild_timer;
+    const auto rebuilt = embed(initial, static_options);
+    const double rebuild_ms = rebuild_timer.milliseconds();
+    if (!rebuilt.ok()) {
+      state.SkipWithError(rebuilt.status().to_string().c_str());
+      return;
+    }
+
+    state.counters["update_us"] = 1000.0 * update_ms;
+    state.counters["rebuild_ms"] = rebuild_ms;
+    state.counters["speedup"] =
+        update_ms > 0.0 ? rebuild_ms / update_ms : 0.0;
+  }
+}
+BENCHMARK(BM_DynUpdateVsRebuild)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynBatchPublish(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kN = 10000;
+  const PointSet all = points_with_pool(kN, 256, 89);
+  std::vector<std::size_t> head(kN);
+  for (std::size_t i = 0; i < kN; ++i) head[i] = i;
+
+  dyn::DynamicEnsemble::Options options;
+  options.trees = 2;
+  options.member.seed = 89;
+  auto ensemble = dyn::DynamicEnsemble::create(all.select(head), options);
+  if (!ensemble.ok()) {
+    state.SkipWithError(ensemble.status().to_string().c_str());
+    return;
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    Timer timer;
+    for (std::size_t k = 0; k < batch; ++k) {
+      const std::size_t pick = kN + (next++ % 256);
+      if (!(*ensemble)->insert(all[pick]).ok()) {
+        state.SkipWithError("insert failed");
+        return;
+      }
+    }
+    const double insert_ms = timer.milliseconds();
+    Timer publish_timer;
+    if (!(*ensemble)->publish().ok()) {
+      state.SkipWithError("publish failed");
+      return;
+    }
+    const double publish_ms = publish_timer.milliseconds();
+    state.counters["publish_ms"] = publish_ms;
+    state.counters["per_update_us"] =
+        1000.0 * (insert_ms + publish_ms) / static_cast<double>(batch);
+    // Keep the live set a bounded distance from kN so iterations are
+    // comparable: erase what this round inserted.
+    const auto& epoch = *(*ensemble)->current();
+    const std::size_t live = epoch.num_points();
+    for (std::size_t k = kN; k < live; ++k) {
+      (void)(*ensemble)->erase(epoch.point_ids[k]);
+    }
+  }
+}
+BENCHMARK(BM_DynBatchPublish)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynServeDuringUpdates(benchmark::State& state) {
+  constexpr std::size_t kN = 5000;
+  constexpr std::size_t kReaders = 8;
+  constexpr std::size_t kUpdates = 200;
+  const PointSet all = points_with_pool(kN, 64, 97);
+  std::vector<std::size_t> head(kN);
+  for (std::size_t i = 0; i < kN; ++i) head[i] = i;
+
+  for (auto _ : state) {
+    dyn::DynamicEnsemble::Options options;
+    options.trees = 2;
+    options.member.seed = 97;
+    auto ensemble = dyn::DynamicEnsemble::create(all.select(head), options);
+    if (!ensemble.ok()) {
+      state.SkipWithError(ensemble.status().to_string().c_str());
+      return;
+    }
+    serve::ServiceOptions service_options;
+    service_options.max_queue = 1 << 16;
+    serve::EmbeddingService service(std::move(*ensemble), service_options);
+
+    const std::uint64_t epoch_start = service.epoch();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> answered{0}, query_errors{0};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (std::size_t c = 0; c < kReaders; ++c) {
+      readers.emplace_back([&, c] {
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t p = (c * 7919 + i) % kN;
+          const std::size_t q = (p + 1 + i % 97) % kN;
+          auto reply =
+              service.submit(serve::Request::Distance(p, q)).get();
+          reply.ok() ? ++answered : ++query_errors;
+          ++i;
+        }
+      });
+    }
+
+    Timer timer;
+    std::uint64_t update_errors = 0;
+    for (std::size_t k = 0; k < kUpdates; ++k) {
+      std::vector<double> coords(all[kN + k % 64].begin(),
+                                 all[kN + k % 64].end());
+      auto upserted =
+          service.submit(serve::Request::Upsert(std::move(coords))).get();
+      if (!upserted.ok()) {
+        ++update_errors;
+        continue;
+      }
+      if (!service.submit(serve::Request::Remove(upserted->id))
+               .get()
+               .ok()) {
+        ++update_errors;
+      }
+    }
+    const double seconds = timer.milliseconds() / 1000.0;
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& reader : readers) reader.join();
+    service.stop();
+
+    state.counters["qps_during_updates"] =
+        seconds > 0.0 ? static_cast<double>(answered.load()) / seconds
+                      : 0.0;
+    state.counters["epochs"] =
+        static_cast<double>(service.epoch() - epoch_start);
+    state.counters["updates_applied"] =
+        static_cast<double>(2 * kUpdates - update_errors);
+    state.counters["update_errors"] = static_cast<double>(update_errors);
+    state.counters["query_errors"] =
+        static_cast<double>(query_errors.load());
+  }
+}
+BENCHMARK(BM_DynServeDuringUpdates)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mpte::bench

@@ -116,6 +116,7 @@ Result<Embedding> embed(const PointSet& points, const EmbedOptions& options) {
         dim,
         fjlt_applied,
         attempt,
+        /*point_ids=*/{},
     };
     return embedding;
   }

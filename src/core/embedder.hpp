@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "geometry/point_set.hpp"
 #include "geometry/quantize.hpp"
@@ -85,6 +86,11 @@ struct Embedding {
   std::size_t dim_used = 0;
   bool fjlt_applied = false;
   int retries_used = 0;
+  /// Stable external id of each embedded point (dense index -> id). Empty
+  /// means the identity mapping 0..n-1 (every static build). mpte::dyn
+  /// fills it so erase(id) survives a save/load round trip; embedding_io
+  /// persists it in envelope version 2.
+  std::vector<std::uint64_t> point_ids;
 
   /// Tree distance between input points p and q, in input units.
   double distance(std::size_t p, std::size_t q) const {

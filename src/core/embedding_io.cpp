@@ -9,7 +9,13 @@ namespace mpte {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4d504542;  // "MPEB"
-constexpr std::uint32_t kVersion = 1;
+/// Version 1: config + optional points + tree. Version 2 adds the stable
+/// point-id vector (empty = identity 0..n-1) right after the retries
+/// field, so a dynamically built embedding (dyn/) keeps its external ids
+/// across a save/load round trip. The writer always emits version 2;
+/// version-1 files still load with empty (identity) ids.
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -24,6 +30,7 @@ void serialize_embedding(const Embedding& embedding, bool include_points,
   out.write(static_cast<std::uint64_t>(embedding.dim_used));
   out.write(static_cast<std::uint8_t>(embedding.fjlt_applied ? 1 : 0));
   out.write(static_cast<std::int32_t>(embedding.retries_used));
+  out.write_vector(embedding.point_ids);
   out.write(static_cast<std::uint8_t>(include_points ? 1 : 0));
   if (include_points) {
     out.write(static_cast<std::uint64_t>(embedding.embedded_points.size()));
@@ -44,7 +51,8 @@ Embedding deserialize_embedding(Deserializer& in) {
   if (in.read<std::uint32_t>() != kMagic) {
     throw MpteError("deserialize_embedding: bad magic");
   }
-  if (in.read<std::uint32_t>() != kVersion) {
+  const auto version = in.read<std::uint32_t>();
+  if (version != kVersionLegacy && version != kVersion) {
     throw MpteError("deserialize_embedding: unsupported version");
   }
   const auto scale = in.read<double>();
@@ -54,6 +62,10 @@ Embedding deserialize_embedding(Deserializer& in) {
   const auto dim_used = in.read<std::uint64_t>();
   const auto fjlt = in.read<std::uint8_t>();
   const auto retries = in.read<std::int32_t>();
+  std::vector<std::uint64_t> point_ids;
+  if (version >= kVersion) {
+    point_ids = in.read_vector<std::uint64_t>();
+  }
   const auto has_points = in.read<std::uint8_t>();
   PointSet points;
   if (has_points != 0) {
@@ -66,6 +78,9 @@ Embedding deserialize_embedding(Deserializer& in) {
   if (has_points != 0 && points.size() != tree.num_points()) {
     throw MpteError("deserialize_embedding: point/tree size mismatch");
   }
+  if (!point_ids.empty() && point_ids.size() != tree.num_points()) {
+    throw MpteError("deserialize_embedding: ids/tree size mismatch");
+  }
   return Embedding{std::move(tree),
                    std::move(points),
                    scale,
@@ -74,7 +89,8 @@ Embedding deserialize_embedding(Deserializer& in) {
                    static_cast<std::size_t>(grids),
                    static_cast<std::size_t>(dim_used),
                    fjlt != 0,
-                   retries};
+                   retries,
+                   std::move(point_ids)};
 }
 
 Embedding embedding_from_bytes(const std::vector<std::uint8_t>& bytes) {

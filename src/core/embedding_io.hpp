@@ -8,6 +8,11 @@
 // versioned wire format family as tree/hst_io.
 // On disk the payload travels inside the checksummed file envelope
 // (common/checksum.hpp) — see tree/hst_io.hpp for the integrity contract.
+//
+// Envelope version 2 adds the stable point-id vector (Embedding::point_ids;
+// empty = dense identity), so dynamically built embeddings (dyn/) keep
+// their external ids across a round trip. Version-1 files still load, with
+// ids left empty.
 #pragma once
 
 #include <string>

@@ -22,6 +22,26 @@ std::size_t ladder_levels(double w_max, double diameter_factor) {
 
 }  // namespace
 
+ScaleLadder grid_scale_ladder(std::size_t dim, std::uint64_t delta) {
+  ScaleLadder ladder;
+  const double sqrt_d = std::sqrt(static_cast<double>(dim));
+  // w_1 = delta: one level-1 cell can contain the whole box.
+  ladder.w_max = 2.0 * static_cast<double>(delta);
+  ladder.levels = ladder_levels(ladder.w_max, sqrt_d);
+  ladder.scales.push_back(ladder.w_max);
+  ladder.edge_weight.push_back(0.0);
+  for (std::size_t level = 1; level <= ladder.levels; ++level) {
+    const double w = ladder.w_max / std::exp2(static_cast<double>(level));
+    ladder.scales.push_back(w);
+    ladder.edge_weight.push_back(sqrt_d * w);
+  }
+  return ladder;
+}
+
+std::uint64_t grid_level_seed(std::uint64_t seed, std::size_t level) {
+  return hash_combine(mix64(seed ^ 0x96d1ull), level);
+}
+
 ScaleLadder hybrid_scale_ladder(std::size_t dim, std::uint32_t num_buckets,
                                 std::uint64_t delta) {
   ScaleLadder ladder;
@@ -151,27 +171,21 @@ Result<Hierarchy> build_grid_hierarchy(const PointSet& points,
   }
   const std::size_t d = points.dim();
   const std::size_t n = points.size();
-  const double sqrt_d = std::sqrt(static_cast<double>(d));
-  // w_1 = delta: one level-1 cell can contain the whole box.
-  const double w_max = 2.0 * static_cast<double>(delta);
-  const std::size_t levels = ladder_levels(w_max, sqrt_d);
+  const ScaleLadder ladder = grid_scale_ladder(d, delta);
 
   Hierarchy h;
   h.num_buckets = static_cast<std::uint32_t>(d);
-  h.scales.push_back(w_max);
-  h.edge_weight.push_back(0.0);
-  h.cluster_of_point.emplace_back(n, mix64(seed ^ 0x700a0ull));
+  h.scales = ladder.scales;
+  h.edge_weight = ladder.edge_weight;
+  h.cluster_of_point.emplace_back(n, hybrid_root_id(seed));
 
-  for (std::size_t level = 1; level <= levels; ++level) {
-    const double w = w_max / std::exp2(static_cast<double>(level));
+  for (std::size_t level = 1; level <= ladder.levels; ++level) {
+    const double w = ladder.scales[level];
     std::vector<std::uint64_t> next = h.cluster_of_point.back();
-    const ShiftedGrid grid(d, w,
-                           hash_combine(mix64(seed ^ 0x96d1ull), level));
+    const ShiftedGrid grid(d, w, grid_level_seed(seed, level));
     for (std::size_t i = 0; i < n; ++i) {
       next[i] = hash_combine(next[i], grid.cell_id(points[i]));
     }
-    h.scales.push_back(w);
-    h.edge_weight.push_back(sqrt_d * w);
     h.cluster_of_point.push_back(std::move(next));
   }
 

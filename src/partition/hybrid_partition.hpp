@@ -102,6 +102,16 @@ struct ScaleLadder {
 ScaleLadder hybrid_scale_ladder(std::size_t dim, std::uint32_t num_buckets,
                                 std::uint64_t delta);
 
+/// The ladder build_grid_hierarchy walks: w_max = 2*delta, cell width
+/// halving per level until the cell diagonal sqrt(d)*w drops below 1,
+/// edge weight sqrt(d)*w_i. Shared with mpte::dyn so incremental updates
+/// reproduce the static levels exactly.
+ScaleLadder grid_scale_ladder(std::size_t dim, std::uint64_t delta);
+
+/// Per-level seed of the grid hierarchy's ShiftedGrid (counter-based, like
+/// hybrid_grid_seed).
+std::uint64_t grid_level_seed(std::uint64_t seed, std::size_t level);
+
 /// Grid seed for (level, bucket) — the shared counter-based derivation.
 std::uint64_t hybrid_grid_seed(std::uint64_t seed, std::size_t level,
                                std::uint32_t bucket);

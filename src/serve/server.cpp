@@ -163,7 +163,8 @@ bool SocketServer::handle_line(const std::string& line, std::string* out,
       *out += service_.metrics_text();
       return true;
     case ControlCommand::kInfo:
-      *out += format_info(service_.num_points(), service_.ensemble().size()) +
+      *out += format_info(service_.num_points(), service_.num_trees(),
+                          service_.epoch(), service_.dim()) +
               "\n";
       return true;
     case ControlCommand::kQuit:

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "obs/trace.hpp"
 
 namespace mpte::serve {
@@ -13,16 +14,20 @@ namespace mpte::serve {
 namespace {
 
 const char* kCombinerNames[] = {"min", "exp"};
-const char* kKindNames[] = {"dist", "knn", "range"};
+const char* kKindNames[] = {"dist", "knn", "range", "upsert", "remove"};
 
 double to_ms(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::milli>(d).count();
 }
 
-CacheKey cache_key(const Request& request) {
+/// Cache keys mix the epoch version into the tag, so entries cached
+/// against a superseded epoch can never answer for the current one (the
+/// point set may have changed under them).
+CacheKey cache_key(const Request& request, std::uint64_t epoch) {
   CacheKey key;
-  key.tag = (static_cast<std::uint64_t>(request.kind) << 8) |
-            static_cast<std::uint64_t>(request.combiner);
+  key.tag = hash_combine((static_cast<std::uint64_t>(request.kind) << 8) |
+                             static_cast<std::uint64_t>(request.combiner),
+                         epoch);
   switch (request.kind) {
     case RequestKind::kDistance:
       key.a = std::min(request.p, request.q);
@@ -32,10 +37,20 @@ CacheKey cache_key(const Request& request) {
       key.a = request.p;
       key.b = std::bit_cast<std::uint64_t>(request.radius);
       break;
-    case RequestKind::kKnn:
-      break;  // not cached
+    default:
+      break;  // knn and updates are not cached
   }
   return key;
+}
+
+/// Wraps a static-mode ensemble as the one fixed epoch the service serves.
+std::shared_ptr<const dyn::EnsembleEpoch> make_static_epoch(
+    EmbeddingEnsemble ensemble) {
+  auto epoch = std::make_shared<dyn::EnsembleEpoch>();
+  epoch->version = 0;
+  epoch->ensemble = std::make_shared<const EmbeddingEnsemble>(
+      std::move(ensemble));
+  return epoch;
 }
 
 }  // namespace
@@ -50,7 +65,19 @@ const char* to_string(RequestKind kind) {
 
 EmbeddingService::EmbeddingService(EmbeddingEnsemble ensemble,
                                    ServiceOptions options)
-    : ensemble_(std::move(ensemble)),
+    : static_epoch_(make_static_epoch(std::move(ensemble))),
+      options_(options),
+      cache_(options.cache_bytes, options.cache_shards),
+      started_(Clock::now()),
+      paused_(options.start_paused) {
+  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  options_.max_queue = std::max<std::size_t>(1, options_.max_queue);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+EmbeddingService::EmbeddingService(
+    std::unique_ptr<dyn::DynamicEnsemble> dynamic, ServiceOptions options)
+    : dynamic_(std::move(dynamic)),
       options_(options),
       cache_(options.cache_bytes, options.cache_shards),
       started_(Clock::now()),
@@ -151,16 +178,44 @@ void EmbeddingService::batcher_loop() {
 void EmbeddingService::run_batch(std::vector<Pending>& batch) {
   const std::size_t n = batch.size();
   const obs::Span span("serve", "batch", "size", n);
-  // Evaluate concurrently, then fold counters, then fulfill promises — in
-  // that order, so by the time a caller's future resolves the stats
-  // already include its request.
+  // Updates first, serially, in submission order — then ONE publish for
+  // the whole batch, so the batch's queries (and every later reader) see
+  // all of its updates at once. Queries evaluate concurrently afterwards.
   std::vector<std::optional<Result<Response>>> results(n);
   std::vector<double> latency_ms(n, 0.0);
+  std::vector<std::size_t> applied;  // update slots awaiting epoch stamps
+  for (std::size_t i = 0; i < n; ++i) {
+    Pending& item = batch[i];
+    if (!is_update(item.request.kind)) continue;
+    if (Clock::now() > item.deadline) {
+      results[i] = Status(StatusCode::kDeadlineExceeded,
+                          "deadline expired before evaluation");
+    } else {
+      results[i] = apply_update(item.request);
+      if (results[i]->ok()) applied.push_back(i);
+    }
+    latency_ms[i] = to_ms(Clock::now() - item.enqueued);
+  }
+  if (!applied.empty()) {
+    auto published = dynamic_->publish();
+    for (const std::size_t i : applied) {
+      if (published.ok()) {
+        (*results[i])->epoch = (*published)->version;
+      } else {
+        // The column changes are in but unpublished; surface the failure
+        // rather than acknowledging an update no reader can see.
+        results[i] = Status(StatusCode::kInternal,
+                            "epoch publish failed: " +
+                                published.status().to_string());
+      }
+    }
+  }
   par::parallel_for(
       0, n,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           Pending& item = batch[i];
+          if (is_update(item.request.kind)) continue;  // already applied
           results[i] = [&]() -> Result<Response> {
             if (Clock::now() > item.deadline) {
               return Status(StatusCode::kDeadlineExceeded,
@@ -193,16 +248,37 @@ void EmbeddingService::run_batch(std::vector<Pending>& batch) {
   }
 }
 
+Result<Response> EmbeddingService::apply_update(const Request& request) {
+  if (!dynamic_) {
+    return Status(StatusCode::kInvalidArgument,
+                  "static service: upsert/remove need --dynamic");
+  }
+  Response response;
+  response.kind = request.kind;
+  if (request.kind == RequestKind::kUpsert) {
+    auto id = dynamic_->insert(request.coords);
+    if (!id.ok()) return id.status();
+    response.id = *id;
+  } else {
+    const Status erased = dynamic_->erase(request.id);
+    if (!erased.ok()) return erased;
+    response.id = request.id;
+  }
+  response.value = static_cast<double>(response.id);
+  return response;  // epoch stamped by run_batch after the batch publish
+}
+
 Result<Response> EmbeddingService::evaluate_cached(const Request& request) {
   if (request.kind == RequestKind::kKnn || !cache_.enabled()) {
     return evaluate(request);
   }
-  const CacheKey key = cache_key(request);
+  const CacheKey key = cache_key(request, epoch());
   double cached = 0.0;
   if (cache_.lookup(key, &cached)) {
     Response response;
     response.kind = request.kind;
     response.value = cached;
+    response.epoch = epoch();
     return response;
   }
   auto result = evaluate(request);
@@ -211,11 +287,19 @@ Result<Response> EmbeddingService::evaluate_cached(const Request& request) {
 }
 
 Result<Response> EmbeddingService::evaluate(const Request& request) const {
-  const std::size_t n = ensemble_.num_points();
-  const auto combined = [this, &request](std::size_t a, std::size_t b) {
+  if (is_update(request.kind)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "updates mutate state and must go through submit()");
+  }
+  // One snapshot per evaluation: the epoch shared_ptr keeps the ensemble
+  // alive even if a publish swaps the current epoch mid-query.
+  const auto snapshot = epoch_snapshot();
+  const EmbeddingEnsemble& ensemble = *snapshot->ensemble;
+  const std::size_t n = ensemble.num_points();
+  const auto combined = [&ensemble, &request](std::size_t a, std::size_t b) {
     return request.combiner == Combiner::kMin
-               ? ensemble_.min_distance(a, b)
-               : ensemble_.expected_distance(a, b);
+               ? ensemble.min_distance(a, b)
+               : ensemble.expected_distance(a, b);
   };
   switch (request.kind) {
     case RequestKind::kDistance: {
@@ -227,6 +311,7 @@ Result<Response> EmbeddingService::evaluate(const Request& request) const {
       Response response;
       response.kind = request.kind;
       response.value = combined(request.p, request.q);
+      response.epoch = snapshot->version;
       return response;
     }
     case RequestKind::kKnn: {
@@ -242,7 +327,7 @@ Result<Response> EmbeddingService::evaluate(const Request& request) const {
       // Walk up member 0's tree until the subtree holds enough candidates
       // (Lemma 1: subtree diameter bounds candidate distance), then rank
       // the gathered leaves by the combined ensemble distance.
-      const Hst& tree = ensemble_.member(0).tree;
+      const Hst& tree = ensemble.member(0).tree;
       std::size_t node = tree.leaf(request.p);
       while (tree.node(node).parent >= 0 &&
              tree.node(node).subtree_size < want + 1) {
@@ -275,6 +360,7 @@ Result<Response> EmbeddingService::evaluate(const Request& request) const {
       response.kind = request.kind;
       response.value = static_cast<double>(neighbors.size());
       response.neighbors = std::move(neighbors);
+      response.epoch = snapshot->version;
       return response;
     }
     case RequestKind::kRangeCount: {
@@ -295,8 +381,12 @@ Result<Response> EmbeddingService::evaluate(const Request& request) const {
       Response response;
       response.kind = request.kind;
       response.value = static_cast<double>(count);
+      response.epoch = snapshot->version;
       return response;
     }
+    case RequestKind::kUpsert:
+    case RequestKind::kRemove:
+      break;  // unreachable: rejected above
   }
   return Status(StatusCode::kInternal, "unknown request kind");
 }
@@ -395,6 +485,7 @@ void EmbeddingService::export_metrics(obs::Registry* registry) const {
                   "Submit-to-completion latency in microseconds "
                   "(log2 buckets).")
       .merge_from(latency_us_);
+  if (dynamic_) dynamic_->export_metrics(registry);
 }
 
 std::string EmbeddingService::metrics_text() const {

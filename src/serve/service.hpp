@@ -19,6 +19,16 @@
 // the ensemble, so service answers are byte-identical to unbatched,
 // uncached queries — batching and caching change scheduling, never
 // values.
+//
+// A service is either *static* (owns one immutable EmbeddingEnsemble,
+// epoch 0, updates rejected) or *dynamic* (owns a dyn::DynamicEnsemble).
+// In dynamic mode every query evaluates against an epoch snapshot — one
+// atomic shared_ptr load of the current immutable epoch, so readers never
+// block on writers — and upsert/remove requests ride the same batcher:
+// each drained batch applies its updates serially in submission order,
+// publishes ONE new epoch, and only then evaluates the batch's queries
+// (against the fresh epoch). Cache keys mix the epoch version in, so
+// entries from superseded epochs can never answer for the current one.
 #pragma once
 
 #include <chrono>
@@ -31,6 +41,7 @@
 #include <vector>
 
 #include "core/ensemble.hpp"
+#include "dyn/dynamic_ensemble.hpp"
 #include "obs/metrics.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/types.hpp"
@@ -58,8 +69,16 @@ struct ServiceOptions {
 
 class EmbeddingService {
  public:
-  /// Takes ownership of the ensemble and starts the batcher thread.
+  /// Static mode: takes ownership of the ensemble (served as immutable
+  /// epoch 0, upsert/remove rejected) and starts the batcher thread.
   explicit EmbeddingService(EmbeddingEnsemble ensemble,
+                            ServiceOptions options = {});
+
+  /// Dynamic mode: serves the ensemble's current epoch and applies
+  /// upsert/remove requests through the batcher (one publish per drained
+  /// batch). The DynamicEnsemble must be non-null and already created
+  /// (current() non-null).
+  explicit EmbeddingService(std::unique_ptr<dyn::DynamicEnsemble> dynamic,
                             ServiceOptions options = {});
   ~EmbeddingService();
 
@@ -103,8 +122,30 @@ class EmbeddingService {
   /// kUnavailable. Idempotent; the destructor calls it.
   void stop();
 
-  const EmbeddingEnsemble& ensemble() const { return ensemble_; }
-  std::size_t num_points() const { return ensemble_.num_points(); }
+  /// The current epoch (static mode: the fixed epoch-0 wrapper). One
+  /// atomic load in dynamic mode; never null; the shared_ptr keeps the
+  /// snapshot alive for as long as the caller holds it.
+  std::shared_ptr<const dyn::EnsembleEpoch> epoch_snapshot() const {
+    return dynamic_ ? dynamic_->current() : static_epoch_;
+  }
+  /// Version of the current epoch (0 on a static service).
+  std::uint64_t epoch() const { return epoch_snapshot()->version; }
+  bool is_dynamic() const { return dynamic_ != nullptr; }
+
+  /// The currently served ensemble. The reference is valid until the next
+  /// epoch publish; callers that must outlive a publish should hold the
+  /// epoch_snapshot() instead.
+  const EmbeddingEnsemble& ensemble() const {
+    return *epoch_snapshot()->ensemble;
+  }
+  std::size_t num_points() const { return epoch_snapshot()->num_points(); }
+  std::size_t num_trees() const { return epoch_snapshot()->ensemble->size(); }
+  /// Embedded dimension of the served points (== input dimension for
+  /// dynamic services, which never apply the FJLT) — what an `upsert`
+  /// must supply one coordinate per.
+  std::size_t dim() const {
+    return epoch_snapshot()->ensemble->member(0).dim_used;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -118,13 +159,21 @@ class EmbeddingService {
   };
 
   void batcher_loop();
-  /// Evaluates a drained batch on the pool and fulfills its promises.
+  /// Applies a batch's updates serially in submission order, publishes one
+  /// new epoch when any applied, then evaluates the batch's queries on the
+  /// pool (against the fresh epoch) and fulfills all promises in order.
   void run_batch(std::vector<Pending>& batch);
+  /// Applies one upsert/remove to the dynamic ensemble (batcher thread
+  /// only). The response's epoch is stamped after the batch publish.
+  Result<Response> apply_update(const Request& request);
   /// evaluate() plus cache lookup/fill for scalar-valued kinds.
   Result<Response> evaluate_cached(const Request& request);
   void record_latency(double ms);
 
-  EmbeddingEnsemble ensemble_;
+  /// Non-null in dynamic mode; writer side touched only by the batcher.
+  std::unique_ptr<dyn::DynamicEnsemble> dynamic_;
+  /// Static mode's one fixed epoch (version 0); null in dynamic mode.
+  std::shared_ptr<const dyn::EnsembleEpoch> static_epoch_;
   ServiceOptions options_;
   ShardedLruCache cache_;
   Clock::time_point started_;

@@ -31,7 +31,16 @@ enum class RequestKind : std::uint8_t {
   kKnn,
   /// Number of points within a given combined tree distance.
   kRangeCount,
+  /// Insert a point (dynamic services only); answer carries its stable id.
+  kUpsert,
+  /// Erase a point by stable id (dynamic services only).
+  kRemove,
 };
+
+/// True for the kinds that mutate the point set (dynamic services only).
+constexpr bool is_update(RequestKind kind) {
+  return kind == RequestKind::kUpsert || kind == RequestKind::kRemove;
+}
 
 const char* to_string(RequestKind kind);
 
@@ -48,6 +57,10 @@ struct Request {
   std::size_t k = 0;
   /// Distance threshold in input units (kRangeCount only).
   double radius = 0.0;
+  /// Input-unit coordinates of the point to insert (kUpsert only).
+  std::vector<double> coords;
+  /// Stable point id to erase (kRemove only).
+  std::uint64_t id = 0;
   /// Admission deadline measured from submit; 0 = none. A request still
   /// queued when its deadline passes is rejected with kDeadlineExceeded
   /// instead of evaluated late.
@@ -82,6 +95,20 @@ struct Request {
     r.radius = radius;
     return r;
   }
+
+  static Request Upsert(std::vector<double> coords) {
+    Request r;
+    r.kind = RequestKind::kUpsert;
+    r.coords = std::move(coords);
+    return r;
+  }
+
+  static Request Remove(std::uint64_t id) {
+    Request r;
+    r.kind = RequestKind::kRemove;
+    r.id = id;
+    return r;
+  }
 };
 
 /// One k-NN hit.
@@ -95,10 +122,15 @@ struct Neighbor {
 struct Response {
   RequestKind kind = RequestKind::kDistance;
   /// kDistance: the combined distance. kRangeCount: the count.
-  /// kKnn: the number of neighbors returned.
+  /// kKnn: the number of neighbors returned. kUpsert/kRemove: the id.
   double value = 0.0;
   /// kKnn only: neighbors ascending by (distance, point index).
   std::vector<Neighbor> neighbors;
+  /// kUpsert: the assigned stable id. kRemove: the erased id.
+  std::uint64_t id = 0;
+  /// Version of the ensemble epoch the answer reflects — for updates, the
+  /// epoch their batch published; 0 on a static (non-dynamic) service.
+  std::uint64_t epoch = 0;
 };
 
 /// Point-in-time service counters; see docs/serving.md for field

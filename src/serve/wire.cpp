@@ -114,6 +114,27 @@ Result<Request> parse_request(const std::string& line) {
     if (!parse_double(tokens[2], &request.radius)) {
       return malformed("bad radius '" + tokens[2] + "'");
     }
+  } else if (tokens[0] == "upsert") {
+    if (tokens.size() < 2) return malformed("upsert needs coordinates");
+    request.kind = RequestKind::kUpsert;
+    request.coords.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      double coord = 0.0;
+      if (!parse_double(tokens[i], &coord)) {
+        return malformed("bad coordinate '" + tokens[i] + "'");
+      }
+      request.coords.push_back(coord);
+    }
+    return request;  // every token consumed; no combiner/deadline suffix
+  } else if (tokens[0] == "remove") {
+    if (tokens.size() != 2) return malformed("remove needs <id>");
+    request.kind = RequestKind::kRemove;
+    std::size_t id = 0;
+    if (!parse_size(tokens[1], &id)) {
+      return malformed("bad id '" + tokens[1] + "'");
+    }
+    request.id = id;
+    return request;
   } else {
     return malformed("unknown verb '" + tokens[0] + "'");
   }
@@ -145,13 +166,22 @@ std::string format_response(const Result<Response>& result) {
       line += " " + std::to_string(
                         static_cast<unsigned long long>(response.value));
       break;
+    case RequestKind::kUpsert:
+    case RequestKind::kRemove:
+      line += " id=" + std::to_string(response.id) +
+              " epoch=" + std::to_string(response.epoch);
+      break;
   }
   return line;
 }
 
-std::string format_info(std::size_t points, std::size_t trees) {
+std::string format_info(std::size_t points, std::size_t trees,
+                        std::uint64_t epoch, std::size_t dim) {
+  // New fields append after the existing ones: clients probing with
+  // "ok info points=%zu" keep parsing.
   return "ok info points=" + std::to_string(points) +
-         " trees=" + std::to_string(trees);
+         " trees=" + std::to_string(trees) +
+         " epoch=" + std::to_string(epoch) + " dim=" + std::to_string(dim);
 }
 
 std::string format_stats(const ServiceStats& stats) {

@@ -7,6 +7,8 @@
 //   dist  <p> <q> [min|exp] [deadline_ms]
 //   knn   <p> <k> [min|exp] [deadline_ms]
 //   range <p> <radius> [min|exp] [deadline_ms]
+//   upsert <c0> <c1> ... (dynamic services only; one coordinate per dim)
+//   remove <id>          (dynamic services only; stable id from upsert)
 //   stats | metrics | info | quit | shutdown
 //
 // Responses:
@@ -14,10 +16,15 @@
 //   ok dist <value>
 //   ok knn <count> <point>:<distance> ...
 //   ok range <count>
-//   ok info points=<n> trees=<t>
+//   ok upsert id=<id> epoch=<e>
+//   ok remove id=<id> epoch=<e>
+//   ok info points=<n> trees=<t> epoch=<e> dim=<d>
 //   ok stats qps=... p50_ms=... p99_ms=... hit_rate=... depth=...
 //            rejected=... completed=...
 //   err <code> <message>
+//
+// Updates batched together publish one ensemble epoch; <e> is the version
+// their batch published (0 = static service, which rejects updates).
 //
 // `metrics` is the one multi-line response: the full Prometheus text
 // exposition of the service registry (docs/observability.md), terminated
@@ -51,7 +58,8 @@ Result<Request> parse_request(const std::string& line);
 /// "err <code> <message>".
 std::string format_response(const Result<Response>& result);
 
-std::string format_info(std::size_t points, std::size_t trees);
+std::string format_info(std::size_t points, std::size_t trees,
+                        std::uint64_t epoch, std::size_t dim);
 /// The one-line stats response. Values are read back from a registry
 /// filled by export_service_stats (service.hpp), the same numbers the
 /// `metrics` exposition reports.

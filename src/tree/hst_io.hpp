@@ -11,9 +11,20 @@
 // with a clear error instead of deserializing into garbage; files written
 // before the envelope existed (raw payload) still load. The in-memory
 // byte format (hst_to_bytes) is unchanged.
+//
+// Two payload versions exist. Version 1 (the id-less writers below) is
+// nodes + leaves, and its bytes are frozen: the cross-backend golden
+// fingerprints hash hst_to_bytes(tree). Version 2 (the `ids` overloads)
+// appends a stable point-id vector after the leaves, so a dynamic tree
+// (dyn/dynamic_embedder.hpp) survives a save/load round trip with its
+// external ids intact. Readers accept both; loading a version-1 file
+// synthesizes the dense identity ids 0..n-1.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/serialize.hpp"
 #include "common/status.hpp"
@@ -21,21 +32,40 @@
 
 namespace mpte {
 
-/// Serializes the full tree (nodes + leaf index) into `out`.
+/// Serializes the full tree (nodes + leaf index) into `out`. Version-1
+/// payload; byte-stable across releases (golden fingerprints hash it).
 void serialize_hst(const Hst& tree, Serializer& out);
 
-/// Convenience: serialized bytes of the tree.
+/// Serializes the tree plus the stable external id of each point (dense
+/// index -> id) as a version-2 payload. An empty `ids` span writes the
+/// dense identity 0..n-1; a non-empty span must have exactly
+/// tree.num_points() entries (throws MpteError otherwise).
+void serialize_hst(const Hst& tree, std::span<const std::uint64_t> ids,
+                   Serializer& out);
+
+/// Convenience: serialized bytes of the tree (version-1 payload).
 std::vector<std::uint8_t> hst_to_bytes(const Hst& tree);
 
 /// Reconstructs a tree; throws MpteError on malformed or
-/// version-incompatible input.
-Hst deserialize_hst(Deserializer& in);
+/// version-incompatible input. Accepts version-1 and version-2 payloads.
+/// When `ids` is non-null it receives the stable point ids — the stored
+/// vector for version 2, the dense identity 0..n-1 for version 1.
+Hst deserialize_hst(Deserializer& in,
+                    std::vector<std::uint64_t>* ids = nullptr);
 
 /// Convenience over a byte buffer.
-Hst hst_from_bytes(const std::vector<std::uint8_t>& bytes);
+Hst hst_from_bytes(const std::vector<std::uint8_t>& bytes,
+                   std::vector<std::uint64_t>* ids = nullptr);
 
-/// Writes the tree to a file; throws MpteError on I/O failure.
+/// Writes the tree to a file (version-1 payload); throws MpteError on
+/// I/O failure.
 void save_hst(const Hst& tree, const std::string& path);
+
+/// Writes the tree and its stable point ids to a file (version-2
+/// payload); throws MpteError on I/O failure or an ids/points size
+/// mismatch.
+void save_hst(const Hst& tree, std::span<const std::uint64_t> ids,
+              const std::string& path);
 
 /// Reads a tree written by save_hst.
 Hst load_hst(const std::string& path);

@@ -99,5 +99,33 @@ TEST(EmbeddingIo, TryLoadReportsMissingFileAsUnavailable) {
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
+TEST(EmbeddingIo, PointIdsRoundTrip) {
+  // Dynamic materializations carry stable external ids; the version-2
+  // envelope must preserve them bit-for-bit.
+  Embedding original = sample_embedding(17);
+  for (std::size_t i = 0; i < original.tree.num_points(); ++i) {
+    original.point_ids.push_back(3 * static_cast<std::uint64_t>(i) + 11);
+  }
+  const Embedding restored =
+      embedding_from_bytes(embedding_to_bytes(original, false));
+  EXPECT_EQ(restored.point_ids, original.point_ids);
+}
+
+TEST(EmbeddingIo, StaticEmbeddingsKeepEmptyPointIds) {
+  // embed() leaves point_ids empty (dense identity is implicit); a round
+  // trip must not invent ids.
+  const Embedding restored =
+      embedding_from_bytes(embedding_to_bytes(sample_embedding(19), false));
+  EXPECT_TRUE(restored.point_ids.empty());
+}
+
+TEST(EmbeddingIo, RejectsPointIdCountMismatch) {
+  Embedding original = sample_embedding(21);
+  original.point_ids = {1, 2, 3};  // != num_points
+  EXPECT_THROW(
+      (void)embedding_from_bytes(embedding_to_bytes(original, false)),
+      MpteError);
+}
+
 }  // namespace
 }  // namespace mpte

@@ -144,6 +144,59 @@ TEST(HstIo, LoadsPreEnvelopeLegacyFiles) {
   std::remove(path.c_str());
 }
 
+TEST(HstIo, VersionTwoRoundTripsStableIds) {
+  const Hst tree = sample_tree(29);
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < tree.num_points(); ++i) {
+    ids.push_back(1000 + 7 * static_cast<std::uint64_t>(i));
+  }
+  Serializer out;
+  serialize_hst(tree, ids, out);
+  std::vector<std::uint64_t> restored_ids;
+  const Hst restored = hst_from_bytes(out.take(), &restored_ids);
+  expect_same_metric(tree, restored);
+  EXPECT_EQ(restored_ids, ids);
+}
+
+TEST(HstIo, VersionTwoWritesDenseIdsForEmptySpan) {
+  const Hst tree = sample_tree(31);
+  Serializer out;
+  serialize_hst(tree, std::span<const std::uint64_t>(), out);
+  std::vector<std::uint64_t> ids;
+  (void)hst_from_bytes(out.take(), &ids);
+  ASSERT_EQ(ids.size(), tree.num_points());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(HstIo, LegacyPayloadSynthesizesDenseIds) {
+  // A version-1 buffer carries no ids; the reader must hand back the
+  // dense identity so pre-dyn files keep working under the new API.
+  const Hst tree = sample_tree(37);
+  std::vector<std::uint64_t> ids;
+  const Hst restored = hst_from_bytes(hst_to_bytes(tree), &ids);
+  expect_same_metric(tree, restored);
+  ASSERT_EQ(ids.size(), tree.num_points());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(HstIo, VersionTwoRejectsIdCountMismatch) {
+  const Hst tree = sample_tree(41);
+  const std::vector<std::uint64_t> wrong(tree.num_points() + 1, 9);
+  Serializer out;
+  EXPECT_THROW(serialize_hst(tree, wrong, out), MpteError);
+}
+
+TEST(HstIo, VersionTwoFileLoadsThroughLegacyReader) {
+  // load_hst ignores ids but must still accept a version-2 file.
+  const Hst tree = sample_tree(43);
+  std::vector<std::uint64_t> ids(tree.num_points());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = 50 + i;
+  const std::string path = "/tmp/mpte_hst_io_v2.bin";
+  save_hst(tree, ids, path);
+  expect_same_metric(tree, load_hst(path));
+  std::remove(path.c_str());
+}
+
 TEST(HstIo, SizeIsCompact) {
   // The serialized tree is O(n) — far below the O(n*d) input. 60 points,
   // <= ~3 nodes/point after pruning, 48B/node.

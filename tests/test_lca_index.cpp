@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.hpp"
 #include "core/embedder.hpp"
+#include "dyn/dynamic_embedder.hpp"
 #include "geometry/generators.hpp"
 
 namespace mpte {
@@ -75,6 +78,52 @@ TEST(LcaIndex, TinyTree) {
   const Hst tree = sample_tree(2, 15);
   const LcaIndex index(tree);
   EXPECT_EQ(index.distance(0, 1), tree.distance(0, 1));
+}
+
+// Exhaustively checks a freshly built index against the O(depth) Hst
+// walk oracle on the same tree.
+void expect_index_matches_walk(const Hst& tree) {
+  const LcaIndex index(tree);
+  for (std::size_t p = 0; p < tree.num_points(); ++p) {
+    for (std::size_t q = p; q < tree.num_points(); ++q) {
+      EXPECT_EQ(index.lca(p, q), tree.lca(p, q)) << "pair " << p << "," << q;
+      EXPECT_NEAR(index.distance(p, q), tree.distance(p, q),
+                  1e-9 * (1.0 + tree.distance(p, q)));
+    }
+  }
+}
+
+// The serving tier rebuilds an LcaIndex per member on every dynamic epoch
+// publish, so the index must stay correct on trees produced by
+// materialize() after arbitrary insert/erase sequences — not only on
+// trees straight out of embed(). Mutate a DynamicEmbedder step by step
+// and oracle-check the index over every intermediate tree.
+TEST(LcaIndex, MatchesWalkOracleOnMutatedTrees) {
+  const PointSet initial = generate_uniform_cube(24, 4, 30.0, 21);
+  dyn::DynOptions options;
+  options.seed = 21;
+  auto dynamic = dyn::DynamicEmbedder::create(initial, options);
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status().to_string();
+
+  Rng rng(17);
+  const PointSet pool = generate_uniform_cube(64, 4, 30.0, 22);
+  std::vector<std::uint64_t> live;
+  for (std::uint64_t id = 0; id < initial.size(); ++id) live.push_back(id);
+  std::size_t next_pool = 0;
+  for (int step = 0; step < 12; ++step) {
+    if (next_pool < pool.size() && (live.size() <= 4 || rng.uniform_u64(3))) {
+      const auto id = dynamic->insert(pool[next_pool++]);
+      ASSERT_TRUE(id.ok()) << id.status().to_string();
+      live.push_back(*id);
+    } else {
+      const std::size_t victim = rng.uniform_u64(live.size());
+      ASSERT_TRUE(dynamic->erase(live[victim]).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    auto materialized = dynamic->materialize();
+    ASSERT_TRUE(materialized.ok()) << materialized.status().to_string();
+    expect_index_matches_walk(materialized->tree);
+  }
 }
 
 }  // namespace

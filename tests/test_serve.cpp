@@ -383,8 +383,9 @@ TEST(Server, AnswersWireQueriesOverLoopback) {
   ASSERT_TRUE(client.connect("127.0.0.1", *port).ok());
   const auto info = client.roundtrip("info");
   ASSERT_TRUE(info.ok());
-  EXPECT_EQ(*info, format_info(service.num_points(),
-                               service.ensemble().size()));
+  EXPECT_EQ(*info, format_info(service.num_points(), service.num_trees(),
+                               service.epoch(), service.dim()));
+  EXPECT_EQ(service.epoch(), 0u);  // static service serves epoch 0
 
   const auto distance = client.roundtrip("dist 1 2");
   ASSERT_TRUE(distance.ok());
@@ -416,6 +417,149 @@ TEST(Server, AnswersWireQueriesOverLoopback) {
   ASSERT_TRUE(ack.ok());
   EXPECT_EQ(*ack, "ok shutdown");
   server.wait();  // returns because a client requested shutdown
+  server.stop();
+}
+
+// -------------------------------------------------------- dynamic serving
+
+std::unique_ptr<dyn::DynamicEnsemble> test_dynamic_ensemble(
+    std::size_t n = 40, std::size_t trees = 2, std::uint64_t seed = 5) {
+  const PointSet points = generate_uniform_cube(n, 3, 20.0, seed);
+  dyn::DynamicEnsemble::Options options;
+  options.trees = trees;
+  options.member.seed = seed;
+  auto result = dyn::DynamicEnsemble::create(points, options);
+  EXPECT_TRUE(result.ok()) << result.status().to_string();
+  return std::move(result).value();
+}
+
+TEST(WireProtocol, ParsesUpdateVerbs) {
+  const auto upsert = parse_request("upsert 1.5 -2 3e1");
+  ASSERT_TRUE(upsert.ok()) << upsert.status().to_string();
+  EXPECT_EQ(upsert->kind, RequestKind::kUpsert);
+  EXPECT_EQ(upsert->coords, (std::vector<double>{1.5, -2.0, 30.0}));
+
+  const auto remove = parse_request("remove 17");
+  ASSERT_TRUE(remove.ok()) << remove.status().to_string();
+  EXPECT_EQ(remove->kind, RequestKind::kRemove);
+  EXPECT_EQ(remove->id, 17u);
+
+  EXPECT_FALSE(parse_request("upsert").ok());
+  EXPECT_FALSE(parse_request("upsert 1.0 nope").ok());
+  EXPECT_FALSE(parse_request("remove").ok());
+  EXPECT_FALSE(parse_request("remove 1 2").ok());
+}
+
+TEST(WireProtocol, FormatsUpdateResponsesAndInfoWithEpoch) {
+  Response response;
+  response.kind = RequestKind::kUpsert;
+  response.id = 12;
+  response.epoch = 4;
+  EXPECT_EQ(format_response(Result<Response>(response)),
+            "ok upsert id=12 epoch=4");
+  response.kind = RequestKind::kRemove;
+  EXPECT_EQ(format_response(Result<Response>(response)),
+            "ok remove id=12 epoch=4");
+  EXPECT_EQ(format_info(100, 4, 7, 3),
+            "ok info points=100 trees=4 epoch=7 dim=3");
+}
+
+TEST(DynamicService, StaticServiceRejectsUpdates) {
+  EmbeddingService service(test_ensemble());
+  const std::vector<double> p = {1.0, 2.0, 3.0};
+  auto upsert = service.submit(Request::Upsert(p)).get();
+  EXPECT_EQ(upsert.status().code(), StatusCode::kInvalidArgument);
+  auto remove = service.submit(Request::Remove(0)).get();
+  EXPECT_EQ(remove.status().code(), StatusCode::kInvalidArgument);
+  // evaluate() refuses updates outright (they mutate state).
+  EXPECT_FALSE(service.evaluate(Request::Remove(0)).ok());
+}
+
+TEST(DynamicService, UpsertRemovePublishEpochsAndStampResponses) {
+  EmbeddingService service(test_dynamic_ensemble());
+  ASSERT_TRUE(service.is_dynamic());
+  EXPECT_EQ(service.epoch(), 1u);  // create() published epoch 1
+  const std::size_t initial_points = service.num_points();
+
+  const std::vector<double> p = {3.0, 4.0, 5.0};
+  auto upsert = service.submit(Request::Upsert(p)).get();
+  ASSERT_TRUE(upsert.ok()) << upsert.status().to_string();
+  EXPECT_EQ(upsert->id, initial_points);
+  EXPECT_GE(upsert->epoch, 2u);
+  EXPECT_EQ(service.num_points(), initial_points + 1);
+
+  auto remove = service.submit(Request::Remove(upsert->id)).get();
+  ASSERT_TRUE(remove.ok()) << remove.status().to_string();
+  EXPECT_EQ(remove->id, upsert->id);
+  EXPECT_GT(remove->epoch, upsert->epoch);
+  EXPECT_EQ(service.num_points(), initial_points);
+
+  // Unknown id surfaces the dyn layer's rejection through the batcher.
+  auto bad = service.submit(Request::Remove(9999)).get();
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Queries against the dynamic service carry the epoch they reflect and
+  // match the direct oracle.
+  auto queried = service.submit(Request::Distance(1, 2)).get();
+  ASSERT_TRUE(queried.ok());
+  EXPECT_EQ(queried->epoch, service.epoch());
+  auto direct = service.evaluate(Request::Distance(1, 2));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(queried->value, direct->value);
+}
+
+TEST(DynamicService, CacheNeverServesAcrossEpochs) {
+  // Distances are cached per epoch: after an update republishes, the same
+  // query must be recomputed against the new ensemble, not answered from
+  // the superseded epoch's cache entry.
+  EmbeddingService service(test_dynamic_ensemble(30));
+  auto before = service.submit(Request::Distance(3, 4)).get();
+  ASSERT_TRUE(before.ok());
+  auto cached = service.submit(Request::Distance(3, 4)).get();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->value, before->value);
+  const auto hits_before = service.stats().cache_hits;
+
+  const std::vector<double> p = {9.0, 9.0, 9.0};
+  ASSERT_TRUE(service.submit(Request::Upsert(p)).get().ok());
+
+  auto after = service.submit(Request::Distance(3, 4)).get();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value, before->value);  // same points, same answer
+  // The post-publish query missed the cache (fresh epoch in the key).
+  EXPECT_EQ(service.stats().cache_hits, hits_before);
+}
+
+TEST(DynamicService, ServesUpdateVerbsOverLoopback) {
+  EmbeddingService service(test_dynamic_ensemble());
+  SocketServer server(service);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok()) << port.status().to_string();
+
+  LineClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", *port).ok());
+  const std::size_t points_before = service.num_points();
+
+  const auto upsert = client.roundtrip("upsert 1.0 2.0 3.0");
+  ASSERT_TRUE(upsert.ok());
+  EXPECT_EQ(*upsert, "ok upsert id=" + std::to_string(points_before) +
+                         " epoch=" + std::to_string(service.epoch()));
+
+  const auto info = client.roundtrip("info");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(*info, format_info(points_before + 1, service.num_trees(),
+                               service.epoch(), service.dim()));
+
+  const auto removed = client.roundtrip(
+      "remove " + std::to_string(points_before));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(is_ok_line(*removed)) << *removed;
+  EXPECT_EQ(service.num_points(), points_before);
+
+  const auto bad = client.roundtrip("remove notanid");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(is_ok_line(*bad));
+
   server.stop();
 }
 

@@ -30,12 +30,28 @@
 //       Long-lived query service over the newline protocol
 //       (docs/serving.md); multiple tree files form an ensemble. Runs
 //       until a client sends `shutdown`, then prints final stats.
+//   mpte_cli serve --dynamic <in.csv> --port <p> [--trees T] [--seed S]
+//       [--method hybrid|grid|ball] [--updates FILE] [...serve flags]
+//       Dynamic mode: builds a DynamicEnsemble over the CSV points and
+//       serves it with live upsert/remove support (each drained batch of
+//       updates publishes one new ensemble epoch). --updates replays a
+//       file of wire-format upsert/remove lines through the service
+//       before accepting connections.
+//   mpte_cli dyncheck <in.csv> [--updates FILE] [--trees T] [--seed S]
+//       [--method hybrid|grid|ball]
+//       Correctness check for the dynamic layer: applies the updates to a
+//       DynamicEnsemble, publishes, rebuilds a static ensemble over the
+//       same final point set, and compares per-member tree fingerprints.
+//       Exit 0 on MATCH, 2 on MISMATCH.
 //   mpte_cli bench-client --port <p> [--host H] [--clients C]
 //       [--queries Q] [--pipeline K] [--kind dist|knn|range|mix]
-//       [--shutdown]
+//       [--updates K] [--shutdown]
 //       Load generator: C connections issue Q total queries, pipelined
 //       K per write; reports achieved qps and the server's stats line.
-//       --shutdown stops the server afterwards.
+//       --updates K runs a concurrent upsert+remove burst (dynamic
+//       servers only) while the queries flow, verifying that published
+//       epochs advance monotonically. --shutdown stops the server
+//       afterwards.
 //
 // Exit codes: 0 success, 1 usage (incl. unknown subcommands), 2 runtime
 // failure (including the Theorem-1 coverage-failure report and
@@ -47,6 +63,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -61,6 +79,7 @@
 #include "core/embedding_io.hpp"
 #include "core/ensemble.hpp"
 #include "core/mpc_embedder.hpp"
+#include "dyn/dynamic_ensemble.hpp"
 #include "geometry/csv_io.hpp"
 #include "geometry/generators.hpp"
 #include "obs/metrics.hpp"
@@ -97,10 +116,17 @@ int usage() {
                "[--wait-us N] [--queue N]\n"
                "            [--cache-bytes N] [--threads N] "
                "[--trace-out FILE] [--metrics-out FILE]\n"
+               "  mpte_cli serve --dynamic <in.csv> --port <p> [--trees T] "
+               "[--seed S]\n"
+               "            [--method hybrid|grid|ball] [--updates FILE] "
+               "[...serve flags]\n"
+               "  mpte_cli dyncheck <in.csv> [--updates FILE] [--trees T] "
+               "[--seed S]\n"
+               "            [--method hybrid|grid|ball]\n"
                "  mpte_cli bench-client --port <p> [--host H] "
                "[--clients C] [--queries Q]\n"
                "            [--pipeline K] [--kind dist|knn|range|mix] "
-               "[--shutdown]\n");
+               "[--updates K] [--shutdown]\n");
   return 1;
 }
 
@@ -359,7 +385,7 @@ int report_mpc_embedding(const mpc::Cluster& cluster,
                             result.scale_to_input, result.delta_used,
                             result.buckets_used,   result.grids_used,
                             result.dim_used,       result.fjlt_applied,
-                            result.retries_used};
+                            result.retries_used,   /*point_ids=*/{}};
   save_embedding(embedding, out_path, /*include_points=*/false);
 
   const HstShape shape = hst_shape(result.tree);
@@ -720,24 +746,76 @@ int cmd_distortion(int argc, char** argv) {
   return 0;
 }
 
+/// Shared by `serve --dynamic` and `dyncheck`: builds a DynamicEnsemble
+/// over a CSV point set from the --trees/--seed/--method flags.
+Result<std::unique_ptr<dyn::DynamicEnsemble>> build_dynamic_ensemble(
+    const std::string& csv_path,
+    const std::vector<std::pair<std::string, std::string>>& flags) {
+  dyn::DynamicEnsemble::Options options;
+  options.trees = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::atoll(flag_value(flags, "--trees", "4").c_str())));
+  options.member.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(flags, "--seed", "1").c_str()));
+  const std::string method = flag_value(flags, "--method", "hybrid");
+  if (method == "grid") {
+    options.member.method = PartitionMethod::kGrid;
+  } else if (method == "ball") {
+    options.member.method = PartitionMethod::kBall;
+  } else if (method == "hybrid") {
+    options.member.method = PartitionMethod::kHybrid;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown --method '" + method + "' (want hybrid|grid|ball)");
+  }
+  const PointSet points = read_csv_points_file(csv_path);
+  return dyn::DynamicEnsemble::create(points, options);
+}
+
+/// Parses an updates file (one wire-format `upsert ...` / `remove <id>`
+/// line per line; blank lines and '#' comments skipped) into requests.
+Result<std::vector<serve::Request>> read_updates_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot open updates file '" + path + "'");
+  }
+  std::vector<serve::Request> updates;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    auto parsed = serve::parse_request(line);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    path + ":" + std::to_string(line_no) + ": " +
+                        parsed.status().message());
+    }
+    if (!serve::is_update(parsed->kind)) {
+      return Status(StatusCode::kInvalidArgument,
+                    path + ":" + std::to_string(line_no) +
+                        ": only upsert/remove lines are allowed");
+    }
+    updates.push_back(std::move(*parsed));
+  }
+  return updates;
+}
+
 int cmd_serve(int argc, char** argv) {
   std::vector<std::string> trees;
   std::vector<std::pair<std::string, std::string>> flags;
   if (!parse_flags(argc, argv, 2, &trees, &flags)) return usage();
-  if (trees.empty() || flag_value(flags, "--port", "").empty()) {
+  const std::string dynamic_csv = flag_value(flags, "--dynamic", "");
+  if (flag_value(flags, "--port", "").empty()) return usage();
+  // Exactly one of: positional tree files (static) or --dynamic (live).
+  if (trees.empty() == dynamic_csv.empty()) return usage();
+  const std::string updates_path = flag_value(flags, "--updates", "");
+  if (!updates_path.empty() && dynamic_csv.empty()) {
+    std::fprintf(stderr, "serve: --updates requires --dynamic\n");
     return usage();
-  }
-
-  std::vector<Embedding> members;
-  members.reserve(trees.size());
-  for (const std::string& path : trees) {
-    members.push_back(load_embedding(path));
-  }
-  auto ensemble = EmbeddingEnsemble::from_members(std::move(members));
-  if (!ensemble.ok()) {
-    std::fprintf(stderr, "serve: %s\n",
-                 ensemble.status().to_string().c_str());
-    return 2;
   }
 
   const ObsOutputs outputs = obs_outputs(flags);
@@ -754,36 +832,203 @@ int cmd_serve(int argc, char** argv) {
       std::atoll(flag_value(flags, "--cache-bytes", "1048576").c_str()));
   options.eval_threads = static_cast<std::size_t>(
       std::atoll(flag_value(flags, "--threads", "0").c_str()));
-  serve::EmbeddingService service(std::move(ensemble).value(), options);
+
+  // EmbeddingService is neither copyable nor movable (it owns the batcher
+  // thread), so construct in place once the mode is known.
+  std::optional<serve::EmbeddingService> service;
+  if (dynamic_csv.empty()) {
+    std::vector<Embedding> members;
+    members.reserve(trees.size());
+    for (const std::string& path : trees) {
+      members.push_back(load_embedding(path));
+    }
+    auto ensemble = EmbeddingEnsemble::from_members(std::move(members));
+    if (!ensemble.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   ensemble.status().to_string().c_str());
+      return 2;
+    }
+    service.emplace(std::move(ensemble).value(), options);
+  } else {
+    auto dynamic = build_dynamic_ensemble(dynamic_csv, flags);
+    if (!dynamic.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   dynamic.status().to_string().c_str());
+      return 2;
+    }
+    service.emplace(std::move(*dynamic), options);
+  }
+
+  if (!updates_path.empty()) {
+    auto updates = read_updates_file(updates_path);
+    if (!updates.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   updates.status().to_string().c_str());
+      return 2;
+    }
+    // Chunked so a large replay file cannot trip admission control.
+    std::size_t replay_ok = 0, replay_err = 0;
+    for (std::size_t at = 0; at < updates->size(); at += 512) {
+      const std::size_t end = std::min(updates->size(), at + 512);
+      std::vector<serve::Request> chunk(updates->begin() + at,
+                                        updates->begin() + end);
+      auto futures = service->submit_batch(chunk);
+      for (auto& future : futures) {
+        if (future.get().ok()) {
+          ++replay_ok;
+        } else {
+          ++replay_err;
+        }
+      }
+    }
+    std::printf("replayed %zu update(s) from %s (%zu ok, %zu err) -> "
+                "epoch %llu\n",
+                updates->size(), updates_path.c_str(), replay_ok, replay_err,
+                static_cast<unsigned long long>(service->epoch()));
+    if (replay_err != 0) return 2;
+  }
 
   serve::ServerOptions server_options;
   server_options.port = static_cast<std::uint16_t>(
       std::atoi(flag_value(flags, "--port", "0").c_str()));
-  serve::SocketServer server(service, server_options);
+  serve::SocketServer server(*service, server_options);
   const auto port = server.start();
   if (!port.ok()) {
     std::fprintf(stderr, "serve: %s\n", port.status().to_string().c_str());
     return 2;
   }
   std::printf("serving %zu points, %zu tree(s) on 127.0.0.1:%u "
-              "(batch=%zu wait=%lldus queue=%zu cache=%zuB)\n",
-              service.num_points(), service.ensemble().size(),
-              static_cast<unsigned>(*port), options.max_batch,
+              "(%s epoch=%llu batch=%zu wait=%lldus queue=%zu cache=%zuB)\n",
+              service->num_points(), service->ensemble().size(),
+              static_cast<unsigned>(*port),
+              service->is_dynamic() ? "dynamic" : "static",
+              static_cast<unsigned long long>(service->epoch()),
+              options.max_batch,
               static_cast<long long>(options.max_wait.count()),
               options.max_queue, options.cache_bytes);
   std::fflush(stdout);
   server.wait();
   server.stop();
-  const serve::ServiceStats stats = service.stats();
+  const serve::ServiceStats stats = service->stats();
   std::printf("shutdown: completed=%llu rejected=%llu qps=%.1f "
-              "hit_rate=%.3f p50_ms=%.3f p99_ms=%.3f\n",
+              "hit_rate=%.3f p50_ms=%.3f p99_ms=%.3f epoch=%llu\n",
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.rejected_queue_full +
                                               stats.rejected_deadline),
-              stats.qps, stats.cache_hit_rate, stats.p50_ms, stats.p99_ms);
+              stats.qps, stats.cache_hit_rate, stats.p50_ms, stats.p99_ms,
+              static_cast<unsigned long long>(service->epoch()));
   return write_obs_artifacts(outputs, [&](obs::Registry* registry) {
-    service.export_metrics(registry);
+    service->export_metrics(registry);
   });
+}
+
+/// `dyncheck` — the dynamic layer's end-to-end oracle, runnable from the
+/// shell (CI's live-update smoke drives it): apply updates dynamically,
+/// then prove the result byte-identical to a from-scratch static build
+/// over the same final set by comparing per-member tree fingerprints.
+int cmd_dyncheck(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+  if (!parse_flags(argc, argv, 2, &positional, &flags)) return usage();
+  if (positional.size() != 1) return usage();
+
+  const PointSet initial = read_csv_points_file(positional[0]);
+  auto dynamic = build_dynamic_ensemble(positional[0], flags);
+  if (!dynamic.ok()) {
+    std::fprintf(stderr, "dyncheck: %s\n",
+                 dynamic.status().to_string().c_str());
+    return 2;
+  }
+  dyn::DynamicEnsemble& ensemble = **dynamic;
+
+  // Mirror of the live set in input units: the static rebuild needs the
+  // final points, and DynamicEmbedder records only snapped coordinates.
+  std::map<std::uint64_t, std::vector<double>> inputs;
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    const auto point = initial[i];
+    inputs.emplace(static_cast<std::uint64_t>(i),
+                   std::vector<double>(point.begin(), point.end()));
+  }
+
+  std::size_t applied = 0;
+  const std::string updates_path = flag_value(flags, "--updates", "");
+  if (!updates_path.empty()) {
+    auto updates = read_updates_file(updates_path);
+    if (!updates.ok()) {
+      std::fprintf(stderr, "dyncheck: %s\n",
+                   updates.status().to_string().c_str());
+      return 2;
+    }
+    for (const serve::Request& update : *updates) {
+      if (update.kind == serve::RequestKind::kUpsert) {
+        const auto id = ensemble.insert(update.coords);
+        if (!id.ok()) {
+          std::fprintf(stderr, "dyncheck: upsert: %s\n",
+                       id.status().to_string().c_str());
+          return 2;
+        }
+        inputs[*id] = update.coords;
+      } else {
+        const Status erased = ensemble.erase(update.id);
+        if (!erased.ok()) {
+          std::fprintf(stderr, "dyncheck: remove %llu: %s\n",
+                       static_cast<unsigned long long>(update.id),
+                       erased.to_string().c_str());
+          return 2;
+        }
+        inputs.erase(update.id);
+      }
+      ++applied;
+    }
+  }
+
+  const auto published = ensemble.publish();
+  if (!published.ok()) {
+    std::fprintf(stderr, "dyncheck: publish: %s\n",
+                 published.status().to_string().c_str());
+    return 2;
+  }
+  const dyn::EnsembleEpoch& epoch = **published;
+
+  // The static oracle: rebuild from scratch over the final set (ascending
+  // stable-id order == the dense order materialize() uses) with the same
+  // root seed; EmbeddingEnsemble::build re-derives the member seeds.
+  PointSet final_points;
+  for (const std::uint64_t id : epoch.point_ids) {
+    final_points.push_back(inputs.at(id));
+  }
+  EmbedOptions static_options =
+      ensemble.member(0).static_equivalent_options();
+  static_options.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(flags, "--seed", "1").c_str()));
+  auto rebuilt = EmbeddingEnsemble::build(final_points, static_options,
+                                          ensemble.num_members());
+  if (!rebuilt.ok()) {
+    std::fprintf(stderr, "dyncheck: static rebuild: %s\n",
+                 rebuilt.status().to_string().c_str());
+    return 2;
+  }
+
+  std::printf("points: %zu -> %zu (%zu update(s) applied, epoch %llu)\n",
+              initial.size(), epoch.num_points(), applied,
+              static_cast<unsigned long long>(epoch.version));
+  std::size_t matched = 0;
+  for (std::size_t t = 0; t < ensemble.num_members(); ++t) {
+    const std::uint64_t dynamic_fp =
+        fnv1a64(hst_to_bytes(epoch.ensemble->member(t).tree));
+    const std::uint64_t static_fp =
+        fnv1a64(hst_to_bytes(rebuilt->member(t).tree));
+    const bool match = dynamic_fp == static_fp;
+    matched += match ? 1 : 0;
+    std::printf("member %zu: dynamic=%016llx static=%016llx %s\n", t,
+                static_cast<unsigned long long>(dynamic_fp),
+                static_cast<unsigned long long>(static_fp),
+                match ? "MATCH" : "MISMATCH");
+  }
+  const bool all = matched == ensemble.num_members();
+  std::printf("dyncheck: %s (%zu/%zu members byte-identical)\n",
+              all ? "MATCH" : "MISMATCH", matched, ensemble.num_members());
+  return all ? 0 : 2;
 }
 
 int cmd_bench_client(int argc, char** argv) {
@@ -805,6 +1050,8 @@ int cmd_bench_client(int argc, char** argv) {
       1, static_cast<std::size_t>(
              std::atoll(flag_value(flags, "--pipeline", "32").c_str())));
   const std::string kind = flag_value(flags, "--kind", "dist");
+  const auto updates = static_cast<std::size_t>(
+      std::atoll(flag_value(flags, "--updates", "0").c_str()));
   const bool shutdown = flag_value(flags, "--shutdown", "") == "1";
 
   // Transient connect failures (server still binding, accept backlog
@@ -826,8 +1073,11 @@ int cmd_bench_client(int argc, char** argv) {
                   "connect retries exhausted: " + last.to_string());
   };
 
-  // One probe connection discovers the point count.
-  std::size_t points = 0;
+  // One probe connection discovers the served shape. The epoch and dim
+  // fields only matter for --updates (upserts need one coordinate per
+  // dim; epochs must advance across published update batches).
+  std::size_t points = 0, trees_served = 0, dim = 0;
+  unsigned long long epoch_start = 0;
   {
     serve::LineClient probe;
     const Status connected = connect_with_backoff(probe);
@@ -837,8 +1087,10 @@ int cmd_bench_client(int argc, char** argv) {
       return 2;
     }
     const auto info = probe.roundtrip("info");
-    if (!info.ok() || std::sscanf(info->c_str(), "ok info points=%zu",
-                                  &points) != 1 ||
+    if (!info.ok() ||
+        std::sscanf(info->c_str(),
+                    "ok info points=%zu trees=%zu epoch=%llu dim=%zu",
+                    &points, &trees_served, &epoch_start, &dim) != 4 ||
         points < 2) {
       std::fprintf(stderr, "bench-client: bad info reply\n");
       return 2;
@@ -860,10 +1112,58 @@ int cmd_bench_client(int argc, char** argv) {
     return "dist " + std::to_string(p) + " " + std::to_string(q);
   };
 
+  // The update burst runs on its own connection *concurrently* with the
+  // query workers — the point is that queries keep getting answered while
+  // epochs roll over. Each round trips one upsert then removes the id it
+  // was assigned, so the served point count is unchanged afterwards;
+  // every reply's epoch must be >= the last one seen (batches publish
+  // monotonically increasing versions).
+  std::uint64_t update_ok = 0, update_err = 0;
+  unsigned long long epoch_last = epoch_start;
+  const auto run_updates = [&] {
+    serve::LineClient client;
+    if (!connect_with_backoff(client).ok()) {
+      update_err = 2 * updates;
+      return;
+    }
+    for (std::size_t k = 0; k < updates; ++k) {
+      std::string line = "upsert";
+      for (std::size_t j = 0; j < dim; ++j) {
+        const std::uint64_t h = mix64(hash_combine(k + 1, j));
+        line += " " + std::to_string(static_cast<double>(h % 1000) / 10.0);
+      }
+      unsigned long long id = 0, epoch = 0;
+      const auto upserted = client.roundtrip(line);
+      if (!upserted.ok() ||
+          std::sscanf(upserted->c_str(), "ok upsert id=%llu epoch=%llu",
+                      &id, &epoch) != 2 ||
+          epoch < epoch_last) {
+        update_err += 2;
+        continue;
+      }
+      epoch_last = epoch;
+      ++update_ok;
+      const auto removed =
+          client.roundtrip("remove " + std::to_string(id));
+      unsigned long long removed_id = 0;
+      if (!removed.ok() ||
+          std::sscanf(removed->c_str(), "ok remove id=%llu epoch=%llu",
+                      &removed_id, &epoch) != 2 ||
+          removed_id != id || epoch < epoch_last) {
+        ++update_err;
+        continue;
+      }
+      epoch_last = epoch;
+      ++update_ok;
+    }
+  };
+
   std::vector<std::uint64_t> ok_counts(clients, 0);
   std::vector<std::uint64_t> err_counts(clients, 0);
   const std::size_t per_client = total_queries / clients;
   Timer timer;
+  std::thread updater;
+  if (updates > 0) updater = std::thread(run_updates);
   std::vector<std::thread> workers;
   workers.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -899,6 +1199,7 @@ int cmd_bench_client(int argc, char** argv) {
     });
   }
   for (std::thread& worker : workers) worker.join();
+  if (updater.joinable()) updater.join();
   const double elapsed = timer.seconds();
 
   std::uint64_t ok_total = 0, err_total = 0;
@@ -913,6 +1214,13 @@ int cmd_bench_client(int argc, char** argv) {
   std::printf("queries:  %llu ok, %llu err\n",
               static_cast<unsigned long long>(ok_total),
               static_cast<unsigned long long>(err_total));
+  err_total += update_err;  // update failures also fail the run (exit 2)
+  if (updates > 0) {
+    std::printf("updates:  %llu ok, %llu err, epoch %llu -> %llu\n",
+                static_cast<unsigned long long>(update_ok),
+                static_cast<unsigned long long>(update_err), epoch_start,
+                epoch_last);
+  }
   std::printf("elapsed:  %.3f s\n", elapsed);
   std::printf("qps:      %.1f\n", qps);
 
@@ -942,6 +1250,7 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(argc, argv);
     if (command == "distortion") return cmd_distortion(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "dyncheck") return cmd_dyncheck(argc, argv);
     if (command == "bench-client") return cmd_bench_client(argc, argv);
     // Unknown subcommands are a usage error (exit 1), never a crash.
     return usage();
