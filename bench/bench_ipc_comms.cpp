@@ -5,10 +5,12 @@
 // (all-to-all), so a round moves M*M*payload message bytes plus M store
 // deltas. The in-process rows price the simulator's refcounted delivery;
 // the proc-fork rows add the pre-persistent per-round costs — fork,
-// serialize, socket hop, barrier — and the proc-persistent rows price the
-// kStep protocol (resident workers, dirty-key patches) against them, at
-// M in {4, 8, 16}. Every row runs the same registered named step so the
-// comparison isolates the substrate, not the step body.
+// serialize, transport hop, barrier — and the proc-persistent rows price
+// the kStep protocol (resident workers, dirty-key patches) against them,
+// each crossed with the transport axis (socketpair vs shared-memory
+// ring; see docs/ipc-transport.md), at M in {4, 8, 16}. Every row runs
+// the same registered named step so the comparison isolates the
+// substrate, not the step body.
 //
 // Artifacts, following the BENCH_simd convention:
 //   BENCH_ipc.json          rows of {backend, machines, round_ms,
@@ -129,19 +131,44 @@ class IpcBenchRecorder {
   std::vector<IpcRow> rows_;
 };
 
+/// The proc benchmark axis: worker provisioning x transport substrate.
+/// Mode 0 is the in-process baseline; 1-2 ride the socketpair, 3-4 the
+/// shared-memory ring (the default transport).
+struct ProcMode {
+  const char* name;
+  mpc::Backend backend;
+  mpc::IpcOptions::WorkerMode workers;
+  mpc::IpcOptions::Transport transport;
+};
+
+constexpr ProcMode kModes[] = {
+    {"inproc", mpc::Backend::kInProcess,
+     mpc::IpcOptions::WorkerMode::kPersistent,
+     mpc::IpcOptions::Transport::kShmRing},
+    {"proc-fork-socketpair", mpc::Backend::kMultiProcess,
+     mpc::IpcOptions::WorkerMode::kForkPerRound,
+     mpc::IpcOptions::Transport::kSocketpair},
+    {"proc-persistent-socketpair", mpc::Backend::kMultiProcess,
+     mpc::IpcOptions::WorkerMode::kPersistent,
+     mpc::IpcOptions::Transport::kSocketpair},
+    {"proc-fork-shm", mpc::Backend::kMultiProcess,
+     mpc::IpcOptions::WorkerMode::kForkPerRound,
+     mpc::IpcOptions::Transport::kShmRing},
+    {"proc-persistent-shm", mpc::Backend::kMultiProcess,
+     mpc::IpcOptions::WorkerMode::kPersistent,
+     mpc::IpcOptions::Transport::kShmRing},
+};
+
 void BM_AllToAllRound(benchmark::State& state) {
   const auto machines = static_cast<std::size_t>(state.range(0));
-  // 0 = inproc, 1 = proc-fork, 2 = proc-persistent.
-  const auto mode = state.range(1);
+  const ProcMode& mode = kModes[state.range(1)];
 
   mpc::ClusterConfig config;
   config.num_machines = machines;
   config.local_memory_bytes = 1 << 22;
-  config.backend =
-      mode != 0 ? mpc::Backend::kMultiProcess : mpc::Backend::kInProcess;
-  config.ipc.workers = mode == 1
-                           ? mpc::IpcOptions::WorkerMode::kForkPerRound
-                           : mpc::IpcOptions::WorkerMode::kPersistent;
+  config.backend = mode.backend;
+  config.ipc.workers = mode.workers;
+  config.ipc.transport = mode.transport;
   mpc::Cluster cluster(config);
 
   const double bytes_per_round =
@@ -159,8 +186,7 @@ void BM_AllToAllRound(benchmark::State& state) {
       bytes_per_round * static_cast<double>(state.iterations())));
 
   IpcRow row;
-  row.backend =
-      mode == 0 ? "inproc" : (mode == 1 ? "proc-fork" : "proc-persistent");
+  row.backend = mode.name;
   row.machines = machines;
   row.round_ms =
       state.iterations() > 0
@@ -179,7 +205,7 @@ void BM_AllToAllRound(benchmark::State& state) {
 
 BENCHMARK(BM_AllToAllRound)
     ->ArgNames({"machines", "mode"})
-    ->ArgsProduct({{4, 8, 16}, {0, 1, 2}})
+    ->ArgsProduct({{4, 8, 16}, {0, 1, 2, 3, 4}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

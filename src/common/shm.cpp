@@ -1,0 +1,108 @@
+#include "common/shm.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#endif
+
+namespace mpte {
+
+ShmRegion::ShmRegion(ShmRegion&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+ShmRegion::~ShmRegion() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+Result<ShmRegion> ShmRegion::create(std::size_t bytes, const char* name) {
+  if (bytes == 0) {
+    return Status(StatusCode::kInvalidArgument, "shm region: zero size");
+  }
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t size = (bytes + page - 1) / page * page;
+#if defined(__linux__) && defined(SYS_memfd_create)
+  const int fd =
+      static_cast<int>(::syscall(SYS_memfd_create, name, 1 /*MFD_CLOEXEC*/));
+  if (fd >= 0) {
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      const Status status(StatusCode::kUnavailable,
+                          std::string("shm region ftruncate: ") +
+                              std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                        fd, 0);
+    ::close(fd);  // the mapping keeps the pages alive
+    if (base == MAP_FAILED) {
+      return Status(StatusCode::kUnavailable,
+                    std::string("shm region mmap: ") + std::strerror(errno));
+    }
+    return ShmRegion(base, size);
+  }
+  // memfd_create unavailable (old kernel / seccomp): fall through.
+#else
+  (void)name;
+#endif
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Status(StatusCode::kUnavailable,
+                  std::string("shm region mmap: ") + std::strerror(errno));
+  }
+  return ShmRegion(base, size);
+}
+
+void futex_wait(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                int timeout_ms) {
+#if defined(__linux__) && defined(SYS_futex)
+  struct timespec ts;
+  struct timespec* ts_ptr = nullptr;
+  if (timeout_ms >= 0) {
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1'000'000L;
+    ts_ptr = &ts;
+  }
+  // FUTEX_WAIT (not _PRIVATE): waiter and waker are different processes
+  // sharing the word through a MAP_SHARED region.
+  ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+            FUTEX_WAIT, expected, ts_ptr, nullptr, 0);
+#else
+  if (word.load(std::memory_order_acquire) != expected) return;
+  const int nap = timeout_ms < 0 ? 1 : std::min(timeout_ms, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(std::max(nap, 1)));
+#endif
+}
+
+void futex_wake_all(const std::atomic<std::uint32_t>& word) {
+#if defined(__linux__) && defined(SYS_futex)
+  ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+            FUTEX_WAKE, INT_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+}  // namespace mpte

@@ -1,0 +1,61 @@
+// Shared-memory helpers for cross-process transports.
+//
+// ShmRegion owns one MAP_SHARED mapping created *before* fork so both
+// sides of a coordinator<->worker pair address the same physical pages.
+// On Linux the backing object is a memfd (sealed-size anonymous file)
+// mapped once and closed immediately — the mapping keeps the pages alive,
+// no name ever appears in the filesystem, and fork() inherits it for
+// free. Where memfd_create is unavailable the region falls back to a
+// plain MAP_SHARED|MAP_ANONYMOUS mapping, which fork inherits equally.
+//
+// futex_wait/futex_wake wrap the Linux futex syscall in its cross-process
+// (non-PRIVATE) form, operating on 32-bit words that live inside a
+// ShmRegion. On non-Linux builds they degrade to a short sleep / no-op,
+// which keeps the ring correct (waits are always re-checked in a loop)
+// at the cost of wakeup latency.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace mpte {
+
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+  ShmRegion(ShmRegion&& other) noexcept;
+  ShmRegion& operator=(ShmRegion&& other) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+  ~ShmRegion();
+
+  /// Maps `bytes` of zero-initialized shared memory. `name` is a debug
+  /// label (shows up in /proc/<pid>/maps on the memfd path); it is never
+  /// a filesystem path.
+  static Result<ShmRegion> create(std::size_t bytes, const char* name);
+
+  std::uint8_t* data() const { return static_cast<std::uint8_t*>(base_); }
+  std::size_t size() const { return size_; }
+  explicit operator bool() const { return base_ != nullptr; }
+
+ private:
+  ShmRegion(void* base, std::size_t size) : base_(base), size_(size) {}
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Blocks until `word` no longer holds `expected`, a wake arrives, the
+/// timeout passes, or spuriously — callers must re-check their predicate.
+/// `timeout_ms` < 0 means no timeout (still subject to spurious wakes).
+/// The word must live in memory shared by waiter and waker.
+void futex_wait(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                int timeout_ms);
+
+/// Wakes every futex_wait parked on `word`.
+void futex_wake_all(const std::atomic<std::uint32_t>& word);
+
+}  // namespace mpte

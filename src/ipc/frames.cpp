@@ -17,17 +17,44 @@ mpc::Buffer envelope(const Serializer& payload) {
   return mpc::Buffer(wrap_checksummed(payload.bytes()));
 }
 
-// A blob on the wire is a u64 length prefix + raw bytes — exactly the
-// Serializer span format, so the codec is two one-liners.
-void write_buffer(Serializer& s, const mpc::Buffer& buffer) {
+// Blob tags (see docs/ipc-transport.md "Blob encoding").
+constexpr std::uint8_t kBlobInline = 0;  // u64 length + raw bytes follow
+constexpr std::uint8_t kBlobArena = 1;   // u64 offset + u64 length in arena
+
+void write_buffer(Serializer& s, const mpc::Buffer& buffer,
+                  BlobArena* arena) {
+  if (arena != nullptr && buffer.size() >= kArenaBlobMin &&
+      arena->used + buffer.size() <= arena->capacity) {
+    s.write(kBlobArena);
+    s.write(static_cast<std::uint64_t>(arena->used));
+    s.write(static_cast<std::uint64_t>(buffer.size()));
+    std::memcpy(arena->base + arena->used, buffer.data(), buffer.size());
+    arena->used += buffer.size();
+    return;
+  }
+  s.write(kBlobInline);
   s.write_span(buffer.span());
 }
 
-mpc::Buffer read_buffer(Deserializer& d) {
-  return mpc::Buffer(d.read_vector<std::uint8_t>());
+mpc::Buffer read_buffer(Deserializer& d,
+                        std::span<const std::uint8_t> arena) {
+  const auto tag = d.read<std::uint8_t>();
+  if (tag == kBlobInline) return mpc::Buffer(d.read_vector<std::uint8_t>());
+  if (tag != kBlobArena) {
+    throw MpteError("ipc frame: unknown blob tag " + std::to_string(tag));
+  }
+  const auto offset = d.read<std::uint64_t>();
+  const auto length = d.read<std::uint64_t>();
+  if (offset > arena.size() || length > arena.size() - offset) {
+    throw MpteError("ipc frame: arena blob reference out of bounds");
+  }
+  // The one worker-side touch: arena bytes are copied out here and
+  // nowhere else, so the frame survives the arena's next reset.
+  return mpc::Buffer::copy_of(arena.subspan(offset, length));
 }
 
-Frame decode(std::span<const std::uint8_t> payload) {
+Frame decode(std::span<const std::uint8_t> payload,
+             std::span<const std::uint8_t> arena) {
   Deserializer d(payload);
   Frame frame;
   frame.kind = static_cast<FrameKind>(d.read<std::uint32_t>());
@@ -52,7 +79,7 @@ Frame decode(std::span<const std::uint8_t> payload) {
         StoreDelta delta;
         delta.key = d.read_string();
         delta.present = d.read<std::uint8_t>() != 0;
-        if (delta.present) delta.blob = read_buffer(d);
+        if (delta.present) delta.blob = read_buffer(d, arena);
         result.store_delta.push_back(std::move(delta));
       }
       const auto num_dst = d.read<std::uint64_t>();
@@ -61,7 +88,7 @@ Frame decode(std::span<const std::uint8_t> payload) {
         const auto num_fragments = d.read<std::uint64_t>();
         result.fragments[dst].reserve(num_fragments);
         for (std::uint64_t f = 0; f < num_fragments; ++f) {
-          result.fragments[dst].push_back(read_buffer(d));
+          result.fragments[dst].push_back(read_buffer(d, arena));
         }
       }
       const auto num_channels = d.read<std::uint64_t>();
@@ -77,7 +104,7 @@ Frame decode(std::span<const std::uint8_t> payload) {
       step.round = d.read<std::uint64_t>();
       frame.round = step.round;
       step.step_name = d.read_string();
-      step.step_params = read_buffer(d);
+      step.step_params = read_buffer(d, arena);
       step.reset_store = d.read<std::uint8_t>() != 0;
       step.inject_kill = d.read<std::uint8_t>() != 0;
       const auto num_patch = d.read<std::uint64_t>();
@@ -86,7 +113,7 @@ Frame decode(std::span<const std::uint8_t> payload) {
         StoreDelta delta;
         delta.key = d.read_string();
         delta.present = d.read<std::uint8_t>() != 0;
-        if (delta.present) delta.blob = read_buffer(d);
+        if (delta.present) delta.blob = read_buffer(d, arena);
         step.store_patch.push_back(std::move(delta));
       }
       const auto num_messages = d.read<std::uint64_t>();
@@ -94,7 +121,7 @@ Frame decode(std::span<const std::uint8_t> payload) {
       for (std::uint64_t i = 0; i < num_messages; ++i) {
         mpc::Message message;
         message.from = d.read<mpc::MachineId>();
-        message.payload = read_buffer(d);
+        message.payload = read_buffer(d, arena);
         step.inbox.push_back(std::move(message));
       }
       return frame;
@@ -108,7 +135,7 @@ Frame decode(std::span<const std::uint8_t> payload) {
 
 }  // namespace
 
-mpc::Buffer encode_result(const ResultFrame& frame) {
+mpc::Buffer encode_result(const ResultFrame& frame, BlobArena* arena) {
   Serializer s;
   s.write(static_cast<std::uint32_t>(FrameKind::kResult));
   s.write(frame.rank);
@@ -117,12 +144,12 @@ mpc::Buffer encode_result(const ResultFrame& frame) {
   for (const auto& delta : frame.store_delta) {
     s.write_string(delta.key);
     s.write(static_cast<std::uint8_t>(delta.present ? 1 : 0));
-    if (delta.present) write_buffer(s, delta.blob);
+    if (delta.present) write_buffer(s, delta.blob, arena);
   }
   s.write(static_cast<std::uint64_t>(frame.fragments.size()));
   for (const auto& cell : frame.fragments) {
     s.write(static_cast<std::uint64_t>(cell.size()));
-    for (const auto& fragment : cell) write_buffer(s, fragment);
+    for (const auto& fragment : cell) write_buffer(s, fragment, arena);
   }
   s.write(static_cast<std::uint64_t>(frame.channel_bytes.size()));
   for (const auto& [channel, bytes] : frame.channel_bytes) {
@@ -148,7 +175,7 @@ mpc::Buffer encode_commit(std::uint64_t round) {
   return envelope(s);
 }
 
-mpc::Buffer encode_step(const StepFrame& frame) {
+mpc::Buffer encode_step(const StepFrame& frame, BlobArena* arena) {
   // Payload-size hint: sized up front so the hot path (one kStep per rank
   // per round) reallocates at most once even for large patches.
   std::size_t hint = 64 + frame.step_name.size() + frame.step_params.size();
@@ -163,19 +190,19 @@ mpc::Buffer encode_step(const StepFrame& frame) {
   s.write(frame.rank);
   s.write(frame.round);
   s.write_string(frame.step_name);
-  write_buffer(s, frame.step_params);
+  write_buffer(s, frame.step_params, arena);
   s.write(static_cast<std::uint8_t>(frame.reset_store ? 1 : 0));
   s.write(static_cast<std::uint8_t>(frame.inject_kill ? 1 : 0));
   s.write(static_cast<std::uint64_t>(frame.store_patch.size()));
   for (const auto& delta : frame.store_patch) {
     s.write_string(delta.key);
     s.write(static_cast<std::uint8_t>(delta.present ? 1 : 0));
-    if (delta.present) write_buffer(s, delta.blob);
+    if (delta.present) write_buffer(s, delta.blob, arena);
   }
   s.write(static_cast<std::uint64_t>(frame.inbox.size()));
   for (const auto& message : frame.inbox) {
     s.write(message.from);
-    write_buffer(s, message.payload);
+    write_buffer(s, message.payload, arena);
   }
   return envelope(s);
 }
@@ -190,7 +217,42 @@ Status write_frame(int fd, const mpc::Buffer& encoded) {
   return encoded.write_fd(fd);
 }
 
-Result<Frame> read_frame(int fd, int timeout_ms) {
+Result<Frame> decode_envelope(std::span<const std::uint8_t> envelope,
+                              std::span<const std::uint8_t> arena) {
+  if (envelope.size() < kEnvelopeHeaderBytes + kEnvelopeTrailerBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ipc frame: envelope shorter than header + digest");
+  }
+  const auto payload_size = envelope_payload_size(
+      envelope.first(kEnvelopeHeaderBytes), "ipc frame header");
+  if (!payload_size.ok()) return payload_size.status();
+  if (envelope.size() !=
+      kEnvelopeHeaderBytes + *payload_size + kEnvelopeTrailerBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ipc frame: envelope size does not match header");
+  }
+  const auto payload = envelope.subspan(kEnvelopeHeaderBytes, *payload_size);
+  std::uint64_t stored;
+  std::memcpy(&stored, envelope.data() + kEnvelopeHeaderBytes + *payload_size,
+              sizeof(stored));
+  if (stored != fnv1a64(payload)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "ipc frame: checksum mismatch");
+  }
+  try {
+    Frame frame = decode(payload, arena);
+    frame.wire_bytes = envelope.size();
+    return frame;
+  } catch (const MpteError& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("ipc frame: ") + e.what());
+  }
+}
+
+Result<Frame> read_frame(int fd, int timeout_ms,
+                         std::span<const std::uint8_t> arena) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0
@@ -222,11 +284,14 @@ Result<Frame> read_frame(int fd, int timeout_ms) {
                   "ipc frame: checksum mismatch");
   }
   try {
-    Frame frame = decode(payload);
+    Frame frame = decode(payload, arena);
     frame.wire_bytes = kEnvelopeHeaderBytes + body_size;
     return frame;
   } catch (const MpteError& e) {
     return Status(StatusCode::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("ipc frame: ") + e.what());
   }
 }
 

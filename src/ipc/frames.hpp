@@ -12,6 +12,11 @@
 // 16-byte prefix, learns the payload size, then receives payload+digest
 // in a single Buffer::from_fd allocation and verifies the digest.
 //
+// Blobs (store deltas/patches, outbox fragments, inbox payloads) are
+// tagged: inline (length + bytes) or an (offset, length) reference into
+// a shared-memory BlobArena when the frame travels next to one — see
+// docs/ipc-transport.md for the full grammar.
+//
 // Frame kinds, by worker mode. Fork-per-round: the worker sends exactly
 // one kResult (its store delta + outbox) or one kError (its step threw),
 // then blocks until the coordinator's kCommit releases it — that reply is
@@ -25,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -107,19 +113,61 @@ struct Frame {
   std::size_t wire_bytes = 0;
 };
 
-mpc::Buffer encode_result(const ResultFrame& frame);
+/// A bump region for large blob payloads, used by the shared-memory
+/// transport. When an encoder is handed an arena, blobs of at least
+/// kArenaBlobMin bytes are memcpy'd into it and the frame carries only
+/// (offset, length) — the decoder on the other side reads them straight
+/// out of the same shared pages. A blob that does not fit falls back to
+/// inline bytes, so the arena never truncates anything.
+///
+/// The arena has no allocator state beyond `used`: the transport resets
+/// it to 0 before each frame encode, which is safe because the frame
+/// protocol is strict request/response alternation — by the time a side
+/// encodes its next frame, the peer has fully consumed the previous one
+/// (the round barrier is the proof; see docs/ipc-transport.md).
+struct BlobArena {
+  std::uint8_t* base = nullptr;
+  std::size_t capacity = 0;
+  std::size_t used = 0;
+
+  void reset() { used = 0; }
+};
+
+/// Blobs below this size are always inlined — the (offset, length)
+/// indirection costs more than the copy for tiny payloads.
+inline constexpr std::size_t kArenaBlobMin = 256;
+
+/// Encoders: `arena` is optional; nullptr inlines every blob (the
+/// socketpair wire format). Frames with no blob payloads (commit, error,
+/// shutdown) have no arena parameter.
+mpc::Buffer encode_result(const ResultFrame& frame,
+                          BlobArena* arena = nullptr);
 mpc::Buffer encode_error(const ErrorFrame& frame);
 mpc::Buffer encode_commit(std::uint64_t round);
-mpc::Buffer encode_step(const StepFrame& frame);
+mpc::Buffer encode_step(const StepFrame& frame, BlobArena* arena = nullptr);
 mpc::Buffer encode_shutdown();
 
 /// Writes one encoded frame to `fd`.
 Status write_frame(int fd, const mpc::Buffer& encoded);
 
+/// Validates and decodes one complete envelope (header + payload +
+/// digest) already in memory — the shared-memory ring path. `arena` must
+/// cover the sender's blob arena when the frame may carry arena
+/// references; blob bytes are copied out (Buffer::copy_of), so the frame
+/// outlives the arena's next reset. kInvalidArgument for a bad header,
+/// digest mismatch, malformed payload, or an arena reference that falls
+/// outside `arena`.
+Result<Frame> decode_envelope(std::span<const std::uint8_t> envelope,
+                              std::span<const std::uint8_t> arena = {});
+
 /// Reads and validates one frame. `timeout_ms` bounds the whole read
-/// (prefix + payload + digest); < 0 blocks indefinitely. Codes:
-/// kDeadlineExceeded past the budget, kUnavailable when the peer closed,
-/// kInvalidArgument for bytes that are not a well-formed frame.
-Result<Frame> read_frame(int fd, int timeout_ms);
+/// (prefix + payload + digest); < 0 blocks indefinitely. `arena` as in
+/// decode_envelope (a frame that fell back to the socketpair may still
+/// reference arena blobs — the arena is shared memory regardless of
+/// which descriptor carried the frame). Codes: kDeadlineExceeded past
+/// the budget, kUnavailable when the peer closed, kInvalidArgument for
+/// bytes that are not a well-formed frame.
+Result<Frame> read_frame(int fd, int timeout_ms,
+                         std::span<const std::uint8_t> arena = {});
 
 }  // namespace mpte::ipc

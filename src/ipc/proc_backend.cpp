@@ -65,7 +65,7 @@ ResultFrame build_result(mpc::MachineId rank, std::size_t round,
                               std::vector<mpc::Outbox>& outboxes,
                               const mpc::Step& step, std::size_t round,
                               bool inject_kill, mpc::MachineId rank,
-                              int fd) {
+                              Transport& transport) {
   // The fork copied the coordinator's thread-pool bookkeeping but none of
   // its threads; force the serial path so parallel_for never touches the
   // pool (degree-1 dispatch runs inline).
@@ -77,18 +77,20 @@ ResultFrame build_result(mpc::MachineId rank, std::size_t round,
     mpc::execute_rank_step(rank, m, machines[rank], outboxes[rank], step);
     const ResultFrame frame =
         build_result(rank, round, machines[rank], outboxes[rank]);
-    if (!write_frame(fd, encode_result(frame)).ok()) _exit(2);
+    const mpc::Buffer encoded =
+        encode_result(frame, transport.encode_arena());
+    if (!transport.send_frame(encoded).ok()) _exit(2);
     // Barrier: hold until the coordinator commits the round (or dies —
     // either way the reply read ends) so it can still reach us if the
     // round has to be aborted.
-    (void)read_frame(fd, -1);
+    (void)transport.recv_frame(-1);
     _exit(0);
   } catch (const std::exception& e) {
     ErrorFrame error;
     error.rank = rank;
     error.round = round;
     error.message = e.what();
-    (void)write_frame(fd, encode_error(error));
+    (void)transport.send_frame(encode_error(error));
     _exit(1);
   } catch (...) {
     _exit(3);
@@ -102,14 +104,14 @@ ResultFrame build_result(mpc::MachineId rank, std::size_t round,
 /// ends the loop. A step exception answers kError and keeps looping —
 /// the coordinator decides whether the pool lives on.
 [[noreturn]] void persistent_worker_main(std::size_t m, mpc::MachineId rank,
-                                         int fd) {
+                                         Transport& transport) {
   par::set_default_threads(1);
   mpc::Machine machine;
   mpc::Outbox outbox;
   outbox.fragments.resize(m);
   for (;;) {
-    auto frame = read_frame(fd, -1);
-    if (!frame.ok()) _exit(0);  // coordinator closed our socket: clean end
+    auto frame = transport.recv_frame(-1);
+    if (!frame.ok()) _exit(0);  // coordinator closed our channel: clean end
     if (frame->kind == FrameKind::kShutdown) _exit(0);
     if (frame->kind != FrameKind::kStep) _exit(4);
     StepFrame& step = frame->step;
@@ -132,19 +134,47 @@ ResultFrame build_result(mpc::MachineId rank, std::size_t round,
           step.step_name, step.step_params.span());
       mpc::execute_rank_step(rank, m, machine, outbox, body);
       ResultFrame result = build_result(rank, step.round, machine, outbox);
-      if (!write_frame(fd, encode_result(result)).ok()) _exit(2);
+      const mpc::Buffer encoded =
+          encode_result(result, transport.encode_arena());
+      if (!transport.send_frame(encoded).ok()) _exit(2);
       outbox.fragments.assign(m, {});  // moved out by build_result
     } catch (const std::exception& e) {
       ErrorFrame error;
       error.rank = rank;
       error.round = step.round;
       error.message = e.what();
-      if (!write_frame(fd, encode_error(error)).ok()) _exit(1);
+      if (!transport.send_frame(encode_error(error)).ok()) _exit(1);
       // Our resident store may hold a half-executed step now; the
       // coordinator tears the pool down on kError, so the next read EOFs.
     } catch (...) {
       _exit(3);
     }
+  }
+}
+
+/// IpcOptions -> per-pool transport configuration.
+Transport::Config transport_config(const mpc::ClusterConfig& config) {
+  Transport::Config transport;
+  transport.kind =
+      config.ipc.transport == mpc::IpcOptions::Transport::kShmRing
+          ? TransportKind::kShmRing
+          : TransportKind::kSocketpair;
+  transport.ring_bytes = config.ipc.shm_ring_bytes;
+  transport.arena_bytes = config.ipc.shm_arena_bytes;
+  return transport;
+}
+
+/// Folds every rank's ring/arena counter deltas into the stats. The
+/// counters live in the shared channel headers, so this captures
+/// worker-side activity too — and stays valid after the children died,
+/// as long as the pool (and with it the mapping) is alive.
+void drain_pool_counters(ProcessPool& pool, IpcStats& stats) {
+  for (mpc::MachineId rank = 0; rank < pool.size(); ++rank) {
+    const RingCounters delta = pool.transport(rank).drain_counters();
+    stats.ring_wraps += delta.wraps;
+    stats.ring_full_waits += delta.full_waits;
+    stats.shm_bytes += delta.shm_bytes;
+    stats.fallback_frames += delta.fallback_frames;
   }
 }
 
@@ -176,15 +206,17 @@ ProcBackend::~ProcBackend() {
   // when the pool closes fds; the pool destructor SIGKILLs stragglers.
   const mpc::Buffer shutdown = encode_shutdown();
   for (mpc::MachineId rank = 0; rank < pool_->size(); ++rank) {
-    (void)write_frame(pool_->fd(rank), shutdown);
+    (void)pool_->transport(rank).send_frame(shutdown);
   }
   (void)pool_->join_all(1000);
+  drain_pool_counters(*pool_, stats_);
   pool_.reset();
 }
 
 void ProcBackend::teardown_pool() {
   if (pool_) {
     pool_->kill_all();
+    drain_pool_counters(*pool_, stats_);
     pool_.reset();
   }
   synced_.assign(synced_.size(), false);
@@ -229,9 +261,11 @@ void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
   if (inject_kill) kill_fired_ = true;
 
   auto spawned = ProcessPool::spawn(
-      m, [&](mpc::MachineId rank, int fd) {
+      m, transport_config(config),
+      [&](mpc::MachineId rank, Transport& transport) {
         worker_main(machines, outboxes, step, round,
-                    inject_kill && rank == config.ipc.kill_rank, rank, fd);
+                    inject_kill && rank == config.ipc.kill_rank, rank,
+                    transport);
       });
   if (!spawned.ok()) {
     throw MpteError("ipc: " + spawned.status().to_string());
@@ -256,8 +290,7 @@ void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
       const auto remaining =
           std::chrono::duration_cast<std::chrono::milliseconds>(
               deadline - Clock::now());
-      auto frame = read_frame(
-          pool.fd(rank),
+      auto frame = pool.transport(rank).recv_frame(
           static_cast<int>(std::max<std::int64_t>(0, remaining.count())));
       if (!frame.ok()) {
         ++stats_.workers_lost;
@@ -272,6 +305,7 @@ void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
           detail += "; worker " + describe_exit(pool.exit_status(rank));
         }
         pool.kill_all();
+        drain_pool_counters(pool, stats_);
         throw WorkerLost(rank, round, cause, detail);
       }
       ++stats_.frames_received;
@@ -287,6 +321,7 @@ void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
     const Frame& frame = frames[rank];
     if (frame.kind == FrameKind::kError) {
       pool.kill_all();
+      drain_pool_counters(pool, stats_);
       throw MpteError(frames[rank].error.message);
     }
     if (frame.kind != FrameKind::kResult || frame.result.rank != rank ||
@@ -294,6 +329,7 @@ void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
         frame.result.fragments.size() != m) {
       ++stats_.workers_lost;
       pool.kill_all();
+      drain_pool_counters(pool, stats_);
       throw WorkerLost(rank, round, WorkerLost::Cause::kProtocol,
                        "result frame does not match (rank, round, M)");
     }
@@ -332,11 +368,12 @@ void ProcBackend::run_fork_round(const mpc::ClusterConfig& config,
   // reaps it regardless, so no path leaks a child.
   const mpc::Buffer commit = encode_commit(round);
   for (mpc::MachineId rank = 0; rank < m; ++rank) {
-    if (write_frame(pool.fd(rank), commit).ok()) {
+    if (pool.transport(rank).send_frame(commit).ok()) {
       stats_.commit_wire_bytes += commit.size();
     }
   }
   (void)pool.join_all(config.ipc.round_deadline_ms);
+  drain_pool_counters(pool, stats_);
 }
 
 void ProcBackend::run_persistent_round(const mpc::ClusterConfig& config,
@@ -349,8 +386,9 @@ void ProcBackend::run_persistent_round(const mpc::ClusterConfig& config,
 
   if (!pool_) {
     auto spawned = ProcessPool::spawn(
-        m, [m](mpc::MachineId rank, int fd) {
-          persistent_worker_main(m, rank, fd);
+        m, transport_config(config),
+        [m](mpc::MachineId rank, Transport& transport) {
+          persistent_worker_main(m, rank, transport);
         });
     if (!spawned.ok()) {
       throw MpteError("ipc: " + spawned.status().to_string());
@@ -406,8 +444,9 @@ void ProcBackend::run_persistent_round(const mpc::ClusterConfig& config,
       stats_.store_patch_bytes += delta.blob.size();
     }
     step.inbox = machines[rank].inbox;
-    const mpc::Buffer encoded = encode_step(step);
-    if (!write_frame(pool_->fd(rank), encoded).ok()) {
+    const mpc::Buffer encoded =
+        encode_step(step, pool_->transport(rank).encode_arena());
+    if (!pool_->transport(rank).send_frame(encoded).ok()) {
       ++stats_.workers_lost;
       std::string detail = "step frame write failed";
       if (pool_->try_reap(rank)) {
@@ -435,8 +474,7 @@ void ProcBackend::run_persistent_round(const mpc::ClusterConfig& config,
       const auto remaining =
           std::chrono::duration_cast<std::chrono::milliseconds>(
               deadline - Clock::now());
-      auto frame = read_frame(
-          pool_->fd(rank),
+      auto frame = pool_->transport(rank).recv_frame(
           static_cast<int>(std::max<std::int64_t>(0, remaining.count())));
       if (!frame.ok()) {
         ++stats_.workers_lost;
@@ -506,6 +544,7 @@ void ProcBackend::run_persistent_round(const mpc::ClusterConfig& config,
     }
   }
   stats_.apply_seconds += seconds_since(apply_start);
+  drain_pool_counters(*pool_, stats_);
   // No commit frame: each worker is already blocked reading its next
   // kStep, which is the implicit commit of this one.
 }
@@ -553,6 +592,18 @@ void ProcBackend::export_metrics(obs::Registry& registry) const {
   c("mpte_ipc_fallback_rounds_total",
     "Rounds that fell back to fork-per-round (hosted closure spec).",
     stats_.fallback_rounds);
+  c("mpte_ipc_ring_wraps_total",
+    "Shared-memory ring writes that wrapped past the buffer end.",
+    stats_.ring_wraps);
+  c("mpte_ipc_ring_full_waits_total",
+    "Producer blocking episodes on a full shared-memory ring.",
+    stats_.ring_full_waits);
+  c("mpte_ipc_shm_bytes_total",
+    "Bytes moved through shared-memory rings and blob arenas.",
+    stats_.shm_bytes);
+  c("mpte_ipc_fallback_frames_total",
+    "Frames that exceeded ring capacity and fell back to the socketpair.",
+    stats_.fallback_frames);
   for (const auto& [step, rounds] : stats_.step_rounds) {
     registry
         .counter("mpte_ipc_step_rounds_total",

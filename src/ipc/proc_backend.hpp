@@ -25,6 +25,12 @@
 // in-process backend uses, which is why RoundStats, channel byte totals,
 // and the golden fingerprints are byte-identical between backends.
 //
+// Frames travel the substrate IpcOptions::transport selects — per-worker
+// shared-memory rings + blob arenas (kShmRing, the default) or plain
+// socketpairs — through the Transport seam (shm_ring.hpp). Decoded
+// frames are identical on either substrate, so the transport choice
+// never affects results either; see docs/ipc-transport.md.
+//
 // Failure semantics: a worker that dies (EOF/EPIPE, observed exit),
 // misses the round deadline, or sends garbage surfaces as WorkerLost —
 // a RankCrashed subclass, so ckpt::run_with_recovery restores the latest
@@ -104,6 +110,17 @@ struct IpcStats {
   /// Rounds that fell back to fork-per-round because the spec carried a
   /// hosted closure instead of a registered name.
   std::uint64_t fallback_rounds = 0;
+  // --- shared-memory transport counters (kShmRing only; all zero under
+  // kSocketpair). Drained from the shared ring headers once per round
+  // and at pool teardown, so worker-side activity is included. ---
+  /// Frame writes that wrapped past the end of a ring buffer.
+  std::uint64_t ring_wraps = 0;
+  /// Blocking episodes where a producer found its ring full.
+  std::uint64_t ring_full_waits = 0;
+  /// Bytes moved through shared-memory rings and blob arenas.
+  std::uint64_t shm_bytes = 0;
+  /// Frames that exceeded ring capacity and fell back to the socketpair.
+  std::uint64_t fallback_frames = 0;
   /// Rounds executed per step name (exported with a step="..." label).
   std::map<std::string, std::uint64_t> step_rounds;
   double barrier_seconds = 0.0;

@@ -1,37 +1,46 @@
-// Fork-per-round worker pool for the multi-process MPC backend.
+// Worker pool for the multi-process MPC backend.
 //
-// spawn() creates one Unix-domain socketpair + forked child per rank. The
-// child inherits the coordinator's full pre-round state copy-on-write —
-// that is how a host std::function Step crosses the process boundary
-// without being serializable — runs the supplied entry function, and must
-// _exit (never return: running atexit handlers or flushing inherited
-// stdio in a forked child would corrupt the parent's world).
+// spawn() creates one transport endpoint + forked child per rank. Every
+// rank always gets a Unix-domain socketpair — the frame carrier under
+// TransportKind::kSocketpair, and the fallback/liveness channel under
+// kShmRing, where frames normally travel a pre-fork shared-memory ring
+// pair (see shm_ring.hpp). The child inherits the coordinator's full
+// pre-round state copy-on-write — that is how a host std::function Step
+// crosses the process boundary without being serializable — runs the
+// supplied entry function, and must _exit (never return: running atexit
+// handlers or flushing inherited stdio in a forked child would corrupt
+// the parent's world).
 //
-// The pool owns the parent-side fds and the pids. Its destructor
-// SIGKILLs and reaps anything still running, so no code path — including
-// exceptions thrown mid-round — can leak a zombie.
+// The pool owns the parent-side fds, the shared-memory channels, and the
+// pids. Its destructor SIGKILLs and reaps anything still running, so no
+// code path — including exceptions thrown mid-round — can leak a zombie.
 #pragma once
 
 #include <sys/types.h>
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.hpp"
+#include "ipc/shm_ring.hpp"
 #include "mpc/machine.hpp"
 
 namespace mpte::ipc {
 
 class ProcessPool {
  public:
-  /// Runs rank-side; must not return (call _exit). `fd` is the worker's
-  /// end of its socketpair.
-  using WorkerMain = std::function<void(mpc::MachineId rank, int fd)>;
+  /// Runs rank-side; must not return (call _exit). `transport` is the
+  /// worker's end of its duplex channel, already bound to Side::kWorker.
+  using WorkerMain =
+      std::function<void(mpc::MachineId rank, Transport& transport)>;
 
-  /// Forks `ranks` workers. On a fork failure the already-spawned workers
-  /// are killed and kUnavailable is returned.
+  /// Forks `ranks` workers over `transport`-configured channels. On a
+  /// failure the already-spawned workers are killed and kUnavailable is
+  /// returned.
   static Result<ProcessPool> spawn(std::size_t ranks,
+                                   const Transport::Config& transport,
                                    const WorkerMain& worker_main);
 
   ProcessPool(ProcessPool&& other) noexcept;
@@ -41,6 +50,11 @@ class ProcessPool {
   ~ProcessPool();
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Coordinator-side endpoint of rank's channel.
+  Transport& transport(mpc::MachineId rank) {
+    return *workers_[rank].transport;
+  }
 
   /// Coordinator-side fd of rank's socketpair (-1 once closed).
   int fd(mpc::MachineId rank) const { return workers_[rank].fd; }
@@ -55,7 +69,8 @@ class ProcessPool {
     return workers_[rank].exit_status;
   }
 
-  /// SIGKILLs and reaps every remaining worker, closing all fds.
+  /// SIGKILLs and reaps every remaining worker, closing all fds and
+  /// waking any ring waiter.
   /// Idempotent; called by the destructor.
   void kill_all();
 
@@ -68,6 +83,9 @@ class ProcessPool {
   struct Worker {
     pid_t pid = -1;
     int fd = -1;
+    /// unique_ptr: the arena/ring views handed out by the Transport must
+    /// stay address-stable while workers_ grows.
+    std::unique_ptr<Transport> transport;
     bool reaped = false;
     int exit_status = 0;
   };

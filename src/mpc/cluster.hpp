@@ -120,6 +120,19 @@ struct IpcOptions {
   /// behavior; closures and named steps alike inherit state copy-on-write).
   enum class WorkerMode : std::uint8_t { kForkPerRound = 0, kPersistent = 1 };
   WorkerMode workers = WorkerMode::kPersistent;
+  /// Byte substrate for coordinator<->worker frames. kShmRing (the
+  /// default) carries frames over per-worker shared-memory SPSC rings
+  /// with large blobs passed by reference through a shared arena; frames
+  /// that exceed ring capacity fall back to the socketpair (counted in
+  /// mpte_ipc_fallback_frames_total, never truncated). kSocketpair is
+  /// the plain-sockets path. Decoded frames are identical either way, so
+  /// the choice never affects results — see docs/ipc-transport.md.
+  enum class Transport : std::uint8_t { kSocketpair = 0, kShmRing = 1 };
+  Transport transport = Transport::kShmRing;
+  /// Per-direction ring data capacity (rounded up to a power of two) and
+  /// per-direction blob arena capacity, per worker, kShmRing only.
+  std::size_t shm_ring_bytes = 1u << 20;
+  std::size_t shm_arena_bytes = 4u << 20;
   /// Wall-clock budget for one round barrier (provision every worker,
   /// execute the step, collect every result frame). A worker that misses
   /// it is lost: run_round throws ipc::WorkerLost (Cause::kDeadline).

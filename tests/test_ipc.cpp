@@ -41,12 +41,16 @@ std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n, std::uint64_t h) {
   return h;
 }
 
-/// The three execution substrates under test. kInProcess ignores the
-/// worker mode; the two proc variants must both match it byte-for-byte.
+/// The execution substrates under test. kInProcess ignores the worker
+/// mode and transport; every proc variant must match it byte-for-byte —
+/// including across the transport axis (shm ring vs socketpair), which
+/// only changes how frame bytes travel, never what they decode to.
 struct BackendVariant {
   const char* name;
   mpc::Backend backend;
   mpc::IpcOptions::WorkerMode workers;
+  mpc::IpcOptions::Transport transport =
+      mpc::IpcOptions::Transport::kShmRing;
 };
 
 constexpr BackendVariant kInprocVariant{
@@ -58,6 +62,14 @@ constexpr BackendVariant kForkVariant{
 constexpr BackendVariant kPersistentVariant{
     "proc-persistent", mpc::Backend::kMultiProcess,
     mpc::IpcOptions::WorkerMode::kPersistent};
+constexpr BackendVariant kForkSocketpairVariant{
+    "proc-fork-socketpair", mpc::Backend::kMultiProcess,
+    mpc::IpcOptions::WorkerMode::kForkPerRound,
+    mpc::IpcOptions::Transport::kSocketpair};
+constexpr BackendVariant kPersistentSocketpairVariant{
+    "proc-persistent-socketpair", mpc::Backend::kMultiProcess,
+    mpc::IpcOptions::WorkerMode::kPersistent,
+    mpc::IpcOptions::Transport::kSocketpair};
 
 /// The pinned configuration behind the repo-wide golden fingerprint
 /// (test_mpc_channels.cpp GoldenSeed), parameterized by substrate.
@@ -70,6 +82,7 @@ mpc::ClusterConfig golden_config(const BackendVariant& variant,
   config.num_threads = threads;
   config.backend = variant.backend;
   config.ipc.workers = variant.workers;
+  config.ipc.transport = variant.transport;
   return config;
 }
 
@@ -273,6 +286,65 @@ TEST(BackendEquivalence, RoundStatsAndChannelBytesIdentical) {
   EXPECT_EQ(backend->stats().fallback_rounds, 0u);
   EXPECT_EQ(backend->stats().workers_forked, persistent.num_machines());
   EXPECT_GT(backend->stats().step_frames_sent, 0u);
+}
+
+TEST(BackendEquivalence, SocketpairAndShmTransportsIdentical) {
+  constexpr std::uint64_t kExpectedHash = 8852295253212578257ull;
+  for (const std::size_t threads : {1u, 8u}) {
+    mpc::Cluster shm(golden_config(kPersistentVariant, threads));
+    mpc::Cluster socketpair(
+        golden_config(kPersistentSocketpairVariant, threads));
+    const auto shm_result = golden_embed(shm);
+    const auto sp_result = golden_embed(socketpair);
+    ASSERT_TRUE(shm_result.ok()) << shm_result.status().to_string();
+    ASSERT_TRUE(sp_result.ok()) << sp_result.status().to_string();
+    EXPECT_EQ(embedding_hash(*shm_result), kExpectedHash)
+        << "threads=" << threads;
+    EXPECT_EQ(embedding_hash(*sp_result), kExpectedHash)
+        << "threads=" << threads;
+    expect_records_equal(shm.stats(), socketpair.stats());
+    EXPECT_EQ(shm.stats().channel_totals(),
+              socketpair.stats().channel_totals());
+    expect_stores_equal(shm, socketpair);
+
+    // The transport actually differed: the shm run moved frame bytes
+    // through shared memory, the socketpair run kept all ring counters
+    // at zero.
+    const auto* shm_backend =
+        dynamic_cast<const ipc::ProcBackend*>(shm.round_executor());
+    const auto* sp_backend =
+        dynamic_cast<const ipc::ProcBackend*>(socketpair.round_executor());
+    ASSERT_NE(shm_backend, nullptr);
+    ASSERT_NE(sp_backend, nullptr);
+    EXPECT_GT(shm_backend->stats().shm_bytes, 0u);
+    EXPECT_EQ(sp_backend->stats().shm_bytes, 0u);
+    EXPECT_EQ(sp_backend->stats().ring_wraps, 0u);
+    EXPECT_EQ(sp_backend->stats().ring_full_waits, 0u);
+    EXPECT_EQ(sp_backend->stats().fallback_frames, 0u);
+  }
+  EXPECT_TRUE(no_children_remain());
+}
+
+TEST(BackendEquivalence, TinyRingFallsBackWithoutChangingResults) {
+  constexpr std::uint64_t kExpectedHash = 8852295253212578257ull;
+  // A ring far smaller than the big resync/result frames forces the
+  // socketpair fallback path (frame > capacity - marker), which must be
+  // counted — never silently truncated — and must not change a byte of
+  // the result.
+  mpc::ClusterConfig config = golden_config(kPersistentVariant, 8);
+  config.ipc.shm_ring_bytes = 1u << 10;
+  config.ipc.shm_arena_bytes = 1u << 12;
+  {
+    mpc::Cluster cluster(config);
+    const auto result = golden_embed(cluster);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(embedding_hash(*result), kExpectedHash);
+    const auto* backend =
+        dynamic_cast<const ipc::ProcBackend*>(cluster.round_executor());
+    ASSERT_NE(backend, nullptr);
+    EXPECT_GT(backend->stats().fallback_frames, 0u);
+  }  // ~Cluster joins the persistent pool before the zombie check
+  EXPECT_TRUE(no_children_remain());
 }
 
 TEST(BackendEquivalence, StoreDeltasCoverEraseOverwriteAndFreshKeys) {

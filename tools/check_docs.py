@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation lint for the mpte repo (CI `docs` job).
 
-Two checks, both fail-closed:
+Three checks, all fail-closed:
 
 1. Intra-repo markdown links. Every relative `[text](target)` in a
    tracked .md file must point at a file or directory that exists.
@@ -13,6 +13,14 @@ Two checks, both fail-closed:
    `mpte_cli` invocation, must actually be parsed by the CLI (appear in
    a flag_value()/`arg == "--x"` site). Documenting a flag the binary
    rejects is the docs bug this guards against.
+
+3. Metric name drift. Every `mpte_*` metric named in the docs must
+   exist somewhere in the source tree (src/tests/bench/tools), either
+   as a verbatim string or as the prefix of a runtime-concatenated name
+   (`"mpte_mpc_profile_" + phase`). `{a,b}` alternations in docs expand
+   to each candidate; `{label="..."}` selectors and `<placeholder>`
+   names are ignored. Documenting a metric nothing exports is the
+   observability-docs bug this guards against.
 
 Usage: python3 tools/check_docs.py [repo-root]   (default: script's parent)
 """
@@ -117,20 +125,127 @@ def check_flags(root):
     return errors
 
 
+METRIC_TOKEN_RE = re.compile(r"mpte_[a-zA-Z0-9_{},]*")
+CODE_DIRS = ("src", "tests", "bench", "tools")
+CODE_SUFFIXES = (".cpp", ".hpp", ".h", ".py", ".cmake", "CMakeLists.txt")
+# Artifact outputs (BENCH_*.metrics.prom etc.) are generated *from* code
+# names; they must not satisfy the check by themselves.
+METRIC_PLACEHOLDER_CHARS = ("<", "*", "...")
+
+
+def normalize_metric_token(token):
+    """Strips a `{label="..."}` selector, leaving the bare metric name.
+    Returns None for tokens that are placeholders rather than names."""
+    if any(ch in token for ch in METRIC_PLACEHOLDER_CHARS):
+        return None
+    # A `{` starting an unbalanced brace group is a Prometheus label
+    # selector (`mpte_x_total{step="sort"}`): the name ends there. A
+    # balanced group is a documented alternation (`mpte_ipc_{a,b}_total`)
+    # and is kept for expansion.
+    if token.count("{") != token.count("}"):
+        token = token.split("{", 1)[0]
+    return token.rstrip("_,")
+
+
+def expand_alternations(name):
+    """mpte_a_{x,y}_total -> [mpte_a_x_total, mpte_a_y_total]."""
+    names = [name]
+    while any("{" in n for n in names):
+        expanded = []
+        for n in names:
+            if "{" not in n:
+                expanded.append(n)
+                continue
+            head, rest = n.split("{", 1)
+            group, tail = rest.split("}", 1)
+            for alt in group.split(","):
+                expanded.append(head + alt + tail)
+        names = expanded
+    return names
+
+
+def documented_metrics(root):
+    """(metric-name, where) pairs for every mpte_* token in the docs."""
+    mentions = []
+    for path in markdown_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                for token in METRIC_TOKEN_RE.findall(line):
+                    name = normalize_metric_token(token)
+                    if name is None or "{" in name and "}" not in name:
+                        continue
+                    for expanded in expand_alternations(name):
+                        # Bare "mpte_cli"-style words are tool names, not
+                        # metrics; metrics have at least two more path
+                        # segments (subsystem + meaning).
+                        if expanded.count("_") >= 2:
+                            mentions.append((expanded, f"{rel}:{lineno}"))
+    return mentions
+
+
+def code_corpus(root):
+    chunks = []
+    for base in CODE_DIRS:
+        top = os.path.join(root, base)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith(CODE_SUFFIXES):
+                    path = os.path.join(dirpath, name)
+                    with open(path, encoding="utf-8",
+                              errors="replace") as handle:
+                        chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def metric_exists(name, corpus):
+    """True when the source tree can produce a metric called `name`:
+    either the full name appears verbatim, or some proper prefix ends a
+    string literal (runtime concatenation like
+    `std::string("mpte_mpc_profile_") + phase`)."""
+    if name in corpus:
+        return True
+    for cut in range(len(name) - 1, 5, -1):
+        if name[cut] != "_":
+            continue
+        if (name[: cut + 1] + '"') in corpus:
+            return True
+    return False
+
+
+def check_metrics(root):
+    corpus = code_corpus(root)
+    if "mpte_" not in corpus:
+        return ["source tree exports no mpte_* names — corpus scan broken?"]
+    errors = []
+    seen = set()
+    for name, where in documented_metrics(root):
+        if (name, where) in seen:
+            continue
+        seen.add((name, where))
+        if not metric_exists(name, corpus):
+            errors.append(
+                f"{where}: documents metric '{name}' but nothing in "
+                f"src/tests/bench/tools exports it"
+            )
+    return errors
+
+
 def main():
     root = os.path.abspath(
         sys.argv[1]
         if len(sys.argv) > 1
         else os.path.join(os.path.dirname(__file__), os.pardir)
     )
-    errors = check_links(root) + check_flags(root)
+    errors = check_links(root) + check_flags(root) + check_metrics(root)
     for error in errors:
         print(f"check_docs: {error}")
     if errors:
         print(f"check_docs: {len(errors)} error(s)")
         return 1
-    print("check_docs: all markdown links resolve and all documented "
-          "CLI flags are implemented")
+    print("check_docs: all markdown links resolve, all documented CLI "
+          "flags are implemented, and all documented metrics exist")
     return 0
 
 

@@ -105,7 +105,8 @@ int usage() {
                "            [--checkpoint-dir D] [--every K] [--crash-at R] "
                "(mpc only)\n"
                "            [--backend inproc|proc] [--ranks M] "
-               "[--workers persistent|fork] (mpc only)\n"
+               "[--workers persistent|fork]\n"
+               "            [--transport shm|socketpair] (mpc only)\n"
                "            [--trace-out FILE] [--metrics-out FILE]\n"
                "  mpte_cli resume <checkpoint-dir> [--trace-out FILE] "
                "[--metrics-out FILE]\n"
@@ -289,6 +290,20 @@ Result<mpc::IpcOptions::WorkerMode> parse_workers(const std::string& name) {
                 "unknown --workers '" + name + "' (want persistent|fork)");
 }
 
+const char* transport_name(mpc::IpcOptions::Transport transport) {
+  return transport == mpc::IpcOptions::Transport::kSocketpair ? "socketpair"
+                                                              : "shm";
+}
+
+/// Parses --transport; only meaningful with --backend proc but always
+/// accepted (ignored under inproc, like the rest of IpcOptions).
+Result<mpc::IpcOptions::Transport> parse_transport(const std::string& name) {
+  if (name == "shm") return mpc::IpcOptions::Transport::kShmRing;
+  if (name == "socketpair") return mpc::IpcOptions::Transport::kSocketpair;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown --transport '" + name + "' (want shm|socketpair)");
+}
+
 /// Stable fingerprint of the tree file's payload, printed by both the
 /// embed and resume paths so runs are easy to compare.
 std::uint64_t embedding_fingerprint(const Embedding& embedding) {
@@ -307,6 +322,7 @@ struct CkptManifest {
   std::size_t ranks = 8;
   mpc::IpcOptions::WorkerMode workers =
       mpc::IpcOptions::WorkerMode::kPersistent;
+  mpc::IpcOptions::Transport transport = mpc::IpcOptions::Transport::kShmRing;
   /// Comma-joined round labels committed before a crash. Written when an
   /// embed run dies so resume can check that the re-driven pipeline
   /// replays the same program; empty until then.
@@ -321,7 +337,8 @@ Status write_manifest(const std::string& dir, const CkptManifest& manifest) {
       << "every=" << manifest.every << "\n"
       << "backend=" << backend_name(manifest.backend) << "\n"
       << "ranks=" << manifest.ranks << "\n"
-      << "workers=" << workers_name(manifest.workers) << "\n";
+      << "workers=" << workers_name(manifest.workers) << "\n"
+      << "transport=" << transport_name(manifest.transport) << "\n";
   if (!manifest.program.empty()) {
     out << "program=" << manifest.program << "\n";
   }
@@ -365,6 +382,10 @@ Result<CkptManifest> read_manifest(const std::string& dir) {
     if (key == "workers") {
       const auto workers = parse_workers(value);
       if (workers.ok()) manifest.workers = *workers;
+    }
+    if (key == "transport") {
+      const auto transport = parse_transport(value);
+      if (transport.ok()) manifest.transport = *transport;
     }
     if (key == "program") manifest.program = value;
   }
@@ -431,12 +452,14 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
                   const std::string& checkpoint_dir, std::size_t every,
                   long long crash_at, mpc::Backend backend,
                   std::size_t ranks, mpc::IpcOptions::WorkerMode workers,
+                  mpc::IpcOptions::Transport transport,
                   const ObsOutputs& outputs) {
   arm_tracer(outputs);
   const std::size_t input_bytes =
       points.size() * std::max<std::size_t>(points.dim(), 1) * sizeof(double);
   mpc::ClusterConfig config = mpc_cli_config(input_bytes, backend, ranks);
   config.ipc.workers = workers;
+  config.ipc.transport = transport;
   if (!checkpoint_dir.empty()) {
     config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
     config.checkpoint.directory = checkpoint_dir;
@@ -457,9 +480,9 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
     // Written before the run so a killed process leaves a resumable dir.
     std::error_code ec;
     std::filesystem::create_directories(checkpoint_dir, ec);
-    CkptManifest manifest{in_path, out_path, seed,
-                          every,   backend,  ranks,
-                          workers, /*program=*/""};
+    CkptManifest manifest{in_path,   out_path, seed,
+                          every,     backend,  ranks,
+                          workers,   transport, /*program=*/""};
     const Status wrote = write_manifest(checkpoint_dir, manifest);
     if (!wrote.ok()) {
       std::fprintf(stderr, "mpc embed: %s\n", wrote.to_string().c_str());
@@ -495,8 +518,9 @@ int cmd_embed_mpc(const PointSet& points, const std::string& in_path,
         if (!program.empty()) program += ',';
         program += record.label;
       }
-      CkptManifest manifest{in_path, out_path, seed,  every,
-                            backend, ranks,    workers, program};
+      CkptManifest manifest{in_path, out_path, seed,      every,
+                            backend, ranks,    workers,   transport,
+                            program};
       const Status wrote = write_manifest(checkpoint_dir, manifest);
       if (!wrote.ok()) {
         std::fprintf(stderr, "mpc embed: %s\n", wrote.to_string().c_str());
@@ -534,6 +558,7 @@ int cmd_resume(int argc, char** argv) {
   mpc::ClusterConfig config =
       mpc_cli_config(input_bytes, manifest->backend, manifest->ranks);
   config.ipc.workers = manifest->workers;
+  config.ipc.transport = manifest->transport;
   config.checkpoint.mode = mpc::CheckpointPolicy::Mode::kEveryK;
   config.checkpoint.directory = dir;
   config.checkpoint.every_k = manifest->every;
@@ -637,9 +662,16 @@ int cmd_embed(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", workers.status().to_string().c_str());
         return usage();
       }
+      const auto transport =
+          parse_transport(flag_value(flags, "--transport", "shm"));
+      if (!transport.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     transport.status().to_string().c_str());
+        return usage();
+      }
       return cmd_embed_mpc(points, positional[0], positional[1], seed,
                            checkpoint_dir, every, crash_at, *backend, ranks,
-                           *workers, outputs);
+                           *workers, *transport, outputs);
     } else if (method == "grid") {
       options.method = PartitionMethod::kGrid;
     } else if (method == "ball") {
